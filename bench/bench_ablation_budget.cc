@@ -1,0 +1,63 @@
+/// Reproduces the paper's "different time budgets" additional experiment
+/// (Section 5.2) and doubles as the warm-start ablation DESIGN.md calls out:
+/// at small budgets the meta-model warm start should give FedForecaster a
+/// head start over both random search and a cold (meta-model-free) Bayesian
+/// optimizer; the gap narrows as the budget grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace fedfc::bench {
+namespace {
+
+int Main() {
+  BenchConfig cfg;
+  std::printf("=== Ablation: time budget sweep + warm-start (Section 5.2) ===\n");
+  std::printf("%d seeds per cell\n\n", cfg.n_seeds);
+
+  automl::KnowledgeBase kb = LoadOrBuildKnowledgeBase(cfg);
+  automl::MetaModel meta = TrainMetaModel(kb);
+
+  data::BenchmarkSuiteOptions suite_opt;
+  suite_opt.length_scale = cfg.length_scale;
+  Result<data::FederatedDataset> dataset =
+      data::BuildBenchmarkDataset(2, suite_opt);  // USBirthsDaily stand-in.
+  FEDFC_CHECK(dataset.ok()) << dataset.status();
+
+  auto run_cold_bo = [&](double budget, size_t iters, uint64_t seed) {
+    auto server = MakeForecastServer(*dataset, seed);
+    automl::EngineOptions opt;
+    opt.use_meta_model = false;  // BO over all six spaces, no warm start.
+    opt.time_budget_seconds = budget;
+    opt.max_iterations = iters;
+    opt.seed = seed;
+    automl::FedForecasterEngine engine(nullptr, opt);
+    Result<automl::EngineReport> report = engine.Run(server.get());
+    return report.ok() ? report->test_loss : -1.0;
+  };
+
+  std::printf("%12s %14s %14s %14s\n", "evaluations", "FedForecaster",
+              "Cold BO", "RandomSearch");
+  for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+    double budget = cfg.budget_seconds * factor;
+    auto iters = static_cast<size_t>(cfg.max_search_iterations * factor);
+    if (iters < 2) iters = 2;
+    double ff = 0.0, cold = 0.0, rs = 0.0;
+    for (int seed = 1; seed <= cfg.n_seeds; ++seed) {
+      uint64_t s = static_cast<uint64_t>(seed) * 10 +
+                   static_cast<uint64_t>(factor * 4);
+      ff += RunFedForecaster(*dataset, meta, budget, s, iters).test_mse;
+      cold += run_cold_bo(budget, iters, s);
+      rs += RunRandomSearch(*dataset, budget, s, iters).test_mse;
+    }
+    std::printf("%12zu %14.4f %14.4f %14.4f\n", iters, ff / cfg.n_seeds,
+                cold / cfg.n_seeds, rs / cfg.n_seeds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedfc::bench
+
+int main() { return fedfc::bench::Main(); }

@@ -1,0 +1,163 @@
+/// Google-benchmark micro-benchmarks for the substrate costs behind the
+/// paper's runtime numbers: FFT/periodogram, ACF/PACF, ADF, meta-feature
+/// extraction, GP fit + EI proposal, tree/boosting fits, and payload
+/// serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "automl/bayesopt/bayes_opt.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "features/meta_features.h"
+#include "fl/payload.h"
+#include "ml/tree/gbdt.h"
+#include "ml/tree/random_forest.h"
+#include "ts/acf.h"
+#include "ts/adf.h"
+#include "ts/fft.h"
+#include "ts/periodogram.h"
+
+namespace {
+
+using namespace fedfc;  // NOLINT: bench-local convenience.
+
+std::vector<double> BenchSignal(size_t n) {
+  Rng rng(11);
+  data::SignalSpec spec;
+  spec.length = n;
+  spec.seasonalities = {{24.0, 2.0, 0.0}};
+  spec.ar_coefficient = 0.5;
+  return data::GenerateSignal(spec, &rng).values();
+}
+
+void BM_Fft(benchmark::State& state) {
+  std::vector<double> x = BenchSignal(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::RealFft(x));
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_Periodogram(benchmark::State& state) {
+  std::vector<double> x = BenchSignal(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::DetectSeasonalities(x, 5));
+  }
+}
+BENCHMARK(BM_Periodogram)->Arg(1024)->Arg(8192);
+
+void BM_Pacf(benchmark::State& state) {
+  std::vector<double> x = BenchSignal(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Pacf(x, 40));
+  }
+}
+BENCHMARK(BM_Pacf)->Arg(1024)->Arg(8192);
+
+void BM_AdfTest(benchmark::State& state) {
+  std::vector<double> x = BenchSignal(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::AdfTest(x));
+  }
+}
+BENCHMARK(BM_AdfTest)->Arg(512)->Arg(4096);
+
+void BM_ClientMetaFeatures(benchmark::State& state) {
+  Rng rng(13);
+  data::SignalSpec spec;
+  spec.length = static_cast<size_t>(state.range(0));
+  spec.seasonalities = {{24.0, 2.0, 0.0}};
+  ts::Series series = data::GenerateSignal(spec, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ComputeClientMetaFeatures(series));
+  }
+}
+BENCHMARK(BM_ClientMetaFeatures)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  Matrix x(n, 4);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 4; ++j) x(i, j) = rng.Uniform();
+    y[i] = rng.Normal();
+  }
+  for (auto _ : state) {
+    automl::GaussianProcess gp;
+    benchmark::DoNotOptimize(gp.Fit(x, y));
+    benchmark::DoNotOptimize(gp.Predict({0.5, 0.5, 0.5, 0.5}));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BoPropose(benchmark::State& state) {
+  automl::BayesOptConfig cfg;
+  cfg.n_candidates = 256;
+  automl::BayesianOptimizer bo(automl::AlgorithmId::kXgb, cfg);
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    automl::Configuration c = bo.Propose(&rng);
+    bo.Observe(c, rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bo.Propose(&rng));
+  }
+}
+BENCHMARK(BM_BoPropose);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  Matrix x(n, 8);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.Normal();
+    y[i] = x(i, 0) + rng.Normal(0, 0.1);
+  }
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 10;
+  cfg.max_depth = 4;
+  for (auto _ : state) {
+    ml::GbdtRegressor model(cfg);
+    Rng fit_rng(29);
+    benchmark::DoNotOptimize(model.Fit(x, y, &fit_rng));
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(500)->Arg(2000);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(31);
+  Matrix x(n, 8);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.Normal();
+    y[i] = x(i, 0) + rng.Normal(0, 0.1);
+  }
+  ml::ForestConfig cfg;
+  cfg.n_trees = 25;
+  for (auto _ : state) {
+    ml::RandomForestRegressor model(cfg);
+    Rng fit_rng(37);
+    benchmark::DoNotOptimize(model.Fit(x, y, &fit_rng));
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(500)->Arg(2000);
+
+void BM_PayloadRoundTrip(benchmark::State& state) {
+  fl::Payload payload;
+  std::vector<double> tensor(static_cast<size_t>(state.range(0)), 1.5);
+  payload.SetTensor("params", tensor);
+  payload.SetDouble("loss", 0.5);
+  payload.SetString("task", "fit_evaluate");
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes = payload.Serialize();
+    benchmark::DoNotOptimize(fl::Payload::Deserialize(bytes));
+  }
+}
+BENCHMARK(BM_PayloadRoundTrip)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/// Reproduces the Section 5.2 "Runtime" measurements: the cost of one
+/// knowledge-base record (paper: ~114.53 s at full scale) and the per-client
+/// meta-feature extraction cost (paper: ~2.74 s), plus the transport volume
+/// of a full online run — a quantity the paper motivates (communication
+/// efficiency) but does not tabulate.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "features/meta_features.h"
+
+namespace fedfc::bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Main() {
+  BenchConfig cfg;
+  std::printf("=== Section 5.2 Runtime measurements ===\n\n");
+
+  // (1) One knowledge-base record (offline phase).
+  {
+    Rng rng(7);
+    ts::Series series = automl::SampleKnowledgeBaseSeries(900, false, &rng);
+    auto start = std::chrono::steady_clock::now();
+    Result<automl::KnowledgeBaseRecord> record =
+        automl::BuildKnowledgeBaseRecord("runtime-probe", series, 5,
+                                         /*grid_per_dim=*/1, 9);
+    double elapsed = SecondsSince(start);
+    FEDFC_CHECK(record.ok()) << record.status();
+    std::printf(
+        "knowledge-base record (900 samples, 5 clients, grid 1/dim): %.2f s\n"
+        "  (paper reports ~114.53 s per record at full grid and length)\n",
+        elapsed);
+  }
+
+  // (2) Per-client meta-feature extraction (online phase entry cost).
+  {
+    data::BenchmarkSuiteOptions suite_opt;
+    suite_opt.length_scale = cfg.length_scale;
+    Result<std::vector<data::FederatedDataset>> suite =
+        data::BuildBenchmarkSuite(suite_opt);
+    FEDFC_CHECK(suite.ok()) << suite.status();
+    double total = 0.0;
+    size_t count = 0;
+    for (const auto& dataset : *suite) {
+      for (const auto& client : dataset.clients) {
+        auto start = std::chrono::steady_clock::now();
+        features::ClientMetaFeatures mf = features::ComputeClientMetaFeatures(client);
+        total += SecondsSince(start);
+        ++count;
+        (void)mf;
+      }
+    }
+    std::printf(
+        "client meta-feature extraction: %.4f s/client avg over %zu clients\n"
+        "  (paper reports ~2.74 s/client on its hardware at full lengths)\n",
+        total / static_cast<double>(count), count);
+  }
+
+  // (3) Communication volume of one full online run.
+  {
+    data::BenchmarkSuiteOptions suite_opt;
+    suite_opt.length_scale = cfg.length_scale;
+    Result<data::FederatedDataset> dataset = data::BuildBenchmarkDataset(2, suite_opt);
+    FEDFC_CHECK(dataset.ok()) << dataset.status();
+    automl::KnowledgeBase kb = LoadOrBuildKnowledgeBase(cfg);
+    automl::MetaModel meta = TrainMetaModel(kb);
+    auto server = MakeForecastServer(*dataset, 3);
+    automl::EngineOptions opt;
+    opt.time_budget_seconds = cfg.budget_seconds;
+    opt.seed = 3;
+    automl::FedForecasterEngine engine(&meta, opt);
+    auto start = std::chrono::steady_clock::now();
+    Result<automl::EngineReport> report = engine.Run(server.get());
+    double elapsed = SecondsSince(start);
+    FEDFC_CHECK(report.ok()) << report.status();
+    std::printf(
+        "online run on %s: %.2f s, %zu BO iterations, %zu messages, "
+        "%.1f KiB to clients, %.1f KiB to server\n",
+        dataset->name.c_str(), elapsed, report->iterations,
+        report->transport.messages,
+        report->transport.bytes_to_clients / 1024.0,
+        report->transport.bytes_to_server / 1024.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedfc::bench
+
+int main() { return fedfc::bench::Main(); }

@@ -1,0 +1,126 @@
+/// Domain example: short-term residential load forecasting across edge
+/// meters — the FL scenario the paper's introduction motivates (smart IoT
+/// devices generating private time-series). Ten buildings each keep two
+/// weeks of hourly consumption locally; FedForecaster tunes one global
+/// forecaster without centralizing a single reading, and we compare its
+/// federated test error against each building's naive "same hour yesterday"
+/// baseline.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numbers>
+
+#include "automl/engine.h"
+#include "automl/fed_client.h"
+#include "core/rng.h"
+#include "fl/transport.h"
+#include "ml/metrics.h"
+#include "ts/series.h"
+
+using namespace fedfc;
+
+namespace {
+
+/// Hourly consumption for one building: morning/evening peaks, weekend
+/// effect, weather drift, and meter dropouts. Buildings differ in scale and
+/// habits (non-IID clients).
+ts::Series SimulateBuilding(size_t hours, uint64_t seed) {
+  Rng rng(seed);
+  double base = rng.Uniform(0.4, 1.8);       // kW baseline.
+  double morning = rng.Uniform(0.5, 1.5);    // Peak magnitudes.
+  double evening = rng.Uniform(1.0, 2.5);
+  double weekend_lift = rng.Uniform(0.1, 0.5);
+  std::vector<double> load(hours);
+  double weather = 0.0;
+  for (size_t t = 0; t < hours; ++t) {
+    int hour = static_cast<int>(t % 24);
+    int day = static_cast<int>((t / 24) % 7);
+    double demand = base;
+    // Morning (7-9) and evening (18-22) peaks as smooth bumps.
+    demand += morning * std::exp(-0.5 * std::pow((hour - 8.0) / 1.5, 2));
+    demand += evening * std::exp(-0.5 * std::pow((hour - 20.0) / 2.0, 2));
+    if (day >= 5) demand += weekend_lift;  // Home on weekends.
+    weather = 0.95 * weather + rng.Normal(0.0, 0.05);  // Slow AR(1) drift.
+    demand += weather + rng.Normal(0.0, 0.08);
+    load[t] = std::max(demand, 0.05);
+    if (rng.Bernoulli(0.01)) load[t] = ts::MissingValue();  // Meter dropout.
+  }
+  // Hourly sampling starting 2024-01-01 (a Monday).
+  return ts::Series(std::move(load), 1704067200, 3600);
+}
+
+/// Naive seasonal baseline: predict the same hour yesterday, scored on the
+/// same trailing 20% each client holds out.
+double NaiveBaselineMse(const ts::Series& s) {
+  size_t test_start = s.size() - static_cast<size_t>(0.2 * s.size());
+  std::vector<double> y_true, y_pred;
+  for (size_t t = test_start; t < s.size(); ++t) {
+    if (t < 24 || ts::IsMissing(s[t]) || ts::IsMissing(s[t - 24])) continue;
+    y_true.push_back(s[t]);
+    y_pred.push_back(s[t - 24]);
+  }
+  if (y_true.empty()) return -1.0;
+  return ml::MeanSquaredError(y_true, y_pred);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kBuildings = 10;
+  constexpr size_t kHours = 24 * 21;  // Three weeks of hourly data.
+
+  std::printf("=== Federated short-term load forecasting ===\n");
+  std::printf("%zu buildings x %zu hourly readings (private, never pooled)\n\n",
+              kBuildings, kHours);
+
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  std::vector<ts::Series> buildings;
+  double naive_mse = 0.0;
+  for (size_t b = 0; b < kBuildings; ++b) {
+    ts::Series building = SimulateBuilding(kHours, 42 + b);
+    naive_mse += NaiveBaselineMse(building) / kBuildings;
+    automl::ForecastClient::Options opt;
+    opt.seed = 500 + b;
+    sizes.push_back(building.size());
+    clients.push_back(std::make_shared<automl::ForecastClient>(
+        "building-" + std::to_string(b), building, opt));
+    buildings.push_back(std::move(building));
+  }
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+
+  // Run without a meta-model (cold Bayesian optimization over all six
+  // algorithm spaces) — the configuration a deployment would use before its
+  // knowledge base has accumulated.
+  automl::EngineOptions opt;
+  opt.use_meta_model = false;
+  opt.time_budget_seconds = 4.0;
+  opt.seed = 11;
+  automl::FedForecasterEngine engine(nullptr, opt);
+  Result<automl::EngineReport> report = engine.Run(&server);
+  if (!report.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("engineered features: %zu lags", report->spec.n_lags);
+  if (!report->spec.seasonal_periods.empty()) {
+    std::printf(", seasonal periods:");
+    for (double p : report->spec.seasonal_periods) std::printf(" %.0fh", p);
+  }
+  if (!report->spec.selected_features.empty()) {
+    std::printf(" (feature selection kept %zu columns)",
+                report->spec.selected_features.size());
+  }
+  std::printf("\nbest configuration after %zu federated evaluations: %s\n",
+              report->iterations, report->best_config.ToString().c_str());
+  std::printf("\nfederated test MSE (global model): %.4f kW^2\n",
+              report->test_loss);
+  std::printf("naive same-hour-yesterday baseline: %.4f kW^2\n", naive_mse);
+  if (report->test_loss < naive_mse) {
+    std::printf("=> the federated AutoML model beats the naive baseline by %.1fx\n",
+                naive_mse / report->test_loss);
+  }
+  return 0;
+}

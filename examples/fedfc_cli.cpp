@@ -1,0 +1,187 @@
+/// Command-line driver for the library — the shape of tool a downstream
+/// adopter runs against their own CSV data.
+///
+///   fedfc_cli generate --out series.csv --length 2000 --period 24
+///   fedfc_cli meta-features --data series.csv --clients 5
+///   fedfc_cli run --data series.csv --clients 5 --budget-ms 5000
+///
+/// `run` splits the CSV across simulated clients, runs the full engine
+/// (cold Bayesian optimization; pass --iters to bound evaluations), prints
+/// the chosen configuration and federated test MSE, and forecasts the next
+/// `--horizon` steps with the deployed global model.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "automl/engine.h"
+#include "automl/fed_client.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "features/feature_engineering.h"
+#include "fl/transport.h"
+
+using namespace fedfc;
+
+namespace {
+
+/// Minimal --key value parser; flags without values are booleans.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv, int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  data::SignalSpec spec;
+  spec.length = std::stoul(FlagOr(flags, "length", "2000"));
+  spec.level = std::stod(FlagOr(flags, "level", "50"));
+  spec.noise_std = std::stod(FlagOr(flags, "noise", "1.0"));
+  spec.trend_slope = std::stod(FlagOr(flags, "slope", "0"));
+  double period = std::stod(FlagOr(flags, "period", "0"));
+  if (period > 0) spec.seasonalities = {{period, spec.level * 0.1, 0.0}};
+  spec.missing_fraction = std::stod(FlagOr(flags, "missing", "0"));
+  Rng rng(std::stoul(FlagOr(flags, "seed", "1")));
+  ts::Series series = data::GenerateSignal(spec, &rng);
+  std::string out = FlagOr(flags, "out", "series.csv");
+  if (Status s = data::WriteSeriesCsv(series, out); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu samples to %s\n", series.size(), out.c_str());
+  return 0;
+}
+
+int MetaFeatures(const std::map<std::string, std::string>& flags) {
+  Result<ts::Series> series = data::ReadSeriesCsv(FlagOr(flags, "data", ""));
+  if (!series.ok()) {
+    std::fprintf(stderr, "error: %s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  int n_clients = std::stoi(FlagOr(flags, "clients", "5"));
+  Result<std::vector<ts::Series>> splits = ts::SplitIntoClients(*series, n_clients);
+  if (!splits.ok()) {
+    std::fprintf(stderr, "error: %s\n", splits.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<features::ClientMetaFeatures> mfs;
+  std::vector<double> weights;
+  for (const auto& split : *splits) {
+    mfs.push_back(features::ComputeClientMetaFeatures(split));
+    weights.push_back(static_cast<double>(split.size()));
+  }
+  Result<features::AggregatedMetaFeatures> agg =
+      features::AggregateMetaFeatures(mfs, weights);
+  if (!agg.ok()) {
+    std::fprintf(stderr, "error: %s\n", agg.status().ToString().c_str());
+    return 1;
+  }
+  const auto& names = features::AggregatedMetaFeatures::FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-32s %12.5g\n", names[i].c_str(), agg->values[i]);
+  }
+  return 0;
+}
+
+int Run(const std::map<std::string, std::string>& flags) {
+  Result<ts::Series> series = data::ReadSeriesCsv(FlagOr(flags, "data", ""));
+  if (!series.ok()) {
+    std::fprintf(stderr, "error: %s (pass --data <csv>)\n",
+                 series.status().ToString().c_str());
+    return 1;
+  }
+  int n_clients = std::stoi(FlagOr(flags, "clients", "5"));
+  Result<std::vector<ts::Series>> splits = ts::SplitIntoClients(*series, n_clients);
+  if (!splits.ok()) {
+    std::fprintf(stderr, "error: %s\n", splits.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < splits->size(); ++j) {
+    automl::ForecastClient::Options copt;
+    copt.seed = std::stoul(FlagOr(flags, "seed", "1")) * 100 + j;
+    sizes.push_back((*splits)[j].size());
+    clients.push_back(std::make_shared<automl::ForecastClient>(
+        "client-" + std::to_string(j), (*splits)[j], copt));
+  }
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+
+  automl::EngineOptions opt;
+  opt.use_meta_model = false;  // The CLI runs cold BO; no bundled KB.
+  opt.time_budget_seconds = std::stod(FlagOr(flags, "budget-ms", "5000")) / 1000.0;
+  opt.max_iterations = std::stoul(FlagOr(flags, "iters", "0"));
+  opt.seed = std::stoul(FlagOr(flags, "seed", "1"));
+  automl::FedForecasterEngine engine(nullptr, opt);
+  Result<automl::EngineReport> report = engine.Run(&server);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("evaluations: %zu (%.2f s)\n", report->iterations,
+              report->elapsed_seconds);
+  std::printf("best configuration: %s\n", report->best_config.ToString().c_str());
+  std::printf("global validation MSE: %.6g\n", report->best_valid_loss);
+  std::printf("federated test MSE:    %.6g\n", report->test_loss);
+
+  // Iterated multi-step forecast with the deployed global model.
+  size_t horizon = std::stoul(FlagOr(flags, "horizon", "12"));
+  Result<std::unique_ptr<ml::Regressor>> model =
+      automl::FedForecasterEngine::GlobalModel(*report);
+  if (model.ok() && horizon > 0) {
+    ts::Series extended = *series;
+    std::printf("forecast (next %zu steps):", horizon);
+    for (size_t h = 0; h < horizon; ++h) {
+      extended.values().push_back(extended.values().back());  // Placeholder.
+      Result<features::EngineeredData> data =
+          features::EngineerFeatures(extended, report->spec);
+      if (!data.ok()) break;
+      std::vector<size_t> last = {data->x.rows() - 1};
+      Matrix row = data->x.SelectRows(last);
+      double next = (*model)->Predict(row)[0];
+      extended.values().back() = next;  // Commit for the next iteration.
+      std::printf(" %.4g", next);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <generate|meta-features|run> [--flags]\n"
+                 "  generate      --out f.csv --length N --period P --level L\n"
+                 "  meta-features --data f.csv --clients N\n"
+                 "  run           --data f.csv --clients N --budget-ms MS"
+                 " [--iters K] [--horizon H]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "meta-features") return MetaFeatures(flags);
+  if (command == "run") return Run(flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

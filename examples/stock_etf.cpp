@@ -1,0 +1,101 @@
+/// Domain example: a naturally federated market dataset, mirroring the
+/// paper's three ETF evaluation sets. Each client is a brokerage holding one
+/// member stock of the same ETF over a shared period — the series are
+/// correlated through a common market factor but are NOT segments of one
+/// signal, which is why the paper marks "N-Beats Cons." as '-' for these
+/// datasets: concatenating them into one series would be misleading.
+///
+/// The example contrasts FedForecaster with a per-client "local only"
+/// regime where each broker tunes on its own data, demonstrating when
+/// federation helps.
+
+#include <cstdio>
+#include <memory>
+
+#include "automl/engine.h"
+#include "automl/fed_client.h"
+#include "data/generators.h"
+#include "fl/transport.h"
+#include "ml/metrics.h"
+
+using namespace fedfc;
+
+namespace {
+
+/// A local-only comparison point: one client tunes with the same engine but
+/// in a federation of size one.
+double LocalOnlyTestMse(const ts::Series& series, uint64_t seed) {
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  automl::ForecastClient::Options copt;
+  copt.seed = seed;
+  clients.push_back(
+      std::make_shared<automl::ForecastClient>("solo", series, copt));
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients),
+                    {series.size()});
+  automl::EngineOptions opt;
+  opt.use_meta_model = false;
+  opt.time_budget_seconds = 0.5;  // Same total budget, split per broker.
+  opt.seed = seed;
+  automl::FedForecasterEngine engine(nullptr, opt);
+  Result<automl::EngineReport> report = engine.Run(&server);
+  return report.ok() ? report->test_loss : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kMembers = 10;
+  std::printf("=== Federated ETF member-stock forecasting ===\n\n");
+
+  // Ten member stocks: common market factor + idiosyncratic walks, daily
+  // closes over ~2 years.
+  Rng rng(2024);
+  std::vector<ts::Series> members =
+      data::GenerateCorrelatedBasket(kMembers, 500, 60.0, 0.4, 0.2, 86400, &rng);
+
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t m = 0; m < members.size(); ++m) {
+    automl::ForecastClient::Options opt;
+    opt.seed = 700 + m;
+    sizes.push_back(members[m].size());
+    clients.push_back(std::make_shared<automl::ForecastClient>(
+        "broker-" + std::to_string(m), members[m], opt));
+  }
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+
+  automl::EngineOptions opt;
+  opt.use_meta_model = false;
+  opt.time_budget_seconds = 5.0;
+  opt.seed = 3;
+  automl::FedForecasterEngine engine(nullptr, opt);
+  Result<automl::EngineReport> report = engine.Run(&server);
+  if (!report.ok()) {
+    std::fprintf(stderr, "engine failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("federated run: %zu evaluations, best = %s\n", report->iterations,
+              report->best_config.ToString().c_str());
+  std::printf("federated test MSE (weighted across brokers): %.4f\n\n",
+              report->test_loss);
+
+  // Local-only regime: each broker spends a proportional slice of the same
+  // budget on its own series.
+  double local_total = 0.0;
+  size_t local_ok = 0;
+  for (size_t m = 0; m < members.size(); ++m) {
+    double mse = LocalOnlyTestMse(members[m], 900 + m);
+    if (mse >= 0.0) {
+      local_total += mse;
+      ++local_ok;
+    }
+  }
+  if (local_ok > 0) {
+    std::printf("local-only average test MSE: %.4f (%zu/%zu brokers tuned)\n",
+                local_total / local_ok, local_ok, members.size());
+    std::printf(
+        "=> federation pools tuning signal across correlated books without "
+        "sharing prices\n");
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "automl/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "automl/fed_client.h"
+#include "automl/model_io.h"
+#include "features/feature_engineering.h"
+#include "fl/transport.h"
+
+namespace fedfc::automl {
+
+namespace {
+
+std::unique_ptr<fl::Server> ServerOver(const std::vector<ts::Series>& series,
+                                       uint64_t seed) {
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < series.size(); ++j) {
+    ForecastClient::Options opt;
+    // Streaming deployment: every observation trains; the stream itself is
+    // the evaluation.
+    opt.test_fraction = 0.0;
+    opt.seed = seed * 131 + j;
+    sizes.push_back(series[j].size());
+    clients.push_back(std::make_shared<ForecastClient>(
+        "adaptive-" + std::to_string(j), series[j], opt));
+  }
+  return std::make_unique<fl::Server>(
+      std::make_unique<fl::InProcessTransport>(clients), sizes);
+}
+
+}  // namespace
+
+AdaptiveForecaster::AdaptiveForecaster(const MetaModel* meta_model, Options options)
+    : meta_model_(meta_model),
+      options_(options),
+      detector_(options.drift) {}
+
+Status AdaptiveForecaster::Initialize(std::vector<ts::Series> client_series) {
+  if (client_series.empty()) {
+    return Status::InvalidArgument("AdaptiveForecaster: no clients");
+  }
+  series_ = std::move(client_series);
+  return Retune();
+}
+
+Status AdaptiveForecaster::Retune() {
+  auto server = ServerOver(series_, options_.engine.seed + n_retunes_);
+  EngineOptions engine_options = options_.engine;
+  engine_options.evaluate_test = false;
+  FedForecasterEngine engine(meta_model_, engine_options);
+  Result<EngineReport> report = engine.Run(server.get());
+  FEDFC_RETURN_IF_ERROR(report.status());
+  report_ = std::move(*report);
+  FEDFC_ASSIGN_OR_RETURN(global_model_, FedForecasterEngine::GlobalModel(report_));
+  if (options_.normalize_losses) {
+    loss_scale_ = std::max(report_.best_valid_loss, 1e-12);
+  }
+  detector_.Reset();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> AdaptiveForecaster::ForecastNext() const {
+  std::vector<double> out(series_.size(), 0.0);
+  for (size_t j = 0; j < series_.size(); ++j) {
+    // Engineer features over the client's current series and forecast the
+    // next step from its final row shifted one step forward: append a
+    // placeholder and take the last engineered row's prediction target.
+    ts::Series extended = series_[j];
+    extended.values().push_back(extended.values().back());  // Placeholder.
+    FEDFC_ASSIGN_OR_RETURN(features::EngineeredData data,
+                           features::EngineerFeatures(extended, report_.spec));
+    std::vector<size_t> last = {data.x.rows() - 1};
+    Matrix row = data.x.SelectRows(last);
+    std::vector<double> pred = global_model_->Predict(row);
+    out[j] = pred[0];
+  }
+  return out;
+}
+
+Result<AdaptiveForecaster::StepResult> AdaptiveForecaster::ObserveStep(
+    const std::vector<double>& values) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("AdaptiveForecaster: Initialize first");
+  }
+  if (values.size() != series_.size()) {
+    return Status::InvalidArgument("ObserveStep: one value per client required");
+  }
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> forecasts, ForecastNext());
+
+  StepResult step;
+  double total_weight = 0.0;
+  for (size_t j = 0; j < series_.size(); ++j) {
+    double w = static_cast<double>(series_[j].size());
+    double err = values[j] - forecasts[j];
+    step.federated_loss += w * err * err;
+    total_weight += w;
+    series_[j].values().push_back(values[j]);
+  }
+  step.federated_loss /= total_weight;
+
+  step.drift_detected = detector_.Update(step.federated_loss / loss_scale_);
+  if (step.drift_detected) {
+    if (options_.keep_recent > 0) {
+      for (ts::Series& s : series_) {
+        if (s.size() > options_.keep_recent) {
+          s = s.Slice(s.size() - options_.keep_recent, s.size());
+        }
+      }
+    }
+    FEDFC_RETURN_IF_ERROR(Retune());
+    ++n_retunes_;
+    step.retuned = true;
+  }
+  return step;
+}
+
+}  // namespace fedfc::automl

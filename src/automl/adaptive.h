@@ -1,0 +1,77 @@
+#ifndef FEDFC_AUTOML_ADAPTIVE_H_
+#define FEDFC_AUTOML_ADAPTIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "automl/engine.h"
+#include "automl/meta_model.h"
+#include "core/result.h"
+#include "ts/drift.h"
+#include "ts/series.h"
+
+namespace fedfc::automl {
+
+/// Dynamic model adaptation — the paper's stated future-work direction
+/// ("dynamic model adaptation to adjust for shifting data distributions").
+///
+/// Wraps the FedForecaster engine for a streaming deployment: after the
+/// initial federated fit, each arriving observation is first forecast by the
+/// deployed global model, the federated one-step losses feed a Page-Hinkley
+/// drift detector, and a detection triggers a full re-run of the AutoML
+/// pipeline (meta-features, recommendation, BO) on the grown client splits.
+class AdaptiveForecaster {
+ public:
+  struct Options {
+    EngineOptions engine;
+    ts::PageHinkleyDetector::Config drift;
+    /// Losses are normalized by the initial validation loss before entering
+    /// the detector so thresholds are scale-free across datasets.
+    bool normalize_losses = true;
+    /// On drift, drop history older than `keep_recent` observations per
+    /// client before re-tuning, so the new fit is not dominated by the stale
+    /// regime (0 = keep everything).
+    size_t keep_recent = 120;
+  };
+
+  /// `meta_model` may be null when `options.engine.use_meta_model` is false.
+  AdaptiveForecaster(const MetaModel* meta_model, Options options);
+
+  /// Initial federated fit over the clients' private series.
+  Status Initialize(std::vector<ts::Series> client_series);
+
+  /// Outcome of one streaming step.
+  struct StepResult {
+    double federated_loss = 0.0;  ///< Weighted squared error of this step.
+    bool drift_detected = false;
+    bool retuned = false;
+  };
+
+  /// Feeds one new observation per client (values[j] extends client j's
+  /// series): forecasts it first, scores the loss, updates the detector,
+  /// and re-tunes when drift fires.
+  Result<StepResult> ObserveStep(const std::vector<double>& values);
+
+  const EngineReport& report() const { return report_; }
+  size_t n_retunes() const { return n_retunes_; }
+  size_t n_clients() const { return series_.size(); }
+
+ private:
+  /// One-step-ahead forecast for every client under the current deployment.
+  Result<std::vector<double>> ForecastNext() const;
+  Status Retune();
+
+  const MetaModel* meta_model_;
+  Options options_;
+  std::vector<ts::Series> series_;
+  EngineReport report_;
+  std::unique_ptr<ml::Regressor> global_model_;
+  ts::PageHinkleyDetector detector_;
+  double loss_scale_ = 1.0;
+  size_t n_retunes_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_ADAPTIVE_H_

@@ -1,0 +1,148 @@
+#include "automl/bayesopt/bayes_opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/vec_math.h"
+
+namespace fedfc::automl {
+
+BayesianOptimizer::BayesianOptimizer(AlgorithmId algorithm, BayesOptConfig config)
+    : algorithm_(algorithm), config_(config), gp_(config.gp) {
+  best_config_.algorithm = algorithm;
+}
+
+std::vector<std::vector<double>> BayesianOptimizer::MakeCandidates(Rng* rng) const {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(algorithm_);
+  const size_t d = space.n_dims();
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(config_.n_candidates);
+  size_t n_random = config_.n_candidates * 3 / 4;
+  for (size_t i = 0; i < n_random; ++i) {
+    std::vector<double> x(d);
+    for (double& v : x) v = rng->Uniform();
+    candidates.push_back(std::move(x));
+  }
+  // Local perturbations of the incumbent (exploitation pool).
+  if (best_loss_ < std::numeric_limits<double>::infinity()) {
+    std::vector<double> incumbent = space.Encode(best_config_);
+    while (candidates.size() < config_.n_candidates) {
+      std::vector<double> x = incumbent;
+      for (double& v : x) v = Clamp(v + rng->Normal(0.0, 0.08), 0.0, 1.0);
+      candidates.push_back(std::move(x));
+    }
+  }
+  return candidates;
+}
+
+void BayesianOptimizer::RefitSurrogate() {
+  if (!gp_dirty_ || observed_x_.empty()) return;
+  Matrix x(observed_x_.size(), observed_x_.front().size());
+  for (size_t i = 0; i < observed_x_.size(); ++i) {
+    for (size_t j = 0; j < observed_x_[i].size(); ++j) x(i, j) = observed_x_[i][j];
+  }
+  Status status = gp_.Fit(x, observed_y_);
+  if (!status.ok()) {
+    FEDFC_LOG(Warning) << "GP refit failed: " << status;
+  }
+  gp_dirty_ = false;
+}
+
+Configuration BayesianOptimizer::Propose(Rng* rng) {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(algorithm_);
+  if (observed_x_.size() < config_.n_initial_random) {
+    return space.Sample(rng);
+  }
+  Configuration argmax;
+  BestExpectedImprovement(rng, &argmax);
+  return argmax;
+}
+
+double BayesianOptimizer::BestExpectedImprovement(Rng* rng, Configuration* argmax) {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(algorithm_);
+  if (observed_x_.size() < config_.n_initial_random) {
+    if (argmax != nullptr) *argmax = space.Sample(rng);
+    return std::numeric_limits<double>::infinity();
+  }
+  RefitSurrogate();
+  double best_ei = -1.0;
+  std::vector<double> best_x;
+  for (auto& x : MakeCandidates(rng)) {
+    GaussianProcess::Prediction pred = gp_.Predict(x);
+    double ei = ExpectedImprovement(pred.mean, pred.variance, best_loss_);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_x = x;
+    }
+  }
+  if (best_x.empty()) best_x = space.Encode(space.Sample(rng));
+  if (argmax != nullptr) *argmax = space.Decode(best_x);
+  return best_ei;
+}
+
+void BayesianOptimizer::Observe(const Configuration& config, double loss) {
+  FEDFC_CHECK(config.algorithm == algorithm_);
+  if (!std::isfinite(loss)) return;  // Failed fits don't poison the surrogate.
+  const SearchSpace& space = SearchSpace::ForAlgorithm(algorithm_);
+  observed_x_.push_back(space.Encode(config));
+  observed_y_.push_back(loss);
+  gp_dirty_ = true;
+  if (loss < best_loss_) {
+    best_loss_ = loss;
+    best_config_ = config;
+  }
+}
+
+PortfolioOptimizer::PortfolioOptimizer(const std::vector<AlgorithmId>& algorithms,
+                                       BayesOptConfig config) {
+  FEDFC_CHECK(!algorithms.empty());
+  for (AlgorithmId id : algorithms) members_.emplace_back(id, config);
+  best_config_ = members_.front().best_config();
+}
+
+Configuration PortfolioOptimizer::Propose(Rng* rng) {
+  // Round-robin until every member has its random initialization.
+  for (size_t i = 0; i < members_.size(); ++i) {
+    size_t idx = (round_robin_ + i) % members_.size();
+    if (members_[idx].n_observations() < 2) {
+      round_robin_ = idx + 1;
+      return members_[idx].Propose(rng);
+    }
+  }
+  // All warm: pick the member whose best EI against the *global* incumbent
+  // is largest.
+  double best_score = -1.0;
+  Configuration best;
+  for (auto& member : members_) {
+    Configuration cand;
+    double ei = member.BestExpectedImprovement(rng, &cand);
+    // Compare EI against the global best loss, not the member-local one:
+    // shift by the difference so members with worse local optima are not
+    // unfairly favoured.
+    if (std::isinf(ei)) return cand;
+    if (ei > best_score) {
+      best_score = ei;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+void PortfolioOptimizer::Observe(const Configuration& config, double loss) {
+  for (auto& member : members_) {
+    if (member.algorithm() == config.algorithm) {
+      member.Observe(config, loss);
+      ++n_observations_;
+      if (std::isfinite(loss) && loss < best_loss_) {
+        best_loss_ = loss;
+        best_config_ = config;
+      }
+      return;
+    }
+  }
+  FEDFC_LOG(Warning) << "Observe: configuration for non-member algorithm "
+                     << AlgorithmName(config.algorithm);
+}
+
+}  // namespace fedfc::automl

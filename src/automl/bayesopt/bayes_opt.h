@@ -1,0 +1,81 @@
+#ifndef FEDFC_AUTOML_BAYESOPT_BAYES_OPT_H_
+#define FEDFC_AUTOML_BAYESOPT_BAYES_OPT_H_
+
+#include <limits>
+#include <vector>
+
+#include "automl/bayesopt/gp.h"
+#include "automl/search_space.h"
+#include "core/rng.h"
+
+namespace fedfc::automl {
+
+struct BayesOptConfig {
+  GpConfig gp;
+  /// Random proposals before the surrogate takes over.
+  size_t n_initial_random = 2;
+  /// Candidate points scored by EI per proposal.
+  size_t n_candidates = 256;
+};
+
+/// Bayesian optimization over one algorithm's hyperparameter space
+/// (minimization). Proposals maximize expected improvement over random
+/// candidates in the unit cube plus perturbations of the incumbent.
+class BayesianOptimizer {
+ public:
+  BayesianOptimizer(AlgorithmId algorithm, BayesOptConfig config);
+
+  Configuration Propose(Rng* rng);
+  void Observe(const Configuration& config, double loss);
+
+  /// Max EI over a fresh candidate set (also the score used by the
+  /// portfolio layer to arbitrate between algorithms). Returns +inf while
+  /// still in the random-initialization phase so new algorithms get tried.
+  double BestExpectedImprovement(Rng* rng, Configuration* argmax);
+
+  double best_loss() const { return best_loss_; }
+  const Configuration& best_config() const { return best_config_; }
+  size_t n_observations() const { return observed_x_.size(); }
+  AlgorithmId algorithm() const { return algorithm_; }
+
+ private:
+  void RefitSurrogate();
+  std::vector<std::vector<double>> MakeCandidates(Rng* rng) const;
+
+  AlgorithmId algorithm_;
+  BayesOptConfig config_;
+  GaussianProcess gp_;
+  bool gp_dirty_ = true;
+  std::vector<std::vector<double>> observed_x_;
+  std::vector<double> observed_y_;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  Configuration best_config_;
+};
+
+/// The server-side optimizer of Algorithm 1 (lines 14-22): one GP per
+/// algorithm recommended by the meta-model; each round the portfolio
+/// proposes the (algorithm, configuration) with the highest expected
+/// improvement against the global best loss.
+class PortfolioOptimizer {
+ public:
+  PortfolioOptimizer(const std::vector<AlgorithmId>& algorithms,
+                     BayesOptConfig config);
+
+  Configuration Propose(Rng* rng);
+  void Observe(const Configuration& config, double loss);
+
+  double best_loss() const { return best_loss_; }
+  const Configuration& best_config() const { return best_config_; }
+  size_t n_observations() const { return n_observations_; }
+
+ private:
+  std::vector<BayesianOptimizer> members_;
+  size_t round_robin_ = 0;
+  size_t n_observations_ = 0;
+  double best_loss_ = std::numeric_limits<double>::infinity();
+  Configuration best_config_;
+};
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_BAYESOPT_BAYES_OPT_H_

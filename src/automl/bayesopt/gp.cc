@@ -1,0 +1,114 @@
+#include "automl/bayesopt/gp.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/vec_math.h"
+
+namespace fedfc::automl {
+
+double KernelValue(KernelKind kind, double d2, double length_scale,
+                   double signal_var) {
+  double r2 = d2 / (length_scale * length_scale);
+  switch (kind) {
+    case KernelKind::kRbf:
+      return signal_var * std::exp(-0.5 * r2);
+    case KernelKind::kMatern52: {
+      double r = std::sqrt(std::max(r2, 0.0));
+      double s = std::sqrt(5.0) * r;
+      return signal_var * (1.0 + s + 5.0 * r2 / 3.0) * std::exp(-s);
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t d) {
+  double acc = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double NormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+Status GaussianProcess::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("GP: bad shapes");
+  }
+  x_train_ = x;
+  y_mean_ = Mean(y);
+  y_std_ = std::max(StdDev(y), 1e-12);
+  std::vector<double> ys(y.size());
+  for (size_t i = 0; i < y.size(); ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+
+  const size_t n = x.rows();
+  Matrix k(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = KernelValue(config_.kernel,
+                             SquaredDistance(x.Row(i), x.Row(j), x.cols()),
+                             config_.length_scale, config_.signal_var);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += config_.noise_var;
+  }
+  // Escalating jitter mirrors SolveSpd but we need the factor itself for
+  // predictive variances.
+  double jitter = 1e-10;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Result<Matrix> chol = CholeskyFactor(k);
+    if (chol.ok()) {
+      chol_ = std::move(*chol);
+      std::vector<double> tmp = ForwardSubstitute(chol_, ys);
+      alpha_ = BackwardSubstituteTranspose(chol_, tmp);
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) k(i, i) += jitter;
+    jitter *= 10.0;
+  }
+  return Status::Internal("GP: kernel matrix not SPD");
+}
+
+GaussianProcess::Prediction GaussianProcess::Predict(
+    const std::vector<double>& x) const {
+  Prediction out;
+  if (!fitted()) {
+    out.variance = config_.signal_var;
+    return out;
+  }
+  const size_t n = x_train_.rows();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) {
+    k_star[i] = KernelValue(config_.kernel,
+                            SquaredDistance(x_train_.Row(i), x.data(), x.size()),
+                            config_.length_scale, config_.signal_var);
+  }
+  double mean_std = Dot(k_star, alpha_);
+  // var = k(x,x) - ||L^-1 k*||^2.
+  std::vector<double> v = ForwardSubstitute(chol_, k_star);
+  double k_xx = KernelValue(config_.kernel, 0.0, config_.length_scale,
+                            config_.signal_var);
+  double var_std = k_xx - Dot(v, v);
+  out.mean = mean_std * y_std_ + y_mean_;
+  out.variance = std::max(var_std, 1e-12) * y_std_ * y_std_;
+  return out;
+}
+
+double ExpectedImprovement(double mean, double variance, double best) {
+  double sigma = std::sqrt(std::max(variance, 1e-18));
+  double z = (best - mean) / sigma;
+  return (best - mean) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+}  // namespace fedfc::automl

@@ -1,0 +1,60 @@
+#ifndef FEDFC_AUTOML_BAYESOPT_GP_H_
+#define FEDFC_AUTOML_BAYESOPT_GP_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/result.h"
+
+namespace fedfc::automl {
+
+/// Kernel family for the GP surrogate.
+enum class KernelKind { kMatern52, kRbf };
+
+/// Stationary kernel value for squared distance `d2` (inputs live in the
+/// unit cube, so a shared isotropic length scale is adequate).
+double KernelValue(KernelKind kind, double d2, double length_scale,
+                   double signal_var);
+
+struct GpConfig {
+  KernelKind kernel = KernelKind::kMatern52;
+  double length_scale = 0.3;
+  double signal_var = 1.0;
+  double noise_var = 1e-4;
+};
+
+/// Gaussian-process regression with internally standardized targets — the
+/// surrogate model for the paper's Bayesian optimization (Section 5.1 names
+/// Gaussian processes with expected improvement).
+class GaussianProcess {
+ public:
+  GaussianProcess() = default;
+  explicit GaussianProcess(GpConfig config) : config_(config) {}
+
+  /// `x` rows are points in [0,1]^d.
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction Predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !alpha_.empty(); }
+  size_t n_observations() const { return x_train_.rows(); }
+
+ private:
+  GpConfig config_;
+  Matrix x_train_;
+  Matrix chol_;                 ///< Lower Cholesky factor of K + noise I.
+  std::vector<double> alpha_;   ///< (K + noise I)^-1 y_standardized.
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+/// Expected improvement (minimization): E[max(best - f(x), 0)].
+double ExpectedImprovement(double mean, double variance, double best);
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_BAYESOPT_GP_H_

@@ -1,0 +1,226 @@
+#include "automl/fed_client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "automl/model_io.h"
+#include "features/feature_selection.h"
+#include "ml/metrics.h"
+
+namespace fedfc::automl {
+
+ForecastClient::ForecastClient(std::string id, ts::Series series, Options options)
+    : id_(std::move(id)), options_(options), rng_(options.seed) {
+  series_.target = std::move(series);
+}
+
+ForecastClient::ForecastClient(std::string id, ts::MultiSeries series,
+                               Options options)
+    : id_(std::move(id)),
+      series_(std::move(series)),
+      options_(options),
+      rng_(options.seed) {
+  FEDFC_CHECK(series_.Validate().ok()) << "misaligned covariate channels";
+}
+
+size_t ForecastClient::num_examples() const {
+  auto test = static_cast<size_t>(options_.test_fraction *
+                                  static_cast<double>(series_.size()));
+  return series_.size() - test;
+}
+
+ForecastClient::RowSplit ForecastClient::SplitRows(size_t n_rows) const {
+  RowSplit split;
+  auto n_test = static_cast<size_t>(options_.test_fraction *
+                                    static_cast<double>(n_rows));
+  split.valid_end = n_rows - n_test;
+  auto n_valid = static_cast<size_t>(options_.valid_fraction *
+                                     static_cast<double>(split.valid_end));
+  split.train_end = split.valid_end - n_valid;
+  return split;
+}
+
+Result<const features::EngineeredData*> ForecastClient::EngineeredFor(
+    const features::FeatureEngineeringSpec& spec,
+    const std::vector<double>& spec_tensor) {
+  if (cached_data_.has_value() && cached_spec_tensor_ == spec_tensor) {
+    return Result<const features::EngineeredData*>(&*cached_data_);
+  }
+  FEDFC_ASSIGN_OR_RETURN(features::EngineeredData data,
+                         features::EngineerFeatures(series_, spec));
+  cached_data_ = std::move(data);
+  cached_spec_tensor_ = spec_tensor;
+  return Result<const features::EngineeredData*>(&*cached_data_);
+}
+
+Result<fl::Payload> ForecastClient::Handle(const std::string& task,
+                                           const fl::Payload& request) {
+  if (task == tasks::kMetaFeatures) return HandleMetaFeatures();
+  if (task == tasks::kFeatureImportance) return HandleFeatureImportance(request);
+  if (task == tasks::kFitEvaluate) return HandleFitEvaluate(request);
+  if (task == tasks::kFitFinal) return HandleFitFinal(request);
+  if (task == tasks::kEvaluateModel) return HandleEvaluateModel(request);
+  return Status::Unimplemented("unknown client task: " + task);
+}
+
+Result<fl::Payload> ForecastClient::HandleMetaFeatures() {
+  // Meta-features are computed over the training region only — the test
+  // tail must not leak into the pipeline configuration.
+  ts::Series head = series_.target.Slice(0, num_examples());
+  features::ClientMetaFeatures mf = features::ComputeClientMetaFeatures(head);
+  fl::Payload reply;
+  reply.SetTensor("meta_features", mf.ToTensor());
+  reply.SetInt("n_instances", static_cast<int64_t>(head.size()));
+  return reply;
+}
+
+Result<fl::Payload> ForecastClient::HandleFeatureImportance(
+    const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
+                         request.GetTensor("spec"));
+  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
+                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
+  FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
+                         EngineeredFor(spec, spec_tensor));
+  RowSplit split = SplitRows(data->x.rows());
+  features::EngineeredData train_view;
+  std::vector<size_t> idx(split.train_end);
+  for (size_t i = 0; i < split.train_end; ++i) idx[i] = i;
+  train_view.x = data->x.SelectRows(idx);
+  train_view.y.assign(data->y.begin(), data->y.begin() + split.train_end);
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> importances,
+                         features::ComputeFeatureImportances(train_view, &rng_));
+  fl::Payload reply;
+  reply.SetTensor("importances", std::move(importances));
+  return reply;
+}
+
+Result<fl::Payload> ForecastClient::HandleFitEvaluate(const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
+                         request.GetTensor("spec"));
+  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
+                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
+                         request.GetTensor("config"));
+  FEDFC_ASSIGN_OR_RETURN(Configuration config,
+                         Configuration::FromTensor(config_tensor));
+  FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
+                         EngineeredFor(spec, spec_tensor));
+  RowSplit split = SplitRows(data->x.rows());
+  if (split.train_end < 8 || split.valid_end <= split.train_end) {
+    return Status::FailedPrecondition("client split too small to fit/evaluate");
+  }
+
+  // Rolling-origin validation: two forward-chaining folds over the
+  // non-test head. Averaging across validation windows makes the
+  // configuration ranking far less sensitive to the last window's noise
+  // (every search method is scored identically, so the comparison is fair).
+  size_t n_valid_rows = split.valid_end - split.train_end;
+  struct Fold {
+    size_t fit_end;
+    size_t eval_end;
+  };
+  std::vector<Fold> folds;
+  size_t mid = split.train_end + n_valid_rows / 2;
+  if (n_valid_rows >= 8) {
+    folds.push_back({split.train_end, mid});
+    folds.push_back({mid, split.valid_end});
+  } else {
+    folds.push_back({split.train_end, split.valid_end});
+  }
+
+  double total_loss = 0.0;
+  size_t total_points = 0;
+  for (const Fold& fold : folds) {
+    std::vector<size_t> fit_idx(fold.fit_end);
+    for (size_t i = 0; i < fold.fit_end; ++i) fit_idx[i] = i;
+    Matrix x_fit = data->x.SelectRows(fit_idx);
+    std::vector<double> y_fit(data->y.begin(), data->y.begin() + fold.fit_end);
+    FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                           CreateRegressor(config));
+    FEDFC_RETURN_IF_ERROR(model->Fit(x_fit, y_fit, &rng_));
+
+    std::vector<size_t> eval_idx;
+    for (size_t i = fold.fit_end; i < fold.eval_end; ++i) eval_idx.push_back(i);
+    Matrix x_eval = data->x.SelectRows(eval_idx);
+    std::vector<double> y_eval(data->y.begin() + fold.fit_end,
+                               data->y.begin() + fold.eval_end);
+    std::vector<double> pred = model->Predict(x_eval);
+    double sse = 0.0;
+    for (size_t i = 0; i < y_eval.size(); ++i) {
+      double e = y_eval[i] - pred[i];
+      sse += e * e;
+    }
+    total_loss += sse;
+    total_points += y_eval.size();
+  }
+  double loss = total_loss / static_cast<double>(total_points);
+  if (!std::isfinite(loss)) {
+    return Status::Internal("non-finite validation loss");
+  }
+  fl::Payload reply;
+  reply.SetDouble("valid_loss", loss);
+  reply.SetInt("n_valid", static_cast<int64_t>(total_points));
+  return reply;
+}
+
+Result<fl::Payload> ForecastClient::HandleFitFinal(const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
+                         request.GetTensor("spec"));
+  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
+                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
+                         request.GetTensor("config"));
+  FEDFC_ASSIGN_OR_RETURN(Configuration config,
+                         Configuration::FromTensor(config_tensor));
+  FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
+                         EngineeredFor(spec, spec_tensor));
+  RowSplit split = SplitRows(data->x.rows());
+  // Final fit uses train + validation (Algorithm 1 lines 23-25).
+  std::vector<size_t> idx(split.valid_end);
+  for (size_t i = 0; i < split.valid_end; ++i) idx[i] = i;
+  Matrix x_fit = data->x.SelectRows(idx);
+  std::vector<double> y_fit(data->y.begin(), data->y.begin() + split.valid_end);
+
+  FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                         CreateRegressor(config));
+  FEDFC_RETURN_IF_ERROR(model->Fit(x_fit, y_fit, &rng_));
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> blob,
+                         SerializeModel(config, *model));
+  fl::Payload reply;
+  reply.SetTensor("model_blob", std::move(blob));
+  reply.SetInt("n_fit", static_cast<int64_t>(y_fit.size()));
+  return reply;
+}
+
+Result<fl::Payload> ForecastClient::HandleEvaluateModel(const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
+                         request.GetTensor("spec"));
+  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
+                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
+                         request.GetTensor("config"));
+  FEDFC_ASSIGN_OR_RETURN(Configuration config,
+                         Configuration::FromTensor(config_tensor));
+  FEDFC_ASSIGN_OR_RETURN(std::vector<double> blob, request.GetTensor("model_blob"));
+  FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                         DeserializeModel(config, blob));
+  FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
+                         EngineeredFor(spec, spec_tensor));
+  RowSplit split = SplitRows(data->x.rows());
+  if (split.valid_end >= data->x.rows()) {
+    return Status::FailedPrecondition("client has no test rows");
+  }
+  std::vector<size_t> test_idx;
+  for (size_t i = split.valid_end; i < data->x.rows(); ++i) test_idx.push_back(i);
+  Matrix x_test = data->x.SelectRows(test_idx);
+  std::vector<double> y_test(data->y.begin() + split.valid_end, data->y.end());
+  std::vector<double> pred = model->Predict(x_test);
+  double loss = ml::MeanSquaredError(y_test, pred);
+  fl::Payload reply;
+  reply.SetDouble("test_loss", loss);
+  reply.SetInt("n_test", static_cast<int64_t>(y_test.size()));
+  return reply;
+}
+
+}  // namespace fedfc::automl

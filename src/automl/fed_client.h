@@ -1,0 +1,85 @@
+#ifndef FEDFC_AUTOML_FED_CLIENT_H_
+#define FEDFC_AUTOML_FED_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "automl/search_space.h"
+#include "core/rng.h"
+#include "features/feature_engineering.h"
+#include "features/meta_features.h"
+#include "fl/client.h"
+#include "ts/multi_series.h"
+#include "ts/series.h"
+
+namespace fedfc::automl {
+
+/// Task names understood by ForecastClient. Keeping them in one place makes
+/// the protocol greppable.
+namespace tasks {
+inline constexpr char kMetaFeatures[] = "meta_features";
+inline constexpr char kFeatureImportance[] = "feature_importance";
+inline constexpr char kFitEvaluate[] = "fit_evaluate";
+inline constexpr char kFitFinal[] = "fit_final";
+inline constexpr char kEvaluateModel[] = "evaluate_model";
+}  // namespace tasks
+
+/// The client side of FedForecaster (Algorithm 1): owns one private series
+/// split and answers the meta-feature, feature-engineering, fit/evaluate and
+/// final-model tasks. The trailing `test_fraction` of the split is reserved
+/// for the final federated test evaluation and never used for training or
+/// validation.
+class ForecastClient : public fl::Client {
+ public:
+  struct Options {
+    double valid_fraction = 0.2;  ///< Of the non-test head (time-ordered).
+    double test_fraction = 0.2;   ///< Trailing held-out portion.
+    uint64_t seed = 1;
+  };
+
+  ForecastClient(std::string id, ts::Series series, Options options);
+
+  /// Multivariate client: a forecasting target plus exogenous covariate
+  /// channels (the paper's future-work extension). Specs broadcast by the
+  /// server must declare the same channel count.
+  ForecastClient(std::string id, ts::MultiSeries series, Options options);
+
+  std::string id() const override { return id_; }
+  /// Training examples only (the weight alpha_j of Equation 1).
+  size_t num_examples() const override;
+
+  Result<fl::Payload> Handle(const std::string& task,
+                             const fl::Payload& request) override;
+
+ private:
+  Result<fl::Payload> HandleMetaFeatures();
+  Result<fl::Payload> HandleFeatureImportance(const fl::Payload& request);
+  Result<fl::Payload> HandleFitEvaluate(const fl::Payload& request);
+  Result<fl::Payload> HandleFitFinal(const fl::Payload& request);
+  Result<fl::Payload> HandleEvaluateModel(const fl::Payload& request);
+
+  /// Engineers features over the full split under `spec`, cached by spec
+  /// tensor (the BO loop re-sends the same spec every round).
+  Result<const features::EngineeredData*> EngineeredFor(
+      const features::FeatureEngineeringSpec& spec,
+      const std::vector<double>& spec_tensor);
+
+  /// Row ranges of the engineered matrix: [0, train_end) training,
+  /// [train_end, valid_end) validation, [valid_end, rows) test.
+  struct RowSplit {
+    size_t train_end = 0;
+    size_t valid_end = 0;
+  };
+  RowSplit SplitRows(size_t n_rows) const;
+
+  std::string id_;
+  ts::MultiSeries series_;
+  Options options_;
+  Rng rng_;
+  std::vector<double> cached_spec_tensor_;
+  std::optional<features::EngineeredData> cached_data_;
+};
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_FED_CLIENT_H_

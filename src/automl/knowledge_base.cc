@@ -1,0 +1,307 @@
+#include "automl/knowledge_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "automl/fed_client.h"
+#include "core/vec_math.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "features/meta_features.h"
+#include "fl/server.h"
+#include "fl/transport.h"
+
+namespace fedfc::automl {
+
+Status KnowledgeBase::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << "name,best_algorithm,n_meta,n_losses,values...,configs...\n";
+  for (const auto& r : records_) {
+    out << r.dataset_name << "," << r.best_algorithm << ","
+        << r.meta_features.size() << "," << r.algorithm_losses.size();
+    for (double v : r.meta_features) out << "," << v;
+    for (double v : r.algorithm_losses) out << "," << v;
+    // Winning-configuration blocks: count, then per config its length+values.
+    out << "," << r.best_configs.size();
+    for (const auto& cfg : r.best_configs) {
+      out << "," << cfg.size();
+      for (double v : cfg) out << "," << v;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<KnowledgeBase> KnowledgeBase::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  KnowledgeBase kb;
+  std::string line;
+  std::getline(in, line);  // Header.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = data::SplitCsvLine(line);
+    if (fields.size() < 4) return Status::InvalidArgument("kb csv: short row");
+    KnowledgeBaseRecord r;
+    r.dataset_name = fields[0];
+    r.best_algorithm = std::stoi(fields[1]);
+    size_t n_meta = std::stoul(fields[2]);
+    size_t n_losses = std::stoul(fields[3]);
+    if (fields.size() < 4 + n_meta + n_losses) {
+      return Status::InvalidArgument("kb csv: field count mismatch");
+    }
+    for (size_t i = 0; i < n_meta; ++i) {
+      r.meta_features.push_back(std::stod(fields[4 + i]));
+    }
+    for (size_t i = 0; i < n_losses; ++i) {
+      r.algorithm_losses.push_back(std::stod(fields[4 + n_meta + i]));
+    }
+    // Optional winning-configuration blocks (older caches omit them).
+    size_t pos = 4 + n_meta + n_losses;
+    if (pos < fields.size()) {
+      size_t n_configs = std::stoul(fields[pos++]);
+      for (size_t c = 0; c < n_configs; ++c) {
+        if (pos >= fields.size()) {
+          return Status::InvalidArgument("kb csv: truncated config block");
+        }
+        size_t len = std::stoul(fields[pos++]);
+        if (pos + len > fields.size()) {
+          return Status::InvalidArgument("kb csv: truncated config block");
+        }
+        std::vector<double> cfg;
+        for (size_t i = 0; i < len; ++i) cfg.push_back(std::stod(fields[pos++]));
+        r.best_configs.push_back(std::move(cfg));
+      }
+      if (pos != fields.size()) {
+        return Status::InvalidArgument("kb csv: trailing fields");
+      }
+    }
+    kb.Add(std::move(r));
+  }
+  return kb;
+}
+
+Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
+                                                     const ts::Series& series,
+                                                     int n_clients,
+                                                     size_t grid_per_dim,
+                                                     uint64_t seed) {
+  // Federated split and clients, mirroring the online protocol.
+  FEDFC_ASSIGN_OR_RETURN(
+      std::vector<ts::Series> splits,
+      ts::SplitIntoClients(series, n_clients, /*min_instances=*/60));
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < splits.size(); ++j) {
+    ForecastClient::Options copt;
+    copt.test_fraction = 0.0;  // KB labelling needs no held-out test tail.
+    copt.seed = seed * 131 + j;
+    sizes.push_back(splits[j].size());
+    clients.push_back(std::make_shared<ForecastClient>(
+        "kb-" + std::to_string(j), splits[j], copt));
+  }
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+
+  // Aggregate meta-features.
+  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> mf_replies,
+                         server.Broadcast(tasks::kMetaFeatures, fl::Payload()));
+  std::vector<features::ClientMetaFeatures> client_mfs;
+  std::vector<double> weights;
+  for (const auto& reply : mf_replies) {
+    FEDFC_ASSIGN_OR_RETURN(std::vector<double> t,
+                           reply.payload.GetTensor("meta_features"));
+    FEDFC_ASSIGN_OR_RETURN(features::ClientMetaFeatures mf,
+                           features::ClientMetaFeatures::FromTensor(t));
+    client_mfs.push_back(std::move(mf));
+    weights.push_back(reply.weight);
+  }
+  FEDFC_ASSIGN_OR_RETURN(features::AggregatedMetaFeatures agg,
+                         features::AggregateMetaFeatures(client_mfs, weights));
+
+  // A fixed engineering spec derived from the aggregated meta-features.
+  features::FeatureEngineeringSpec spec;
+  spec.n_lags = std::max<size_t>(2, std::min<size_t>(agg.global_lag_count, 8));
+  spec.seasonal_periods = agg.global_seasonal_periods;
+
+  // Federated grid search per algorithm (the labelling pass of Figure 2).
+  KnowledgeBaseRecord record;
+  record.dataset_name = name;
+  record.meta_features = agg.values;
+  record.algorithm_losses.assign(kNumAlgorithms,
+                                 std::numeric_limits<double>::infinity());
+  record.best_configs.assign(kNumAlgorithms, {});
+  Rng grid_rng(seed * 31 + 7);
+  for (AlgorithmId algo : AllAlgorithms()) {
+    const SearchSpace& space = SearchSpace::ForAlgorithm(algo);
+    std::vector<Configuration> grid = space.Grid(grid_per_dim);
+    // Cap the per-algorithm labelling budget so high-dimensional spaces
+    // (XGB: grid^5) cannot dominate the offline cost; the subsample keeps
+    // the comparison across algorithms fair.
+    constexpr size_t kMaxConfigsPerAlgorithm = 12;
+    if (grid.size() > kMaxConfigsPerAlgorithm) {
+      std::vector<size_t> keep =
+          grid_rng.Sample(grid.size(), kMaxConfigsPerAlgorithm);
+      std::vector<Configuration> subset;
+      for (size_t idx : keep) subset.push_back(grid[idx]);
+      grid = std::move(subset);
+    }
+    for (const Configuration& config : grid) {
+      fl::Payload request;
+      request.SetTensor("spec", spec.ToTensor());
+      request.SetTensor("config", config.ToTensor());
+      Result<std::vector<fl::ClientReply>> replies =
+          server.Broadcast(tasks::kFitEvaluate, request);
+      if (!replies.ok()) continue;
+      Result<double> loss = fl::Server::AggregateScalar(*replies, "valid_loss");
+      if (!loss.ok() || !std::isfinite(*loss)) continue;
+      size_t ai = static_cast<size_t>(algo);
+      if (*loss < record.algorithm_losses[ai]) {
+        record.algorithm_losses[ai] = *loss;
+        record.best_configs[ai] = config.ToTensor();
+      }
+    }
+  }
+  auto best = std::min_element(record.algorithm_losses.begin(),
+                               record.algorithm_losses.end());
+  if (!std::isfinite(*best)) {
+    return Status::Internal("kb record: every algorithm failed on " + name);
+  }
+  record.best_algorithm =
+      static_cast<int>(best - record.algorithm_losses.begin());
+  return record;
+}
+
+ts::Series SampleKnowledgeBaseSeries(size_t length, bool real_like, Rng* rng) {
+  data::SignalSpec spec;
+  spec.length = length;
+  // Sampling frequency sweep.
+  static constexpr int64_t kIntervals[] = {3600, 21600, 86400, 604800};
+  spec.interval_seconds = kIntervals[rng->Index(4)];
+  spec.level = rng->Uniform(1.0, 100.0);
+  spec.composition = rng->Bernoulli(0.3) ? data::Composition::kMultiplicative
+                                         : data::Composition::kAdditive;
+
+  // Seasonality components (0-3), periods drawn near calendar-meaningful
+  // values in samples.
+  size_t n_seasonal = rng->Index(4);
+  static constexpr double kPeriods[] = {7, 12, 24, 30, 52, 96, 168, 365.25};
+  for (size_t s = 0; s < n_seasonal; ++s) {
+    data::SeasonalSpec comp;
+    comp.period = kPeriods[rng->Index(8)] * rng->Uniform(0.9, 1.1);
+    comp.amplitude = spec.level * rng->Uniform(0.02, 0.4);
+    comp.phase = rng->Uniform(0.0, 6.28);
+    if (comp.period < static_cast<double>(length) / 2.0) {
+      spec.seasonalities.push_back(comp);
+    }
+  }
+
+  // Trend family.
+  double trend_kind = rng->Uniform();
+  if (trend_kind < 0.3) {
+    spec.trend_slope = spec.level * rng->Uniform(-0.5, 0.5) /
+                       static_cast<double>(length);
+  } else if (trend_kind < 0.45) {
+    spec.logistic_cap = spec.level * rng->Uniform(0.3, 1.5);
+    spec.logistic_growth = rng->Uniform(4.0, 12.0) / static_cast<double>(length);
+  }
+
+  // SNR sweep: noise relative to the deterministic scale.
+  double signal_scale = spec.level * 0.2;
+  spec.noise_std = signal_scale / rng->Uniform(2.0, 20.0);
+  spec.ar_coefficient = rng->Uniform(0.0, 0.8);
+  if (rng->Bernoulli(0.35)) {
+    spec.random_walk_std = signal_scale / rng->Uniform(10.0, 60.0);
+  }
+  spec.missing_fraction = rng->Bernoulli(0.4) ? rng->Uniform(0.0, 0.08) : 0.0;
+  if (rng->Bernoulli(0.35)) {
+    spec.outlier_fraction = rng->Uniform(0.005, 0.03);
+    spec.outlier_scale = signal_scale * rng->Uniform(1.0, 4.0);
+  }
+
+  ts::Series series = data::GenerateSignal(spec, rng);
+
+  // Extra variety so different algorithm families get to win: heavy-tailed
+  // shocks (robust losses), threshold nonlinearity (trees), or nothing.
+  double flavor = rng->Uniform();
+  if (flavor < 0.25) {
+    // Student-t-like shocks: normal scaled by an inverse-chi draw.
+    for (size_t t = 0; t < series.size(); ++t) {
+      if (ts::IsMissing(series[t])) continue;
+      if (rng->Bernoulli(0.05)) {
+        double u = rng->Uniform(0.05, 1.0);
+        series[t] += signal_scale * rng->Normal() / u;
+      }
+    }
+  } else if (flavor < 0.45) {
+    // Threshold regime: amplitude doubles whenever the seasonal phase is in
+    // its upper half — a piecewise pattern linear models cannot express.
+    double period = spec.seasonalities.empty() ? 48.0
+                                               : spec.seasonalities[0].period;
+    for (size_t t = 0; t < series.size(); ++t) {
+      if (ts::IsMissing(series[t])) continue;
+      double phase = std::fmod(static_cast<double>(t), period) / period;
+      if (phase > 0.5) series[t] += signal_scale * 0.8;
+    }
+  }
+
+  if (real_like) {
+    // Regime shift: scale and offset change partway through.
+    size_t shift = length / 2 + rng->Index(length / 4 + 1);
+    double scale = rng->Uniform(0.7, 1.5);
+    double offset = spec.level * rng->Uniform(-0.2, 0.2);
+    for (size_t t = shift; t < series.size(); ++t) {
+      if (!ts::IsMissing(series[t])) series[t] = series[t] * scale + offset;
+    }
+    // Heavy-tailed outliers.
+    size_t n_outliers = length / 100 + 1;
+    for (size_t o = 0; o < n_outliers; ++o) {
+      size_t t = rng->Index(length);
+      if (!ts::IsMissing(series[t])) {
+        series[t] += spec.level * rng->Normal(0.0, 0.5);
+      }
+    }
+  }
+  return series;
+}
+
+Result<KnowledgeBase> BuildKnowledgeBase(const KnowledgeBaseOptions& options) {
+  Rng rng(options.seed);
+  KnowledgeBase kb;
+  static constexpr int kClientChoices[] = {5, 10, 15, 20};
+  size_t total = options.n_synthetic + options.n_real_like;
+  for (size_t i = 0; i < total; ++i) {
+    bool real_like = i >= options.n_synthetic;
+    // Lengths span [L/2, 2L] so the knowledge base covers the size range of
+    // the datasets it will be asked about (kNN warm starts depend on this).
+    size_t length = options.series_length / 2 +
+                    rng.Index(options.series_length * 3 / 2 + 1);
+    ts::Series series = SampleKnowledgeBaseSeries(length, real_like, &rng);
+    // Client count that keeps every split workable.
+    int n_clients = kClientChoices[rng.Index(4)];
+    while (n_clients > 5 &&
+           length / static_cast<size_t>(n_clients) < 120) {
+      n_clients -= 5;
+    }
+    std::string name =
+        (real_like ? std::string("real_") : std::string("syn_")) + std::to_string(i);
+    Result<KnowledgeBaseRecord> record = BuildKnowledgeBaseRecord(
+        name, series, n_clients, options.grid_per_dim, options.seed + i);
+    if (!record.ok()) {
+      FEDFC_LOG(Warning) << "kb record " << name << " failed: " << record.status();
+      continue;
+    }
+    kb.Add(std::move(*record));
+  }
+  if (kb.size() < 4) {
+    return Status::Internal("knowledge base construction produced too few records");
+  }
+  return kb;
+}
+
+}  // namespace fedfc::automl

@@ -1,0 +1,74 @@
+#ifndef FEDFC_AUTOML_KNOWLEDGE_BASE_H_
+#define FEDFC_AUTOML_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "automl/search_space.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "ts/series.h"
+
+namespace fedfc::automl {
+
+/// One labelled knowledge-base row (Figure 2, offline phase): the aggregated
+/// meta-features of a federated dataset plus the grid-search winner.
+struct KnowledgeBaseRecord {
+  std::string dataset_name;
+  std::vector<double> meta_features;
+  int best_algorithm = 0;               ///< Index into AlgorithmId.
+  /// Best grid-search loss per algorithm (kNumAlgorithms entries) — kept so
+  /// ranking-aware metrics (MRR@K) can be computed exactly.
+  std::vector<double> algorithm_losses;
+  /// Winning configuration per algorithm (Configuration::ToTensor form;
+  /// empty when that algorithm never produced a finite loss). These are the
+  /// "model instantiations" the meta-learning phase recommends as the warm
+  /// start for Bayesian optimization (Figure 1, phase III).
+  std::vector<std::vector<double>> best_configs;
+};
+
+/// The meta-learning knowledge base (Section 4.1.1).
+class KnowledgeBase {
+ public:
+  void Add(KnowledgeBaseRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<KnowledgeBaseRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  Status SaveCsv(const std::string& path) const;
+  static Result<KnowledgeBase> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<KnowledgeBaseRecord> records_;
+};
+
+struct KnowledgeBaseOptions {
+  /// The paper uses 512 synthetic + 30 real datasets; defaults are scaled
+  /// down for single-machine runs (benches scale up via flags).
+  size_t n_synthetic = 64;
+  size_t n_real_like = 8;    ///< Irregular-regime generator seeds (the "real"
+                             ///< stand-ins; see DESIGN.md substitutions).
+  size_t grid_per_dim = 2;   ///< Grid resolution for the labelling search.
+  size_t series_length = 1200;
+  uint64_t seed = 42;
+};
+
+/// Labels one federated dataset by federated grid search over all six
+/// algorithm spaces and returns the knowledge-base row. Exposed separately
+/// so the runtime bench (Section 5.2) can time a single record.
+Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
+                                                     const ts::Series& series,
+                                                     int n_clients,
+                                                     size_t grid_per_dim,
+                                                     uint64_t seed);
+
+/// Builds the full synthetic + real-like knowledge base (offline phase).
+Result<KnowledgeBase> BuildKnowledgeBase(const KnowledgeBaseOptions& options);
+
+/// Draws one synthetic series with the factor sweep of Section 4.1.1
+/// (seasonality components, sampling frequency, SNR, missing %, additive or
+/// multiplicative composition). `real_like` adds regime shifts and outliers.
+ts::Series SampleKnowledgeBaseSeries(size_t length, bool real_like, Rng* rng);
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_KNOWLEDGE_BASE_H_

@@ -1,0 +1,72 @@
+#ifndef FEDFC_AUTOML_META_MODEL_H_
+#define FEDFC_AUTOML_META_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automl/knowledge_base.h"
+#include "automl/search_space.h"
+#include "core/result.h"
+#include "ml/model.h"
+
+namespace fedfc::automl {
+
+/// The trained recommender of Figure 2: a classifier over aggregated
+/// meta-features predicting the best forecasting algorithm; Recommend()
+/// returns the top-K classes by predicted probability (paper: K=3).
+class MetaModel {
+ public:
+  explicit MetaModel(std::unique_ptr<ml::Classifier> classifier);
+  MetaModel(const MetaModel& other);
+  MetaModel& operator=(const MetaModel& other);
+
+  Status Train(const KnowledgeBase& kb, Rng* rng);
+
+  Result<std::vector<AlgorithmId>> Recommend(
+      const std::vector<double>& aggregated_meta_features, int top_k) const;
+
+  /// Recommends concrete warm-start instantiations (Figure 1: "the server
+  /// recommends model instantiations"): the winning configurations of the
+  /// nearest knowledge-base datasets by z-normalized meta-feature distance,
+  /// filtered to `algorithms`, at most `n_configs` entries (deduplicated).
+  Result<std::vector<Configuration>> WarmStartConfigurations(
+      const std::vector<double>& aggregated_meta_features,
+      const std::vector<AlgorithmId>& algorithms, size_t n_configs) const;
+
+  bool trained() const { return trained_; }
+  const std::string classifier_name() const { return classifier_->Name(); }
+
+ private:
+  std::unique_ptr<ml::Classifier> classifier_;
+  bool trained_ = false;
+  size_t n_features_ = 0;
+  /// Retained for kNN warm starts: KB rows + normalization statistics.
+  std::vector<KnowledgeBaseRecord> records_;
+  std::vector<double> feature_means_;
+  std::vector<double> feature_scales_;
+};
+
+/// Factory type for Table 4 candidates.
+using ClassifierFactory = std::function<std::unique_ptr<ml::Classifier>()>;
+
+/// One row of Table 4.
+struct MetaModelEvaluation {
+  std::string model_name;
+  double mrr_at_k = 0.0;
+  double f1 = 0.0;
+};
+
+/// Trains the classifier on an 80/20 split of the knowledge base and reports
+/// MRR@K and macro F1 on the held-out 20% (Section 5.3 protocol).
+Result<MetaModelEvaluation> EvaluateMetaModelCandidate(
+    const ClassifierFactory& factory, const KnowledgeBase& kb, int top_k,
+    Rng* rng);
+
+/// The eight Table 4 candidates, keyed by the paper's model names.
+std::vector<std::pair<std::string, ClassifierFactory>> MetaModelCandidates();
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_META_MODEL_H_

@@ -1,0 +1,115 @@
+#include "automl/model_io.h"
+
+#include "ml/tree/gbdt.h"
+
+namespace fedfc::automl {
+
+Result<std::vector<double>> SerializeModel(const Configuration& config,
+                                           const ml::Regressor& model) {
+  if (config.algorithm == AlgorithmId::kXgb) {
+    const auto* gbdt = dynamic_cast<const ml::GbdtRegressor*>(&model);
+    if (gbdt == nullptr) {
+      return Status::InvalidArgument("SerializeModel: XGB config, non-GBDT model");
+    }
+    return gbdt->SerializeModel();
+  }
+  std::vector<double> params = model.GetParameters();
+  // An unfitted linear model reports only its (zero) intercept; any fitted
+  // model carries at least one feature weight plus the intercept.
+  if (params.size() < 2) {
+    return Status::InvalidArgument("SerializeModel: model appears unfitted");
+  }
+  return params;
+}
+
+Result<std::vector<double>> AggregateModelBlobs(
+    const Configuration& config, const std::vector<std::vector<double>>& blobs,
+    const std::vector<double>& weights) {
+  if (blobs.empty() || blobs.size() != weights.size()) {
+    return Status::InvalidArgument("AggregateModelBlobs: bad inputs");
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AggregateModelBlobs: zero total weight");
+  }
+
+  if (config.algorithm != AlgorithmId::kXgb) {
+    // FedAvg over flat parameter vectors.
+    std::vector<double> avg(blobs.front().size(), 0.0);
+    for (size_t k = 0; k < blobs.size(); ++k) {
+      if (blobs[k].size() != avg.size()) {
+        return Status::InvalidArgument("AggregateModelBlobs: size mismatch");
+      }
+      for (size_t i = 0; i < avg.size(); ++i) {
+        avg[i] += weights[k] / total * blobs[k][i];
+      }
+    }
+    return avg;
+  }
+
+  // XGB: merge trees into one prediction-equivalent model. The client model
+  // predicts base_k + lr_k * sum(trees_k); the global ensemble is the
+  // weighted sum, realized with a merged learning rate of 1 and leaf weights
+  // pre-scaled by w_k * lr_k.
+  std::vector<double> merged;
+  double merged_base = 0.0;
+  std::vector<double> tree_section;
+  size_t total_trees = 0;
+  for (size_t k = 0; k < blobs.size(); ++k) {
+    const std::vector<double>& blob = blobs[k];
+    if (blob.size() < 3) {
+      return Status::InvalidArgument("AggregateModelBlobs: short XGB blob");
+    }
+    double w = weights[k] / total;
+    double base = blob[0];
+    double lr = blob[1];
+    auto n_trees = static_cast<size_t>(blob[2]);
+    merged_base += w * base;
+    size_t offset = 3;
+    for (size_t t = 0; t < n_trees; ++t) {
+      if (offset >= blob.size()) {
+        return Status::InvalidArgument("AggregateModelBlobs: truncated XGB blob");
+      }
+      auto n_nodes = static_cast<size_t>(blob[offset]);
+      size_t span = 1 + 5 * n_nodes;
+      if (offset + span > blob.size()) {
+        return Status::InvalidArgument("AggregateModelBlobs: truncated tree");
+      }
+      tree_section.push_back(blob[offset]);
+      for (size_t node = 0; node < n_nodes; ++node) {
+        size_t p = offset + 1 + 5 * node;
+        tree_section.push_back(blob[p]);      // feature
+        tree_section.push_back(blob[p + 1]);  // threshold
+        tree_section.push_back(blob[p + 2]);  // left
+        tree_section.push_back(blob[p + 3]);  // right
+        tree_section.push_back(blob[p + 4] * w * lr);  // scaled weight
+      }
+      offset += span;
+      ++total_trees;
+    }
+  }
+  merged.push_back(merged_base);
+  merged.push_back(1.0);  // Merged learning rate.
+  merged.push_back(static_cast<double>(total_trees));
+  merged.insert(merged.end(), tree_section.begin(), tree_section.end());
+  return merged;
+}
+
+Result<std::unique_ptr<ml::Regressor>> DeserializeModel(
+    const Configuration& config, const std::vector<double>& blob) {
+  FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
+                         CreateRegressor(config));
+  if (config.algorithm == AlgorithmId::kXgb) {
+    auto* gbdt = dynamic_cast<ml::GbdtRegressor*>(model.get());
+    if (gbdt == nullptr) {
+      return Status::Internal("DeserializeModel: XGB factory mismatch");
+    }
+    FEDFC_RETURN_IF_ERROR(gbdt->DeserializeModel(blob));
+    return model;
+  }
+  FEDFC_RETURN_IF_ERROR(model->SetParameters(blob));
+  return model;
+}
+
+}  // namespace fedfc::automl

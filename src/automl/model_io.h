@@ -1,0 +1,36 @@
+#ifndef FEDFC_AUTOML_MODEL_IO_H_
+#define FEDFC_AUTOML_MODEL_IO_H_
+
+#include <memory>
+#include <vector>
+
+#include "automl/search_space.h"
+#include "core/result.h"
+#include "ml/model.h"
+
+namespace fedfc::automl {
+
+/// Serializes a fitted search-space model into a flat tensor for FL payload
+/// transfer: flat parameters for the linear family, the full tree encoding
+/// for XGB.
+Result<std::vector<double>> SerializeModel(const Configuration& config,
+                                           const ml::Regressor& model);
+
+/// Reconstructs a fitted model from its configuration and serialized blob.
+Result<std::unique_ptr<ml::Regressor>> DeserializeModel(
+    const Configuration& config, const std::vector<double>& blob);
+
+/// Aggregates per-client model blobs into the global model's blob
+/// (Algorithm 1, lines 26-27):
+///  - linear family: weighted average of the flat parameters (FedAvg);
+///  - XGB: weighted ensemble, realized as a single boosted model whose
+///    per-client trees have base scores and leaf weights scaled by the
+///    client weights (prediction-equivalent to the weighted ensemble).
+/// `weights` are renormalized internally.
+Result<std::vector<double>> AggregateModelBlobs(
+    const Configuration& config, const std::vector<std::vector<double>>& blobs,
+    const std::vector<double>& weights);
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_MODEL_IO_H_

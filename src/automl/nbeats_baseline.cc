@@ -1,0 +1,215 @@
+#include "automl/nbeats_baseline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "fl/transport.h"
+#include "ml/metrics.h"
+#include "ts/interpolation.h"
+
+namespace fedfc::automl {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Builds the train/test window split used on both the clients and the
+/// consolidated baseline: the trailing `test_fraction` of rows is test.
+struct WindowSplit {
+  Matrix x_train;
+  std::vector<double> y_train;
+  Matrix x_test;
+  std::vector<double> y_test;
+};
+
+Result<WindowSplit> SplitWindows(const std::vector<double>& values, size_t lookback,
+                                 double test_fraction) {
+  Matrix x;
+  std::vector<double> y;
+  if (!ml::MakeLagWindows(values, lookback, &x, &y)) {
+    return Status::InvalidArgument("series too short for lookback windows");
+  }
+  auto n_test = static_cast<size_t>(test_fraction * static_cast<double>(x.rows()));
+  size_t n_train = x.rows() - n_test;
+  if (n_train < 8) return Status::InvalidArgument("too few training windows");
+  WindowSplit out;
+  std::vector<size_t> train_idx(n_train), test_idx;
+  for (size_t i = 0; i < n_train; ++i) train_idx[i] = i;
+  for (size_t i = n_train; i < x.rows(); ++i) test_idx.push_back(i);
+  out.x_train = x.SelectRows(train_idx);
+  out.y_train.assign(y.begin(), y.begin() + n_train);
+  if (!test_idx.empty()) {
+    out.x_test = x.SelectRows(test_idx);
+    out.y_test.assign(y.begin() + n_train, y.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+NBeatsClient::NBeatsClient(std::string id, ts::Series series, Options options)
+    : id_(std::move(id)),
+      values_(ts::LinearInterpolate(series.values())),
+      options_(options),
+      rng_(options.seed),
+      model_(options.nbeats) {}
+
+size_t NBeatsClient::num_examples() const {
+  auto test = static_cast<size_t>(options_.test_fraction *
+                                  static_cast<double>(values_.size()));
+  return values_.size() - test;
+}
+
+Result<fl::Payload> NBeatsClient::Handle(const std::string& task,
+                                         const fl::Payload& request) {
+  if (task == tasks::kNBeatsRound) return HandleRound(request);
+  if (task == tasks::kNBeatsEvaluate) return HandleEvaluate(request);
+  return Status::Unimplemented("unknown nbeats client task: " + task);
+}
+
+Result<fl::Payload> NBeatsClient::HandleRound(const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(WindowSplit split,
+                         SplitWindows(values_, options_.lookback,
+                                      options_.test_fraction));
+  if (!model_.built()) {
+    Rng init_rng(options_.init_seed);
+    FEDFC_RETURN_IF_ERROR(model_.Build(options_.lookback, &init_rng));
+  }
+  if (request.Has("params")) {
+    FEDFC_ASSIGN_OR_RETURN(std::vector<double> params,
+                           request.GetTensor("params"));
+    FEDFC_RETURN_IF_ERROR(model_.SetParameters(params));
+  }
+  // Local training: a few epochs from the incoming global parameters.
+  ml::NBeatsConfig round_config = options_.nbeats;
+  round_config.epochs = options_.epochs_per_round;
+  ml::NBeatsRegressor trainer(round_config);
+  FEDFC_RETURN_IF_ERROR(trainer.Build(options_.lookback, &rng_));
+  FEDFC_RETURN_IF_ERROR(trainer.SetParameters(model_.GetParameters()));
+  FEDFC_RETURN_IF_ERROR(trainer.Fit(split.x_train, split.y_train, &rng_));
+  FEDFC_RETURN_IF_ERROR(model_.SetParameters(trainer.GetParameters()));
+
+  std::vector<double> train_pred = trainer.Predict(split.x_train);
+  fl::Payload reply;
+  reply.SetTensor("params", trainer.GetParameters());
+  reply.SetDouble("train_loss",
+                  ml::MeanSquaredError(split.y_train, train_pred));
+  reply.SetInt("n_train", static_cast<int64_t>(split.y_train.size()));
+  return reply;
+}
+
+Result<fl::Payload> NBeatsClient::HandleEvaluate(const fl::Payload& request) {
+  FEDFC_ASSIGN_OR_RETURN(WindowSplit split,
+                         SplitWindows(values_, options_.lookback,
+                                      options_.test_fraction));
+  if (split.y_test.empty()) {
+    return Status::FailedPrecondition("client has no test windows");
+  }
+  if (!model_.built()) {
+    Rng init_rng(options_.init_seed);
+    FEDFC_RETURN_IF_ERROR(model_.Build(options_.lookback, &init_rng));
+  }
+  if (request.Has("params")) {
+    FEDFC_ASSIGN_OR_RETURN(std::vector<double> params,
+                           request.GetTensor("params"));
+    FEDFC_RETURN_IF_ERROR(model_.SetParameters(params));
+  }
+  std::vector<double> pred = model_.Predict(split.x_test);
+  fl::Payload reply;
+  reply.SetDouble("test_loss", ml::MeanSquaredError(split.y_test, pred));
+  reply.SetInt("n_test", static_cast<int64_t>(split.y_test.size()));
+  return reply;
+}
+
+Result<NBeatsReport> FedNBeatsBaseline::Run(
+    const std::vector<ts::Series>& client_splits) {
+  if (client_splits.empty()) {
+    return Status::InvalidArgument("FedNBeats: no clients");
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < client_splits.size(); ++j) {
+    NBeatsClient::Options copt;
+    copt.nbeats = options_.nbeats;
+    copt.lookback = options_.lookback;
+    copt.epochs_per_round = options_.epochs_per_round;
+    copt.test_fraction = options_.test_fraction;
+    copt.seed = options_.seed * 977 + j;
+    sizes.push_back(client_splits[j].size());
+    clients.push_back(std::make_shared<NBeatsClient>(
+        "nbeats-" + std::to_string(j), client_splits[j], copt));
+  }
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+
+  NBeatsReport report;
+  std::vector<double> global_params;
+  while (true) {
+    if (options_.max_rounds > 0 && report.rounds >= options_.max_rounds) break;
+    if (SecondsSince(start) >= options_.time_budget_seconds &&
+        report.rounds > 0) {
+      break;
+    }
+    fl::Payload request;
+    if (!global_params.empty()) request.SetTensor("params", global_params);
+    Result<std::vector<fl::ClientReply>> replies =
+        server.Broadcast(tasks::kNBeatsRound, request);
+    ++report.rounds;
+    if (!replies.ok()) continue;
+    Result<std::vector<double>> avg =
+        fl::Server::AggregateTensor(*replies, "params");
+    if (!avg.ok()) continue;
+    global_params = std::move(*avg);
+  }
+  if (global_params.empty()) {
+    return Status::DeadlineExceeded("FedNBeats: no completed round in budget");
+  }
+
+  fl::Payload eval_request;
+  eval_request.SetTensor("params", global_params);
+  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> eval_replies,
+                         server.Broadcast(tasks::kNBeatsEvaluate, eval_request));
+  FEDFC_ASSIGN_OR_RETURN(report.test_loss,
+                         fl::Server::AggregateScalar(eval_replies, "test_loss"));
+  report.elapsed_seconds = SecondsSince(start);
+  return report;
+}
+
+Result<NBeatsReport> TrainConsolidatedNBeats(const ts::Series& series,
+                                             const ml::NBeatsConfig& config,
+                                             size_t lookback,
+                                             double time_budget_seconds,
+                                             double test_fraction, uint64_t seed) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<double> values = ts::LinearInterpolate(series.values());
+  FEDFC_ASSIGN_OR_RETURN(WindowSplit split,
+                         SplitWindows(values, lookback, test_fraction));
+  if (split.y_test.empty()) {
+    return Status::InvalidArgument("consolidated series has no test windows");
+  }
+  Rng rng(seed);
+  ml::NBeatsConfig one_epoch = config;
+  one_epoch.epochs = 1;
+  ml::NBeatsRegressor model(one_epoch);
+  FEDFC_RETURN_IF_ERROR(model.Build(lookback, &rng));
+
+  NBeatsReport report;
+  // Epoch-at-a-time training under the wall-clock budget, so the
+  // consolidated baseline consumes the same T as everyone else.
+  while (true) {
+    if (SecondsSince(start) >= time_budget_seconds && report.rounds > 0) break;
+    FEDFC_RETURN_IF_ERROR(model.Fit(split.x_train, split.y_train, &rng));
+    ++report.rounds;
+    if (report.rounds >= config.epochs) break;
+  }
+  std::vector<double> pred = model.Predict(split.x_test);
+  report.test_loss = ml::MeanSquaredError(split.y_test, pred);
+  report.elapsed_seconds = SecondsSince(start);
+  return report;
+}
+
+}  // namespace fedfc::automl

@@ -1,0 +1,96 @@
+#ifndef FEDFC_AUTOML_NBEATS_BASELINE_H_
+#define FEDFC_AUTOML_NBEATS_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "ml/nn/nbeats.h"
+#include "ts/series.h"
+
+namespace fedfc::automl {
+
+namespace tasks {
+inline constexpr char kNBeatsRound[] = "nbeats_round";
+inline constexpr char kNBeatsEvaluate[] = "nbeats_evaluate";
+}  // namespace tasks
+
+/// Client for the federated N-BEATS baseline: local windowed training with
+/// FedAvg parameter exchange. Mirrors ForecastClient's test-tail protocol so
+/// the comparison is apples-to-apples.
+class NBeatsClient : public fl::Client {
+ public:
+  struct Options {
+    ml::NBeatsConfig nbeats;
+    size_t lookback = 16;
+    size_t epochs_per_round = 1;
+    double test_fraction = 0.2;
+    uint64_t seed = 1;
+    /// Shared across clients so every local model starts from the same
+    /// initialization (standard FedAvg protocol).
+    uint64_t init_seed = 12345;
+  };
+
+  NBeatsClient(std::string id, ts::Series series, Options options);
+
+  std::string id() const override { return id_; }
+  size_t num_examples() const override;
+  Result<fl::Payload> Handle(const std::string& task,
+                             const fl::Payload& request) override;
+
+ private:
+  Result<fl::Payload> HandleRound(const fl::Payload& request);
+  Result<fl::Payload> HandleEvaluate(const fl::Payload& request);
+
+  std::string id_;
+  std::vector<double> values_;  ///< Interpolated series values.
+  Options options_;
+  Rng rng_;
+  ml::NBeatsRegressor model_;
+};
+
+/// Report shared by the federated and consolidated N-BEATS baselines.
+struct NBeatsReport {
+  double test_loss = 0.0;
+  size_t rounds = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Federated N-BEATS via FedAvg: each round, clients train locally for a few
+/// epochs from the current global parameters, which the server then averages
+/// (weighted by client size). Runs until the time budget is spent.
+class FedNBeatsBaseline {
+ public:
+  struct Options {
+    ml::NBeatsConfig nbeats;
+    size_t lookback = 16;
+    size_t epochs_per_round = 1;
+    double time_budget_seconds = 5.0;
+    size_t max_rounds = 0;  ///< 0 = budget-driven.
+    double test_fraction = 0.2;
+    uint64_t seed = 1;
+  };
+
+  explicit FedNBeatsBaseline(Options options) : options_(options) {}
+
+  /// Builds NBeatsClients over the splits and runs the FedAvg loop.
+  Result<NBeatsReport> Run(const std::vector<ts::Series>& client_splits);
+
+ private:
+  Options options_;
+};
+
+/// The "N-beats Cons." column of Table 3: N-BEATS trained on the
+/// consolidated series with the same test-tail protocol.
+Result<NBeatsReport> TrainConsolidatedNBeats(const ts::Series& series,
+                                             const ml::NBeatsConfig& config,
+                                             size_t lookback,
+                                             double time_budget_seconds,
+                                             double test_fraction, uint64_t seed);
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_NBEATS_BASELINE_H_

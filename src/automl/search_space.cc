@@ -1,0 +1,314 @@
+#include "automl/search_space.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/vec_math.h"
+#include "ml/linear/elastic_net.h"
+#include "ml/linear/huber.h"
+#include "ml/linear/lasso.h"
+#include "ml/linear/linear_svr.h"
+#include "ml/linear/quantile.h"
+#include "ml/tree/gbdt.h"
+
+namespace fedfc::automl {
+
+const char* AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kLasso:
+      return "Lasso";
+    case AlgorithmId::kLinearSvr:
+      return "LinearSVR";
+    case AlgorithmId::kElasticNetCv:
+      return "ElasticNetCV";
+    case AlgorithmId::kXgb:
+      return "XGBRegressor";
+    case AlgorithmId::kHuber:
+      return "HuberRegressor";
+    case AlgorithmId::kQuantile:
+      return "QuantileRegressor";
+  }
+  return "?";
+}
+
+Result<AlgorithmId> AlgorithmFromIndex(int index) {
+  if (index < 0 || index >= static_cast<int>(kNumAlgorithms)) {
+    return Status::InvalidArgument("bad algorithm index");
+  }
+  return static_cast<AlgorithmId>(index);
+}
+
+std::vector<AlgorithmId> AllAlgorithms() {
+  std::vector<AlgorithmId> out;
+  for (size_t i = 0; i < kNumAlgorithms; ++i) {
+    out.push_back(static_cast<AlgorithmId>(i));
+  }
+  return out;
+}
+
+std::string Configuration::ToString() const {
+  std::ostringstream os;
+  os << AlgorithmName(algorithm) << "(";
+  bool first = true;
+  for (const auto& [k, v] : numeric) {
+    if (!first) os << ", ";
+    os << k << "=" << v;
+    first = false;
+  }
+  for (const auto& [k, v] : categorical) {
+    if (!first) os << ", ";
+    os << k << "=" << v;
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<double> Configuration::ToTensor() const {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(algorithm);
+  std::vector<double> out = {static_cast<double>(algorithm)};
+  std::vector<double> unit = space.Encode(*this);
+  out.insert(out.end(), unit.begin(), unit.end());
+  return out;
+}
+
+Result<Configuration> Configuration::FromTensor(const std::vector<double>& tensor) {
+  if (tensor.empty()) return Status::InvalidArgument("empty configuration tensor");
+  FEDFC_ASSIGN_OR_RETURN(AlgorithmId id,
+                         AlgorithmFromIndex(static_cast<int>(tensor[0])));
+  const SearchSpace& space = SearchSpace::ForAlgorithm(id);
+  if (tensor.size() != 1 + space.n_dims()) {
+    return Status::InvalidArgument("configuration tensor size mismatch");
+  }
+  std::vector<double> unit(tensor.begin() + 1, tensor.end());
+  return space.Decode(unit);
+}
+
+const SearchSpace& SearchSpace::ForAlgorithm(AlgorithmId id) {
+  using Kind = HyperParam::Kind;
+  // Table 2 verbatim. The paper writes the Lasso alpha range as
+  // "log(e^-5), log(10)" and the Huber/Quantile alpha range as
+  // "log10(e^-3):log10(e^2)"; both denote log-uniform sampling over
+  // [e^-5, 10] and [e^-3, e^2] respectively.
+  static const SearchSpace* lasso = new SearchSpace(
+      AlgorithmId::kLasso,
+      {{"alpha", Kind::kLogContinuous, std::exp(-5.0), 10.0, {}},
+       {"selection", Kind::kCategorical, 0, 0, {"cyclic", "random"}}});
+  static const SearchSpace* svr = new SearchSpace(
+      AlgorithmId::kLinearSvr,
+      {{"C", Kind::kContinuous, 1.0, 10.0, {}},
+       {"epsilon", Kind::kContinuous, 0.01, 0.1, {}}});
+  static const SearchSpace* enet = new SearchSpace(
+      AlgorithmId::kElasticNetCv,
+      {{"l1_ratio", Kind::kContinuous, 0.3, 10.0, {}},
+       {"selection", Kind::kCategorical, 0, 0, {"cyclic", "random"}}});
+  static const SearchSpace* xgb = new SearchSpace(
+      AlgorithmId::kXgb,
+      {{"n_estimators", Kind::kInteger, 5, 20, {}},
+       {"max_depth", Kind::kInteger, 2, 10, {}},
+       {"learning_rate", Kind::kContinuous, 0.01, 1.0, {}},
+       {"reg_lambda", Kind::kContinuous, 0.8, 10.0, {}},
+       {"subsample", Kind::kContinuous, 0.1, 1.0, {}}});
+  static const SearchSpace* huber = new SearchSpace(
+      AlgorithmId::kHuber,
+      {{"epsilon", Kind::kCategorical, 0, 0, {"1.0", "1.35", "1.5"}},
+       {"alpha", Kind::kLogContinuous, std::exp(-3.0), std::exp(2.0), {}}});
+  static const SearchSpace* quantile = new SearchSpace(
+      AlgorithmId::kQuantile,
+      {{"alpha", Kind::kLogContinuous, std::exp(-3.0), std::exp(2.0), {}},
+       {"quantile", Kind::kContinuous, 0.1, 1.0, {}}});
+  switch (id) {
+    case AlgorithmId::kLasso:
+      return *lasso;
+    case AlgorithmId::kLinearSvr:
+      return *svr;
+    case AlgorithmId::kElasticNetCv:
+      return *enet;
+    case AlgorithmId::kXgb:
+      return *xgb;
+    case AlgorithmId::kHuber:
+      return *huber;
+    case AlgorithmId::kQuantile:
+      return *quantile;
+  }
+  return *lasso;
+}
+
+Configuration SearchSpace::Sample(Rng* rng) const {
+  std::vector<double> unit(n_dims());
+  for (double& u : unit) u = rng->Uniform();
+  return Decode(unit);
+}
+
+std::vector<double> SearchSpace::Encode(const Configuration& config) const {
+  std::vector<double> unit(n_dims(), 0.0);
+  for (size_t d = 0; d < params_.size(); ++d) {
+    const HyperParam& p = params_[d];
+    switch (p.kind) {
+      case HyperParam::Kind::kContinuous: {
+        auto it = config.numeric.find(p.name);
+        double v = it != config.numeric.end() ? it->second : p.lo;
+        unit[d] = (v - p.lo) / (p.hi - p.lo);
+        break;
+      }
+      case HyperParam::Kind::kLogContinuous: {
+        auto it = config.numeric.find(p.name);
+        double v = it != config.numeric.end() ? it->second : p.lo;
+        v = Clamp(v, p.lo, p.hi);
+        unit[d] = (std::log(v) - std::log(p.lo)) / (std::log(p.hi) - std::log(p.lo));
+        break;
+      }
+      case HyperParam::Kind::kInteger: {
+        auto it = config.numeric.find(p.name);
+        double v = it != config.numeric.end() ? it->second : p.lo;
+        unit[d] = (v - p.lo) / (p.hi - p.lo);
+        break;
+      }
+      case HyperParam::Kind::kCategorical: {
+        auto it = config.categorical.find(p.name);
+        size_t idx = 0;
+        if (it != config.categorical.end()) {
+          for (size_t c = 0; c < p.choices.size(); ++c) {
+            if (p.choices[c] == it->second) idx = c;
+          }
+        }
+        // Bucket midpoints so Decode round-trips.
+        unit[d] = (static_cast<double>(idx) + 0.5) /
+                  static_cast<double>(p.choices.size());
+        break;
+      }
+    }
+    unit[d] = Clamp(unit[d], 0.0, 1.0);
+  }
+  return unit;
+}
+
+Configuration SearchSpace::Decode(const std::vector<double>& unit) const {
+  FEDFC_CHECK(unit.size() == n_dims());
+  Configuration config;
+  config.algorithm = algorithm_;
+  for (size_t d = 0; d < params_.size(); ++d) {
+    const HyperParam& p = params_[d];
+    double u = Clamp(unit[d], 0.0, 1.0);
+    switch (p.kind) {
+      case HyperParam::Kind::kContinuous:
+        config.numeric[p.name] = p.lo + u * (p.hi - p.lo);
+        break;
+      case HyperParam::Kind::kLogContinuous:
+        config.numeric[p.name] =
+            std::exp(std::log(p.lo) + u * (std::log(p.hi) - std::log(p.lo)));
+        break;
+      case HyperParam::Kind::kInteger:
+        config.numeric[p.name] = std::round(p.lo + u * (p.hi - p.lo));
+        break;
+      case HyperParam::Kind::kCategorical: {
+        auto idx = static_cast<size_t>(u * static_cast<double>(p.choices.size()));
+        if (idx >= p.choices.size()) idx = p.choices.size() - 1;
+        config.categorical[p.name] = p.choices[idx];
+        break;
+      }
+    }
+  }
+  return config;
+}
+
+std::vector<Configuration> SearchSpace::Grid(size_t per_dim) const {
+  FEDFC_CHECK(per_dim >= 1);
+  std::vector<std::vector<double>> axis_values(n_dims());
+  for (size_t d = 0; d < params_.size(); ++d) {
+    const HyperParam& p = params_[d];
+    size_t k = per_dim;
+    if (p.kind == HyperParam::Kind::kCategorical) k = p.choices.size();
+    if (p.kind == HyperParam::Kind::kInteger) {
+      k = std::min<size_t>(per_dim, static_cast<size_t>(p.hi - p.lo) + 1);
+    }
+    for (size_t i = 0; i < k; ++i) {
+      double u = k > 1 ? static_cast<double>(i) / static_cast<double>(k - 1)
+                       : 0.5;
+      if (p.kind == HyperParam::Kind::kCategorical) {
+        u = (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+      }
+      axis_values[d].push_back(u);
+    }
+  }
+  std::vector<Configuration> grid;
+  std::vector<size_t> cursor(n_dims(), 0);
+  while (true) {
+    std::vector<double> unit(n_dims());
+    for (size_t d = 0; d < n_dims(); ++d) unit[d] = axis_values[d][cursor[d]];
+    grid.push_back(Decode(unit));
+    // Odometer increment.
+    size_t d = 0;
+    while (d < n_dims()) {
+      if (++cursor[d] < axis_values[d].size()) break;
+      cursor[d] = 0;
+      ++d;
+    }
+    if (d == n_dims()) break;
+  }
+  return grid;
+}
+
+Result<std::unique_ptr<ml::Regressor>> CreateRegressor(const Configuration& config) {
+  auto num = [&](const std::string& key, double fallback) {
+    auto it = config.numeric.find(key);
+    return it != config.numeric.end() ? it->second : fallback;
+  };
+  auto cat = [&](const std::string& key, const std::string& fallback) {
+    auto it = config.categorical.find(key);
+    return it != config.categorical.end() ? it->second : fallback;
+  };
+  auto selection = [&]() {
+    return cat("selection", "cyclic") == "random" ? ml::CdSelection::kRandom
+                                                  : ml::CdSelection::kCyclic;
+  };
+  switch (config.algorithm) {
+    case AlgorithmId::kLasso: {
+      ml::LassoRegressor::Config c;
+      c.alpha = num("alpha", 0.1);
+      c.selection = selection();
+      return std::unique_ptr<ml::Regressor>(
+          std::make_unique<ml::LassoRegressor>(c));
+    }
+    case AlgorithmId::kLinearSvr: {
+      ml::LinearSvrRegressor::Config c;
+      c.c = num("C", 1.0);
+      c.epsilon = num("epsilon", 0.05);
+      return std::unique_ptr<ml::Regressor>(
+          std::make_unique<ml::LinearSvrRegressor>(c));
+    }
+    case AlgorithmId::kElasticNetCv: {
+      ml::ElasticNetCvRegressor::Config c;
+      c.l1_ratio = num("l1_ratio", 0.5);
+      c.selection = selection();
+      return std::unique_ptr<ml::Regressor>(
+          std::make_unique<ml::ElasticNetCvRegressor>(c));
+    }
+    case AlgorithmId::kXgb: {
+      ml::GbdtConfig c;
+      c.n_estimators = static_cast<size_t>(num("n_estimators", 10));
+      c.max_depth = static_cast<int>(num("max_depth", 4));
+      c.learning_rate = num("learning_rate", 0.1);
+      c.reg_lambda = num("reg_lambda", 1.0);
+      c.subsample = num("subsample", 1.0);
+      return std::unique_ptr<ml::Regressor>(std::make_unique<ml::GbdtRegressor>(c));
+    }
+    case AlgorithmId::kHuber: {
+      ml::HuberRegressor::Config c;
+      c.epsilon = std::stod(cat("epsilon", "1.35"));
+      c.alpha = num("alpha", 1e-3);
+      return std::unique_ptr<ml::Regressor>(
+          std::make_unique<ml::HuberRegressor>(c));
+    }
+    case AlgorithmId::kQuantile: {
+      ml::QuantileRegressor::Config c;
+      c.alpha = num("alpha", 1e-3);
+      c.quantile = num("quantile", 0.5);
+      return std::unique_ptr<ml::Regressor>(
+          std::make_unique<ml::QuantileRegressor>(c));
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace fedfc::automl

@@ -1,0 +1,94 @@
+#ifndef FEDFC_AUTOML_SEARCH_SPACE_H_
+#define FEDFC_AUTOML_SEARCH_SPACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/rng.h"
+#include "ml/model.h"
+
+namespace fedfc::automl {
+
+/// The six forecasting algorithm families of Table 2.
+enum class AlgorithmId {
+  kLasso = 0,
+  kLinearSvr = 1,
+  kElasticNetCv = 2,
+  kXgb = 3,
+  kHuber = 4,
+  kQuantile = 5,
+};
+inline constexpr size_t kNumAlgorithms = 6;
+
+const char* AlgorithmName(AlgorithmId id);
+Result<AlgorithmId> AlgorithmFromIndex(int index);
+std::vector<AlgorithmId> AllAlgorithms();
+
+/// One hyperparameter dimension.
+struct HyperParam {
+  enum class Kind {
+    kContinuous,     ///< Uniform in [lo, hi].
+    kLogContinuous,  ///< Log-uniform in [lo, hi].
+    kInteger,        ///< Uniform integer in [lo, hi].
+    kCategorical,    ///< Uniform over `choices`.
+  };
+  std::string name;
+  Kind kind = Kind::kContinuous;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::string> choices;
+};
+
+/// A concrete algorithm instantiation A_lambda: the algorithm plus one value
+/// per hyperparameter dimension.
+struct Configuration {
+  AlgorithmId algorithm = AlgorithmId::kLasso;
+  std::map<std::string, double> numeric;
+  std::map<std::string, std::string> categorical;
+
+  std::string ToString() const;
+
+  /// Flat wire form for FL payloads: [algorithm_index, encoded dims...]
+  /// using the unit-cube encoding of the algorithm's search space.
+  std::vector<double> ToTensor() const;
+  static Result<Configuration> FromTensor(const std::vector<double>& tensor);
+};
+
+/// Per-algorithm hyperparameter space (the rows of Table 2) with sampling
+/// and the unit-cube encoding the GP surrogate operates in.
+class SearchSpace {
+ public:
+  static const SearchSpace& ForAlgorithm(AlgorithmId id);
+
+  AlgorithmId algorithm() const { return algorithm_; }
+  const std::vector<HyperParam>& params() const { return params_; }
+  size_t n_dims() const { return params_.size(); }
+
+  Configuration Sample(Rng* rng) const;
+  /// Encodes to [0,1]^n_dims (log dims in log space; categoricals at their
+  /// index midpoints).
+  std::vector<double> Encode(const Configuration& config) const;
+  /// Inverse of Encode (values clamped into range).
+  Configuration Decode(const std::vector<double>& unit) const;
+
+  /// Full-factorial grid with ~`per_dim` points per dimension (used by the
+  /// knowledge-base labelling grid search, Section 4.1.1).
+  std::vector<Configuration> Grid(size_t per_dim) const;
+
+ private:
+  SearchSpace(AlgorithmId id, std::vector<HyperParam> params)
+      : algorithm_(id), params_(std::move(params)) {}
+
+  AlgorithmId algorithm_;
+  std::vector<HyperParam> params_;
+};
+
+/// Instantiates the Regressor described by a configuration.
+Result<std::unique_ptr<ml::Regressor>> CreateRegressor(const Configuration& config);
+
+}  // namespace fedfc::automl
+
+#endif  // FEDFC_AUTOML_SEARCH_SPACE_H_

@@ -1,0 +1,64 @@
+#ifndef FEDFC_CORE_LOGGING_H_
+#define FEDFC_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedfc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message emitter. Writes to stderr on destruction; a
+/// kFatal message aborts the process after printing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a LogMessage in the CHECK-passed branch (avoids evaluating
+/// streamed arguments).
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace fedfc
+
+#define FEDFC_LOG(level)                                                     \
+  ::fedfc::internal::LogMessage(::fedfc::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. For programming errors only;
+/// recoverable failures use Status. Supports streaming extra context:
+///   FEDFC_CHECK(n > 0) << "need at least one sample";
+#define FEDFC_CHECK(cond) \
+  if (cond) {             \
+  } else                  \
+    FEDFC_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FEDFC_DCHECK(cond) FEDFC_CHECK(cond)
+
+#endif  // FEDFC_CORE_LOGGING_H_

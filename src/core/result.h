@@ -1,0 +1,77 @@
+#ifndef FEDFC_CORE_RESULT_H_
+#define FEDFC_CORE_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "core/logging.h"
+#include "core/status.h"
+
+namespace fedfc {
+
+/// Value-or-Status, analogous to arrow::Result / absl::StatusOr.
+///
+/// A Result<T> is either an OK status paired with a T, or a non-OK Status.
+/// Accessing the value of an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common "return value;" case).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    FEDFC_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    FEDFC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    FEDFC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    FEDFC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fedfc
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define FEDFC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define FEDFC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define FEDFC_ASSIGN_OR_RETURN_NAME(a, b) FEDFC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define FEDFC_ASSIGN_OR_RETURN(lhs, expr) \
+  FEDFC_ASSIGN_OR_RETURN_IMPL(            \
+      FEDFC_ASSIGN_OR_RETURN_NAME(_fedfc_result_, __LINE__), lhs, expr)
+
+#endif  // FEDFC_CORE_RESULT_H_

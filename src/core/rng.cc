@@ -1,0 +1,27 @@
+#include "core/rng.h"
+
+#include <numeric>
+
+namespace fedfc {
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  FEDFC_CHECK(k <= n) << "Sample: k=" << k << " > n=" << n;
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need to be finalized.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<size_t> Rng::Bootstrap(size_t n) {
+  FEDFC_CHECK(n > 0);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = Index(n);
+  return idx;
+}
+
+}  // namespace fedfc

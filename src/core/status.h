@@ -1,0 +1,91 @@
+#ifndef FEDFC_CORE_STATUS_H_
+#define FEDFC_CORE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fedfc {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of returning status objects instead of throwing exceptions
+/// across public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kDeadlineExceeded = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object carrying a code and a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the common OK case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace fedfc
+
+/// Propagates a non-OK status to the caller.
+#define FEDFC_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::fedfc::Status _fedfc_status = (expr);          \
+    if (!_fedfc_status.ok()) return _fedfc_status;   \
+  } while (false)
+
+#endif  // FEDFC_CORE_STATUS_H_

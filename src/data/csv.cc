@@ -1,0 +1,95 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fedfc::data {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<ts::Series> ReadSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::vector<int64_t> timestamps;
+  std::vector<double> values;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("csv: expected 2 columns in " + path);
+    }
+    double t = 0.0;
+    if (!ParseDouble(fields[0], &t)) {
+      if (first) {
+        first = false;
+        continue;  // Header line.
+      }
+      return Status::InvalidArgument("csv: bad timestamp '" + fields[0] + "'");
+    }
+    first = false;
+    timestamps.push_back(static_cast<int64_t>(t));
+    double v = ts::MissingValue();
+    if (!fields[1].empty() && !ParseDouble(fields[1], &v)) {
+      return Status::InvalidArgument("csv: bad value '" + fields[1] + "'");
+    }
+    values.push_back(v);
+  }
+  if (values.size() < 2) {
+    return Status::InvalidArgument("csv: need at least 2 rows in " + path);
+  }
+  int64_t interval = timestamps[1] - timestamps[0];
+  if (interval <= 0) {
+    return Status::InvalidArgument("csv: non-increasing timestamps");
+  }
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    if (timestamps[i] - timestamps[i - 1] != interval) {
+      return Status::InvalidArgument("csv: irregular sampling interval");
+    }
+  }
+  return ts::Series(std::move(values), timestamps.front(), interval);
+}
+
+Status WriteSeriesCsv(const ts::Series& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << "timestamp,value\n";
+  for (size_t i = 0; i < series.size(); ++i) {
+    out << series.TimestampAt(i) << ",";
+    if (!ts::IsMissing(series[i])) out << series[i];
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace fedfc::data

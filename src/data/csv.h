@@ -1,0 +1,28 @@
+#ifndef FEDFC_DATA_CSV_H_
+#define FEDFC_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "ts/series.h"
+
+namespace fedfc::data {
+
+/// Reads a two-column CSV (epoch_seconds,value) into a Series. Empty value
+/// fields become missing observations. A single header line is skipped when
+/// its first field is non-numeric. The sampling interval is inferred from
+/// the first two timestamps; rows must be equally spaced.
+Result<ts::Series> ReadSeriesCsv(const std::string& path);
+
+/// Writes a Series as (epoch_seconds,value) CSV; missing values are written
+/// as empty fields.
+Status WriteSeriesCsv(const ts::Series& series, const std::string& path);
+
+/// Splits one CSV line on commas (no quoting — the series format never
+/// needs it).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace fedfc::data
+
+#endif  // FEDFC_DATA_CSV_H_

@@ -1,0 +1,17 @@
+#include "data/dataset.h"
+
+namespace fedfc::data {
+
+Result<FederatedDataset> MakeFederated(std::string name, const ts::Series& series,
+                                       int n_clients, size_t min_instances) {
+  FEDFC_ASSIGN_OR_RETURN(std::vector<ts::Series> splits,
+                         ts::SplitIntoClients(series, n_clients, min_instances));
+  FederatedDataset out;
+  out.name = std::move(name);
+  out.clients = std::move(splits);
+  out.consolidated = series;
+  out.naturally_federated = false;
+  return out;
+}
+
+}  // namespace fedfc::data

@@ -1,0 +1,99 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/logging.h"
+
+namespace fedfc::data {
+
+ts::Series GenerateSignal(const SignalSpec& spec, Rng* rng) {
+  FEDFC_CHECK(rng != nullptr);
+  std::vector<double> values(spec.length);
+  double walk = 0.0;
+  double ar_noise = 0.0;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  for (size_t t = 0; t < spec.length; ++t) {
+    double td = static_cast<double>(t);
+    // Deterministic structure.
+    double trend;
+    if (spec.logistic_cap > 0.0) {
+      double mid = static_cast<double>(spec.length) / 2.0;
+      trend = spec.level +
+              spec.logistic_cap /
+                  (1.0 + std::exp(-spec.logistic_growth * (td - mid)));
+    } else {
+      trend = spec.level + spec.trend_slope * td;
+    }
+    double seasonal = 0.0;
+    for (const auto& s : spec.seasonalities) {
+      seasonal += s.amplitude * std::sin(kTwoPi * td / s.period + s.phase);
+    }
+    // Stochastic structure.
+    if (spec.random_walk_std > 0.0) {
+      walk += rng->Normal(0.0, spec.random_walk_std);
+    }
+    ar_noise = spec.ar_coefficient * ar_noise + rng->Normal(0.0, spec.noise_std);
+
+    double value;
+    if (spec.composition == Composition::kAdditive) {
+      value = trend + seasonal + walk + ar_noise;
+    } else {
+      // Multiplicative: seasonal/noise scale the trend level.
+      double season_factor = 1.0 + seasonal / std::max(std::fabs(trend), 1e-6);
+      value = trend * season_factor * (1.0 + ar_noise) + walk;
+    }
+    if (spec.outlier_fraction > 0.0 && rng->Bernoulli(spec.outlier_fraction)) {
+      // Student-t-like tail: a normal draw divided by a uniform scale.
+      double u = rng->Uniform(0.15, 1.0);
+      value += spec.outlier_scale * rng->Normal() / u;
+    }
+    values[t] = value;
+  }
+
+  if (spec.missing_fraction > 0.0) {
+    for (double& v : values) {
+      if (rng->Bernoulli(spec.missing_fraction)) v = ts::MissingValue();
+    }
+  }
+  return ts::Series(std::move(values), spec.start_epoch, spec.interval_seconds);
+}
+
+std::vector<ts::Series> GenerateCorrelatedBasket(size_t n_members, size_t length,
+                                                 double level, double common_vol,
+                                                 double idio_vol,
+                                                 int64_t interval_seconds,
+                                                 Rng* rng,
+                                                 double outlier_fraction,
+                                                 double outlier_scale) {
+  FEDFC_CHECK(rng != nullptr && n_members > 0);
+  // Shared market factor.
+  std::vector<double> factor(length, 0.0);
+  double f = 0.0;
+  for (size_t t = 0; t < length; ++t) {
+    f += rng->Normal(0.0, common_vol);
+    factor[t] = f;
+  }
+  std::vector<ts::Series> out;
+  out.reserve(n_members);
+  constexpr int64_t kStart = 1262304000;
+  for (size_t m = 0; m < n_members; ++m) {
+    double beta = rng->Uniform(0.6, 1.4);  // Member exposure to the factor.
+    double member_level = level * rng->Uniform(0.5, 1.5);
+    std::vector<double> values(length);
+    double idio = 0.0;
+    for (size_t t = 0; t < length; ++t) {
+      idio += rng->Normal(0.0, idio_vol);
+      values[t] = member_level + beta * factor[t] + idio;
+      if (outlier_fraction > 0.0 && rng->Bernoulli(outlier_fraction)) {
+        double u = rng->Uniform(0.15, 1.0);
+        values[t] += outlier_scale * rng->Normal() / u;
+      }
+    }
+    out.emplace_back(std::move(values), kStart, interval_seconds);
+  }
+  return out;
+}
+
+}  // namespace fedfc::data

@@ -1,0 +1,70 @@
+#ifndef FEDFC_DATA_GENERATORS_H_
+#define FEDFC_DATA_GENERATORS_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "ts/series.h"
+
+namespace fedfc::data {
+
+/// How deterministic components and noise combine.
+enum class Composition { kAdditive, kMultiplicative };
+
+/// One sinusoidal seasonal component.
+struct SeasonalSpec {
+  double period = 24.0;    ///< In samples.
+  double amplitude = 1.0;
+  double phase = 0.0;      ///< Radians.
+};
+
+/// Parametric univariate signal generator. This is the knowledge-base
+/// synthetic generator of Section 4.1.1 — the factors swept there
+/// (seasonality components, sampling frequency, signal-to-noise ratio,
+/// missing-value percentage, additive/multiplicative composition) map
+/// directly onto these fields — and also the substrate for the calibrated
+/// stand-ins for the paper's 12 evaluation datasets.
+struct SignalSpec {
+  size_t length = 2000;
+  int64_t start_epoch = 1262304000;  ///< 2010-01-01T00:00:00Z.
+  int64_t interval_seconds = 86400;  ///< Sampling frequency.
+
+  double level = 10.0;
+  double trend_slope = 0.0;          ///< Linear trend per step.
+  double logistic_cap = 0.0;         ///< >0: saturating trend toward cap.
+  double logistic_growth = 0.01;
+
+  std::vector<SeasonalSpec> seasonalities;
+  Composition composition = Composition::kAdditive;
+
+  double noise_std = 0.1;            ///< White observation noise.
+  double ar_coefficient = 0.0;       ///< AR(1) memory on the noise.
+  double random_walk_std = 0.0;      ///< Integrated (unit-root) component.
+  double missing_fraction = 0.0;     ///< Fraction of values masked to NaN.
+
+  /// Heavy-tailed shocks: with probability `outlier_fraction` per sample, a
+  /// Student-t-like shock of typical magnitude `outlier_scale` is added.
+  /// Real market/civil series have these (FX jumps, holidays, spikes) and
+  /// they are what gives the robust losses (Huber/Quantile) their edge in
+  /// the paper's Table 3 "Best Model" column.
+  double outlier_fraction = 0.0;
+  double outlier_scale = 0.0;
+};
+
+/// Generates one series from a spec. Deterministic given the Rng state.
+ts::Series GenerateSignal(const SignalSpec& spec, Rng* rng);
+
+/// Generates `n_members` correlated series (a common market factor plus
+/// idiosyncratic random walks) — the stand-in for the paper's ETF datasets
+/// whose clients hold different member stocks over a shared period.
+std::vector<ts::Series> GenerateCorrelatedBasket(size_t n_members, size_t length,
+                                                 double level, double common_vol,
+                                                 double idio_vol,
+                                                 int64_t interval_seconds,
+                                                 Rng* rng,
+                                                 double outlier_fraction = 0.0,
+                                                 double outlier_scale = 0.0);
+
+}  // namespace fedfc::data
+
+#endif  // FEDFC_DATA_GENERATORS_H_

@@ -1,0 +1,160 @@
+#include "features/feature_engineering.h"
+
+#include <cmath>
+#include <algorithm>
+#include <numbers>
+
+#include "core/logging.h"
+#include "ts/calendar.h"
+#include "ts/interpolation.h"
+
+namespace fedfc::features {
+
+std::vector<double> FeatureEngineeringSpec::ToTensor() const {
+  std::vector<double> t;
+  t.push_back(static_cast<double>(n_lags));
+  t.push_back(include_time_features ? 1.0 : 0.0);
+  t.push_back(include_trend_feature ? 1.0 : 0.0);
+  t.push_back(static_cast<double>(n_covariates));
+  t.push_back(static_cast<double>(covariate_lags));
+  t.push_back(static_cast<double>(seasonal_periods.size()));
+  t.insert(t.end(), seasonal_periods.begin(), seasonal_periods.end());
+  t.push_back(static_cast<double>(selected_features.size()));
+  for (size_t s : selected_features) t.push_back(static_cast<double>(s));
+  return t;
+}
+
+Result<FeatureEngineeringSpec> FeatureEngineeringSpec::FromTensor(
+    const std::vector<double>& t) {
+  if (t.size() < 7) {
+    return Status::InvalidArgument("feature spec tensor too short");
+  }
+  FeatureEngineeringSpec spec;
+  size_t i = 0;
+  spec.n_lags = static_cast<size_t>(t[i++]);
+  spec.include_time_features = t[i++] != 0.0;
+  spec.include_trend_feature = t[i++] != 0.0;
+  spec.n_covariates = static_cast<size_t>(t[i++]);
+  spec.covariate_lags = static_cast<size_t>(t[i++]);
+  size_t n_periods = static_cast<size_t>(t[i++]);
+  if (i + n_periods + 1 > t.size()) {
+    return Status::InvalidArgument("feature spec tensor: bad periods block");
+  }
+  for (size_t p = 0; p < n_periods; ++p) spec.seasonal_periods.push_back(t[i++]);
+  size_t n_selected = static_cast<size_t>(t[i++]);
+  if (i + n_selected != t.size()) {
+    return Status::InvalidArgument("feature spec tensor: bad selection block");
+  }
+  for (size_t s = 0; s < n_selected; ++s) {
+    spec.selected_features.push_back(static_cast<size_t>(t[i++]));
+  }
+  return spec;
+}
+
+std::vector<std::string> FeatureSchema(const FeatureEngineeringSpec& spec) {
+  std::vector<std::string> names;
+  for (size_t l = 1; l <= spec.n_lags; ++l) names.push_back("lag_" + std::to_string(l));
+  if (spec.include_trend_feature) names.push_back("trend");
+  if (spec.include_time_features) {
+    names.insert(names.end(), {"hour_sin", "hour_cos", "dow_sin", "dow_cos",
+                               "month_sin", "month_cos"});
+  }
+  for (size_t s = 0; s < spec.seasonal_periods.size(); ++s) {
+    names.push_back("seasonal_" + std::to_string(s) + "_sin");
+    names.push_back("seasonal_" + std::to_string(s) + "_cos");
+  }
+  for (size_t c = 0; c < spec.n_covariates; ++c) {
+    for (size_t l = 1; l <= spec.covariate_lags; ++l) {
+      names.push_back("cov_" + std::to_string(c) + "_lag_" + std::to_string(l));
+    }
+  }
+  return names;
+}
+
+Result<EngineeredData> EngineerFeatures(const ts::Series& series,
+                                        const FeatureEngineeringSpec& spec) {
+  if (spec.n_covariates > 0) {
+    return Status::InvalidArgument(
+        "EngineerFeatures: spec expects covariates; use the MultiSeries overload");
+  }
+  ts::MultiSeries multi;
+  multi.target = series;
+  return EngineerFeatures(multi, spec);
+}
+
+Result<EngineeredData> EngineerFeatures(const ts::MultiSeries& series,
+                                        const FeatureEngineeringSpec& spec) {
+  if (spec.n_lags == 0) {
+    return Status::InvalidArgument("EngineerFeatures: need at least one lag");
+  }
+  FEDFC_RETURN_IF_ERROR(series.Validate());
+  if (series.n_covariates() != spec.n_covariates) {
+    return Status::InvalidArgument(
+        "EngineerFeatures: covariate channel count does not match the spec");
+  }
+  size_t max_lag = std::max(spec.n_lags,
+                            spec.n_covariates > 0 ? spec.covariate_lags : 0);
+  if (series.size() <= max_lag + 4) {
+    return Status::InvalidArgument("EngineerFeatures: series shorter than lags");
+  }
+  std::vector<double> values = ts::LinearInterpolate(series.target.values());
+  std::vector<std::vector<double>> covariates;
+  covariates.reserve(series.n_covariates());
+  for (const ts::Series& cov : series.covariates) {
+    covariates.push_back(ts::LinearInterpolate(cov.values()));
+  }
+
+  EngineeredData out;
+  out.feature_names = FeatureSchema(spec);
+  if (spec.include_trend_feature) out.trend = ts::FitTrend(values);
+
+  const size_t n_rows = values.size() - max_lag;
+  const size_t n_cols = out.feature_names.size();
+  out.x = Matrix(n_rows, n_cols, 0.0);
+  out.y.resize(n_rows);
+
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (size_t r = 0; r < n_rows; ++r) {
+    size_t t = r + max_lag;  // Index of the prediction target.
+    out.y[r] = values[t];
+    double* row = out.x.Row(r);
+    size_t c = 0;
+    for (size_t l = 1; l <= spec.n_lags; ++l) row[c++] = values[t - l];
+    if (spec.include_trend_feature) {
+      row[c++] = out.trend.Evaluate(static_cast<double>(t));
+    }
+    if (spec.include_time_features) {
+      ts::CivilTime ct = ts::CivilFromEpoch(series.target.TimestampAt(t));
+      row[c++] = std::sin(kTwoPi * ct.hour / 24.0);
+      row[c++] = std::cos(kTwoPi * ct.hour / 24.0);
+      row[c++] = std::sin(kTwoPi * ct.weekday / 7.0);
+      row[c++] = std::cos(kTwoPi * ct.weekday / 7.0);
+      row[c++] = std::sin(kTwoPi * (ct.month - 1) / 12.0);
+      row[c++] = std::cos(kTwoPi * (ct.month - 1) / 12.0);
+    }
+    for (double period : spec.seasonal_periods) {
+      double phase = kTwoPi * static_cast<double>(t) / std::max(period, 2.0);
+      row[c++] = std::sin(phase);
+      row[c++] = std::cos(phase);
+    }
+    for (const std::vector<double>& cov : covariates) {
+      for (size_t l = 1; l <= spec.covariate_lags; ++l) row[c++] = cov[t - l];
+    }
+    FEDFC_DCHECK(c == n_cols);
+  }
+
+  if (!spec.selected_features.empty()) {
+    for (size_t idx : spec.selected_features) {
+      if (idx >= n_cols) {
+        return Status::InvalidArgument("EngineerFeatures: selected index OOB");
+      }
+    }
+    out.x = out.x.SelectColumns(spec.selected_features);
+    std::vector<std::string> kept;
+    for (size_t idx : spec.selected_features) kept.push_back(out.feature_names[idx]);
+    out.feature_names = std::move(kept);
+  }
+  return out;
+}
+
+}  // namespace fedfc::features

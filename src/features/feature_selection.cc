@@ -1,0 +1,68 @@
+#include "features/feature_selection.h"
+
+#include <algorithm>
+
+#include "core/vec_math.h"
+#include "ml/tree/random_forest.h"
+
+namespace fedfc::features {
+
+Result<std::vector<double>> ComputeFeatureImportances(const EngineeredData& data,
+                                                      Rng* rng, size_t n_trees) {
+  if (data.x.rows() == 0) {
+    return Status::InvalidArgument("ComputeFeatureImportances: empty data");
+  }
+  ml::ForestConfig config;
+  config.n_trees = n_trees;
+  config.tree.max_depth = 8;
+  config.tree.max_features_fraction = 0.7;
+  ml::RandomForestRegressor forest(config);
+  FEDFC_RETURN_IF_ERROR(forest.Fit(data.x, data.y, rng));
+  return forest.feature_importances();
+}
+
+Result<std::vector<size_t>> SelectFeatures(
+    const std::vector<std::vector<double>>& client_importances,
+    const std::vector<double>& weights, double coverage) {
+  if (client_importances.empty() ||
+      client_importances.size() != weights.size()) {
+    return Status::InvalidArgument("SelectFeatures: bad inputs");
+  }
+  if (coverage <= 0.0 || coverage > 1.0) {
+    return Status::InvalidArgument("SelectFeatures: coverage must be in (0, 1]");
+  }
+  const size_t d = client_importances.front().size();
+  std::vector<double> avg(d, 0.0);
+  double total_w = Sum(weights);
+  if (total_w <= 0.0) {
+    return Status::InvalidArgument("SelectFeatures: zero total weight");
+  }
+  for (size_t j = 0; j < client_importances.size(); ++j) {
+    if (client_importances[j].size() != d) {
+      return Status::InvalidArgument("SelectFeatures: importance size mismatch");
+    }
+    for (size_t f = 0; f < d; ++f) {
+      avg[f] += weights[j] / total_w * client_importances[j][f];
+    }
+  }
+  double total_imp = Sum(avg);
+  if (total_imp <= 0.0) {
+    // Degenerate forests (constant targets): keep everything.
+    std::vector<size_t> all(d);
+    for (size_t f = 0; f < d; ++f) all[f] = f;
+    return all;
+  }
+
+  std::vector<size_t> order = ArgsortDescending(avg);
+  std::vector<size_t> selected;
+  double cum = 0.0;
+  for (size_t f : order) {
+    selected.push_back(f);
+    cum += avg[f] / total_imp;
+    if (cum >= coverage) break;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace fedfc::features

@@ -1,0 +1,28 @@
+#ifndef FEDFC_FEATURES_FEATURE_SELECTION_H_
+#define FEDFC_FEATURES_FEATURE_SELECTION_H_
+
+#include <vector>
+
+#include "core/result.h"
+#include "core/rng.h"
+#include "features/feature_engineering.h"
+
+namespace fedfc::features {
+
+/// Client side of Section 4.2.2: Random-Forest importance scores over the
+/// engineered features (normalized to sum to 1).
+Result<std::vector<double>> ComputeFeatureImportances(const EngineeredData& data,
+                                                      Rng* rng,
+                                                      size_t n_trees = 25);
+
+/// Server side of Section 4.2.2: averages the clients' importance vectors
+/// (weighted by client size) and keeps the smallest feature set whose
+/// cumulative importance reaches `coverage` (paper: 95%). Returned indices
+/// are sorted ascending so the unified schema stays ordered.
+Result<std::vector<size_t>> SelectFeatures(
+    const std::vector<std::vector<double>>& client_importances,
+    const std::vector<double>& weights, double coverage = 0.95);
+
+}  // namespace fedfc::features
+
+#endif  // FEDFC_FEATURES_FEATURE_SELECTION_H_

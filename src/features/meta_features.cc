@@ -1,0 +1,373 @@
+#include "features/meta_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/vec_math.h"
+#include "ts/acf.h"
+#include "ts/adf.h"
+#include "ts/fractal.h"
+#include "ts/interpolation.h"
+#include "ts/kl_divergence.h"
+
+namespace fedfc::features {
+
+namespace {
+
+/// Fixed scalar count before the variable-length blocks in the tensor form.
+constexpr size_t kScalarCount = 16;
+
+void Append4(std::vector<double>* out, const std::vector<double>& vals) {
+  if (vals.empty()) {
+    out->insert(out->end(), {0.0, 0.0, 0.0, 0.0});
+    return;
+  }
+  out->push_back(Mean(vals));
+  out->push_back(Min(vals));
+  out->push_back(Max(vals));
+  out->push_back(StdDev(vals));
+}
+
+/// Shannon entropy (bits) of a binary vote share.
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+}  // namespace
+
+std::vector<double> ClientMetaFeatures::ToTensor() const {
+  std::vector<double> t = {n_instances,
+                           missing_pct,
+                           sampling_rate,
+                           stationary_feature_fraction,
+                           target_stationary,
+                           stationary_after_diff1,
+                           stationary_after_diff2,
+                           n_significant_lags,
+                           max_significant_lag,
+                           insignificant_between,
+                           n_seasonal_components,
+                           min_seasonal_period,
+                           max_seasonal_period,
+                           skewness,
+                           kurtosis,
+                           fractal_dimension};
+  FEDFC_CHECK(t.size() == kScalarCount);
+  t.push_back(static_cast<double>(seasonal_components.size()));
+  for (const auto& c : seasonal_components) {
+    t.push_back(c.period);
+    t.push_back(c.strength);
+  }
+  t.push_back(hist_min);
+  t.push_back(hist_max);
+  t.push_back(static_cast<double>(histogram.size()));
+  t.insert(t.end(), histogram.begin(), histogram.end());
+  return t;
+}
+
+Result<ClientMetaFeatures> ClientMetaFeatures::FromTensor(
+    const std::vector<double>& tensor) {
+  if (tensor.size() < kScalarCount + 1) {
+    return Status::InvalidArgument("meta-feature tensor too short");
+  }
+  ClientMetaFeatures m;
+  size_t i = 0;
+  m.n_instances = tensor[i++];
+  m.missing_pct = tensor[i++];
+  m.sampling_rate = tensor[i++];
+  m.stationary_feature_fraction = tensor[i++];
+  m.target_stationary = tensor[i++];
+  m.stationary_after_diff1 = tensor[i++];
+  m.stationary_after_diff2 = tensor[i++];
+  m.n_significant_lags = tensor[i++];
+  m.max_significant_lag = tensor[i++];
+  m.insignificant_between = tensor[i++];
+  m.n_seasonal_components = tensor[i++];
+  m.min_seasonal_period = tensor[i++];
+  m.max_seasonal_period = tensor[i++];
+  m.skewness = tensor[i++];
+  m.kurtosis = tensor[i++];
+  m.fractal_dimension = tensor[i++];
+  size_t n_seasonal = static_cast<size_t>(tensor[i++]);
+  if (i + 2 * n_seasonal + 3 > tensor.size()) {
+    return Status::InvalidArgument("meta-feature tensor: bad seasonal block");
+  }
+  for (size_t s = 0; s < n_seasonal; ++s) {
+    ts::SeasonalComponent c;
+    c.period = tensor[i++];
+    c.strength = tensor[i++];
+    m.seasonal_components.push_back(c);
+  }
+  m.hist_min = tensor[i++];
+  m.hist_max = tensor[i++];
+  size_t n_bins = static_cast<size_t>(tensor[i++]);
+  if (i + n_bins != tensor.size()) {
+    return Status::InvalidArgument("meta-feature tensor: bad histogram block");
+  }
+  m.histogram.assign(tensor.begin() + i, tensor.end());
+  return m;
+}
+
+ClientMetaFeatures ComputeClientMetaFeatures(const ts::Series& series) {
+  ClientMetaFeatures m;
+  m.n_instances = static_cast<double>(series.size());
+  m.missing_pct = series.MissingFraction();
+  m.sampling_rate = series.SamplesPerDay();
+
+  std::vector<double> values = ts::LinearInterpolate(series.values());
+  if (values.size() < 16) {
+    m.histogram.assign(kHistogramBins, 1.0 / static_cast<double>(kHistogramBins));
+    return m;
+  }
+
+  // Stationarity cascade.
+  bool s0 = ts::IsStationary(values, /*fallback=*/false);
+  std::vector<double> d1 = ts::Difference(values, 1);
+  std::vector<double> d2 = ts::Difference(values, 2);
+  bool s1 = ts::IsStationary(d1, /*fallback=*/s0);
+  bool s2 = ts::IsStationary(d2, /*fallback=*/s1);
+  m.target_stationary = s0 ? 1.0 : 0.0;
+  m.stationary_after_diff1 = s1 ? 1.0 : 0.0;
+  m.stationary_after_diff2 = s2 ? 1.0 : 0.0;
+
+  // Significant PACF lags.
+  ts::SignificantLags lags = ts::FindSignificantPacfLags(values);
+  m.n_significant_lags = static_cast<double>(lags.lags.size());
+  m.max_significant_lag =
+      lags.lags.empty() ? 0.0 : static_cast<double>(lags.lags.back());
+  m.insignificant_between = static_cast<double>(lags.insignificant_between);
+
+  // Seasonality.
+  m.seasonal_components = ts::DetectSeasonalities(values, kTopSeasonalities);
+  m.n_seasonal_components = static_cast<double>(m.seasonal_components.size());
+  if (!m.seasonal_components.empty()) {
+    double lo = m.seasonal_components.front().period;
+    double hi = lo;
+    for (const auto& c : m.seasonal_components) {
+      lo = std::min(lo, c.period);
+      hi = std::max(hi, c.period);
+    }
+    m.min_seasonal_period = lo;
+    m.max_seasonal_period = hi;
+  }
+
+  // Moments and complexity.
+  m.skewness = Skewness(values);
+  m.kurtosis = ExcessKurtosis(values);
+  m.fractal_dimension = ts::HiguchiFractalDimension(values);
+
+  // "Stationary features": fraction of candidate engineered columns (lagged
+  // targets at the significant lags, plus first/second differences) that
+  // individually test stationary.
+  {
+    size_t stationary_count = 0, total = 0;
+    auto check = [&](const std::vector<double>& col) {
+      ++total;
+      if (ts::IsStationary(col, /*fallback=*/false)) ++stationary_count;
+    };
+    size_t lag_checks = std::min<size_t>(lags.lags.size(), 4);
+    for (size_t li = 0; li < lag_checks; ++li) {
+      size_t lag = lags.lags[li];
+      if (lag >= values.size()) continue;
+      std::vector<double> col(values.begin(), values.end() - lag);
+      check(col);
+    }
+    check(d1);
+    check(d2);
+    m.stationary_feature_fraction =
+        total > 0 ? static_cast<double>(stationary_count) / total : 0.0;
+  }
+
+  // Shared histogram for the KL meta-feature.
+  m.hist_min = Min(values);
+  m.hist_max = Max(values);
+  m.histogram = ts::SmoothedHistogram(values, m.hist_min, m.hist_max,
+                                      kHistogramBins);
+  return m;
+}
+
+const std::vector<std::string>& AggregatedMetaFeatures::FeatureNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "n_clients",
+      "sampling_rate",
+      "instances_sum", "instances_avg", "instances_min", "instances_max",
+      "instances_std",
+      "missing_avg", "missing_min", "missing_max", "missing_std",
+      "stat_features_avg", "stat_features_min", "stat_features_max",
+      "stat_features_std",
+      "target_stationarity_entropy",
+      "stat_diff1_avg", "stat_diff1_min", "stat_diff1_max", "stat_diff1_std",
+      "stat_diff2_avg", "stat_diff2_min", "stat_diff2_max", "stat_diff2_std",
+      "sig_lags_avg", "sig_lags_min", "sig_lags_max", "sig_lags_std",
+      "insig_between_avg", "insig_between_min", "insig_between_max",
+      "insig_between_std",
+      "seasonal_count_avg", "seasonal_count_min", "seasonal_count_max",
+      "seasonal_count_std",
+      "skewness_avg", "skewness_min", "skewness_max", "skewness_std",
+      "kurtosis_avg", "kurtosis_min", "kurtosis_max", "kurtosis_std",
+      "fractal_dim_avg",
+      "seasonal_period_min", "seasonal_period_max",
+      "kl_avg", "kl_min", "kl_max", "kl_std",
+  };
+  return *names;
+}
+
+Result<AggregatedMetaFeatures> AggregateMetaFeatures(
+    const std::vector<ClientMetaFeatures>& clients,
+    const std::vector<double>& weights) {
+  if (clients.empty() || clients.size() != weights.size()) {
+    return Status::InvalidArgument("AggregateMetaFeatures: bad inputs");
+  }
+  const size_t n = clients.size();
+  auto collect = [&](auto getter) {
+    std::vector<double> vals(n);
+    for (size_t j = 0; j < n; ++j) vals[j] = getter(clients[j]);
+    return vals;
+  };
+
+  AggregatedMetaFeatures out;
+  std::vector<double>& v = out.values;
+  v.push_back(static_cast<double>(n));
+  v.push_back(clients.front().sampling_rate);  // Shared across the federation.
+
+  std::vector<double> instances =
+      collect([](const ClientMetaFeatures& m) { return m.n_instances; });
+  v.push_back(Sum(instances));
+  Append4(&v, instances);
+  Append4(&v, collect([](const ClientMetaFeatures& m) { return m.missing_pct; }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) {
+            return m.stationary_feature_fraction;
+          }));
+  {
+    std::vector<double> votes =
+        collect([](const ClientMetaFeatures& m) { return m.target_stationary; });
+    v.push_back(BinaryEntropy(Mean(votes)));
+  }
+  Append4(&v, collect([](const ClientMetaFeatures& m) {
+            return m.stationary_after_diff1;
+          }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) {
+            return m.stationary_after_diff2;
+          }));
+  Append4(&v,
+          collect([](const ClientMetaFeatures& m) { return m.n_significant_lags; }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) {
+            return m.insignificant_between;
+          }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) {
+            return m.n_seasonal_components;
+          }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) { return m.skewness; }));
+  Append4(&v, collect([](const ClientMetaFeatures& m) { return m.kurtosis; }));
+  {
+    std::vector<double> fd =
+        collect([](const ClientMetaFeatures& m) { return m.fractal_dimension; });
+    v.push_back(Mean(fd));
+  }
+  {
+    double pmin = 0.0, pmax = 0.0;
+    bool any = false;
+    for (const auto& m : clients) {
+      if (m.n_seasonal_components <= 0.0) continue;
+      if (!any) {
+        pmin = m.min_seasonal_period;
+        pmax = m.max_seasonal_period;
+        any = true;
+      } else {
+        pmin = std::min(pmin, m.min_seasonal_period);
+        pmax = std::max(pmax, m.max_seasonal_period);
+      }
+    }
+    v.push_back(pmin);
+    v.push_back(pmax);
+  }
+
+  // Pairwise KL divergence from the shared histograms, re-binned onto the
+  // pooled range so client bins are comparable.
+  {
+    double lo = clients.front().hist_min, hi = clients.front().hist_max;
+    for (const auto& m : clients) {
+      lo = std::min(lo, m.hist_min);
+      hi = std::max(hi, m.hist_max);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+    std::vector<std::vector<double>> rebinned;
+    for (const auto& m : clients) {
+      std::vector<double> hist(kHistogramBins, 1e-6);
+      if (!m.histogram.empty() && m.hist_max > m.hist_min) {
+        double src_width = (m.hist_max - m.hist_min) /
+                           static_cast<double>(m.histogram.size());
+        for (size_t b = 0; b < m.histogram.size(); ++b) {
+          double center = m.hist_min + (static_cast<double>(b) + 0.5) * src_width;
+          auto idx = static_cast<size_t>((center - lo) / (hi - lo) *
+                                         static_cast<double>(kHistogramBins));
+          idx = std::min(idx, kHistogramBins - 1);
+          hist[idx] += m.histogram[b];
+        }
+      }
+      double total = Sum(hist);
+      for (double& h : hist) h /= total;
+      rebinned.push_back(std::move(hist));
+    }
+    std::vector<double> kls;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i != j) kls.push_back(ts::KlDivergence(rebinned[i], rebinned[j]));
+      }
+    }
+    Append4(&v, kls);
+  }
+
+  FEDFC_CHECK(v.size() == AggregatedMetaFeatures::FeatureNames().size())
+      << "meta-feature layout drifted: " << v.size() << " vs "
+      << AggregatedMetaFeatures::FeatureNames().size();
+
+  // Quantities feature engineering consumes (Section 4.2).
+  double max_count = 0.0, max_lag = 0.0;
+  for (const auto& m : clients) {
+    max_count = std::max(max_count, m.n_significant_lags);
+    max_lag = std::max(max_lag, m.max_significant_lag);
+  }
+  out.global_lag_count = static_cast<size_t>(max_count);
+  out.global_max_lag = static_cast<size_t>(max_lag);
+
+  // Weighted merge of client seasonal components: accumulate strength by
+  // near-equal period (15% tolerance), weight by client size.
+  {
+    struct Merged {
+      double period_sum = 0.0;
+      double weight = 0.0;
+      double strength = 0.0;
+    };
+    std::vector<Merged> merged;
+    double total_w = Sum(weights);
+    for (size_t j = 0; j < n; ++j) {
+      double w = weights[j] / (total_w > 0 ? total_w : 1.0);
+      for (const auto& c : clients[j].seasonal_components) {
+        bool found = false;
+        for (auto& g : merged) {
+          double mean_period = g.period_sum / g.weight;
+          if (std::fabs(mean_period - c.period) < 0.15 * mean_period) {
+            g.period_sum += w * c.period;
+            g.weight += w;
+            g.strength += w * c.strength;
+            found = true;
+            break;
+          }
+        }
+        if (!found) merged.push_back({w * c.period, w, w * c.strength});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Merged& a, const Merged& b) { return a.strength > b.strength; });
+    for (size_t g = 0; g < merged.size() && g < kTopSeasonalities; ++g) {
+      out.global_seasonal_periods.push_back(merged[g].period_sum /
+                                            merged[g].weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace fedfc::features

@@ -1,0 +1,87 @@
+#ifndef FEDFC_FEATURES_META_FEATURES_H_
+#define FEDFC_FEATURES_META_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "ts/periodogram.h"
+#include "ts/series.h"
+
+namespace fedfc::features {
+
+/// Number of histogram bins each client shares for the server-side KL
+/// divergence meta-feature.
+inline constexpr size_t kHistogramBins = 32;
+/// Number of top seasonal components each client reports.
+inline constexpr size_t kTopSeasonalities = 5;
+
+/// Per-client meta-features (computed locally on a private split; Algorithm 1
+/// lines 3-7). Only statistical aggregates leave the client — never raw
+/// observations.
+struct ClientMetaFeatures {
+  double n_instances = 0.0;
+  double missing_pct = 0.0;             ///< Fraction of missing target values.
+  double sampling_rate = 0.0;           ///< Observations per day.
+  /// Fraction of candidate engineered feature columns that test stationary.
+  double stationary_feature_fraction = 0.0;
+  double target_stationary = 0.0;       ///< 0/1 ADF verdict on the raw target.
+  double stationary_after_diff1 = 0.0;  ///< 0/1 after first differencing.
+  double stationary_after_diff2 = 0.0;  ///< 0/1 after second differencing.
+  double n_significant_lags = 0.0;      ///< |significant PACF lags|.
+  double max_significant_lag = 0.0;
+  double insignificant_between = 0.0;   ///< Table 1 row 10.
+  double n_seasonal_components = 0.0;
+  double min_seasonal_period = 0.0;     ///< 0 when no seasonality detected.
+  double max_seasonal_period = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;                ///< Excess kurtosis.
+  double fractal_dimension = 1.0;       ///< Higuchi estimate in [1, 2].
+
+  /// Top seasonal components with strengths (for the server's weighted
+  /// periodogram merge, Section 4.2.1).
+  std::vector<ts::SeasonalComponent> seasonal_components;
+
+  /// Smoothed value histogram over [hist_min, hist_max] for the KL
+  /// divergence meta-feature (an anonymized distribution summary).
+  double hist_min = 0.0;
+  double hist_max = 0.0;
+  std::vector<double> histogram;
+
+  /// Flat wire representation (fixed layout) for FL payloads.
+  std::vector<double> ToTensor() const;
+  static Result<ClientMetaFeatures> FromTensor(const std::vector<double>& tensor);
+};
+
+/// Computes all Table 1 client-side meta-features over one split.
+ClientMetaFeatures ComputeClientMetaFeatures(const ts::Series& series);
+
+/// Server-side aggregate: the meta-model input vector plus the quantities
+/// feature engineering needs (Algorithm 1 lines 8-10 and Section 4.2).
+struct AggregatedMetaFeatures {
+  /// Fixed-order numeric vector; layout given by FeatureNames().
+  std::vector<double> values;
+
+  /// max_j(count of significant lags) — drives the unified lag feature count.
+  size_t global_lag_count = 0;
+  /// max_j(largest significant lag).
+  size_t global_max_lag = 0;
+  /// Merged top seasonal periods from the size-weighted client components.
+  std::vector<double> global_seasonal_periods;
+
+  /// Names aligned with `values` (stable across runs; the meta-model's
+  /// feature schema).
+  static const std::vector<std::string>& FeatureNames();
+};
+
+/// Aggregates client meta-features with Table 1's per-row aggregation
+/// methods (Sum/Avg/Min/Max/Stddev, entropy for target stationarity, and
+/// the pairwise-KL statistics from the shared histograms). `weights[j]`
+/// is |D_j| (unnormalized).
+Result<AggregatedMetaFeatures> AggregateMetaFeatures(
+    const std::vector<ClientMetaFeatures>& clients,
+    const std::vector<double>& weights);
+
+}  // namespace fedfc::features
+
+#endif  // FEDFC_FEATURES_META_FEATURES_H_

@@ -1,0 +1,87 @@
+#include "fl/aggregation.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace fedfc::fl {
+
+EnsembleRegressor::EnsembleRegressor(const EnsembleRegressor& other) {
+  *this = other;
+}
+
+EnsembleRegressor& EnsembleRegressor::operator=(const EnsembleRegressor& other) {
+  if (this == &other) return *this;
+  members_.clear();
+  for (const auto& m : other.members_) members_.push_back(m->Clone());
+  weights_ = other.weights_;
+  return *this;
+}
+
+void EnsembleRegressor::Add(std::unique_ptr<ml::Regressor> model, double weight) {
+  FEDFC_CHECK(model != nullptr && weight >= 0.0);
+  members_.push_back(std::move(model));
+  weights_.push_back(weight);
+}
+
+Status EnsembleRegressor::Fit(const Matrix& /*x*/, const std::vector<double>& /*y*/,
+                              Rng* /*rng*/) {
+  return Status::FailedPrecondition(
+      "EnsembleRegressor aggregates already-fitted members; fit those instead");
+}
+
+std::vector<double> EnsembleRegressor::Predict(const Matrix& x) const {
+  FEDFC_CHECK(!members_.empty()) << "empty ensemble";
+  std::vector<double> out(x.rows(), 0.0);
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  FEDFC_CHECK(total > 0.0);
+  for (size_t m = 0; m < members_.size(); ++m) {
+    std::vector<double> pred = members_[m]->Predict(x);
+    double w = weights_[m] / total;
+    for (size_t i = 0; i < out.size(); ++i) out[i] += w * pred[i];
+  }
+  return out;
+}
+
+std::string EnsembleRegressor::Name() const {
+  if (members_.empty()) return "Ensemble(empty)";
+  return "Ensemble(" + members_.front()->Name() + ")";
+}
+
+Result<std::unique_ptr<ml::Regressor>> AggregateModels(
+    std::vector<std::unique_ptr<ml::Regressor>> models,
+    const std::vector<double>& weights) {
+  if (models.empty() || models.size() != weights.size()) {
+    return Status::InvalidArgument("AggregateModels: bad inputs");
+  }
+  if (models.front()->SupportsParameterAveraging()) {
+    // FedAvg over flat parameter vectors.
+    std::vector<double> avg;
+    double total = 0.0;
+    for (size_t m = 0; m < models.size(); ++m) {
+      std::vector<double> p = models[m]->GetParameters();
+      if (avg.empty()) {
+        avg.assign(p.size(), 0.0);
+      } else if (avg.size() != p.size()) {
+        return Status::InvalidArgument("AggregateModels: parameter size mismatch");
+      }
+      for (size_t i = 0; i < p.size(); ++i) avg[i] += weights[m] * p[i];
+      total += weights[m];
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument("AggregateModels: zero total weight");
+    }
+    for (double& v : avg) v /= total;
+    std::unique_ptr<ml::Regressor> global = models.front()->Clone();
+    FEDFC_RETURN_IF_ERROR(global->SetParameters(avg));
+    return global;
+  }
+  auto ensemble = std::make_unique<EnsembleRegressor>();
+  for (size_t m = 0; m < models.size(); ++m) {
+    ensemble->Add(std::move(models[m]), weights[m]);
+  }
+  return std::unique_ptr<ml::Regressor>(std::move(ensemble));
+}
+
+}  // namespace fedfc::fl

@@ -1,0 +1,32 @@
+#ifndef FEDFC_FL_CLIENT_H_
+#define FEDFC_FL_CLIENT_H_
+
+#include <string>
+
+#include "core/result.h"
+#include "fl/payload.h"
+
+namespace fedfc::fl {
+
+/// A federated client: owns its private data and answers typed tasks from
+/// the server (the role of a Flower ClientApp). Implementations must never
+/// place raw observations in a reply — only aggregates, model parameters,
+/// and losses (the privacy contract of Section 4.1).
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  virtual std::string id() const = 0;
+
+  /// Number of local training examples; the server uses this as the
+  /// aggregation weight alpha_j = |D_j| / |D| of Equation 1.
+  virtual size_t num_examples() const = 0;
+
+  /// Executes the named task against the request payload and returns the
+  /// reply payload. Unknown task names return Unimplemented.
+  virtual Result<Payload> Handle(const std::string& task, const Payload& request) = 0;
+};
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_CLIENT_H_

@@ -1,0 +1,178 @@
+#include "fl/payload.h"
+
+#include <cstring>
+
+namespace fedfc::fl {
+
+namespace {
+
+enum class Tag : uint8_t { kDouble = 0, kInt = 1, kString = 2, kTensor = 3 };
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutDouble(std::vector<uint8_t>* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(out, bits);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > bytes_.size()) return Fail();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > bytes_.size()) return Fail<uint64_t>();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  Result<double> Double() {
+    FEDFC_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+  Result<std::string> String(size_t len) {
+    if (pos_ + len > bytes_.size()) return Status(StatusCode::kInvalidArgument,
+                                                  "payload: truncated string");
+    std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + len);
+    pos_ += len;
+    return s;
+  }
+  Result<uint8_t> Byte() {
+    if (pos_ >= bytes_.size()) return Fail<uint8_t>();
+    return bytes_[pos_++];
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T = uint32_t>
+  Result<T> Fail() {
+    return Status::InvalidArgument("payload: truncated buffer");
+  }
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<double> Payload::GetDouble(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (const double* v = std::get_if<double>(&it->second)) return *v;
+  return Status::InvalidArgument("payload key is not a double: " + key);
+}
+
+Result<int64_t> Payload::GetInt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (const int64_t* v = std::get_if<int64_t>(&it->second)) return *v;
+  return Status::InvalidArgument("payload key is not an int: " + key);
+}
+
+Result<std::string> Payload::GetString(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (const std::string* v = std::get_if<std::string>(&it->second)) return *v;
+  return Status::InvalidArgument("payload key is not a string: " + key);
+}
+
+Result<std::vector<double>> Payload::GetTensor(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (const auto* v = std::get_if<std::vector<double>>(&it->second)) return *v;
+  return Status::InvalidArgument("payload key is not a tensor: " + key);
+}
+
+std::vector<std::string> Payload::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, _] : values_) keys.push_back(k);
+  return keys;
+}
+
+std::vector<uint8_t> Payload::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(values_.size()));
+  for (const auto& [key, value] : values_) {
+    PutU32(&out, static_cast<uint32_t>(key.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    if (const double* d = std::get_if<double>(&value)) {
+      out.push_back(static_cast<uint8_t>(Tag::kDouble));
+      PutDouble(&out, *d);
+    } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      out.push_back(static_cast<uint8_t>(Tag::kInt));
+      PutU64(&out, static_cast<uint64_t>(*i));
+    } else if (const std::string* s = std::get_if<std::string>(&value)) {
+      out.push_back(static_cast<uint8_t>(Tag::kString));
+      PutU32(&out, static_cast<uint32_t>(s->size()));
+      out.insert(out.end(), s->begin(), s->end());
+    } else if (const auto* t = std::get_if<std::vector<double>>(&value)) {
+      out.push_back(static_cast<uint8_t>(Tag::kTensor));
+      PutU32(&out, static_cast<uint32_t>(t->size()));
+      for (double d : *t) PutDouble(&out, d);
+    }
+  }
+  return out;
+}
+
+Result<Payload> Payload::Deserialize(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  FEDFC_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  Payload out;
+  for (uint32_t e = 0; e < count; ++e) {
+    FEDFC_ASSIGN_OR_RETURN(uint32_t key_len, reader.U32());
+    FEDFC_ASSIGN_OR_RETURN(std::string key, reader.String(key_len));
+    FEDFC_ASSIGN_OR_RETURN(uint8_t tag, reader.Byte());
+    switch (static_cast<Tag>(tag)) {
+      case Tag::kDouble: {
+        FEDFC_ASSIGN_OR_RETURN(double d, reader.Double());
+        out.SetDouble(key, d);
+        break;
+      }
+      case Tag::kInt: {
+        FEDFC_ASSIGN_OR_RETURN(uint64_t v, reader.U64());
+        out.SetInt(key, static_cast<int64_t>(v));
+        break;
+      }
+      case Tag::kString: {
+        FEDFC_ASSIGN_OR_RETURN(uint32_t len, reader.U32());
+        FEDFC_ASSIGN_OR_RETURN(std::string s, reader.String(len));
+        out.SetString(key, std::move(s));
+        break;
+      }
+      case Tag::kTensor: {
+        FEDFC_ASSIGN_OR_RETURN(uint32_t len, reader.U32());
+        std::vector<double> t(len);
+        for (uint32_t i = 0; i < len; ++i) {
+          FEDFC_ASSIGN_OR_RETURN(t[i], reader.Double());
+        }
+        out.SetTensor(key, std::move(t));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("payload: unknown tag");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("payload: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace fedfc::fl

@@ -1,0 +1,56 @@
+#ifndef FEDFC_FL_PAYLOAD_H_
+#define FEDFC_FL_PAYLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace fedfc::fl {
+
+/// Typed key-value message content exchanged between server and clients —
+/// the role Flower's ConfigRecord/ParametersRecord play. Values are scalars,
+/// strings, or dense double tensors (model parameters, meta-feature vectors).
+class Payload {
+ public:
+  using Value = std::variant<double, int64_t, std::string, std::vector<double>>;
+
+  Payload() = default;
+
+  void SetDouble(const std::string& key, double v) { values_[key] = v; }
+  void SetInt(const std::string& key, int64_t v) { values_[key] = v; }
+  void SetString(const std::string& key, std::string v) {
+    values_[key] = std::move(v);
+  }
+  void SetTensor(const std::string& key, std::vector<double> v) {
+    values_[key] = std::move(v);
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  size_t size() const { return values_.size(); }
+
+  Result<double> GetDouble(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<std::vector<double>> GetTensor(const std::string& key) const;
+
+  /// Sorted key list (deterministic iteration for serialization and tests).
+  std::vector<std::string> Keys() const;
+
+  /// Compact binary wire format (little-endian, length-prefixed entries).
+  std::vector<uint8_t> Serialize() const;
+  static Result<Payload> Deserialize(const std::vector<uint8_t>& bytes);
+
+  bool operator==(const Payload& other) const { return values_ == other.values_; }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_PAYLOAD_H_

@@ -1,0 +1,54 @@
+#include "fl/secure_aggregation.h"
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace fedfc::fl {
+
+std::vector<double> SecureAggregator::PairMask(size_t i, size_t j,
+                                               size_t length) const {
+  FEDFC_CHECK(i < j) << "pair masks are keyed by the ordered pair";
+  // Derive the pair stream deterministically from (session, i, j).
+  uint64_t seed = session_seed_;
+  seed = seed * 1000003ULL + i + 1;
+  seed = seed * 1000003ULL + j + 1;
+  Rng rng(seed);
+  std::vector<double> mask(length);
+  // Large-amplitude uniform masks: individually they swamp any realistic
+  // parameter scale; in the sum they cancel exactly (same doubles added
+  // and subtracted once each, no rounding asymmetry).
+  for (double& m : mask) m = rng.Uniform(-1e6, 1e6);
+  return mask;
+}
+
+std::vector<double> SecureAggregator::Mask(size_t client_index,
+                                           const std::vector<double>& values) const {
+  FEDFC_CHECK(client_index < n_clients_);
+  std::vector<double> out = values;
+  for (size_t other = 0; other < n_clients_; ++other) {
+    if (other == client_index) continue;
+    size_t lo = std::min(client_index, other);
+    size_t hi = std::max(client_index, other);
+    std::vector<double> mask = PairMask(lo, hi, values.size());
+    double sign = client_index == lo ? 1.0 : -1.0;
+    for (size_t k = 0; k < out.size(); ++k) out[k] += sign * mask[k];
+  }
+  return out;
+}
+
+Result<std::vector<double>> SecureAggregator::SumMasked(
+    const std::vector<std::vector<double>>& masked) {
+  if (masked.empty()) {
+    return Status::InvalidArgument("SumMasked: no client tensors");
+  }
+  std::vector<double> sum(masked.front().size(), 0.0);
+  for (const auto& m : masked) {
+    if (m.size() != sum.size()) {
+      return Status::InvalidArgument("SumMasked: tensor size mismatch");
+    }
+    for (size_t k = 0; k < sum.size(); ++k) sum[k] += m[k];
+  }
+  return sum;
+}
+
+}  // namespace fedfc::fl

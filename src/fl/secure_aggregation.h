@@ -1,0 +1,51 @@
+#ifndef FEDFC_FL_SECURE_AGGREGATION_H_
+#define FEDFC_FL_SECURE_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+
+namespace fedfc::fl {
+
+/// Simulated pairwise-masking secure aggregation (the Bonawitz et al.
+/// construction, single round, no dropout recovery): every client pair
+/// (i, j) derives a shared mask stream from the session seed; the lower
+/// index adds it, the higher index subtracts it. Each individual masked
+/// update is statistically uninformative to the server, but the sum over
+/// all clients is exactly the sum of the unmasked updates.
+///
+/// This strengthens the paper's privacy story for the final model
+/// aggregation (Algorithm 1 line 26): the server learns only the weighted
+/// average, never an individual client's parameters.
+class SecureAggregator {
+ public:
+  /// `session_seed` must be agreed by all participants (in a real
+  /// deployment it comes from a key exchange; here it is a parameter).
+  SecureAggregator(size_t n_clients, uint64_t session_seed)
+      : n_clients_(n_clients), session_seed_(session_seed) {}
+
+  size_t n_clients() const { return n_clients_; }
+
+  /// Client side: masks `values` (already weighted by alpha_j) for client
+  /// `client_index`. All clients must mask tensors of identical length.
+  std::vector<double> Mask(size_t client_index,
+                           const std::vector<double>& values) const;
+
+  /// Server side: element-wise sum of all clients' masked tensors; masks
+  /// cancel pairwise, so the result equals the sum of the unmasked inputs.
+  /// Every client must be present (no dropout recovery in this simulation).
+  static Result<std::vector<double>> SumMasked(
+      const std::vector<std::vector<double>>& masked);
+
+  /// The shared mask stream for the (i, j) pair, exposed for tests.
+  std::vector<double> PairMask(size_t i, size_t j, size_t length) const;
+
+ private:
+  size_t n_clients_;
+  uint64_t session_seed_;
+};
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_SECURE_AGGREGATION_H_

@@ -1,0 +1,68 @@
+#include "fl/server.h"
+
+#include "core/logging.h"
+
+namespace fedfc::fl {
+
+Server::Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes)
+    : transport_(std::move(transport)), client_sizes_(std::move(client_sizes)) {
+  FEDFC_CHECK(transport_ != nullptr);
+  FEDFC_CHECK(transport_->num_clients() == client_sizes_.size())
+      << "transport/client size mismatch";
+}
+
+Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
+                                                   const Payload& request) {
+  std::vector<ClientReply> replies;
+  std::string last_error;
+  for (size_t j = 0; j < num_clients(); ++j) {
+    Result<Payload> reply = transport_->Execute(j, task, request);
+    if (!reply.ok()) {
+      last_error = reply.status().ToString();
+      FEDFC_LOG(Warning) << "client " << j << " failed task '" << task
+                         << "': " << last_error;
+      continue;
+    }
+    ClientReply cr;
+    cr.client_index = j;
+    cr.weight = static_cast<double>(client_sizes_[j]);
+    cr.payload = std::move(*reply);
+    replies.push_back(std::move(cr));
+  }
+  if (replies.empty()) {
+    return Status::Internal("all clients failed task '" + task + "': " + last_error);
+  }
+  double total = 0.0;
+  for (const auto& r : replies) total += r.weight;
+  for (auto& r : replies) r.weight /= total;
+  return replies;
+}
+
+Result<double> Server::AggregateScalar(const std::vector<ClientReply>& replies,
+                                       const std::string& key) {
+  if (replies.empty()) return Status::InvalidArgument("aggregate: no replies");
+  double acc = 0.0;
+  for (const auto& r : replies) {
+    FEDFC_ASSIGN_OR_RETURN(double v, r.payload.GetDouble(key));
+    acc += r.weight * v;
+  }
+  return acc;
+}
+
+Result<std::vector<double>> Server::AggregateTensor(
+    const std::vector<ClientReply>& replies, const std::string& key) {
+  if (replies.empty()) return Status::InvalidArgument("aggregate: no replies");
+  std::vector<double> acc;
+  for (const auto& r : replies) {
+    FEDFC_ASSIGN_OR_RETURN(std::vector<double> t, r.payload.GetTensor(key));
+    if (acc.empty()) {
+      acc.assign(t.size(), 0.0);
+    } else if (acc.size() != t.size()) {
+      return Status::InvalidArgument("aggregate: tensor size mismatch for " + key);
+    }
+    for (size_t i = 0; i < t.size(); ++i) acc[i] += r.weight * t[i];
+  }
+  return acc;
+}
+
+}  // namespace fedfc::fl

@@ -1,0 +1,55 @@
+#ifndef FEDFC_FL_SERVER_H_
+#define FEDFC_FL_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fl/payload.h"
+#include "fl/transport.h"
+
+namespace fedfc::fl {
+
+/// Reply from one client, tagged with its index and aggregation weight.
+struct ClientReply {
+  size_t client_index = 0;
+  double weight = 0.0;  ///< alpha_j, normalized over responding clients.
+  Payload payload;
+};
+
+/// Orchestrates broadcast/gather rounds over a transport — the role of the
+/// Flower server. Aggregation weights follow Equation 1:
+/// alpha_j = |D_j| / |D| (renormalized over the clients that responded).
+class Server {
+ public:
+  /// `client_sizes[j]` = |D_j| for weight computation.
+  Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes);
+
+  size_t num_clients() const { return client_sizes_.size(); }
+
+  /// Sends the same task to all clients; returns successful replies with
+  /// normalized weights. Fails only when every client fails (partial
+  /// participation is the FL norm, not an error).
+  Result<std::vector<ClientReply>> Broadcast(const std::string& task,
+                                             const Payload& request);
+
+  /// Weighted average of a scalar key across replies.
+  static Result<double> AggregateScalar(const std::vector<ClientReply>& replies,
+                                        const std::string& key);
+
+  /// Weighted element-wise average of a tensor key across replies (FedAvg).
+  static Result<std::vector<double>> AggregateTensor(
+      const std::vector<ClientReply>& replies, const std::string& key);
+
+  const TransportStats& transport_stats() const { return transport_->stats(); }
+  Transport& transport() { return *transport_; }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  std::vector<size_t> client_sizes_;
+};
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_SERVER_H_

@@ -1,0 +1,42 @@
+#include "fl/transport.h"
+
+namespace fedfc::fl {
+
+Result<Payload> InProcessTransport::Execute(size_t client_index,
+                                            const std::string& task,
+                                            const Payload& request) {
+  if (client_index >= clients_.size()) {
+    return Status::OutOfRange("transport: no such client");
+  }
+  // Round-trip through the wire format in both directions.
+  std::vector<uint8_t> request_bytes = request.Serialize();
+  stats_.messages += 1;
+  stats_.bytes_to_clients += request_bytes.size() + task.size();
+  FEDFC_ASSIGN_OR_RETURN(Payload decoded_request,
+                         Payload::Deserialize(request_bytes));
+  FEDFC_ASSIGN_OR_RETURN(Payload reply,
+                         clients_[client_index]->Handle(task, decoded_request));
+  std::vector<uint8_t> reply_bytes = reply.Serialize();
+  stats_.bytes_to_server += reply_bytes.size();
+  return Payload::Deserialize(reply_bytes);
+}
+
+FlakyTransport::FlakyTransport(std::unique_ptr<Transport> inner, double failure_rate,
+                               uint64_t seed)
+    : inner_(std::move(inner)), failure_rate_(failure_rate), state_(seed | 1) {}
+
+Result<Payload> FlakyTransport::Execute(size_t client_index, const std::string& task,
+                                        const Payload& request) {
+  // xorshift64* keeps this decorator dependency-free and deterministic.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
+  double u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  if (u < failure_rate_) {
+    return Status::IOError("injected transport failure");
+  }
+  return inner_->Execute(client_index, task, request);
+}
+
+}  // namespace fedfc::fl

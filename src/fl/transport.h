@@ -1,0 +1,74 @@
+#ifndef FEDFC_FL_TRANSPORT_H_
+#define FEDFC_FL_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fl/client.h"
+#include "fl/payload.h"
+
+namespace fedfc::fl {
+
+/// Communication statistics for a simulated federation.
+struct TransportStats {
+  size_t messages = 0;
+  size_t bytes_to_clients = 0;
+  size_t bytes_to_server = 0;
+};
+
+/// Routes a task to one client and returns its reply. Concrete transports
+/// may add latency models or failure injection.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual size_t num_clients() const = 0;
+  virtual Result<Payload> Execute(size_t client_index, const std::string& task,
+                                  const Payload& request) = 0;
+  virtual const TransportStats& stats() const = 0;
+};
+
+/// In-process transport that still round-trips every payload through the
+/// binary wire format, so serialization bugs and message sizes surface in
+/// simulation exactly as they would over a network.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(std::vector<std::shared_ptr<Client>> clients)
+      : clients_(std::move(clients)) {}
+
+  size_t num_clients() const override { return clients_.size(); }
+  Result<Payload> Execute(size_t client_index, const std::string& task,
+                          const Payload& request) override;
+  const TransportStats& stats() const override { return stats_; }
+
+  Client& client(size_t index) { return *clients_[index]; }
+
+ private:
+  std::vector<std::shared_ptr<Client>> clients_;
+  TransportStats stats_;
+};
+
+/// Decorator that makes a fraction of calls fail (for failure-injection
+/// tests of the orchestration layer).
+class FlakyTransport : public Transport {
+ public:
+  FlakyTransport(std::unique_ptr<Transport> inner, double failure_rate,
+                 uint64_t seed);
+
+  size_t num_clients() const override { return inner_->num_clients(); }
+  Result<Payload> Execute(size_t client_index, const std::string& task,
+                          const Payload& request) override;
+  const TransportStats& stats() const override { return inner_->stats(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  double failure_rate_;
+  uint64_t state_;
+};
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_TRANSPORT_H_

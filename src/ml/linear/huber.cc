@@ -1,0 +1,77 @@
+#include "ml/linear/huber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+Status HuberRegressor::FitStandardized(const Matrix& x, const std::vector<double>& y,
+                                       Rng* /*rng*/,
+                                       std::vector<double>* weights_std,
+                                       double* intercept_std) {
+  if (config_.epsilon < 1.0) {
+    return Status::InvalidArgument("Huber: epsilon must be >= 1.0");
+  }
+  if (config_.alpha < 0.0) {
+    return Status::InvalidArgument("Huber: alpha must be non-negative");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  Matrix xi = x.WithInterceptColumn();  // Column 0 = intercept.
+  std::vector<double> beta(d + 1, 0.0);
+
+  for (size_t outer = 0; outer < config_.max_outer_iter; ++outer) {
+    // Residuals under the current fit.
+    std::vector<double> resid(n);
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = xi.Row(r);
+      double pred = 0.0;
+      for (size_t c = 0; c <= d; ++c) pred += row[c] * beta[c];
+      resid[r] = y[r] - pred;
+    }
+    // Robust scale: MAD / 0.6745 (consistent for the normal distribution).
+    std::vector<double> abs_resid(n);
+    for (size_t r = 0; r < n; ++r) abs_resid[r] = std::fabs(resid[r]);
+    double sigma = Median(abs_resid) / 0.6745;
+    sigma = std::max(sigma, 1e-6);
+
+    // IRLS weights: 1 inside the quadratic zone, epsilon*sigma/|r| outside.
+    // Weighted ridge: solve (X' W X + alpha I) beta = X' W y.
+    Matrix xtwx(d + 1, d + 1, 0.0);
+    std::vector<double> xtwy(d + 1, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      double w = 1.0;
+      double thresh = config_.epsilon * sigma;
+      if (std::fabs(resid[r]) > thresh) w = thresh / std::fabs(resid[r]);
+      const double* row = xi.Row(r);
+      for (size_t a = 0; a <= d; ++a) {
+        double wa = w * row[a];
+        xtwy[a] += wa * y[r];
+        for (size_t b = a; b <= d; ++b) xtwx(a, b) += wa * row[b];
+      }
+    }
+    for (size_t a = 0; a <= d; ++a) {
+      for (size_t b = 0; b < a; ++b) xtwx(a, b) = xtwx(b, a);
+    }
+    // No penalty on the intercept (column 0).
+    for (size_t c = 1; c <= d; ++c) xtwx(c, c) += config_.alpha;
+    xtwx(0, 0) += 1e-10;
+
+    Result<std::vector<double>> next = SolveSpd(xtwx, xtwy);
+    if (!next.ok()) return next.status();
+    double max_change = 0.0;
+    for (size_t c = 0; c <= d; ++c) {
+      max_change = std::max(max_change, std::fabs((*next)[c] - beta[c]));
+    }
+    beta = std::move(*next);
+    if (max_change < config_.tol) break;
+  }
+
+  *intercept_std = beta[0];
+  weights_std->assign(beta.begin() + 1, beta.end());
+  return Status::OK();
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,32 @@
+#include "ml/linear/lasso.h"
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+Status LassoRegressor::FitStandardized(const Matrix& x, const std::vector<double>& y,
+                                       Rng* rng, std::vector<double>* weights_std,
+                                       double* intercept_std) {
+  if (config_.alpha < 0.0) {
+    return Status::InvalidArgument("Lasso: alpha must be non-negative");
+  }
+  CdOptions opts;
+  opts.alpha = config_.alpha;
+  opts.l1_ratio = 1.0;
+  opts.selection = config_.selection;
+  opts.max_iter = config_.max_iter;
+  opts.tol = config_.tol;
+  *weights_std = CoordinateDescent(x, y, opts, rng);
+  // Standardized target has zero mean; residual mean is the intercept.
+  std::vector<double> pred(x.rows(), 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) acc += row[c] * (*weights_std)[c];
+    pred[r] = acc;
+  }
+  *intercept_std = Mean(y) - Mean(pred);
+  return Status::OK();
+}
+
+}  // namespace fedfc::ml

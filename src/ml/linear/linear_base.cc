@@ -1,0 +1,65 @@
+#include "ml/linear/linear_base.h"
+
+namespace fedfc::ml {
+
+Status LinearRegressorBase::Fit(const Matrix& x, const std::vector<double>& y,
+                                Rng* rng) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("linear fit: empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("linear fit: rows(X) != len(y)");
+  }
+  StandardScaler x_scaler;
+  Matrix xs = x_scaler.FitTransform(x);
+  TargetScaler y_scaler;
+  y_scaler.Fit(y);
+  std::vector<double> ys = y_scaler.Transform(y);
+
+  std::vector<double> w_std;
+  double b_std = 0.0;
+  FEDFC_RETURN_IF_ERROR(FitStandardized(xs, ys, rng, &w_std, &b_std));
+  if (w_std.size() != x.cols()) {
+    return Status::Internal("linear fit: weight dimension mismatch");
+  }
+
+  // Map standardized-space coefficients back to the original space:
+  //   pred = ys * (sum_j w_j (x_j - m_j)/s_j + b) + ym.
+  weights_.assign(x.cols(), 0.0);
+  double b = y_scaler.scale() * b_std + y_scaler.mean();
+  for (size_t j = 0; j < x.cols(); ++j) {
+    weights_[j] = y_scaler.scale() * w_std[j] / x_scaler.scales()[j];
+    b -= weights_[j] * x_scaler.means()[j];
+  }
+  intercept_ = b;
+  return Status::OK();
+}
+
+std::vector<double> LinearRegressorBase::Predict(const Matrix& x) const {
+  FEDFC_CHECK(x.cols() == weights_.size()) << "Predict before Fit, or wrong width";
+  std::vector<double> out(x.rows(), intercept_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    double acc = intercept_;
+    for (size_t c = 0; c < x.cols(); ++c) acc += row[c] * weights_[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> LinearRegressorBase::GetParameters() const {
+  std::vector<double> params = weights_;
+  params.push_back(intercept_);
+  return params;
+}
+
+Status LinearRegressorBase::SetParameters(const std::vector<double>& params) {
+  if (params.empty()) {
+    return Status::InvalidArgument("SetParameters: empty parameter vector");
+  }
+  weights_.assign(params.begin(), params.end() - 1);
+  intercept_ = params.back();
+  return Status::OK();
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,72 @@
+#include "ml/linear/linear_svr.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace fedfc::ml {
+
+Status LinearSvrRegressor::FitStandardized(const Matrix& x,
+                                           const std::vector<double>& y, Rng* rng,
+                                           std::vector<double>* weights_std,
+                                           double* intercept_std) {
+  if (config_.c <= 0.0) {
+    return Status::InvalidArgument("LinearSVR: C must be positive");
+  }
+  if (config_.epsilon < 0.0) {
+    return Status::InvalidArgument("LinearSVR: epsilon must be non-negative");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const double lambda = 1.0 / (config_.c * static_cast<double>(n));
+
+  std::vector<double> w(d, 0.0);
+  double b = 0.0;
+  // Polyak-Ruppert averaging stabilizes the subgradient iterates.
+  std::vector<double> w_avg(d, 0.0);
+  double b_avg = 0.0;
+  size_t avg_count = 0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  size_t step = 0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (rng != nullptr) rng->Shuffle(&order);
+    for (size_t i : order) {
+      ++step;
+      double lr = config_.learning_rate /
+                  (1.0 + config_.learning_rate * lambda * static_cast<double>(step));
+      const double* row = x.Row(i);
+      double pred = b;
+      for (size_t c = 0; c < d; ++c) pred += row[c] * w[c];
+      double r = y[i] - pred;
+      // L2 shrinkage on every step.
+      double shrink = 1.0 - lr * lambda;
+      if (shrink < 0.0) shrink = 0.0;
+      for (size_t c = 0; c < d; ++c) w[c] *= shrink;
+      if (std::fabs(r) > config_.epsilon) {
+        double sign = r > 0 ? 1.0 : -1.0;
+        for (size_t c = 0; c < d; ++c) w[c] += lr * sign * row[c];
+        b += lr * sign;
+      }
+      // Tail averaging over the second half of training.
+      if (epoch >= config_.epochs / 2) {
+        ++avg_count;
+        for (size_t c = 0; c < d; ++c) {
+          w_avg[c] += (w[c] - w_avg[c]) / static_cast<double>(avg_count);
+        }
+        b_avg += (b - b_avg) / static_cast<double>(avg_count);
+      }
+    }
+  }
+  if (avg_count > 0) {
+    *weights_std = w_avg;
+    *intercept_std = b_avg;
+  } else {
+    *weights_std = w;
+    *intercept_std = b;
+  }
+  return Status::OK();
+}
+
+}  // namespace fedfc::ml

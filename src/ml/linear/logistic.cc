@@ -1,0 +1,87 @@
+#include "ml/linear/logistic.h"
+
+#include <cmath>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+Status LogisticRegressionClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                                         int n_classes, Rng* /*rng*/) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("LogisticRegression: bad shapes");
+  }
+  if (n_classes < 2) {
+    return Status::InvalidArgument("LogisticRegression: need >= 2 classes");
+  }
+  n_classes_ = n_classes;
+  Matrix xs = scaler_.FitTransform(x);
+  const size_t n = xs.rows();
+  const size_t d = xs.cols();
+  const size_t k = static_cast<size_t>(n_classes);
+
+  weights_ = Matrix(k, d, 0.0);
+  biases_.assign(k, 0.0);
+  Matrix vel_w(k, d, 0.0);
+  std::vector<double> vel_b(k, 0.0);
+
+  for (size_t iter = 0; iter < config_.max_iter; ++iter) {
+    Matrix grad_w(k, d, 0.0);
+    std::vector<double> grad_b(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = xs.Row(i);
+      std::vector<double> logits(k, 0.0);
+      for (size_t c = 0; c < k; ++c) {
+        double acc = biases_[c];
+        const double* wrow = weights_.Row(c);
+        for (size_t j = 0; j < d; ++j) acc += wrow[j] * row[j];
+        logits[c] = acc;
+      }
+      std::vector<double> p = Softmax(logits);
+      for (size_t c = 0; c < k; ++c) {
+        double err = p[c] - (static_cast<int>(c) == y[i] ? 1.0 : 0.0);
+        double* grow = grad_w.Row(c);
+        for (size_t j = 0; j < d; ++j) grow[j] += err * row[j];
+        grad_b[c] += err;
+      }
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t c = 0; c < k; ++c) {
+      double* grow = grad_w.Row(c);
+      const double* wrow = weights_.Row(c);
+      double* vrow = vel_w.Row(c);
+      double* wmut = weights_.Row(c);
+      for (size_t j = 0; j < d; ++j) {
+        double g = grow[j] * inv_n + config_.l2 * wrow[j];
+        vrow[j] = config_.momentum * vrow[j] - config_.learning_rate * g;
+        wmut[j] += vrow[j];
+      }
+      double gb = grad_b[c] * inv_n;
+      vel_b[c] = config_.momentum * vel_b[c] - config_.learning_rate * gb;
+      biases_[c] += vel_b[c];
+    }
+  }
+  return Status::OK();
+}
+
+Matrix LogisticRegressionClassifier::PredictProba(const Matrix& x) const {
+  FEDFC_CHECK(n_classes_ > 0) << "PredictProba before Fit";
+  Matrix xs = scaler_.Transform(x);
+  const size_t k = static_cast<size_t>(n_classes_);
+  Matrix out(xs.rows(), k, 0.0);
+  for (size_t i = 0; i < xs.rows(); ++i) {
+    const double* row = xs.Row(i);
+    std::vector<double> logits(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+      double acc = biases_[c];
+      const double* wrow = weights_.Row(c);
+      for (size_t j = 0; j < xs.cols(); ++j) acc += wrow[j] * row[j];
+      logits[c] = acc;
+    }
+    std::vector<double> p = Softmax(logits);
+    for (size_t c = 0; c < k; ++c) out(i, c) = p[c];
+  }
+  return out;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,49 @@
+#ifndef FEDFC_ML_LINEAR_LOGISTIC_H_
+#define FEDFC_ML_LINEAR_LOGISTIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace fedfc::ml {
+
+/// Multinomial logistic regression with L2 regularization, fitted by
+/// full-batch gradient descent with momentum on internally standardized
+/// features. One of the Table 4 meta-model candidates.
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  struct Config {
+    double l2 = 1e-3;
+    size_t max_iter = 300;
+    double learning_rate = 0.5;
+    double momentum = 0.9;
+  };
+
+  LogisticRegressionClassifier() = default;
+  explicit LogisticRegressionClassifier(Config config) : config_(config) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+             Rng* rng) override;
+  Matrix PredictProba(const Matrix& x) const override;
+
+  std::string Name() const override { return "LogisticRegression"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LogisticRegressionClassifier>(*this);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  StandardScaler scaler_;
+  // weights_(k, d) and biases_[k] per class k.
+  Matrix weights_;
+  std::vector<double> biases_;
+};
+
+}  // namespace fedfc::ml
+
+#endif  // FEDFC_ML_LINEAR_LOGISTIC_H_

@@ -1,0 +1,71 @@
+#include "ml/linear/quantile.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+Status QuantileRegressor::FitStandardized(const Matrix& x,
+                                          const std::vector<double>& y, Rng* rng,
+                                          std::vector<double>* weights_std,
+                                          double* intercept_std) {
+  // Table 2 lists quantile in [0.1:1]; an exact 1.0 degenerates the pinball
+  // loss, so clip just inside the open interval like scikit-learn requires.
+  double q = Clamp(config_.quantile, 0.01, 0.99);
+  if (config_.alpha < 0.0) {
+    return Status::InvalidArgument("Quantile: alpha must be non-negative");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  std::vector<double> w(d, 0.0);
+  double b = Quantile(y, q);  // Warm start at the empirical quantile.
+  std::vector<double> w_avg(d, 0.0);
+  double b_avg = 0.0;
+  size_t avg_count = 0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  size_t step = 0;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (rng != nullptr) rng->Shuffle(&order);
+    for (size_t i : order) {
+      ++step;
+      double lr = config_.learning_rate / std::sqrt(1.0 + static_cast<double>(step));
+      const double* row = x.Row(i);
+      double pred = b;
+      for (size_t c = 0; c < d; ++c) pred += row[c] * w[c];
+      double r = y[i] - pred;
+      // Pinball subgradient wrt prediction: -q when under-predicting (r>0),
+      // (1-q) when over-predicting.
+      double g = (r > 0.0) ? -q : (1.0 - q);
+      for (size_t c = 0; c < d; ++c) {
+        double grad = g * row[c];
+        // L1 subgradient.
+        grad += config_.alpha * (w[c] > 0.0 ? 1.0 : (w[c] < 0.0 ? -1.0 : 0.0));
+        w[c] -= lr * grad;
+      }
+      b -= lr * g;
+      if (epoch >= config_.epochs / 2) {
+        ++avg_count;
+        for (size_t c = 0; c < d; ++c) {
+          w_avg[c] += (w[c] - w_avg[c]) / static_cast<double>(avg_count);
+        }
+        b_avg += (b - b_avg) / static_cast<double>(avg_count);
+      }
+    }
+  }
+  if (avg_count > 0) {
+    *weights_std = w_avg;
+    *intercept_std = b_avg;
+  } else {
+    *weights_std = w;
+    *intercept_std = b;
+  }
+  return Status::OK();
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,18 @@
+#include "ml/model.h"
+
+#include <algorithm>
+
+namespace fedfc::ml {
+
+std::vector<int> Classifier::Predict(const Matrix& x) const {
+  Matrix proba = PredictProba(x);
+  std::vector<int> out(proba.rows());
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    const double* row = proba.Row(r);
+    out[r] = static_cast<int>(
+        std::max_element(row, row + proba.cols()) - row);
+  }
+  return out;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,43 @@
+#include "ml/nn/adam.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace fedfc::ml::nn {
+
+void AdamOptimizer::Step(const std::vector<ParamSpan>& spans) {
+  if (m_.empty()) {
+    m_.resize(spans.size());
+    v_.resize(spans.size());
+    for (size_t s = 0; s < spans.size(); ++s) {
+      m_[s].assign(spans[s].size, 0.0);
+      v_[s].assign(spans[s].size, 0.0);
+    }
+  }
+  FEDFC_CHECK(m_.size() == spans.size()) << "span layout changed between steps";
+  ++t_;
+  double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const ParamSpan& span = spans[s];
+    FEDFC_CHECK(m_[s].size() == span.size);
+    for (size_t i = 0; i < span.size; ++i) {
+      double g = span.grad[i];
+      m_[s][i] = config_.beta1 * m_[s][i] + (1.0 - config_.beta1) * g;
+      v_[s][i] = config_.beta2 * v_[s][i] + (1.0 - config_.beta2) * g * g;
+      double m_hat = m_[s][i] / bc1;
+      double v_hat = v_[s][i] / bc2;
+      span.value[i] -=
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void AdamOptimizer::Reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+}  // namespace fedfc::ml::nn

@@ -1,0 +1,41 @@
+#ifndef FEDFC_ML_NN_ADAM_H_
+#define FEDFC_ML_NN_ADAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/nn/dense.h"
+
+namespace fedfc::ml::nn {
+
+/// Adam optimizer over a fixed list of parameter spans. The span layout must
+/// be identical on every Step call (state is indexed positionally).
+class AdamOptimizer {
+ public:
+  struct Config {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  AdamOptimizer() = default;
+  explicit AdamOptimizer(Config config) : config_(config) {}
+
+  /// Applies one Adam update using the gradients currently stored in the
+  /// spans, then leaves gradients untouched (caller zeroes them).
+  void Step(const std::vector<ParamSpan>& spans);
+
+  void Reset();
+  size_t step_count() const { return t_; }
+
+ private:
+  Config config_;
+  size_t t_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+}  // namespace fedfc::ml::nn
+
+#endif  // FEDFC_ML_NN_ADAM_H_

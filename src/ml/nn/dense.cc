@@ -1,0 +1,139 @@
+#include "ml/nn/dense.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace fedfc::ml::nn {
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weights_(out_dim, in_dim, 0.0),
+      biases_(out_dim, 0.0),
+      grad_w_(out_dim, in_dim, 0.0),
+      grad_b_(out_dim, 0.0) {}
+
+void DenseLayer::Init(Rng* rng) {
+  FEDFC_CHECK(rng != nullptr);
+  double scale = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  for (double& w : weights_.data()) w = rng->Normal(0.0, scale);
+  for (double& b : biases_) b = 0.0;
+}
+
+Matrix DenseLayer::Forward(const Matrix& input) {
+  FEDFC_CHECK(input.cols() == in_dim_);
+  input_ = input;
+  const size_t batch = input.rows();
+  pre_activation_ = Matrix(batch, out_dim_, 0.0);
+  for (size_t r = 0; r < batch; ++r) {
+    const double* in_row = input.Row(r);
+    double* out_row = pre_activation_.Row(r);
+    for (size_t o = 0; o < out_dim_; ++o) {
+      const double* w_row = weights_.Row(o);
+      double acc = biases_[o];
+      for (size_t i = 0; i < in_dim_; ++i) acc += w_row[i] * in_row[i];
+      out_row[o] = acc;
+    }
+  }
+  if (activation_ == Activation::kIdentity) return pre_activation_;
+  Matrix out = pre_activation_;
+  for (double& v : out.data()) {
+    if (v < 0.0) v = 0.0;
+  }
+  return out;
+}
+
+Matrix DenseLayer::ForwardInference(const Matrix& input) const {
+  FEDFC_CHECK(input.cols() == in_dim_);
+  const size_t batch = input.rows();
+  Matrix out(batch, out_dim_, 0.0);
+  for (size_t r = 0; r < batch; ++r) {
+    const double* in_row = input.Row(r);
+    double* out_row = out.Row(r);
+    for (size_t o = 0; o < out_dim_; ++o) {
+      const double* w_row = weights_.Row(o);
+      double acc = biases_[o];
+      for (size_t i = 0; i < in_dim_; ++i) acc += w_row[i] * in_row[i];
+      out_row[o] = acc;
+    }
+  }
+  if (activation_ == Activation::kRelu) {
+    for (double& v : out.data()) {
+      if (v < 0.0) v = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix DenseLayer::Backward(const Matrix& grad_output) {
+  FEDFC_CHECK(grad_output.rows() == input_.rows() &&
+              grad_output.cols() == out_dim_);
+  const size_t batch = input_.rows();
+  Matrix grad_pre = grad_output;
+  if (activation_ == Activation::kRelu) {
+    for (size_t r = 0; r < batch; ++r) {
+      double* g = grad_pre.Row(r);
+      const double* z = pre_activation_.Row(r);
+      for (size_t o = 0; o < out_dim_; ++o) {
+        if (z[o] <= 0.0) g[o] = 0.0;
+      }
+    }
+  }
+  // Accumulate parameter grads: dW = grad_pre^T . input, db = sum grad_pre.
+  for (size_t r = 0; r < batch; ++r) {
+    const double* g = grad_pre.Row(r);
+    const double* in_row = input_.Row(r);
+    for (size_t o = 0; o < out_dim_; ++o) {
+      double go = g[o];
+      if (go == 0.0) continue;
+      double* gw = grad_w_.Row(o);
+      for (size_t i = 0; i < in_dim_; ++i) gw[i] += go * in_row[i];
+      grad_b_[o] += go;
+    }
+  }
+  // Grad wrt input: grad_pre . W.
+  Matrix grad_input(batch, in_dim_, 0.0);
+  for (size_t r = 0; r < batch; ++r) {
+    const double* g = grad_pre.Row(r);
+    double* gi = grad_input.Row(r);
+    for (size_t o = 0; o < out_dim_; ++o) {
+      double go = g[o];
+      if (go == 0.0) continue;
+      const double* w_row = weights_.Row(o);
+      for (size_t i = 0; i < in_dim_; ++i) gi[i] += go * w_row[i];
+    }
+  }
+  return grad_input;
+}
+
+void DenseLayer::ZeroGrads() {
+  for (double& g : grad_w_.data()) g = 0.0;
+  for (double& g : grad_b_) g = 0.0;
+}
+
+std::vector<ParamSpan> DenseLayer::Params() {
+  return {
+      {weights_.data().data(), grad_w_.data().data(), weights_.data().size()},
+      {biases_.data(), grad_b_.data(), biases_.size()},
+  };
+}
+
+void DenseLayer::AppendParameters(std::vector<double>* out) const {
+  out->insert(out->end(), weights_.data().begin(), weights_.data().end());
+  out->insert(out->end(), biases_.begin(), biases_.end());
+}
+
+size_t DenseLayer::LoadParameters(const std::vector<double>& params, size_t offset) {
+  size_t nw = weights_.data().size();
+  size_t nb = biases_.size();
+  FEDFC_CHECK(offset + nw + nb <= params.size());
+  std::copy(params.begin() + offset, params.begin() + offset + nw,
+            weights_.data().begin());
+  std::copy(params.begin() + offset + nw, params.begin() + offset + nw + nb,
+            biases_.begin());
+  return offset + nw + nb;
+}
+
+}  // namespace fedfc::ml::nn

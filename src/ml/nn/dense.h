@@ -1,0 +1,70 @@
+#ifndef FEDFC_ML_NN_DENSE_H_
+#define FEDFC_ML_NN_DENSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+
+namespace fedfc::ml::nn {
+
+enum class Activation { kIdentity, kRelu };
+
+/// View over a contiguous block of parameters and their gradients; the Adam
+/// optimizer steps over a list of these.
+struct ParamSpan {
+  double* value = nullptr;
+  double* grad = nullptr;
+  size_t size = 0;
+};
+
+/// Fully connected layer with manual backprop.
+///
+/// Forward caches the input and pre-activation needed by Backward; a layer
+/// therefore handles one batch at a time (the usual training loop pattern).
+class DenseLayer {
+ public:
+  DenseLayer() = default;
+  DenseLayer(size_t in_dim, size_t out_dim, Activation activation);
+
+  /// He-initializes weights; biases start at zero.
+  void Init(Rng* rng);
+
+  /// input: (batch, in_dim) -> (batch, out_dim).
+  Matrix Forward(const Matrix& input);
+
+  /// Inference-only forward: no state is cached, so Backward must not follow.
+  Matrix ForwardInference(const Matrix& input) const;
+
+  /// grad_output: (batch, out_dim); accumulates weight/bias grads and returns
+  /// grad wrt the input, (batch, in_dim). Must follow a Forward call.
+  Matrix Backward(const Matrix& grad_output);
+
+  void ZeroGrads();
+  std::vector<ParamSpan> Params();
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  size_t n_params() const { return weights_.data().size() + biases_.size(); }
+
+  /// Flat parameter I/O (weights row-major, then biases) for FL averaging.
+  void AppendParameters(std::vector<double>* out) const;
+  size_t LoadParameters(const std::vector<double>& params, size_t offset);
+
+ private:
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+  Activation activation_ = Activation::kIdentity;
+  Matrix weights_;   // (out_dim, in_dim).
+  std::vector<double> biases_;
+  Matrix grad_w_;
+  std::vector<double> grad_b_;
+  // Cached forward state.
+  Matrix input_;
+  Matrix pre_activation_;
+};
+
+}  // namespace fedfc::ml::nn
+
+#endif  // FEDFC_ML_NN_DENSE_H_

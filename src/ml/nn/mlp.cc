@@ -1,0 +1,96 @@
+#include "ml/nn/mlp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+Status MlpClassifier::Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                          Rng* rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("MLP: bad shapes");
+  }
+  if (n_classes < 2) return Status::InvalidArgument("MLP: need >= 2 classes");
+  if (rng == nullptr) return Status::InvalidArgument("MLP: rng required");
+  n_classes_ = n_classes;
+
+  Matrix xs = scaler_.FitTransform(x);
+  const size_t n = xs.rows();
+  const size_t k = static_cast<size_t>(n_classes);
+
+  layers_.clear();
+  size_t in_dim = xs.cols();
+  for (size_t width : config_.hidden) {
+    layers_.emplace_back(in_dim, width, nn::Activation::kRelu);
+    in_dim = width;
+  }
+  layers_.emplace_back(in_dim, k, nn::Activation::kIdentity);
+  for (auto& layer : layers_) layer.Init(rng);
+
+  nn::AdamOptimizer::Config adam_cfg;
+  adam_cfg.learning_rate = config_.learning_rate;
+  nn::AdamOptimizer adam(adam_cfg);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  size_t batch = std::max<size_t>(1, std::min(config_.batch_size, n));
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(start + batch, n);
+      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      Matrix xb = xs.SelectRows(idx);
+      Matrix act = xb;
+      for (auto& layer : layers_) act = layer.Forward(act);
+      // Softmax + cross-entropy gradient: p - onehot, averaged over batch.
+      Matrix grad(act.rows(), k, 0.0);
+      double inv_b = 1.0 / static_cast<double>(act.rows());
+      for (size_t r = 0; r < act.rows(); ++r) {
+        std::vector<double> logits(act.Row(r), act.Row(r) + k);
+        std::vector<double> p = Softmax(logits);
+        double* g = grad.Row(r);
+        int label = y[idx[r]];
+        for (size_t c = 0; c < k; ++c) {
+          g[c] = (p[c] - (static_cast<int>(c) == label ? 1.0 : 0.0)) * inv_b;
+        }
+      }
+      for (auto& layer : layers_) layer.ZeroGrads();
+      Matrix back = grad;
+      for (size_t l = layers_.size(); l-- > 0;) {
+        back = layers_[l].Backward(back);
+      }
+      std::vector<nn::ParamSpan> spans;
+      for (auto& layer : layers_) {
+        auto s = layer.Params();
+        spans.insert(spans.end(), s.begin(), s.end());
+      }
+      adam.Step(spans);
+    }
+  }
+  return Status::OK();
+}
+
+Matrix MlpClassifier::ForwardLogits(const Matrix& x) const {
+  Matrix act = x;
+  for (const auto& layer : layers_) act = layer.ForwardInference(act);
+  return act;
+}
+
+Matrix MlpClassifier::PredictProba(const Matrix& x) const {
+  FEDFC_CHECK(!layers_.empty()) << "PredictProba before Fit";
+  Matrix xs = scaler_.Transform(x);
+  Matrix logits = ForwardLogits(xs);
+  const size_t k = static_cast<size_t>(n_classes_);
+  Matrix out(logits.rows(), k, 0.0);
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    std::vector<double> row(logits.Row(r), logits.Row(r) + k);
+    std::vector<double> p = Softmax(row);
+    for (size_t c = 0; c < k; ++c) out(r, c) = p[c];
+  }
+  return out;
+}
+
+}  // namespace fedfc::ml

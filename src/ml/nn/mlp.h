@@ -1,0 +1,54 @@
+#ifndef FEDFC_ML_NN_MLP_H_
+#define FEDFC_ML_NN_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/nn/adam.h"
+#include "ml/nn/dense.h"
+#include "ml/scaler.h"
+
+namespace fedfc::ml {
+
+/// Multilayer perceptron classifier (softmax + cross-entropy, Adam), the
+/// Table 4 MLPClassifier candidate.
+class MlpClassifier : public Classifier {
+ public:
+  struct Config {
+    std::vector<size_t> hidden = {64};
+    size_t epochs = 100;
+    size_t batch_size = 32;
+    double learning_rate = 1e-3;
+  };
+
+  MlpClassifier() = default;
+  explicit MlpClassifier(Config config) : config_(config) {}
+  MlpClassifier(const MlpClassifier& other) = default;
+  MlpClassifier& operator=(const MlpClassifier& other) = default;
+
+  Status Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+             Rng* rng) override;
+  Matrix PredictProba(const Matrix& x) const override;
+
+  std::string Name() const override { return "MLPClassifier"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<MlpClassifier>(*this);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Matrix ForwardLogits(const Matrix& x) const;
+
+  Config config_;
+  StandardScaler scaler_;
+  // Mutable: Forward caches per-layer state during training; prediction uses
+  // a const path via copies.
+  std::vector<nn::DenseLayer> layers_;
+};
+
+}  // namespace fedfc::ml
+
+#endif  // FEDFC_ML_NN_MLP_H_

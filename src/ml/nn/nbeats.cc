@@ -1,0 +1,313 @@
+#include "ml/nn/nbeats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+namespace {
+
+/// Continuous time axis shared by backcast and forecast so that forecast is
+/// a genuine extrapolation of the fitted basis: backcast covers t in [0, 1),
+/// forecast continues at t = 1, 1 + 1/L, ...
+double TimeAt(size_t index, size_t lookback) {
+  return static_cast<double>(index) / static_cast<double>(lookback);
+}
+
+Matrix PolynomialBasis(int degree, size_t lookback, size_t start, size_t count) {
+  Matrix basis(static_cast<size_t>(degree) + 1, count);
+  for (int p = 0; p <= degree; ++p) {
+    for (size_t i = 0; i < count; ++i) {
+      basis(p, i) = std::pow(TimeAt(start + i, lookback), p);
+    }
+  }
+  return basis;
+}
+
+Matrix FourierBasis(int n_harmonics, size_t lookback, size_t start, size_t count) {
+  Matrix basis(2 * static_cast<size_t>(n_harmonics), count);
+  for (int k = 1; k <= n_harmonics; ++k) {
+    for (size_t i = 0; i < count; ++i) {
+      double t = TimeAt(start + i, lookback);
+      double arg = 2.0 * std::numbers::pi * static_cast<double>(k) * t;
+      basis(2 * (k - 1), i) = std::cos(arg);
+      basis(2 * (k - 1) + 1, i) = std::sin(arg);
+    }
+  }
+  return basis;
+}
+
+}  // namespace
+
+bool MakeLagWindows(const std::vector<double>& values, size_t lookback, Matrix* x,
+                    std::vector<double>* y) {
+  if (lookback == 0 || values.size() <= lookback) return false;
+  const size_t n = values.size() - lookback;
+  *x = Matrix(n, lookback);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = x->Row(i);
+    for (size_t j = 0; j < lookback; ++j) row[j] = values[i + j];
+    (*y)[i] = values[i + lookback];
+  }
+  return true;
+}
+
+NBeatsBlock::NBeatsBlock(NBeatsBlockKind kind, size_t lookback, size_t horizon,
+                         size_t width, size_t n_trunk_layers, int trend_degree,
+                         int n_harmonics)
+    : kind_(kind), lookback_(lookback), horizon_(horizon) {
+  size_t in_dim = lookback;
+  for (size_t l = 0; l < n_trunk_layers; ++l) {
+    trunk_.emplace_back(in_dim, width, nn::Activation::kRelu);
+    in_dim = width;
+  }
+  size_t theta_dim = 0;
+  switch (kind) {
+    case NBeatsBlockKind::kGeneric:
+      // Heads emit backcast/forecast directly (identity basis).
+      theta_b_ = nn::DenseLayer(width, lookback, nn::Activation::kIdentity);
+      theta_f_ = nn::DenseLayer(width, horizon, nn::Activation::kIdentity);
+      return;
+    case NBeatsBlockKind::kTrend:
+      theta_dim = static_cast<size_t>(trend_degree) + 1;
+      basis_b_ = PolynomialBasis(trend_degree, lookback, 0, lookback);
+      basis_f_ = PolynomialBasis(trend_degree, lookback, lookback, horizon);
+      break;
+    case NBeatsBlockKind::kSeasonality:
+      theta_dim = 2 * static_cast<size_t>(n_harmonics);
+      basis_b_ = FourierBasis(n_harmonics, lookback, 0, lookback);
+      basis_f_ = FourierBasis(n_harmonics, lookback, lookback, horizon);
+      break;
+  }
+  theta_b_ = nn::DenseLayer(width, theta_dim, nn::Activation::kIdentity);
+  theta_f_ = nn::DenseLayer(width, theta_dim, nn::Activation::kIdentity);
+}
+
+void NBeatsBlock::Init(Rng* rng) {
+  for (auto& layer : trunk_) layer.Init(rng);
+  theta_b_.Init(rng);
+  theta_f_.Init(rng);
+}
+
+std::pair<Matrix, Matrix> NBeatsBlock::Forward(const Matrix& x) {
+  Matrix act = x;
+  for (auto& layer : trunk_) act = layer.Forward(act);
+  Matrix tb = theta_b_.Forward(act);
+  Matrix tf = theta_f_.Forward(act);
+  if (kind_ == NBeatsBlockKind::kGeneric) return {tb, tf};
+  return {tb.Multiply(basis_b_), tf.Multiply(basis_f_)};
+}
+
+std::pair<Matrix, Matrix> NBeatsBlock::ForwardInference(const Matrix& x) const {
+  Matrix act = x;
+  for (const auto& layer : trunk_) act = layer.ForwardInference(act);
+  Matrix tb = theta_b_.ForwardInference(act);
+  Matrix tf = theta_f_.ForwardInference(act);
+  if (kind_ == NBeatsBlockKind::kGeneric) return {tb, tf};
+  return {tb.Multiply(basis_b_), tf.Multiply(basis_f_)};
+}
+
+Matrix NBeatsBlock::Backward(const Matrix& grad_backcast,
+                             const Matrix& grad_forecast) {
+  Matrix grad_tb = grad_backcast;
+  Matrix grad_tf = grad_forecast;
+  if (kind_ != NBeatsBlockKind::kGeneric) {
+    grad_tb = grad_backcast.Multiply(basis_b_.Transpose());
+    grad_tf = grad_forecast.Multiply(basis_f_.Transpose());
+  }
+  Matrix grad_trunk_out = theta_b_.Backward(grad_tb).Add(theta_f_.Backward(grad_tf));
+  for (size_t l = trunk_.size(); l-- > 0;) {
+    grad_trunk_out = trunk_[l].Backward(grad_trunk_out);
+  }
+  return grad_trunk_out;
+}
+
+void NBeatsBlock::ZeroGrads() {
+  for (auto& layer : trunk_) layer.ZeroGrads();
+  theta_b_.ZeroGrads();
+  theta_f_.ZeroGrads();
+}
+
+std::vector<nn::ParamSpan> NBeatsBlock::Params() {
+  std::vector<nn::ParamSpan> spans;
+  for (auto& layer : trunk_) {
+    auto s = layer.Params();
+    spans.insert(spans.end(), s.begin(), s.end());
+  }
+  auto sb = theta_b_.Params();
+  spans.insert(spans.end(), sb.begin(), sb.end());
+  auto sf = theta_f_.Params();
+  spans.insert(spans.end(), sf.begin(), sf.end());
+  return spans;
+}
+
+void NBeatsBlock::AppendParameters(std::vector<double>* out) const {
+  for (const auto& layer : trunk_) layer.AppendParameters(out);
+  theta_b_.AppendParameters(out);
+  theta_f_.AppendParameters(out);
+}
+
+size_t NBeatsBlock::LoadParameters(const std::vector<double>& params, size_t offset) {
+  for (auto& layer : trunk_) offset = layer.LoadParameters(params, offset);
+  offset = theta_b_.LoadParameters(params, offset);
+  offset = theta_f_.LoadParameters(params, offset);
+  return offset;
+}
+
+size_t NBeatsBlock::n_params() const {
+  size_t n = theta_b_.n_params() + theta_f_.n_params();
+  for (const auto& layer : trunk_) n += layer.n_params();
+  return n;
+}
+
+Status NBeatsRegressor::Build(size_t lookback, Rng* rng) {
+  if (lookback == 0) return Status::InvalidArgument("NBeats: zero lookback");
+  if (rng == nullptr) return Status::InvalidArgument("NBeats: rng required");
+  lookback_ = lookback;
+  blocks_.clear();
+  auto add = [&](NBeatsBlockKind kind, size_t count, size_t width) {
+    for (size_t i = 0; i < count; ++i) {
+      blocks_.emplace_back(kind, lookback_, config_.horizon, width,
+                           config_.n_trunk_layers, config_.trend_degree,
+                           config_.n_harmonics);
+      blocks_.back().Init(rng);
+    }
+  };
+  // Interpretable stacks first (trend then seasonality), then generic —
+  // the Oreshkin et al. interpretable+generic hybrid layout.
+  add(NBeatsBlockKind::kTrend, config_.n_trend_blocks, config_.trend_width);
+  add(NBeatsBlockKind::kSeasonality, config_.n_seasonal_blocks,
+      config_.seasonal_width);
+  add(NBeatsBlockKind::kGeneric, config_.n_generic_blocks, config_.generic_width);
+  if (blocks_.empty()) {
+    return Status::InvalidArgument("NBeats: all block counts are zero");
+  }
+  return Status::OK();
+}
+
+Status NBeatsRegressor::Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("NBeats: bad shapes");
+  }
+  if (config_.horizon != 1) {
+    return Status::InvalidArgument(
+        "NBeats: Regressor interface supports horizon=1 (one-step forecasts)");
+  }
+  if (!built() || lookback_ != x.cols()) {
+    FEDFC_RETURN_IF_ERROR(Build(x.cols(), rng));
+  }
+  // A single signal-level scaler: window entries and targets are lags of the
+  // same series, so one affine transform keeps their relationship intact.
+  scaler_.Fit(y);
+  const size_t n = x.rows();
+  Matrix xs = x;
+  for (double& v : xs.data()) v = (v - scaler_.mean()) / scaler_.scale();
+  std::vector<double> ys = scaler_.Transform(y);
+
+  nn::AdamOptimizer::Config adam_cfg;
+  adam_cfg.learning_rate = config_.learning_rate;
+  nn::AdamOptimizer adam(adam_cfg);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  size_t batch = std::max<size_t>(1, std::min(config_.batch_size, n));
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch) {
+      size_t end = std::min(start + batch, n);
+      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      Matrix xb = xs.SelectRows(idx);
+      const size_t b = xb.rows();
+
+      // Forward with residual stacking; blocks cache their own state.
+      Matrix residual = xb;
+      Matrix forecast(b, config_.horizon, 0.0);
+      std::vector<Matrix> residual_in;  // Input residual to each block.
+      residual_in.reserve(blocks_.size());
+      for (auto& block : blocks_) {
+        residual_in.push_back(residual);
+        auto [bc, fc] = block.Forward(residual);
+        forecast = forecast.Add(fc);
+        residual = residual.Subtract(bc);
+      }
+
+      // MSE gradient wrt the summed forecast.
+      Matrix grad_forecast(b, config_.horizon, 0.0);
+      double inv_b = 2.0 / static_cast<double>(b);
+      for (size_t r = 0; r < b; ++r) {
+        grad_forecast(r, 0) = inv_b * (forecast(r, 0) - ys[idx[r]]);
+      }
+
+      for (auto& block : blocks_) block.ZeroGrads();
+      // Reverse pass: g = dL/d(residual entering block i+1).
+      Matrix g(b, lookback_, 0.0);
+      for (size_t bi = blocks_.size(); bi-- > 0;) {
+        Matrix grad_backcast = g.Scale(-1.0);
+        Matrix grad_input = blocks_[bi].Backward(grad_backcast, grad_forecast);
+        g = g.Add(grad_input);
+      }
+
+      std::vector<nn::ParamSpan> spans;
+      for (auto& block : blocks_) {
+        auto s = block.Params();
+        spans.insert(spans.end(), s.begin(), s.end());
+      }
+      adam.Step(spans);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> NBeatsRegressor::Predict(const Matrix& x) const {
+  FEDFC_CHECK(built()) << "Predict before Fit/Build";
+  FEDFC_CHECK(x.cols() == lookback_);
+  Matrix xs = x;
+  for (double& v : xs.data()) v = (v - scaler_.mean()) / scaler_.scale();
+  Matrix residual = xs;
+  std::vector<double> forecast(x.rows(), 0.0);
+  for (const auto& block : blocks_) {
+    auto [bc, fc] = block.ForwardInference(residual);
+    for (size_t r = 0; r < x.rows(); ++r) forecast[r] += fc(r, 0);
+    residual = residual.Subtract(bc);
+  }
+  return scaler_.InverseTransform(forecast);
+}
+
+std::vector<double> NBeatsRegressor::GetParameters() const {
+  std::vector<double> params;
+  for (const auto& block : blocks_) block.AppendParameters(&params);
+  // The scaler travels with the parameters so averaged models stay coherent.
+  params.push_back(scaler_.mean());
+  params.push_back(scaler_.scale());
+  return params;
+}
+
+Status NBeatsRegressor::SetParameters(const std::vector<double>& params) {
+  if (!built()) {
+    return Status::FailedPrecondition("NBeats: Build before SetParameters");
+  }
+  if (params.size() != n_params() + 2) {
+    return Status::InvalidArgument("NBeats: parameter size mismatch");
+  }
+  size_t offset = 0;
+  for (auto& block : blocks_) offset = block.LoadParameters(params, offset);
+  if (params[offset + 1] <= 0.0) {
+    return Status::InvalidArgument("NBeats: non-positive scaler scale");
+  }
+  scaler_.Restore(params[offset], params[offset + 1]);
+  return Status::OK();
+}
+
+size_t NBeatsRegressor::n_params() const {
+  size_t n = 0;
+  for (const auto& block : blocks_) n += block.n_params();
+  return n;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,64 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+void StandardScaler::Fit(const Matrix& x) {
+  means_.assign(x.cols(), 0.0);
+  scales_.assign(x.cols(), 1.0);
+  if (x.rows() == 0) return;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    std::vector<double> col = x.Column(c);
+    means_[c] = Mean(col);
+    double sd = StdDev(col);
+    scales_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  FEDFC_CHECK(fitted() && x.cols() == means_.size());
+  Matrix out = x;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double* row = out.Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      row[c] = (row[c] - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+void TargetScaler::Fit(const std::vector<double>& y) {
+  mean_ = Mean(y);
+  double sd = StdDev(y);
+  scale_ = sd > 1e-12 ? sd : 1.0;
+}
+
+std::vector<double> TargetScaler::Transform(const std::vector<double>& y) const {
+  std::vector<double> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = (y[i] - mean_) / scale_;
+  return out;
+}
+
+void TargetScaler::Restore(double mean, double scale) {
+  FEDFC_CHECK(scale > 0.0) << "TargetScaler: scale must be positive";
+  mean_ = mean;
+  scale_ = scale;
+}
+
+std::vector<double> TargetScaler::InverseTransform(const std::vector<double>& y) const {
+  std::vector<double> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = y[i] * scale_ + mean_;
+  return out;
+}
+
+}  // namespace fedfc::ml

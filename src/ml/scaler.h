@@ -1,0 +1,48 @@
+#ifndef FEDFC_ML_SCALER_H_
+#define FEDFC_ML_SCALER_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace fedfc::ml {
+
+/// Column-wise standardization (zero mean, unit variance). Constant columns
+/// get scale 1 so transforms are always invertible.
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x);
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Scalar standardizer for regression targets.
+class TargetScaler {
+ public:
+  void Fit(const std::vector<double>& y);
+  std::vector<double> Transform(const std::vector<double>& y) const;
+  std::vector<double> InverseTransform(const std::vector<double>& y) const;
+
+  double mean() const { return mean_; }
+  double scale() const { return scale_; }
+
+  /// Direct state restore (used when scaler state travels with serialized
+  /// model parameters across the federation). `scale` must be positive.
+  void Restore(double mean, double scale);
+
+ private:
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace fedfc::ml
+
+#endif  // FEDFC_ML_SCALER_H_

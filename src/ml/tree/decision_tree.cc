@@ -1,0 +1,325 @@
+#include "ml/tree/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace fedfc::ml {
+
+struct DecisionTree::BuildContext {
+  const Matrix* x = nullptr;
+  const std::vector<double>* y_reg = nullptr;
+  const std::vector<int>* y_cls = nullptr;
+  Rng* rng = nullptr;
+  size_t n_features_per_split = 0;
+};
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double g = 1.0;
+  for (double c : counts) {
+    double p = c / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<double>& y_reg,
+                         const std::vector<int>& y_cls, int n_classes,
+                         const std::vector<size_t>& sample_indices, Rng* rng) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("DecisionTree: empty design matrix");
+  }
+  if (task_ == Task::kRegression && y_reg.size() != x.rows()) {
+    return Status::InvalidArgument("DecisionTree: rows(X) != len(y)");
+  }
+  if (task_ == Task::kClassification) {
+    if (y_cls.size() != x.rows() || n_classes < 2) {
+      return Status::InvalidArgument("DecisionTree: bad classification labels");
+    }
+  }
+  nodes_.clear();
+  importances_.assign(x.cols(), 0.0);
+  n_classes_ = n_classes;
+
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.y_reg = &y_reg;
+  ctx.y_cls = &y_cls;
+  ctx.rng = rng;
+  size_t k = static_cast<size_t>(
+      std::ceil(config_.max_features_fraction * static_cast<double>(x.cols())));
+  ctx.n_features_per_split = std::max<size_t>(1, std::min(k, x.cols()));
+
+  std::vector<size_t> indices = sample_indices;
+  if (indices.empty()) {
+    indices.resize(x.rows());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  Build(&ctx, indices, 0);
+  return Status::OK();
+}
+
+int32_t DecisionTree::MakeLeaf(BuildContext* ctx, const std::vector<size_t>& indices) {
+  Node leaf;
+  if (task_ == Task::kRegression) {
+    double sum = 0.0;
+    for (size_t i : indices) sum += (*ctx->y_reg)[i];
+    leaf.value = indices.empty() ? 0.0 : sum / static_cast<double>(indices.size());
+  } else {
+    leaf.dist.assign(n_classes_, 0.0);
+    for (size_t i : indices) leaf.dist[(*ctx->y_cls)[i]] += 1.0;
+    double total = static_cast<double>(indices.size());
+    if (total > 0.0) {
+      for (double& d : leaf.dist) d /= total;
+    } else {
+      for (double& d : leaf.dist) d = 1.0 / static_cast<double>(n_classes_);
+    }
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
+                            int depth) {
+  const Matrix& x = *ctx->x;
+  const size_t n = indices.size();
+
+  bool stop = depth >= config_.max_depth || n < config_.min_samples_split ||
+              n < 2 * config_.min_samples_leaf;
+  if (!stop && task_ == Task::kClassification) {
+    int first = (*ctx->y_cls)[indices[0]];
+    bool pure = true;
+    for (size_t i : indices) {
+      if ((*ctx->y_cls)[i] != first) {
+        pure = false;
+        break;
+      }
+    }
+    stop = pure;
+  }
+  if (!stop && task_ == Task::kRegression) {
+    double first = (*ctx->y_reg)[indices[0]];
+    bool constant = true;
+    for (size_t i : indices) {
+      if ((*ctx->y_reg)[i] != first) {
+        constant = false;
+        break;
+      }
+    }
+    stop = constant;
+  }
+  if (stop) return MakeLeaf(ctx, indices);
+
+  // Candidate feature subset.
+  std::vector<size_t> features;
+  if (ctx->n_features_per_split >= x.cols() || ctx->rng == nullptr) {
+    features.resize(x.cols());
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = ctx->rng->Sample(x.cols(), ctx->n_features_per_split);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  // Parent impurity terms.
+  double parent_impurity = 0.0;
+  std::vector<double> parent_counts;
+  double sum_y = 0.0, sum_y2 = 0.0;
+  if (task_ == Task::kRegression) {
+    for (size_t i : indices) {
+      double v = (*ctx->y_reg)[i];
+      sum_y += v;
+      sum_y2 += v * v;
+    }
+    parent_impurity = sum_y2 / n - (sum_y / n) * (sum_y / n);
+  } else {
+    parent_counts.assign(n_classes_, 0.0);
+    for (size_t i : indices) parent_counts[(*ctx->y_cls)[i]] += 1.0;
+    parent_impurity = GiniFromCounts(parent_counts, static_cast<double>(n));
+  }
+
+  std::vector<std::pair<double, size_t>> sorted;
+  sorted.reserve(n);
+  for (size_t f : features) {
+    if (config_.random_thresholds && ctx->rng != nullptr) {
+      // Extra-Trees: a single uniform threshold between the node min/max.
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t i : indices) {
+        double v = x(i, f);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi <= lo) continue;
+      double thr = ctx->rng->Uniform(lo, hi);
+      // Evaluate the single split.
+      double gain = 0.0;
+      size_t n_left = 0;
+      if (task_ == Task::kRegression) {
+        double sl = 0.0, sl2 = 0.0;
+        for (size_t i : indices) {
+          if (x(i, f) <= thr) {
+            double v = (*ctx->y_reg)[i];
+            sl += v;
+            sl2 += v * v;
+            ++n_left;
+          }
+        }
+        size_t n_right = n - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+          continue;
+        }
+        double sr = sum_y - sl, sr2 = sum_y2 - sl2;
+        double var_l = sl2 / n_left - (sl / n_left) * (sl / n_left);
+        double var_r = sr2 / n_right - (sr / n_right) * (sr / n_right);
+        gain = parent_impurity -
+               (n_left * var_l + n_right * var_r) / static_cast<double>(n);
+      } else {
+        std::vector<double> cl(n_classes_, 0.0);
+        for (size_t i : indices) {
+          if (x(i, f) <= thr) {
+            cl[(*ctx->y_cls)[i]] += 1.0;
+            ++n_left;
+          }
+        }
+        size_t n_right = n - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+          continue;
+        }
+        std::vector<double> cr(n_classes_);
+        for (int c = 0; c < n_classes_; ++c) cr[c] = parent_counts[c] - cl[c];
+        double gl = GiniFromCounts(cl, static_cast<double>(n_left));
+        double gr = GiniFromCounts(cr, static_cast<double>(n_right));
+        gain = parent_impurity -
+               (n_left * gl + n_right * gr) / static_cast<double>(n);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+      continue;
+    }
+
+    // Exact scan over sorted cut points.
+    sorted.clear();
+    for (size_t i : indices) sorted.emplace_back(x(i, f), i);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    if (task_ == Task::kRegression) {
+      double sl = 0.0, sl2 = 0.0;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        double v = (*ctx->y_reg)[sorted[pos].second];
+        sl += v;
+        sl2 += v * v;
+        if (sorted[pos].first == sorted[pos + 1].first) continue;
+        size_t n_left = pos + 1;
+        size_t n_right = n - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+          continue;
+        }
+        double sr = sum_y - sl, sr2 = sum_y2 - sl2;
+        double var_l = sl2 / n_left - (sl / n_left) * (sl / n_left);
+        double var_r = sr2 / n_right - (sr / n_right) * (sr / n_right);
+        double gain = parent_impurity -
+                      (n_left * var_l + n_right * var_r) / static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (sorted[pos].first + sorted[pos + 1].first);
+        }
+      }
+    } else {
+      std::vector<double> cl(n_classes_, 0.0);
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        cl[(*ctx->y_cls)[sorted[pos].second]] += 1.0;
+        if (sorted[pos].first == sorted[pos + 1].first) continue;
+        size_t n_left = pos + 1;
+        size_t n_right = n - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+          continue;
+        }
+        double gl = GiniFromCounts(cl, static_cast<double>(n_left));
+        double gr = 0.0;
+        {
+          double total_r = static_cast<double>(n_right);
+          double g = 1.0;
+          for (int c = 0; c < n_classes_; ++c) {
+            double p = (parent_counts[c] - cl[c]) / total_r;
+            g -= p * p;
+          }
+          gr = g;
+        }
+        double gain = parent_impurity -
+                      (n_left * gl + n_right * gr) / static_cast<double>(n);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (sorted[pos].first + sorted[pos + 1].first);
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) return MakeLeaf(ctx, indices);
+
+  importances_[best_feature] += best_gain * static_cast<double>(n);
+
+  std::vector<size_t> left_idx, right_idx;
+  left_idx.reserve(n);
+  right_idx.reserve(n);
+  for (size_t i : indices) {
+    if (x(i, best_feature) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  // Free the parent's index list before recursing.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  Node split;
+  split.feature = best_feature;
+  split.threshold = best_threshold;
+  nodes_.push_back(std::move(split));
+  int32_t self = static_cast<int32_t>(nodes_.size() - 1);
+  int32_t left = Build(ctx, left_idx, depth + 1);
+  int32_t right = Build(ctx, right_idx, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double DecisionTree::PredictRow(const double* row) const {
+  FEDFC_DCHECK(!nodes_.empty());
+  int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
+                                                            : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+const std::vector<double>& DecisionTree::PredictDistRow(const double* row) const {
+  FEDFC_DCHECK(!nodes_.empty());
+  int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
+                                                            : nodes_[cur].right;
+  }
+  return nodes_[cur].dist;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,52 @@
+#include "ml/tree/feature_binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace fedfc::ml::gbdt_internal {
+
+BinnedMatrix BinnedMatrix::Build(const Matrix& x, int max_bins) {
+  FEDFC_CHECK(max_bins >= 2 && max_bins <= 255);
+  BinnedMatrix out;
+  out.rows_ = x.rows();
+  out.cols_ = x.cols();
+  out.bins_.assign(out.rows_ * out.cols_, 0);
+  out.n_bins_.assign(out.cols_, 1);
+  out.edges_.resize(out.cols_);
+
+  std::vector<double> col;
+  for (size_t c = 0; c < out.cols_; ++c) {
+    col = x.Column(c);
+    std::sort(col.begin(), col.end());
+    // Candidate edges at quantile positions; deduplicate.
+    std::vector<double>& edges = out.edges_[c];
+    edges.clear();
+    for (int b = 1; b < max_bins; ++b) {
+      double q = static_cast<double>(b) / static_cast<double>(max_bins);
+      size_t pos = std::min(static_cast<size_t>(q * static_cast<double>(col.size())),
+                            col.size() - 1);
+      double e = col[pos];
+      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    }
+    edges.push_back(std::numeric_limits<double>::infinity());
+    out.n_bins_[c] = static_cast<int>(edges.size());
+    for (size_t r = 0; r < out.rows_; ++r) {
+      out.bins_[r * out.cols_ + c] = out.BinValue(c, x(r, c));
+    }
+  }
+  return out;
+}
+
+uint8_t BinnedMatrix::BinValue(size_t col, double value) const {
+  const std::vector<double>& edges = edges_[col];
+  // First bin whose upper edge is >= value.
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  size_t idx = static_cast<size_t>(it - edges.begin());
+  if (idx >= edges.size()) idx = edges.size() - 1;
+  return static_cast<uint8_t>(idx);
+}
+
+}  // namespace fedfc::ml::gbdt_internal

@@ -1,0 +1,41 @@
+#ifndef FEDFC_ML_TREE_FEATURE_BINNING_H_
+#define FEDFC_ML_TREE_FEATURE_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace fedfc::ml::gbdt_internal {
+
+/// Quantile-binned view of a feature matrix, shared by the histogram
+/// (LightGBM-style) and oblivious (CatBoost-style) boosting variants.
+class BinnedMatrix {
+ public:
+  /// Bins each column into at most `max_bins` quantile buckets.
+  static BinnedMatrix Build(const Matrix& x, int max_bins = 32);
+
+  uint8_t bin(size_t row, size_t col) const { return bins_[row * cols_ + col]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// Actual number of bins used for a feature (<= max_bins).
+  int n_bins(size_t col) const { return n_bins_[col]; }
+
+  /// Bins a new (unseen) value of feature `col` using the stored edges.
+  uint8_t BinValue(size_t col, double value) const;
+
+  /// Upper edge of bin b for feature `col` (split "bin <= b" corresponds to
+  /// value <= UpperEdge(col, b)).
+  double UpperEdge(size_t col, int b) const { return edges_[col][b]; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> bins_;             // Row-major (rows x cols).
+  std::vector<int> n_bins_;               // Per feature.
+  std::vector<std::vector<double>> edges_;  // Per feature: upper edges per bin.
+};
+
+}  // namespace fedfc::ml::gbdt_internal
+
+#endif  // FEDFC_ML_TREE_FEATURE_BINNING_H_

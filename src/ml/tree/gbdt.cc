@@ -1,0 +1,153 @@
+#include "ml/tree/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+namespace {
+
+std::vector<size_t> SubsampleRows(size_t n, double fraction, Rng* rng) {
+  if (fraction >= 1.0 || rng == nullptr) return {};
+  size_t k = std::max<size_t>(2, static_cast<size_t>(fraction * n));
+  k = std::min(k, n);
+  return rng->Sample(n, k);
+}
+
+gbdt_internal::GbdtTreeConfig TreeConfigFrom(const GbdtConfig& c) {
+  gbdt_internal::GbdtTreeConfig tc;
+  tc.max_depth = c.max_depth;
+  tc.reg_lambda = c.reg_lambda;
+  tc.min_samples_leaf = c.min_samples_leaf;
+  return tc;
+}
+
+}  // namespace
+
+Status GbdtRegressor::Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("GbdtRegressor: bad shapes");
+  }
+  if (config_.n_estimators == 0 || config_.subsample <= 0.0 ||
+      config_.subsample > 1.0 || config_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("GbdtRegressor: invalid config");
+  }
+  trees_.clear();
+  base_score_ = Mean(y);
+  const size_t n = x.rows();
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> g(n), h(n, 1.0);
+  gbdt_internal::GbdtTreeConfig tc = TreeConfigFrom(config_);
+
+  for (size_t round = 0; round < config_.n_estimators; ++round) {
+    for (size_t i = 0; i < n; ++i) g[i] = pred[i] - y[i];
+    std::vector<size_t> rows = SubsampleRows(n, config_.subsample, rng);
+    gbdt_internal::GbdtTree tree;
+    tree.Fit(x, g, h, rows, tc);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += config_.learning_rate * tree.PredictRow(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> GbdtRegressor::Predict(const Matrix& x) const {
+  FEDFC_CHECK(!trees_.empty()) << "Predict before Fit";
+  std::vector<double> out(x.rows(), base_score_);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < x.rows(); ++r) {
+      out[r] += config_.learning_rate * tree.PredictRow(x.Row(r));
+    }
+  }
+  return out;
+}
+
+std::vector<double> GbdtRegressor::SerializeModel() const {
+  std::vector<double> out;
+  out.push_back(base_score_);
+  out.push_back(config_.learning_rate);
+  out.push_back(static_cast<double>(trees_.size()));
+  for (const auto& tree : trees_) tree.AppendTo(&out);
+  return out;
+}
+
+Status GbdtRegressor::DeserializeModel(const std::vector<double>& data) {
+  if (data.size() < 3) return Status::InvalidArgument("GbdtRegressor: short blob");
+  size_t offset = 0;
+  base_score_ = data[offset++];
+  config_.learning_rate = data[offset++];
+  auto n_trees = static_cast<size_t>(data[offset++]);
+  trees_.clear();
+  for (size_t t = 0; t < n_trees; ++t) {
+    FEDFC_ASSIGN_OR_RETURN(gbdt_internal::GbdtTree tree,
+                           gbdt_internal::GbdtTree::FromSpan(data, &offset));
+    trees_.push_back(std::move(tree));
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument("GbdtRegressor: trailing bytes in blob");
+  }
+  return Status::OK();
+}
+
+Status GbdtClassifier::Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+                           Rng* rng) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("GbdtClassifier: bad shapes");
+  }
+  if (n_classes < 2) {
+    return Status::InvalidArgument("GbdtClassifier: need >= 2 classes");
+  }
+  n_classes_ = n_classes;
+  trees_.clear();
+  const size_t n = x.rows();
+  const size_t k = static_cast<size_t>(n_classes);
+  Matrix scores(n, k, 0.0);
+  std::vector<double> g(n), h(n);
+  gbdt_internal::GbdtTreeConfig tc = TreeConfigFrom(config_);
+
+  for (size_t round = 0; round < config_.n_estimators; ++round) {
+    std::vector<size_t> rows = SubsampleRows(n, config_.subsample, rng);
+    // Shared softmax per row for this round.
+    Matrix proba(n, k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> logits(scores.Row(i), scores.Row(i) + k);
+      std::vector<double> p = Softmax(logits);
+      for (size_t c = 0; c < k; ++c) proba(i, c) = p[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t i = 0; i < n; ++i) {
+        double p = proba(i, c);
+        g[i] = p - (y[i] == static_cast<int>(c) ? 1.0 : 0.0);
+        h[i] = config_.use_hessian ? std::max(p * (1.0 - p), 1e-6) : 1.0;
+      }
+      gbdt_internal::GbdtTree tree;
+      tree.Fit(x, g, h, rows, tc);
+      for (size_t i = 0; i < n; ++i) {
+        scores(i, c) += config_.learning_rate * tree.PredictRow(x.Row(i));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+  return Status::OK();
+}
+
+Matrix GbdtClassifier::PredictProba(const Matrix& x) const {
+  FEDFC_CHECK(!trees_.empty()) << "PredictProba before Fit";
+  const size_t k = static_cast<size_t>(n_classes_);
+  Matrix out(x.rows(), k, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    std::vector<double> logits(k, 0.0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      logits[t % k] += config_.learning_rate * trees_[t].PredictRow(row);
+    }
+    std::vector<double> p = Softmax(logits);
+    for (size_t c = 0; c < k; ++c) out(r, c) = p[c];
+  }
+  return out;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,156 @@
+#include "ml/tree/gbdt_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace fedfc::ml::gbdt_internal {
+
+void GbdtTree::Fit(const Matrix& x, const std::vector<double>& g,
+                   const std::vector<double>& h,
+                   const std::vector<size_t>& sample_indices,
+                   const GbdtTreeConfig& config) {
+  FEDFC_CHECK(g.size() == x.rows() && h.size() == x.rows());
+  nodes_.clear();
+  gains_.assign(x.cols(), 0.0);
+  std::vector<size_t> indices = sample_indices;
+  if (indices.empty()) {
+    indices.resize(x.rows());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  Build(x, g, h, indices, 0, config);
+}
+
+int32_t GbdtTree::Build(const Matrix& x, const std::vector<double>& g,
+                        const std::vector<double>& h, std::vector<size_t>& indices,
+                        int depth, const GbdtTreeConfig& config) {
+  const size_t n = indices.size();
+  double g_sum = 0.0, h_sum = 0.0;
+  for (size_t i : indices) {
+    g_sum += g[i];
+    h_sum += h[i];
+  }
+  auto score = [&](double gs, double hs) {
+    return gs * gs / (hs + config.reg_lambda);
+  };
+
+  bool stop = depth >= config.max_depth || n < 2 * config.min_samples_leaf || n < 2;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = config.min_gain;
+
+  if (!stop) {
+    std::vector<std::pair<double, size_t>> sorted;
+    sorted.reserve(n);
+    for (size_t f = 0; f < x.cols(); ++f) {
+      sorted.clear();
+      for (size_t i : indices) sorted.emplace_back(x(i, f), i);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+      double gl = 0.0, hl = 0.0;
+      for (size_t pos = 0; pos + 1 < n; ++pos) {
+        gl += g[sorted[pos].second];
+        hl += h[sorted[pos].second];
+        if (sorted[pos].first == sorted[pos + 1].first) continue;
+        size_t n_left = pos + 1;
+        size_t n_right = n - n_left;
+        if (n_left < config.min_samples_leaf || n_right < config.min_samples_leaf) {
+          continue;
+        }
+        double gain =
+            0.5 * (score(gl, hl) + score(g_sum - gl, h_sum - hl) -
+                   score(g_sum, h_sum));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (sorted[pos].first + sorted[pos + 1].first);
+        }
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    Node leaf;
+    leaf.weight = -g_sum / (h_sum + config.reg_lambda);
+    nodes_.push_back(leaf);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  gains_[best_feature] += best_gain;
+
+  std::vector<size_t> left_idx, right_idx;
+  left_idx.reserve(n);
+  right_idx.reserve(n);
+  for (size_t i : indices) {
+    if (x(i, best_feature) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+
+  Node split;
+  split.feature = best_feature;
+  split.threshold = best_threshold;
+  nodes_.push_back(split);
+  int32_t self = static_cast<int32_t>(nodes_.size() - 1);
+  int32_t left = Build(x, g, h, left_idx, depth + 1, config);
+  int32_t right = Build(x, g, h, right_idx, depth + 1, config);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void GbdtTree::AppendTo(std::vector<double>* out) const {
+  out->push_back(static_cast<double>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    out->push_back(static_cast<double>(n.feature));
+    out->push_back(n.threshold);
+    out->push_back(static_cast<double>(n.left));
+    out->push_back(static_cast<double>(n.right));
+    out->push_back(n.weight);
+  }
+}
+
+Result<GbdtTree> GbdtTree::FromSpan(const std::vector<double>& data,
+                                    size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::InvalidArgument("GbdtTree: truncated span");
+  }
+  auto n_nodes = static_cast<size_t>(data[(*offset)++]);
+  if (*offset + 5 * n_nodes > data.size()) {
+    return Status::InvalidArgument("GbdtTree: truncated node block");
+  }
+  GbdtTree tree;
+  tree.nodes_.resize(n_nodes);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    Node& n = tree.nodes_[i];
+    n.feature = static_cast<int>(data[(*offset)++]);
+    n.threshold = data[(*offset)++];
+    n.left = static_cast<int32_t>(data[(*offset)++]);
+    n.right = static_cast<int32_t>(data[(*offset)++]);
+    n.weight = data[(*offset)++];
+    if (n.feature >= 0 &&
+        (n.left < 0 || n.right < 0 ||
+         static_cast<size_t>(n.left) >= n_nodes ||
+         static_cast<size_t>(n.right) >= n_nodes)) {
+      return Status::InvalidArgument("GbdtTree: invalid child index");
+    }
+  }
+  return tree;
+}
+
+double GbdtTree::PredictRow(const double* row) const {
+  FEDFC_DCHECK(!nodes_.empty());
+  int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
+                                                            : nodes_[cur].right;
+  }
+  return nodes_[cur].weight;
+}
+
+}  // namespace fedfc::ml::gbdt_internal

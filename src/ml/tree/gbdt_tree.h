@@ -1,0 +1,63 @@
+#ifndef FEDFC_ML_TREE_GBDT_TREE_H_
+#define FEDFC_ML_TREE_GBDT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/result.h"
+
+namespace fedfc::ml::gbdt_internal {
+
+/// Tuning knobs shared by the boosting variants.
+struct GbdtTreeConfig {
+  int max_depth = 4;
+  double reg_lambda = 1.0;
+  size_t min_samples_leaf = 1;
+  double min_gain = 1e-12;
+};
+
+/// One regression tree fitted to first/second-order gradients with the
+/// XGBoost split gain
+///   0.5 * (GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l))
+/// and leaf weight -G/(H+l). Exact greedy split finding on sorted features.
+class GbdtTree {
+ public:
+  /// Fits on the rows in `sample_indices` (all rows when empty). `g` and `h`
+  /// are per-row gradient/hessian; `h` entries must be positive.
+  void Fit(const Matrix& x, const std::vector<double>& g,
+           const std::vector<double>& h, const std::vector<size_t>& sample_indices,
+           const GbdtTreeConfig& config);
+
+  double PredictRow(const double* row) const;
+
+  size_t n_nodes() const { return nodes_.size(); }
+  /// Total split gain per feature (for importances).
+  const std::vector<double>& feature_gains() const { return gains_; }
+
+  /// Flat numeric encoding (for FL model transfer): node count followed by
+  /// (feature, threshold, left, right, weight) per node.
+  void AppendTo(std::vector<double>* out) const;
+  /// Inverse of AppendTo; advances *offset past the consumed span.
+  static Result<GbdtTree> FromSpan(const std::vector<double>& data, size_t* offset);
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double weight = 0.0;
+  };
+
+  int32_t Build(const Matrix& x, const std::vector<double>& g,
+                const std::vector<double>& h, std::vector<size_t>& indices,
+                int depth, const GbdtTreeConfig& config);
+
+  std::vector<Node> nodes_;
+  std::vector<double> gains_;
+};
+
+}  // namespace fedfc::ml::gbdt_internal
+
+#endif  // FEDFC_ML_TREE_GBDT_TREE_H_

@@ -1,0 +1,63 @@
+#ifndef FEDFC_ML_TREE_HIST_GBDT_H_
+#define FEDFC_ML_TREE_HIST_GBDT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree/feature_binning.h"
+
+namespace fedfc::ml {
+
+/// LightGBM-style classifier: histogram-based split finding on quantile bins
+/// with leaf-wise (best-first) tree growth bounded by `max_leaves`. One of
+/// the Table 4 meta-model candidates.
+class HistGbdtClassifier : public Classifier {
+ public:
+  struct Config {
+    size_t n_estimators = 20;
+    int max_leaves = 15;
+    int max_bins = 32;
+    double learning_rate = 0.1;
+    double reg_lambda = 1.0;
+    size_t min_samples_leaf = 2;
+  };
+
+  HistGbdtClassifier() = default;
+  explicit HistGbdtClassifier(Config config) : config_(config) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+             Rng* rng) override;
+  Matrix PredictProba(const Matrix& x) const override;
+
+  std::string Name() const override { return "LightGBMClassifier"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<HistGbdtClassifier>(*this);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves.
+    double threshold = 0.0; ///< Raw-value threshold (go left when <=).
+    int32_t left = -1;
+    int32_t right = -1;
+    double weight = 0.0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double PredictRow(const double* row) const;
+  };
+
+  Tree BuildTree(const gbdt_internal::BinnedMatrix& binned,
+                 const std::vector<double>& g, const std::vector<double>& h) const;
+
+  Config config_;
+  std::vector<Tree> trees_;  // trees_[round * n_classes + k].
+};
+
+}  // namespace fedfc::ml
+
+#endif  // FEDFC_ML_TREE_HIST_GBDT_H_

@@ -1,0 +1,163 @@
+#include "ml/tree/oblivious_gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+
+namespace {
+double LeafScore(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+}  // namespace
+
+double ObliviousGbdtClassifier::Tree::PredictRow(const double* row) const {
+  size_t leaf = 0;
+  for (size_t l = 0; l < features.size(); ++l) {
+    if (row[features[l]] > thresholds[l]) leaf |= (1u << l);
+  }
+  return leaf_weights[leaf];
+}
+
+ObliviousGbdtClassifier::Tree ObliviousGbdtClassifier::BuildTree(
+    const gbdt_internal::BinnedMatrix& binned, const std::vector<double>& g,
+    const std::vector<double>& h) const {
+  Tree tree;
+  const size_t n = binned.rows();
+  const double lambda = config_.reg_lambda;
+  // leaf_of[i]: current leaf index of row i (grows one bit per level).
+  std::vector<size_t> leaf_of(n, 0);
+
+  for (int level = 0; level < config_.depth; ++level) {
+    const size_t n_groups = 1u << level;
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    int best_bin = -1;
+
+    // Current score: sum over groups of G^2/(H+l).
+    std::vector<double> group_g(n_groups, 0.0), group_h(n_groups, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      group_g[leaf_of[i]] += g[i];
+      group_h[leaf_of[i]] += h[i];
+    }
+    double parent_score = 0.0;
+    for (size_t gr = 0; gr < n_groups; ++gr) {
+      parent_score += LeafScore(group_g[gr], group_h[gr], lambda);
+    }
+
+    std::vector<double> hg, hh;
+    for (size_t f = 0; f < binned.cols(); ++f) {
+      int nb = binned.n_bins(f);
+      if (nb < 2) continue;
+      // Histogram per (group, bin).
+      hg.assign(n_groups * nb, 0.0);
+      hh.assign(n_groups * nb, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        size_t slot = leaf_of[i] * nb + binned.bin(i, f);
+        hg[slot] += g[i];
+        hh[slot] += h[i];
+      }
+      // Scan candidate bins; the same bin threshold splits every group.
+      for (int b = 0; b + 1 < nb; ++b) {
+        double score = 0.0;
+        for (size_t gr = 0; gr < n_groups; ++gr) {
+          double gl = 0.0, hl = 0.0;
+          for (int bb = 0; bb <= b; ++bb) {
+            gl += hg[gr * nb + bb];
+            hl += hh[gr * nb + bb];
+          }
+          score += LeafScore(gl, hl, lambda) +
+                   LeafScore(group_g[gr] - gl, group_h[gr] - hl, lambda);
+        }
+        double gain = 0.5 * (score - parent_score);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) break;  // No useful split at this level.
+    tree.features.push_back(best_feature);
+    tree.thresholds.push_back(binned.UpperEdge(best_feature, best_bin));
+    for (size_t i = 0; i < n; ++i) {
+      if (binned.bin(i, best_feature) > best_bin) {
+        leaf_of[i] |= (1u << level);
+      }
+    }
+  }
+
+  const size_t n_leaves = 1u << tree.features.size();
+  std::vector<double> leaf_g(n_leaves, 0.0), leaf_h(n_leaves, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    leaf_g[leaf_of[i]] += g[i];
+    leaf_h[leaf_of[i]] += h[i];
+  }
+  tree.leaf_weights.resize(n_leaves);
+  for (size_t lf = 0; lf < n_leaves; ++lf) {
+    tree.leaf_weights[lf] = -leaf_g[lf] / (leaf_h[lf] + lambda);
+  }
+  return tree;
+}
+
+Status ObliviousGbdtClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                                    int n_classes, Rng* /*rng*/) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("ObliviousGbdt: bad shapes");
+  }
+  if (n_classes < 2) {
+    return Status::InvalidArgument("ObliviousGbdt: need >= 2 classes");
+  }
+  n_classes_ = n_classes;
+  trees_.clear();
+  gbdt_internal::BinnedMatrix binned =
+      gbdt_internal::BinnedMatrix::Build(x, config_.max_bins);
+
+  const size_t n = x.rows();
+  const size_t k = static_cast<size_t>(n_classes);
+  Matrix scores(n, k, 0.0);
+  std::vector<double> g(n), h(n);
+
+  for (size_t round = 0; round < config_.n_estimators; ++round) {
+    Matrix proba(n, k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> logits(scores.Row(i), scores.Row(i) + k);
+      std::vector<double> p = Softmax(logits);
+      for (size_t c = 0; c < k; ++c) proba(i, c) = p[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t i = 0; i < n; ++i) {
+        double p = proba(i, c);
+        g[i] = p - (y[i] == static_cast<int>(c) ? 1.0 : 0.0);
+        h[i] = std::max(p * (1.0 - p), 1e-6);
+      }
+      Tree tree = BuildTree(binned, g, h);
+      for (size_t i = 0; i < n; ++i) {
+        scores(i, c) += config_.learning_rate * tree.PredictRow(x.Row(i));
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+  return Status::OK();
+}
+
+Matrix ObliviousGbdtClassifier::PredictProba(const Matrix& x) const {
+  FEDFC_CHECK(!trees_.empty()) << "PredictProba before Fit";
+  const size_t k = static_cast<size_t>(n_classes_);
+  Matrix out(x.rows(), k, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.Row(r);
+    std::vector<double> logits(k, 0.0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      logits[t % k] += config_.learning_rate * trees_[t].PredictRow(row);
+    }
+    std::vector<double> p = Softmax(logits);
+    for (size_t c = 0; c < k; ++c) out(r, c) = p[c];
+  }
+  return out;
+}
+
+}  // namespace fedfc::ml

@@ -1,0 +1,60 @@
+#ifndef FEDFC_ML_TREE_OBLIVIOUS_GBDT_H_
+#define FEDFC_ML_TREE_OBLIVIOUS_GBDT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree/feature_binning.h"
+
+namespace fedfc::ml {
+
+/// CatBoost-style classifier built on oblivious (symmetric) trees: every
+/// level of a tree applies the same (feature, threshold) split to all nodes,
+/// so a depth-D tree is a lookup table with 2^D leaves indexed by the D split
+/// outcomes. One of the Table 4 meta-model candidates.
+class ObliviousGbdtClassifier : public Classifier {
+ public:
+  struct Config {
+    size_t n_estimators = 20;
+    int depth = 4;
+    int max_bins = 32;
+    double learning_rate = 0.1;
+    double reg_lambda = 1.0;
+  };
+
+  ObliviousGbdtClassifier() = default;
+  explicit ObliviousGbdtClassifier(Config config) : config_(config) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& y, int n_classes,
+             Rng* rng) override;
+  Matrix PredictProba(const Matrix& x) const override;
+
+  std::string Name() const override { return "CatBoostClassifier"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<ObliviousGbdtClassifier>(*this);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Tree {
+    /// One (feature, threshold) per level; leaf index bit l is set when
+    /// row[feature[l]] > threshold[l].
+    std::vector<int> features;
+    std::vector<double> thresholds;
+    std::vector<double> leaf_weights;  // Size 2^depth.
+    double PredictRow(const double* row) const;
+  };
+
+  Tree BuildTree(const gbdt_internal::BinnedMatrix& binned,
+                 const std::vector<double>& g, const std::vector<double>& h) const;
+
+  Config config_;
+  std::vector<Tree> trees_;  // trees_[round * n_classes + k].
+};
+
+}  // namespace fedfc::ml
+
+#endif  // FEDFC_ML_TREE_OBLIVIOUS_GBDT_H_

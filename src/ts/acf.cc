@@ -1,0 +1,77 @@
+#include "ts/acf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/vec_math.h"
+
+namespace fedfc::ts {
+
+std::vector<double> Acf(const std::vector<double>& values, size_t max_lag) {
+  const size_t n = values.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  acf[0] = 1.0;
+  double mean = Mean(values);
+  double denom = 0.0;
+  for (double v : values) denom += (v - mean) * (v - mean);
+  if (denom <= 0.0) return acf;  // Constant series.
+  for (size_t lag = 1; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (size_t t = lag; t < n; ++t) {
+      num += (values[t] - mean) * (values[t - lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+std::vector<double> Pacf(const std::vector<double>& values, size_t max_lag) {
+  const size_t n = values.size();
+  if (max_lag + 1 >= n) max_lag = n > 2 ? n - 2 : 0;
+  std::vector<double> rho = Acf(values, max_lag);
+  std::vector<double> pacf(max_lag, 0.0);
+  if (max_lag == 0) return pacf;
+
+  // Durbin-Levinson: phi[k][j] are AR(k) coefficients; pacf[k-1] = phi[k][k].
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi_cur(max_lag + 1, 0.0);
+  double v = 1.0;  // Prediction error variance (normalized).
+  for (size_t k = 1; k <= max_lag; ++k) {
+    double num = rho[k];
+    for (size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
+    double alpha = (v > 1e-12) ? num / v : 0.0;
+    alpha = Clamp(alpha, -1.0, 1.0);
+    phi_cur[k] = alpha;
+    for (size_t j = 1; j < k; ++j) {
+      phi_cur[j] = phi_prev[j] - alpha * phi_prev[k - j];
+    }
+    v *= (1.0 - alpha * alpha);
+    pacf[k - 1] = alpha;
+    phi_prev = phi_cur;
+  }
+  return pacf;
+}
+
+SignificantLags FindSignificantPacfLags(const std::vector<double>& values,
+                                        size_t max_lag) {
+  SignificantLags out;
+  const size_t n = values.size();
+  if (n < 8) return out;
+  if (max_lag == 0) max_lag = std::min<size_t>(n / 4, 40);
+  std::vector<double> pacf = Pacf(values, max_lag);
+  double band = 1.96 / std::sqrt(static_cast<double>(n));
+  for (size_t i = 0; i < pacf.size(); ++i) {
+    if (std::fabs(pacf[i]) > band) out.lags.push_back(i + 1);
+  }
+  if (out.lags.size() >= 2) {
+    size_t first = out.lags.front();
+    size_t last = out.lags.back();
+    size_t span = last - first + 1;
+    out.insignificant_between = span - out.lags.size();
+  }
+  return out;
+}
+
+}  // namespace fedfc::ts

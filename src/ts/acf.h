@@ -1,0 +1,33 @@
+#ifndef FEDFC_TS_ACF_H_
+#define FEDFC_TS_ACF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedfc::ts {
+
+/// Sample autocorrelation function for lags 0..max_lag (inclusive).
+/// acf[0] == 1 by construction; constant series return all-zero correlations
+/// beyond lag 0.
+std::vector<double> Acf(const std::vector<double>& values, size_t max_lag);
+
+/// Partial autocorrelation function for lags 1..max_lag via the
+/// Durbin-Levinson recursion on the sample ACF. pacf[0] corresponds to lag 1.
+std::vector<double> Pacf(const std::vector<double>& values, size_t max_lag);
+
+struct SignificantLags {
+  /// Lags (>= 1) whose |PACF| exceeds the large-sample 95% band 1.96/sqrt(n).
+  std::vector<size_t> lags;
+  /// Count of insignificant lags strictly between the first and last
+  /// significant ones (a Table 1 meta-feature).
+  size_t insignificant_between = 0;
+};
+
+/// Finds statistically significant PACF lags (paper Section 4.2.1, lag
+/// features). `max_lag` defaults to min(n/4, 40) when 0.
+SignificantLags FindSignificantPacfLags(const std::vector<double>& values,
+                                        size_t max_lag = 0);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_ACF_H_

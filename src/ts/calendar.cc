@@ -1,0 +1,71 @@
+#include "ts/calendar.h"
+
+namespace fedfc::ts {
+
+namespace {
+
+/// Days from 1970-01-01 to year-month-day (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+struct Ymd {
+  int64_t y;
+  unsigned m;
+  unsigned d;
+};
+
+Ymd CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  return {y + (m <= 2), m, d};
+}
+
+}  // namespace
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+CivilTime CivilFromEpoch(int64_t epoch_seconds) {
+  int64_t days = epoch_seconds / 86400;
+  int64_t secs = epoch_seconds % 86400;
+  if (secs < 0) {
+    secs += 86400;
+    days -= 1;
+  }
+  Ymd ymd = CivilFromDays(days);
+  CivilTime out;
+  out.year = static_cast<int>(ymd.y);
+  out.month = static_cast<int>(ymd.m);
+  out.day = static_cast<int>(ymd.d);
+  // 1970-01-01 (day 0) was a Thursday => Monday-based weekday index 3.
+  int64_t wd = (days % 7 + 7 + 3) % 7;
+  out.weekday = static_cast<int>(wd);
+  out.hour = static_cast<int>(secs / 3600);
+  out.minute = static_cast<int>((secs % 3600) / 60);
+  out.day_of_year =
+      static_cast<int>(days - DaysFromCivil(ymd.y, 1, 1)) + 1;
+  return out;
+}
+
+int64_t EpochFromCivil(int year, int month, int day, int hour, int minute,
+                       int second) {
+  int64_t days = DaysFromCivil(year, static_cast<unsigned>(month),
+                               static_cast<unsigned>(day));
+  return days * 86400 + hour * 3600 + minute * 60 + second;
+}
+
+}  // namespace fedfc::ts

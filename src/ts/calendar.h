@@ -1,0 +1,32 @@
+#ifndef FEDFC_TS_CALENDAR_H_
+#define FEDFC_TS_CALENDAR_H_
+
+#include <cstdint>
+
+namespace fedfc::ts {
+
+/// Broken-down civil time (UTC) for a Unix epoch-seconds timestamp.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;        ///< 1..12
+  int day = 1;          ///< 1..31
+  int weekday = 4;      ///< 0=Monday .. 6=Sunday (1970-01-01 was a Thursday).
+  int hour = 0;         ///< 0..23
+  int minute = 0;       ///< 0..59
+  int day_of_year = 1;  ///< 1..366
+};
+
+/// Converts epoch seconds to civil UTC time using the days-from-civil
+/// algorithm (no libc dependency, valid over the proleptic Gregorian
+/// calendar).
+CivilTime CivilFromEpoch(int64_t epoch_seconds);
+
+/// Inverse: epoch seconds at midnight UTC of the given civil date.
+int64_t EpochFromCivil(int year, int month, int day, int hour = 0, int minute = 0,
+                       int second = 0);
+
+bool IsLeapYear(int year);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_CALENDAR_H_

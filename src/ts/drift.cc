@@ -1,0 +1,38 @@
+#include "ts/drift.h"
+
+#include <algorithm>
+
+namespace fedfc::ts {
+
+bool PageHinkleyDetector::Update(double value) {
+  ++n_;
+  // Running (possibly forgetting) mean.
+  if (config_.forgetting >= 1.0) {
+    mean_ += (value - mean_) / static_cast<double>(n_);
+  } else {
+    mean_ = n_ == 1 ? value
+                    : config_.forgetting * mean_ + (1.0 - config_.forgetting) * value;
+  }
+  cumulative_ += value - mean_ - config_.delta;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (n_ < config_.min_samples) return false;
+  if (statistic() > config_.threshold) {
+    ++detections_;
+    // Reset for the next regime but keep the detection counter.
+    size_t detections = detections_;
+    Reset();
+    detections_ = detections;
+    return true;
+  }
+  return false;
+}
+
+void PageHinkleyDetector::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+  detections_ = 0;
+}
+
+}  // namespace fedfc::ts

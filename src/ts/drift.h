@@ -1,0 +1,47 @@
+#ifndef FEDFC_TS_DRIFT_H_
+#define FEDFC_TS_DRIFT_H_
+
+#include <cstddef>
+
+namespace fedfc::ts {
+
+/// Page-Hinkley test for upward drift in a stream (here: per-step forecast
+/// losses). Implements the paper's "dynamic model adaptation to adjust for
+/// shifting data distributions" future-work direction: when the cumulative
+/// deviation of recent losses above their running mean exceeds `threshold`,
+/// the stream is flagged as drifted and the engine should re-tune.
+class PageHinkleyDetector {
+ public:
+  struct Config {
+    double delta = 0.005;     ///< Magnitude tolerance (ignore tiny increases).
+    double threshold = 50.0;  ///< Detection threshold (lambda).
+    double forgetting = 1.0;  ///< 1.0 = full history mean; <1 = exponential.
+    size_t min_samples = 30;  ///< No alarms before this many observations.
+  };
+
+  PageHinkleyDetector() = default;
+  explicit PageHinkleyDetector(Config config) : config_(config) {}
+
+  /// Feeds one observation; returns true when drift is detected (the
+  /// detector then resets itself for the next regime).
+  bool Update(double value);
+
+  void Reset();
+
+  size_t n_samples() const { return n_; }
+  /// Current cumulative statistic (m_t - M_t).
+  double statistic() const { return cumulative_ - min_cumulative_; }
+  size_t n_detections() const { return detections_; }
+
+ private:
+  Config config_;
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+  size_t detections_ = 0;
+};
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_DRIFT_H_

@@ -1,0 +1,55 @@
+#include "ts/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/logging.h"
+
+namespace fedfc::ts {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  FEDFC_CHECK(data != nullptr);
+  auto& a = *data;
+  const size_t n = a.size();
+  FEDFC_CHECK(n != 0 && (n & (n - 1)) == 0) << "FFT size must be a power of two";
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                   (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> RealFft(const std::vector<double>& x) {
+  size_t n = NextPowerOfTwo(x.size());
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
+  Fft(&data);
+  return data;
+}
+
+}  // namespace fedfc::ts

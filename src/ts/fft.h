@@ -1,0 +1,23 @@
+#ifndef FEDFC_TS_FFT_H_
+#define FEDFC_TS_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace fedfc::ts {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` computes the unnormalized inverse transform
+/// (caller divides by N).
+void Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+/// FFT of a real signal, zero-padded to the next power of two. Returns the
+/// full complex spectrum of length NextPowerOfTwo(x.size()).
+std::vector<std::complex<double>> RealFft(const std::vector<double>& x);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_FFT_H_

@@ -1,0 +1,54 @@
+#include "ts/fractal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ts {
+
+double HiguchiFractalDimension(const std::vector<double>& values, size_t k_max) {
+  const size_t n = values.size();
+  if (n < 16) return 1.0;
+  if (StdDev(values) < 1e-12) return 1.0;
+  if (k_max == 0) k_max = std::min<size_t>(n / 4, 16);
+  if (k_max < 2) return 1.0;
+
+  std::vector<double> log_k, log_l;
+  for (size_t k = 1; k <= k_max; ++k) {
+    // Average curve length over the k offset sub-series.
+    double lk = 0.0;
+    size_t valid = 0;
+    for (size_t m = 0; m < k; ++m) {
+      size_t steps = (n - 1 - m) / k;
+      if (steps == 0) continue;
+      double length = 0.0;
+      for (size_t i = 1; i <= steps; ++i) {
+        length += std::fabs(values[m + i * k] - values[m + (i - 1) * k]);
+      }
+      // Higuchi normalization factor.
+      double norm = static_cast<double>(n - 1) /
+                    (static_cast<double>(steps) * static_cast<double>(k));
+      lk += length * norm / static_cast<double>(k);
+      ++valid;
+    }
+    if (valid == 0 || lk <= 0.0) continue;
+    lk /= static_cast<double>(valid);
+    log_k.push_back(std::log(1.0 / static_cast<double>(k)));
+    log_l.push_back(std::log(lk));
+  }
+  if (log_k.size() < 2) return 1.0;
+
+  // Slope of log L(k) vs log(1/k) is the fractal dimension.
+  double mx = Mean(log_k), my = Mean(log_l);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < log_k.size(); ++i) {
+    num += (log_k[i] - mx) * (log_l[i] - my);
+    den += (log_k[i] - mx) * (log_k[i] - mx);
+  }
+  if (den <= 0.0) return 1.0;
+  double d = num / den;
+  return Clamp(d, 1.0, 2.0);
+}
+
+}  // namespace fedfc::ts

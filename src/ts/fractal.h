@@ -1,0 +1,17 @@
+#ifndef FEDFC_TS_FRACTAL_H_
+#define FEDFC_TS_FRACTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedfc::ts {
+
+/// Higuchi fractal dimension of a series (Table 1: "Fractal dimension
+/// analysis of target"). Values lie in [1, 2]: ~1 for smooth trends, ~1.5
+/// for a random walk, ~2 for white noise. `k_max` defaults to min(n/4, 16)
+/// when 0. Returns 1.0 for degenerate inputs (constant or too short).
+double HiguchiFractalDimension(const std::vector<double>& values, size_t k_max = 0);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_FRACTAL_H_

@@ -1,0 +1,22 @@
+#ifndef FEDFC_TS_INTERPOLATION_H_
+#define FEDFC_TS_INTERPOLATION_H_
+
+#include <vector>
+
+#include "ts/series.h"
+
+namespace fedfc::ts {
+
+/// Fills missing (NaN) entries by linear interpolation between the nearest
+/// observed neighbours; leading/trailing gaps are filled with the nearest
+/// observed value (forward/backward fill). A fully-missing input is filled
+/// with zeros. This is the imputation step the paper applies before feature
+/// engineering (Section 4.2).
+std::vector<double> LinearInterpolate(const std::vector<double>& values);
+
+/// Convenience overload operating on a Series (time axis preserved).
+Series LinearInterpolate(const Series& series);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_INTERPOLATION_H_

@@ -1,0 +1,28 @@
+#ifndef FEDFC_TS_KL_DIVERGENCE_H_
+#define FEDFC_TS_KL_DIVERGENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedfc::ts {
+
+/// Histogram over fixed [lo, hi] range with `bins` equal-width bins and
+/// additive (Laplace) smoothing so KL divergence stays finite.
+std::vector<double> SmoothedHistogram(const std::vector<double>& values, double lo,
+                                      double hi, size_t bins,
+                                      double smoothing = 1e-3);
+
+/// KL(p || q) for two discrete distributions of equal length (both must be
+/// normalized and strictly positive; SmoothedHistogram guarantees this).
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Pairwise KL divergences among client value distributions (Table 1: "KL
+/// Div. among clients' distribution"). Histograms share a global range pooled
+/// across clients. Returns the flattened list of KL(i || j) for all ordered
+/// pairs i != j; empty when fewer than two non-degenerate clients exist.
+std::vector<double> PairwiseClientKl(
+    const std::vector<std::vector<double>>& client_values, size_t bins = 32);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_KL_DIVERGENCE_H_

@@ -1,0 +1,47 @@
+#include "ts/multi_series.h"
+
+namespace fedfc::ts {
+
+Status MultiSeries::Validate() const {
+  if (covariates.size() != covariate_names.size()) {
+    return Status::InvalidArgument("MultiSeries: names/channels mismatch");
+  }
+  for (size_t c = 0; c < covariates.size(); ++c) {
+    if (covariates[c].size() != target.size()) {
+      return Status::InvalidArgument("MultiSeries: covariate '" +
+                                     covariate_names[c] + "' length mismatch");
+    }
+    if (covariates[c].start_epoch() != target.start_epoch() ||
+        covariates[c].interval_seconds() != target.interval_seconds()) {
+      return Status::InvalidArgument("MultiSeries: covariate '" +
+                                     covariate_names[c] + "' time-axis mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+MultiSeries MultiSeries::Slice(size_t begin, size_t end) const {
+  MultiSeries out;
+  out.target = target.Slice(begin, end);
+  out.covariate_names = covariate_names;
+  out.covariates.reserve(covariates.size());
+  for (const Series& c : covariates) out.covariates.push_back(c.Slice(begin, end));
+  return out;
+}
+
+Result<std::vector<MultiSeries>> SplitMultiIntoClients(const MultiSeries& series,
+                                                       int n_clients,
+                                                       size_t min_instances) {
+  FEDFC_RETURN_IF_ERROR(series.Validate());
+  FEDFC_ASSIGN_OR_RETURN(std::vector<Series> target_splits,
+                         SplitIntoClients(series.target, n_clients, min_instances));
+  std::vector<MultiSeries> out;
+  size_t pos = 0;
+  for (const Series& split : target_splits) {
+    out.push_back(series.Slice(pos, pos + split.size()));
+    pos += split.size();
+  }
+  return out;
+}
+
+}  // namespace fedfc::ts

@@ -1,0 +1,39 @@
+#ifndef FEDFC_TS_MULTI_SERIES_H_
+#define FEDFC_TS_MULTI_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "ts/series.h"
+
+namespace fedfc::ts {
+
+/// A univariate forecasting target plus named exogenous covariate channels
+/// sharing its time axis — the "multivariate time-series" extension the
+/// paper's conclusion names as future work. The target is what gets
+/// forecast; covariates contribute lagged features only.
+struct MultiSeries {
+  Series target;
+  std::vector<std::string> covariate_names;
+  std::vector<Series> covariates;
+
+  size_t size() const { return target.size(); }
+  size_t n_covariates() const { return covariates.size(); }
+
+  /// Checks channel alignment: equal lengths and matching time axes.
+  Status Validate() const;
+
+  /// Sub-range [begin, end) across all channels.
+  MultiSeries Slice(size_t begin, size_t end) const;
+};
+
+/// Contiguous time-series client splits of a multivariate dataset (the
+/// multivariate analogue of SplitIntoClients).
+Result<std::vector<MultiSeries>> SplitMultiIntoClients(const MultiSeries& series,
+                                                       int n_clients,
+                                                       size_t min_instances = 1);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_MULTI_SERIES_H_

@@ -1,0 +1,114 @@
+#include "ts/series.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/logging.h"
+#include "core/vec_math.h"
+
+namespace fedfc::ts {
+
+size_t Series::CountMissing() const {
+  size_t n = 0;
+  for (double v : values_) {
+    if (IsMissing(v)) ++n;
+  }
+  return n;
+}
+
+double Series::MissingFraction() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(CountMissing()) / static_cast<double>(values_.size());
+}
+
+std::vector<double> Series::NonMissingValues() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (double v : values_) {
+    if (!IsMissing(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Series Series::Slice(size_t begin, size_t end) const {
+  FEDFC_CHECK(begin <= end && end <= values_.size());
+  std::vector<double> vals(values_.begin() + begin, values_.begin() + end);
+  return Series(std::move(vals), TimestampAt(begin), interval_seconds_);
+}
+
+Result<std::pair<Series, Series>> Series::TrainValidSplit(double valid_fraction) const {
+  if (valid_fraction <= 0.0 || valid_fraction >= 1.0) {
+    return Status::InvalidArgument("TrainValidSplit: valid_fraction must be in (0,1)");
+  }
+  size_t n_valid = static_cast<size_t>(valid_fraction * static_cast<double>(size()));
+  if (n_valid == 0 || n_valid >= size()) {
+    return Status::InvalidArgument("TrainValidSplit: series too short to split");
+  }
+  size_t n_train = size() - n_valid;
+  return std::make_pair(Slice(0, n_train), Slice(n_train, size()));
+}
+
+std::string Series::ToString(int max_values) const {
+  std::ostringstream os;
+  os << "Series(n=" << size() << ", start=" << start_epoch_
+     << ", interval=" << interval_seconds_ << "s, [";
+  for (size_t i = 0; i < values_.size() && i < static_cast<size_t>(max_values); ++i) {
+    if (i) os << ", ";
+    os << values_[i];
+  }
+  if (values_.size() > static_cast<size_t>(max_values)) os << ", ...";
+  os << "])";
+  return os.str();
+}
+
+std::vector<double> Difference(const std::vector<double>& values, int order) {
+  FEDFC_CHECK(order >= 0);
+  std::vector<double> cur = values;
+  for (int d = 0; d < order; ++d) {
+    if (cur.size() <= 1) return {};
+    std::vector<double> next(cur.size() - 1);
+    for (size_t i = 0; i + 1 < cur.size(); ++i) next[i] = cur[i + 1] - cur[i];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::pair<double, double> StandardizeInPlace(std::vector<double>* values) {
+  FEDFC_CHECK(values != nullptr);
+  std::vector<double> present;
+  present.reserve(values->size());
+  for (double v : *values) {
+    if (!IsMissing(v)) present.push_back(v);
+  }
+  double mean = Mean(present);
+  double sd = std::max(StdDev(present), 1e-12);
+  for (double& v : *values) {
+    if (!IsMissing(v)) v = (v - mean) / sd;
+  }
+  return {mean, sd};
+}
+
+Result<std::vector<Series>> SplitIntoClients(const Series& series, int n_clients,
+                                             size_t min_instances) {
+  if (n_clients <= 0) {
+    return Status::InvalidArgument("SplitIntoClients: n_clients must be positive");
+  }
+  size_t n = series.size();
+  size_t base = n / static_cast<size_t>(n_clients);
+  if (base < min_instances) {
+    return Status::InvalidArgument(
+        "SplitIntoClients: split smaller than min_instances");
+  }
+  size_t rem = n % static_cast<size_t>(n_clients);
+  std::vector<Series> out;
+  out.reserve(n_clients);
+  size_t pos = 0;
+  for (int c = 0; c < n_clients; ++c) {
+    size_t len = base + (static_cast<size_t>(c) < rem ? 1 : 0);
+    out.push_back(series.Slice(pos, pos + len));
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace fedfc::ts

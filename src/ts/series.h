@@ -1,0 +1,91 @@
+#ifndef FEDFC_TS_SERIES_H_
+#define FEDFC_TS_SERIES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace fedfc::ts {
+
+/// Sentinel for missing observations inside a series.
+inline double MissingValue() { return std::numeric_limits<double>::quiet_NaN(); }
+inline bool IsMissing(double x) { return std::isnan(x); }
+
+/// A univariate time series: equally spaced observations with an epoch-second
+/// start time and a sampling interval. Missing observations are NaN.
+///
+/// Timestamps are implicit (start + i * interval) which matches the paper's
+/// regularly-sampled setting and keeps client splits cheap to represent.
+class Series {
+ public:
+  Series() : start_epoch_(0), interval_seconds_(3600) {}
+  Series(std::vector<double> values, int64_t start_epoch, int64_t interval_seconds)
+      : values_(std::move(values)),
+        start_epoch_(start_epoch),
+        interval_seconds_(interval_seconds) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  int64_t start_epoch() const { return start_epoch_; }
+  int64_t interval_seconds() const { return interval_seconds_; }
+  int64_t TimestampAt(size_t i) const {
+    return start_epoch_ + static_cast<int64_t>(i) * interval_seconds_;
+  }
+
+  /// Sampling rate in observations per day (the paper's "Sampling Rate"
+  /// meta-feature). 24 for hourly data, 1 for daily, etc.
+  double SamplesPerDay() const {
+    return 86400.0 / static_cast<double>(interval_seconds_);
+  }
+
+  size_t CountMissing() const;
+  double MissingFraction() const;
+
+  /// Values with missing entries removed (order preserved).
+  std::vector<double> NonMissingValues() const;
+
+  /// Sub-series [begin, end) preserving the time axis.
+  Series Slice(size_t begin, size_t end) const;
+
+  /// Splits into the leading `1 - valid_fraction` (train) and trailing
+  /// `valid_fraction` (validation) — a proper time-series split.
+  Result<std::pair<Series, Series>> TrainValidSplit(double valid_fraction) const;
+
+  std::string ToString(int max_values = 8) const;
+
+ private:
+  std::vector<double> values_;
+  int64_t start_epoch_;
+  int64_t interval_seconds_;
+};
+
+/// d-th order differencing (drops missing-adjacent results to NaN).
+std::vector<double> Difference(const std::vector<double>& values, int order = 1);
+
+/// Standardizes to zero mean / unit variance (missing entries passed through).
+/// Returns {mean, stddev} used, with stddev floored at a tiny epsilon.
+std::pair<double, double> StandardizeInPlace(std::vector<double>* values);
+
+/// Splits a consolidated series into `n_clients` contiguous time-series
+/// chunks, mirroring the paper's federated dataset construction. Sizes differ
+/// by at most one. Returns InvalidArgument if any chunk would be smaller than
+/// `min_instances`.
+Result<std::vector<Series>> SplitIntoClients(const Series& series, int n_clients,
+                                             size_t min_instances = 1);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_SERIES_H_

@@ -1,0 +1,153 @@
+#include "ts/trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/matrix.h"
+#include "core/vec_math.h"
+#include "ts/adf.h"
+
+namespace fedfc::ts {
+
+namespace {
+
+double ComputeR2(const std::vector<double>& y, const std::vector<double>& fitted) {
+  double my = Mean(y);
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_tot += (y[i] - my) * (y[i] - my);
+    ss_res += (y[i] - fitted[i]) * (y[i] - fitted[i]);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+TrendModel FitLinear(const std::vector<double>& y) {
+  const size_t n = y.size();
+  Matrix x(n, 2);
+  for (size_t t = 0; t < n; ++t) {
+    x(t, 0) = 1.0;
+    x(t, 1) = static_cast<double>(t);
+  }
+  TrendModel m;
+  m.kind = TrendKind::kLinear;
+  Result<std::vector<double>> beta = LeastSquares(x, y);
+  if (!beta.ok()) {
+    m.kind = TrendKind::kFlat;
+    m.level = Mean(y);
+    return m;
+  }
+  m.level = (*beta)[0];
+  m.slope = (*beta)[1];
+  m.r2 = ComputeR2(y, m.EvaluateRange(n));
+  return m;
+}
+
+TrendModel FitLogistic(const std::vector<double>& y) {
+  TrendModel m;
+  m.kind = TrendKind::kLogistic;
+  const size_t n = y.size();
+  double lo = Min(y), hi = Max(y);
+  double range = hi - lo;
+  if (range <= 0.0 || n < 8) {
+    m.r2 = -1.0;
+    return m;
+  }
+  // Saturating band slightly wider than the observed range so the logit
+  // transform stays finite.
+  m.offset = lo - 0.05 * range;
+  m.cap = 1.10 * range;
+  // Linearize: logit((y - offset)/cap) = growth * (t - midpoint).
+  std::vector<double> t_axis, z;
+  t_axis.reserve(n);
+  z.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    double frac = (y[t] - m.offset) / m.cap;
+    frac = Clamp(frac, 1e-6, 1.0 - 1e-6);
+    t_axis.push_back(static_cast<double>(t));
+    z.push_back(std::log(frac / (1.0 - frac)));
+  }
+  Matrix x(n, 2);
+  for (size_t t = 0; t < n; ++t) {
+    x(t, 0) = 1.0;
+    x(t, 1) = t_axis[t];
+  }
+  Result<std::vector<double>> beta = LeastSquares(x, z);
+  if (!beta.ok() || std::fabs((*beta)[1]) < 1e-12) {
+    m.r2 = -1.0;
+    return m;
+  }
+  m.growth = (*beta)[1];
+  m.midpoint = -(*beta)[0] / (*beta)[1];
+  m.r2 = ComputeR2(y, m.EvaluateRange(n));
+  return m;
+}
+
+}  // namespace
+
+const char* TrendKindName(TrendKind kind) {
+  switch (kind) {
+    case TrendKind::kFlat:
+      return "flat";
+    case TrendKind::kLinear:
+      return "linear";
+    case TrendKind::kLogistic:
+      return "logistic";
+  }
+  return "?";
+}
+
+double TrendModel::Evaluate(double t) const {
+  switch (kind) {
+    case TrendKind::kFlat:
+      return level;
+    case TrendKind::kLinear:
+      return level + slope * t;
+    case TrendKind::kLogistic:
+      return offset + cap / (1.0 + std::exp(-growth * (t - midpoint)));
+  }
+  return level;
+}
+
+std::vector<double> TrendModel::EvaluateRange(size_t n) const {
+  std::vector<double> out(n);
+  for (size_t t = 0; t < n; ++t) out[t] = Evaluate(static_cast<double>(t));
+  return out;
+}
+
+std::string TrendModel::ToString() const {
+  std::ostringstream os;
+  os << "Trend(" << TrendKindName(kind);
+  switch (kind) {
+    case TrendKind::kFlat:
+      os << ", level=" << level;
+      break;
+    case TrendKind::kLinear:
+      os << ", level=" << level << ", slope=" << slope;
+      break;
+    case TrendKind::kLogistic:
+      os << ", cap=" << cap << ", growth=" << growth << ", midpoint=" << midpoint;
+      break;
+  }
+  os << ", r2=" << r2 << ")";
+  return os.str();
+}
+
+TrendModel FitTrend(const std::vector<double>& values) {
+  TrendModel flat;
+  flat.kind = TrendKind::kFlat;
+  flat.level = Mean(values);
+  if (values.size() < 16) return flat;
+  if (IsStationary(values, /*fallback=*/false)) return flat;
+
+  TrendModel linear = FitLinear(values);
+  TrendModel logistic = FitLogistic(values);
+  // Prophet defaults to linear growth; require a clear margin before picking
+  // the saturating family.
+  if (logistic.r2 > linear.r2 + 0.02) return logistic;
+  if (linear.kind == TrendKind::kLinear && linear.r2 > 0.0) return linear;
+  return flat;
+}
+
+}  // namespace fedfc::ts

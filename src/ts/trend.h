@@ -1,0 +1,47 @@
+#ifndef FEDFC_TS_TREND_H_
+#define FEDFC_TS_TREND_H_
+
+#include <string>
+#include <vector>
+
+namespace fedfc::ts {
+
+/// Trend family chosen by the ADF-gated fit (paper Section 4.2.1: Prophet is
+/// used only to extract a trend component; we fit the equivalent parametric
+/// families directly).
+enum class TrendKind { kFlat, kLinear, kLogistic };
+
+const char* TrendKindName(TrendKind kind);
+
+/// Parametric trend over the integer time index t = 0, 1, 2, ...
+struct TrendModel {
+  TrendKind kind = TrendKind::kFlat;
+  // kFlat:     level
+  // kLinear:   level + slope * t
+  // kLogistic: offset + cap / (1 + exp(-growth * (t - midpoint)))
+  double level = 0.0;
+  double slope = 0.0;
+  double cap = 0.0;
+  double growth = 0.0;
+  double midpoint = 0.0;
+  double offset = 0.0;
+  /// In-sample R^2 of the fit (0 for kFlat).
+  double r2 = 0.0;
+
+  double Evaluate(double t) const;
+  /// Trend evaluated at t = 0..n-1.
+  std::vector<double> EvaluateRange(size_t n) const;
+
+  std::string ToString() const;
+};
+
+/// Fits a trend component:
+///  - ADF says stationary           -> flat trend at the series mean;
+///  - otherwise fit linear and logistic candidates, keep the better R^2
+///    (logistic only wins when it improves R^2 by a clear margin, mirroring
+///    Prophet's default-linear behaviour).
+TrendModel FitTrend(const std::vector<double>& values);
+
+}  // namespace fedfc::ts
+
+#endif  // FEDFC_TS_TREND_H_

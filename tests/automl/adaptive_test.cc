@@ -1,0 +1,99 @@
+#include "automl/adaptive.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::automl {
+namespace {
+
+AdaptiveForecaster::Options FastOptions() {
+  AdaptiveForecaster::Options opt;
+  opt.engine.use_meta_model = false;
+  opt.engine.max_iterations = 4;
+  opt.engine.time_budget_seconds = 30.0;
+  opt.engine.seed = 3;
+  opt.drift.threshold = 8.0;
+  opt.drift.min_samples = 10;
+  return opt;
+}
+
+std::vector<ts::Series> SeasonalClients(size_t n_clients, size_t per_client,
+                                        double level, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ts::Series> out;
+  for (size_t c = 0; c < n_clients; ++c) {
+    std::vector<double> v(per_client);
+    for (size_t t = 0; t < per_client; ++t) {
+      v[t] = level + 2.0 * std::sin(2.0 * std::numbers::pi * t / 24.0) +
+             rng.Normal(0.0, 0.2);
+    }
+    out.emplace_back(std::move(v), 0, 3600);
+  }
+  return out;
+}
+
+TEST(AdaptiveTest, InitializeFitsGlobalModel) {
+  AdaptiveForecaster adaptive(nullptr, FastOptions());
+  ASSERT_TRUE(adaptive.Initialize(SeasonalClients(3, 150, 10.0, 1)).ok());
+  EXPECT_EQ(adaptive.n_clients(), 3u);
+  EXPECT_EQ(adaptive.n_retunes(), 0u);
+  EXPECT_GT(adaptive.report().best_valid_loss, 0.0);
+}
+
+TEST(AdaptiveTest, ObserveBeforeInitializeFails) {
+  AdaptiveForecaster adaptive(nullptr, FastOptions());
+  EXPECT_EQ(adaptive.ObserveStep({1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptiveTest, RejectsWrongClientCount) {
+  AdaptiveForecaster adaptive(nullptr, FastOptions());
+  ASSERT_TRUE(adaptive.Initialize(SeasonalClients(3, 150, 10.0, 2)).ok());
+  EXPECT_FALSE(adaptive.ObserveStep({1.0, 2.0}).ok());
+}
+
+TEST(AdaptiveTest, StationaryStreamDoesNotRetune) {
+  AdaptiveForecaster adaptive(nullptr, FastOptions());
+  std::vector<ts::Series> clients = SeasonalClients(3, 150, 10.0, 3);
+  ASSERT_TRUE(adaptive.Initialize(clients).ok());
+  Rng rng(4);
+  for (int step = 0; step < 40; ++step) {
+    std::vector<double> values(3);
+    for (size_t j = 0; j < 3; ++j) {
+      double t = 150.0 + step;
+      values[j] = 10.0 + 2.0 * std::sin(2.0 * std::numbers::pi * t / 24.0) +
+                  rng.Normal(0.0, 0.2);
+    }
+    Result<AdaptiveForecaster::StepResult> r = adaptive.ObserveStep(values);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_GE(r->federated_loss, 0.0);
+  }
+  EXPECT_EQ(adaptive.n_retunes(), 0u);
+}
+
+TEST(AdaptiveTest, RegimeShiftTriggersRetune) {
+  AdaptiveForecaster adaptive(nullptr, FastOptions());
+  ASSERT_TRUE(adaptive.Initialize(SeasonalClients(3, 150, 10.0, 5)).ok());
+  Rng rng(6);
+  bool retuned = false;
+  // Warm the detector on the old regime, then jump the level 10 -> 40.
+  for (int step = 0; step < 80 && !retuned; ++step) {
+    double level = step < 15 ? 10.0 : 40.0;
+    std::vector<double> values(3);
+    for (size_t j = 0; j < 3; ++j) {
+      values[j] = level + rng.Normal(0.0, 0.2);
+    }
+    Result<AdaptiveForecaster::StepResult> r = adaptive.ObserveStep(values);
+    ASSERT_TRUE(r.ok()) << r.status();
+    retuned = r->retuned;
+  }
+  EXPECT_TRUE(retuned);
+  EXPECT_GE(adaptive.n_retunes(), 1u);
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -1,0 +1,197 @@
+#include "automl/bayesopt/bayes_opt.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "automl/bayesopt/gp.h"
+
+namespace fedfc::automl {
+namespace {
+
+TEST(KernelTest, UnitValueAtZeroDistance) {
+  EXPECT_NEAR(KernelValue(KernelKind::kRbf, 0.0, 0.3, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(KernelValue(KernelKind::kMatern52, 0.0, 0.3, 1.0), 1.0, 1e-12);
+}
+
+TEST(KernelTest, DecreasesWithDistance) {
+  for (KernelKind kind : {KernelKind::kRbf, KernelKind::kMatern52}) {
+    double prev = KernelValue(kind, 0.0, 0.5, 1.0);
+    for (double d2 : {0.01, 0.1, 0.5, 1.0, 4.0}) {
+      double v = KernelValue(kind, d2, 0.5, 1.0);
+      EXPECT_LT(v, prev);
+      EXPECT_GT(v, 0.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  Matrix x({{0.1}, {0.5}, {0.9}});
+  std::vector<double> y = {1.0, -1.0, 2.0};
+  GpConfig cfg;
+  cfg.noise_var = 1e-8;
+  GaussianProcess gp(cfg);
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    GaussianProcess::Prediction p = gp.Predict({x(i, 0)});
+    EXPECT_NEAR(p.mean, y[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-4);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  Matrix x({{0.4}, {0.5}, {0.6}});
+  std::vector<double> y = {0.0, 0.1, 0.0};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  double near_var = gp.Predict({0.5}).variance;
+  double far_var = gp.Predict({0.0}).variance;
+  EXPECT_GT(far_var, near_var * 2.0);
+}
+
+TEST(GpTest, UnfittedPredictsPrior) {
+  GaussianProcess gp;
+  GaussianProcess::Prediction p = gp.Predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+TEST(GpTest, HandlesDuplicateInputs) {
+  Matrix x({{0.5}, {0.5}, {0.5}});
+  std::vector<double> y = {1.0, 1.1, 0.9};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());  // Jitter escalation must save this.
+  EXPECT_NEAR(gp.Predict({0.5}).mean, 1.0, 0.2);
+}
+
+TEST(GpTest, RejectsBadShapes) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit(Matrix(), {}).ok());
+  Matrix x({{0.1}});
+  EXPECT_FALSE(gp.Fit(x, {1.0, 2.0}).ok());
+}
+
+TEST(EiTest, ZeroVarianceBelowBestGivesImprovement) {
+  // Mean 1 below the best with tiny variance: EI ~= best - mean.
+  EXPECT_NEAR(ExpectedImprovement(1.0, 1e-18, 2.0), 1.0, 1e-6);
+}
+
+TEST(EiTest, HopelessPointGivesNearZero) {
+  EXPECT_LT(ExpectedImprovement(10.0, 0.01, 0.0), 1e-10);
+}
+
+TEST(EiTest, MoreUncertaintyMoreEi) {
+  double low = ExpectedImprovement(1.0, 0.01, 1.0);
+  double high = ExpectedImprovement(1.0, 1.0, 1.0);
+  EXPECT_GT(high, low);
+}
+
+/// 1-D test objective on the Lasso space: loss is minimized at a specific
+/// encoded alpha.
+double TestObjective(const Configuration& config) {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(AlgorithmId::kLasso);
+  std::vector<double> unit = space.Encode(config);
+  double target = 0.3;
+  return (unit[0] - target) * (unit[0] - target);
+}
+
+TEST(BayesianOptimizerTest, ConvergesNearOptimum) {
+  BayesOptConfig cfg;
+  cfg.n_initial_random = 3;
+  cfg.n_candidates = 128;
+  BayesianOptimizer bo(AlgorithmId::kLasso, cfg);
+  Rng rng(1);
+  for (int iter = 0; iter < 25; ++iter) {
+    Configuration c = bo.Propose(&rng);
+    bo.Observe(c, TestObjective(c));
+  }
+  EXPECT_LT(bo.best_loss(), 0.01);
+  EXPECT_EQ(bo.n_observations(), 25u);
+}
+
+TEST(BayesianOptimizerTest, BeatsRandomSearchOnSmoothObjective) {
+  // Same evaluation budget: BO's best should usually beat random sampling.
+  int bo_wins = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    BayesOptConfig cfg;
+    cfg.n_initial_random = 3;
+    BayesianOptimizer bo(AlgorithmId::kLasso, cfg);
+    Rng bo_rng(seed);
+    for (int iter = 0; iter < 15; ++iter) {
+      Configuration c = bo.Propose(&bo_rng);
+      bo.Observe(c, TestObjective(c));
+    }
+    Rng rs_rng(seed + 100);
+    double rs_best = 1e9;
+    const SearchSpace& space = SearchSpace::ForAlgorithm(AlgorithmId::kLasso);
+    for (int iter = 0; iter < 15; ++iter) {
+      rs_best = std::min(rs_best, TestObjective(space.Sample(&rs_rng)));
+    }
+    if (bo.best_loss() <= rs_best) ++bo_wins;
+  }
+  EXPECT_GE(bo_wins, 3);
+}
+
+TEST(BayesianOptimizerTest, IgnoresNonFiniteLosses) {
+  BayesianOptimizer bo(AlgorithmId::kLasso, BayesOptConfig{});
+  Rng rng(2);
+  Configuration c = bo.Propose(&rng);
+  bo.Observe(c, std::nan(""));
+  EXPECT_EQ(bo.n_observations(), 0u);
+}
+
+TEST(PortfolioTest, ExploresAllMembersFirst) {
+  std::vector<AlgorithmId> algos = {AlgorithmId::kLasso, AlgorithmId::kHuber,
+                                    AlgorithmId::kXgb};
+  PortfolioOptimizer portfolio(algos, BayesOptConfig{});
+  Rng rng(3);
+  std::set<AlgorithmId> proposed;
+  for (int iter = 0; iter < 6; ++iter) {
+    Configuration c = portfolio.Propose(&rng);
+    proposed.insert(c.algorithm);
+    portfolio.Observe(c, 1.0);
+  }
+  EXPECT_EQ(proposed.size(), 3u);  // Round robin touched everyone.
+}
+
+TEST(PortfolioTest, TracksGlobalBest) {
+  std::vector<AlgorithmId> algos = {AlgorithmId::kLasso, AlgorithmId::kHuber};
+  PortfolioOptimizer portfolio(algos, BayesOptConfig{});
+  Rng rng(4);
+  for (int iter = 0; iter < 12; ++iter) {
+    Configuration c = portfolio.Propose(&rng);
+    double loss = c.algorithm == AlgorithmId::kHuber ? 0.1 : 1.0;
+    portfolio.Observe(c, loss);
+  }
+  EXPECT_DOUBLE_EQ(portfolio.best_loss(), 0.1);
+  EXPECT_EQ(portfolio.best_config().algorithm, AlgorithmId::kHuber);
+}
+
+// Quadratic objective on the Huber space.
+double TestObjectiveHuber(const Configuration& config) {
+  const SearchSpace& space = SearchSpace::ForAlgorithm(AlgorithmId::kHuber);
+  std::vector<double> unit = space.Encode(config);
+  return (unit[1] - 0.5) * (unit[1] - 0.5);
+}
+
+TEST(PortfolioTest, ConcentratesOnWinningAlgorithm) {
+  std::vector<AlgorithmId> algos = {AlgorithmId::kLasso, AlgorithmId::kHuber};
+  BayesOptConfig cfg;
+  cfg.n_initial_random = 2;
+  PortfolioOptimizer portfolio(algos, cfg);
+  Rng rng(5);
+  int huber_proposals = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    Configuration c = portfolio.Propose(&rng);
+    if (c.algorithm == AlgorithmId::kHuber) ++huber_proposals;
+    // Huber has much lower and improving loss; Lasso is terrible.
+    double loss = c.algorithm == AlgorithmId::kHuber ? TestObjectiveHuber(c) : 10.0;
+    portfolio.Observe(c, loss);
+  }
+  EXPECT_GT(huber_proposals, 15);
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -1,0 +1,163 @@
+#include "automl/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "automl/fed_client.h"
+#include "data/generators.h"
+#include "fl/transport.h"
+#include "ml/tree/random_forest.h"
+
+namespace fedfc::automl {
+namespace {
+
+std::vector<ts::Series> MakeSplits(size_t n_clients, size_t per_client,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  data::SignalSpec spec;
+  spec.length = n_clients * per_client;
+  spec.level = 10.0;
+  spec.seasonalities = {{24.0, 2.0, 0.0}};
+  spec.noise_std = 0.2;
+  spec.ar_coefficient = 0.6;
+  ts::Series series = data::GenerateSignal(spec, &rng);
+  Result<std::vector<ts::Series>> splits =
+      ts::SplitIntoClients(series, static_cast<int>(n_clients));
+  return *splits;
+}
+
+std::unique_ptr<fl::Server> MakeServer(const std::vector<ts::Series>& splits,
+                                       uint64_t seed) {
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < splits.size(); ++j) {
+    ForecastClient::Options opt;
+    opt.seed = seed + j;
+    sizes.push_back(splits[j].size());
+    clients.push_back(std::make_shared<ForecastClient>(
+        "c" + std::to_string(j), splits[j], opt));
+  }
+  return std::make_unique<fl::Server>(
+      std::make_unique<fl::InProcessTransport>(clients), sizes);
+}
+
+/// A pre-trained meta-model over a trivially learnable KB so the engine's
+/// meta-learning path can run without the expensive offline build.
+MetaModel MakeTrainedMetaModel() {
+  KnowledgeBase kb;
+  Rng rng(99);
+  size_t width = features::AggregatedMetaFeatures::FeatureNames().size();
+  for (size_t i = 0; i < 40; ++i) {
+    KnowledgeBaseRecord r;
+    r.dataset_name = "stub_" + std::to_string(i);
+    r.meta_features.resize(width);
+    for (double& v : r.meta_features) v = rng.Normal();
+    r.best_algorithm = static_cast<int>(i % kNumAlgorithms);
+    r.algorithm_losses.assign(kNumAlgorithms, 1.0);
+    r.algorithm_losses[r.best_algorithm] = 0.1;
+    kb.Add(std::move(r));
+  }
+  ml::ForestConfig cfg;
+  cfg.n_trees = 15;
+  MetaModel model(std::make_unique<ml::RandomForestClassifier>(cfg));
+  Rng train_rng(100);
+  EXPECT_TRUE(model.Train(kb, &train_rng).ok());
+  return model;
+}
+
+EngineOptions FastOptions() {
+  EngineOptions opt;
+  opt.max_iterations = 6;
+  opt.time_budget_seconds = 60.0;  // Iteration-bounded in tests.
+  opt.bo.n_candidates = 64;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(EngineTest, FullPipelineProducesReport) {
+  std::vector<ts::Series> splits = MakeSplits(4, 150, 1);
+  auto server = MakeServer(splits, 2);
+  MetaModel meta = MakeTrainedMetaModel();
+  FedForecasterEngine engine(&meta, FastOptions());
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->iterations, 6u);
+  EXPECT_GT(report->best_valid_loss, 0.0);
+  EXPECT_GT(report->test_loss, 0.0);
+  EXPECT_EQ(report->recommended.size(), 3u);
+  EXPECT_FALSE(report->global_model_blob.empty());
+  EXPECT_GT(report->transport.messages, 0u);
+  EXPECT_FALSE(report->loss_history.empty());
+}
+
+TEST(EngineTest, GlobalModelReconstructs) {
+  std::vector<ts::Series> splits = MakeSplits(3, 150, 3);
+  auto server = MakeServer(splits, 4);
+  MetaModel meta = MakeTrainedMetaModel();
+  FedForecasterEngine engine(&meta, FastOptions());
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  Result<std::unique_ptr<ml::Regressor>> model =
+      FedForecasterEngine::GlobalModel(*report);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_FALSE((*model)->Name().empty());
+}
+
+TEST(EngineTest, RandomSearchModeSearchesAllAlgorithms) {
+  std::vector<ts::Series> splits = MakeSplits(3, 150, 5);
+  auto server = MakeServer(splits, 6);
+  EngineOptions opt = FastOptions();
+  opt.strategy = SearchStrategy::kRandom;
+  opt.use_meta_model = false;
+  FedForecasterEngine engine(nullptr, opt);
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->recommended.size(), kNumAlgorithms);
+}
+
+TEST(EngineTest, FeatureSelectionShrinksSchema) {
+  std::vector<ts::Series> splits = MakeSplits(3, 200, 7);
+  auto server = MakeServer(splits, 8);
+  EngineOptions opt = FastOptions();
+  opt.strategy = SearchStrategy::kRandom;
+  opt.use_meta_model = false;
+  opt.feature_selection = true;
+  opt.feature_coverage = 0.6;  // Aggressive cut to force a visible effect.
+  FedForecasterEngine engine(nullptr, opt);
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->spec.selected_features.empty());
+  features::FeatureEngineeringSpec unselected = report->spec;
+  unselected.selected_features.clear();
+  EXPECT_LT(report->spec.selected_features.size(),
+            features::FeatureSchema(unselected).size());
+}
+
+TEST(EngineTest, TimeBudgetStopsTheLoop) {
+  std::vector<ts::Series> splits = MakeSplits(3, 150, 9);
+  auto server = MakeServer(splits, 10);
+  EngineOptions opt = FastOptions();
+  opt.max_iterations = 0;
+  opt.time_budget_seconds = 0.3;
+  opt.strategy = SearchStrategy::kRandom;
+  opt.use_meta_model = false;
+  FedForecasterEngine engine(nullptr, opt);
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->iterations, 1u);
+  EXPECT_LT(report->elapsed_seconds, 20.0);
+}
+
+TEST(EngineTest, LossHistoryBestIsReportedBest) {
+  std::vector<ts::Series> splits = MakeSplits(3, 150, 11);
+  auto server = MakeServer(splits, 12);
+  MetaModel meta = MakeTrainedMetaModel();
+  FedForecasterEngine engine(&meta, FastOptions());
+  Result<EngineReport> report = engine.Run(server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  double best = report->loss_history.front();
+  for (double l : report->loss_history) best = std::min(best, l);
+  EXPECT_DOUBLE_EQ(best, report->best_valid_loss);
+}
+
+}  // namespace
+}  // namespace fedfc::automl

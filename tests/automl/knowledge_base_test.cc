@@ -1,0 +1,96 @@
+#include "automl/knowledge_base.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "features/meta_features.h"
+
+namespace fedfc::automl {
+namespace {
+
+TEST(SampleSeriesTest, LengthAndVariety) {
+  Rng rng(1);
+  ts::Series a = SampleKnowledgeBaseSeries(600, false, &rng);
+  EXPECT_EQ(a.size(), 600u);
+  ts::Series b = SampleKnowledgeBaseSeries(600, true, &rng);
+  EXPECT_EQ(b.size(), 600u);
+  // Different draws differ.
+  bool differs = false;
+  for (size_t i = 0; i < 600; ++i) {
+    if (!ts::IsMissing(a[i]) && !ts::IsMissing(b[i]) && a[i] != b[i]) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BuildRecordTest, ProducesLabelledRecord) {
+  Rng rng(2);
+  ts::Series series = SampleKnowledgeBaseSeries(700, false, &rng);
+  Result<KnowledgeBaseRecord> record =
+      BuildKnowledgeBaseRecord("unit", series, 5, /*grid_per_dim=*/1, 3);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_EQ(record->meta_features.size(),
+            features::AggregatedMetaFeatures::FeatureNames().size());
+  EXPECT_GE(record->best_algorithm, 0);
+  EXPECT_LT(record->best_algorithm, static_cast<int>(kNumAlgorithms));
+  EXPECT_EQ(record->algorithm_losses.size(), kNumAlgorithms);
+  // The winner actually has the lowest loss.
+  double best = record->algorithm_losses[record->best_algorithm];
+  for (double loss : record->algorithm_losses) EXPECT_GE(loss, best);
+}
+
+TEST(BuildRecordTest, RejectsUndersizedSplit) {
+  Rng rng(4);
+  ts::Series series = SampleKnowledgeBaseSeries(100, false, &rng);
+  EXPECT_FALSE(BuildKnowledgeBaseRecord("x", series, 20, 1, 5).ok());
+}
+
+TEST(BuildKnowledgeBaseTest, SmallBaseBuilds) {
+  KnowledgeBaseOptions opt;
+  opt.n_synthetic = 5;
+  opt.n_real_like = 1;
+  opt.grid_per_dim = 1;
+  opt.series_length = 700;
+  opt.seed = 11;
+  Result<KnowledgeBase> kb = BuildKnowledgeBase(opt);
+  ASSERT_TRUE(kb.ok()) << kb.status();
+  EXPECT_GE(kb->size(), 4u);
+  for (const auto& r : kb->records()) {
+    EXPECT_FALSE(r.dataset_name.empty());
+  }
+}
+
+TEST(KnowledgeBaseCsvTest, SaveLoadRoundTrip) {
+  KnowledgeBase kb;
+  KnowledgeBaseRecord r;
+  r.dataset_name = "syn_0";
+  r.meta_features = {1.5, -2.25, 0.0};
+  r.best_algorithm = 3;
+  r.algorithm_losses = {1, 2, 3, 0.5, 4, 5};
+  kb.Add(r);
+  r.dataset_name = "syn_1";
+  r.best_algorithm = 0;
+  kb.Add(r);
+
+  std::string path = std::filesystem::temp_directory_path() / "fedfc_kb.csv";
+  ASSERT_TRUE(kb.SaveCsv(path).ok());
+  Result<KnowledgeBase> back = KnowledgeBase::LoadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->records()[0].dataset_name, "syn_0");
+  EXPECT_EQ(back->records()[0].best_algorithm, 3);
+  EXPECT_EQ(back->records()[0].meta_features, r.meta_features);
+  EXPECT_EQ(back->records()[1].best_algorithm, 0);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeBaseCsvTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(KnowledgeBase::LoadCsv("/nonexistent/kb.csv").ok());
+}
+
+}  // namespace
+}  // namespace fedfc::automl

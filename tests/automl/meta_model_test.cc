@@ -1,0 +1,129 @@
+#include "automl/meta_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/tree/random_forest.h"
+
+namespace fedfc::automl {
+namespace {
+
+/// Synthetic knowledge base whose label is a deterministic function of one
+/// meta-feature, so any sensible classifier can learn it.
+KnowledgeBase MakeLearnableKb(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  KnowledgeBase kb;
+  for (size_t i = 0; i < n; ++i) {
+    KnowledgeBaseRecord r;
+    r.dataset_name = "syn_" + std::to_string(i);
+    double key = rng.Uniform(0.0, 3.0);
+    r.meta_features = {key, rng.Normal(), rng.Normal()};
+    r.best_algorithm = static_cast<int>(key);  // 0, 1 or 2.
+    r.algorithm_losses.assign(kNumAlgorithms, 1.0);
+    r.algorithm_losses[r.best_algorithm] = 0.1;
+    kb.Add(std::move(r));
+  }
+  return kb;
+}
+
+std::unique_ptr<ml::Classifier> SmallForest() {
+  ml::ForestConfig cfg;
+  cfg.n_trees = 40;
+  cfg.tree.max_depth = 8;
+  return std::make_unique<ml::RandomForestClassifier>(cfg);
+}
+
+TEST(MetaModelTest, TrainsAndRecommendsTopK) {
+  KnowledgeBase kb = MakeLearnableKb(120, 1);
+  MetaModel model(SmallForest());
+  EXPECT_FALSE(model.trained());
+  Rng rng(2);
+  ASSERT_TRUE(model.Train(kb, &rng).ok());
+  EXPECT_TRUE(model.trained());
+
+  // A point squarely in the label-1 region.
+  Result<std::vector<AlgorithmId>> rec = model.Recommend({1.5, 0.0, 0.0}, 3);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 3u);
+  EXPECT_EQ(rec->front(), AlgorithmId::kLinearSvr);  // Index 1.
+}
+
+TEST(MetaModelTest, RecommendBeforeTrainFails) {
+  MetaModel model(SmallForest());
+  EXPECT_EQ(model.Recommend({1.0, 2.0, 3.0}, 3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MetaModelTest, RecommendRejectsWrongWidth) {
+  KnowledgeBase kb = MakeLearnableKb(60, 3);
+  MetaModel model(SmallForest());
+  Rng rng(4);
+  ASSERT_TRUE(model.Train(kb, &rng).ok());
+  EXPECT_FALSE(model.Recommend({1.0}, 3).ok());
+}
+
+TEST(MetaModelTest, TopKBoundedByClassCount) {
+  KnowledgeBase kb = MakeLearnableKb(60, 5);
+  MetaModel model(SmallForest());
+  Rng rng(6);
+  ASSERT_TRUE(model.Train(kb, &rng).ok());
+  Result<std::vector<AlgorithmId>> rec = model.Recommend({0.5, 0.0, 0.0}, 100);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), kNumAlgorithms);
+}
+
+TEST(MetaModelTest, CopyIsIndependent) {
+  KnowledgeBase kb = MakeLearnableKb(60, 7);
+  MetaModel model(SmallForest());
+  Rng rng(8);
+  ASSERT_TRUE(model.Train(kb, &rng).ok());
+  MetaModel copy = model;
+  Result<std::vector<AlgorithmId>> a = model.Recommend({1.5, 0.0, 0.0}, 1);
+  Result<std::vector<AlgorithmId>> b = copy.Recommend({1.5, 0.0, 0.0}, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->front(), b->front());
+}
+
+TEST(EvaluateCandidateTest, LearnableKbScoresHighMrr) {
+  KnowledgeBase kb = MakeLearnableKb(150, 9);
+  Rng rng(10);
+  Result<MetaModelEvaluation> eval = EvaluateMetaModelCandidate(
+      [] { return SmallForest(); }, kb, /*top_k=*/3, &rng);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_GT(eval->mrr_at_k, 0.8);
+  EXPECT_GT(eval->f1, 0.7);
+  EXPECT_EQ(eval->model_name, "RandomForestClassifier");
+}
+
+TEST(EvaluateCandidateTest, RejectsTinyKb) {
+  KnowledgeBase kb = MakeLearnableKb(3, 11);
+  Rng rng(12);
+  EXPECT_FALSE(
+      EvaluateMetaModelCandidate([] { return SmallForest(); }, kb, 3, &rng).ok());
+}
+
+TEST(CandidatesTest, AllEightTable4ModelsPresent) {
+  auto candidates = MetaModelCandidates();
+  ASSERT_EQ(candidates.size(), 8u);
+  std::vector<std::string> expected = {
+      "XGBClassifier", "Logistic Regression", "Gradient Boosting",
+      "Random Forest", "CatBoost",            "LightGBM",
+      "Extra Trees",   "MLPClassifier"};
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(candidates[i].first, expected[i]);
+    EXPECT_NE(candidates[i].second(), nullptr);
+  }
+}
+
+TEST(CandidatesTest, EveryCandidateTrainsOnLearnableKb) {
+  KnowledgeBase kb = MakeLearnableKb(100, 13);
+  for (const auto& [name, factory] : MetaModelCandidates()) {
+    Rng rng(14);
+    Result<MetaModelEvaluation> eval =
+        EvaluateMetaModelCandidate(factory, kb, 3, &rng);
+    ASSERT_TRUE(eval.ok()) << name << ": " << eval.status();
+    EXPECT_GT(eval->mrr_at_k, 0.4) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -1,0 +1,153 @@
+#include "automl/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ml/linear/huber.h"
+#include "ml/tree/gbdt.h"
+
+namespace fedfc::automl {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Problem MakeProblem(double slope, uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = Matrix(120, 2);
+  p.y.resize(120);
+  for (size_t i = 0; i < 120; ++i) {
+    p.x(i, 0) = rng.Uniform(-2, 2);
+    p.x(i, 1) = rng.Uniform(-2, 2);
+    p.y[i] = slope * p.x(i, 0) + 0.5 * p.x(i, 1);
+  }
+  return p;
+}
+
+Configuration HuberConfig() {
+  Configuration c;
+  c.algorithm = AlgorithmId::kHuber;
+  c.categorical["epsilon"] = "1.35";
+  c.numeric["alpha"] = 1e-4;
+  return c;
+}
+
+Configuration XgbConfig() {
+  Configuration c;
+  c.algorithm = AlgorithmId::kXgb;
+  c.numeric = {{"n_estimators", 10},
+               {"max_depth", 3},
+               {"learning_rate", 0.2},
+               {"reg_lambda", 1.0},
+               {"subsample", 1.0}};
+  return c;
+}
+
+TEST(ModelIoTest, LinearRoundTrip) {
+  Problem p = MakeProblem(2.0, 1);
+  Configuration config = HuberConfig();
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+  ASSERT_TRUE(model.ok());
+  Rng rng(2);
+  ASSERT_TRUE((*model)->Fit(p.x, p.y, &rng).ok());
+  Result<std::vector<double>> blob = SerializeModel(config, **model);
+  ASSERT_TRUE(blob.ok());
+  Result<std::unique_ptr<ml::Regressor>> restored =
+      DeserializeModel(config, *blob);
+  ASSERT_TRUE(restored.ok());
+  std::vector<double> a = (*model)->Predict(p.x);
+  std::vector<double> b = (*restored)->Predict(p.x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ModelIoTest, XgbRoundTrip) {
+  Problem p = MakeProblem(3.0, 3);
+  Configuration config = XgbConfig();
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+  ASSERT_TRUE(model.ok());
+  Rng rng(4);
+  ASSERT_TRUE((*model)->Fit(p.x, p.y, &rng).ok());
+  Result<std::vector<double>> blob = SerializeModel(config, **model);
+  ASSERT_TRUE(blob.ok());
+  Result<std::unique_ptr<ml::Regressor>> restored =
+      DeserializeModel(config, *blob);
+  ASSERT_TRUE(restored.ok());
+  std::vector<double> a = (*model)->Predict(p.x);
+  std::vector<double> b = (*restored)->Predict(p.x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ModelIoTest, SerializeRejectsUnfittedLinear) {
+  Configuration config = HuberConfig();
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(SerializeModel(config, **model).ok());
+}
+
+TEST(AggregateBlobsTest, LinearBlobsAverage) {
+  Configuration config = HuberConfig();
+  std::vector<std::vector<double>> blobs = {{2.0, 4.0, 1.0}, {4.0, 8.0, 3.0}};
+  Result<std::vector<double>> merged =
+      AggregateModelBlobs(config, blobs, {0.5, 0.5});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ((*merged)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*merged)[1], 6.0);
+  EXPECT_DOUBLE_EQ((*merged)[2], 2.0);
+}
+
+TEST(AggregateBlobsTest, UnnormalizedWeightsRenormalized) {
+  Configuration config = HuberConfig();
+  std::vector<std::vector<double>> blobs = {{2.0}, {4.0}};
+  Result<std::vector<double>> merged =
+      AggregateModelBlobs(config, blobs, {10.0, 30.0});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_DOUBLE_EQ((*merged)[0], 3.5);
+}
+
+TEST(AggregateBlobsTest, XgbMergePredictionEquivalentToEnsemble) {
+  // Two fitted XGB models on different slopes: the merged blob must predict
+  // the weighted average of the two models' predictions.
+  Configuration config = XgbConfig();
+  Problem p1 = MakeProblem(2.0, 5);
+  Problem p2 = MakeProblem(5.0, 6);
+  std::vector<std::vector<double>> blobs;
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  for (const Problem* p : {&p1, &p2}) {
+    Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+    ASSERT_TRUE(model.ok());
+    Rng rng(7);
+    ASSERT_TRUE((*model)->Fit(p->x, p->y, &rng).ok());
+    Result<std::vector<double>> blob = SerializeModel(config, **model);
+    ASSERT_TRUE(blob.ok());
+    blobs.push_back(std::move(*blob));
+    models.push_back(std::move(*model));
+  }
+  std::vector<double> weights = {0.3, 0.7};
+  Result<std::vector<double>> merged = AggregateModelBlobs(config, blobs, weights);
+  ASSERT_TRUE(merged.ok());
+  Result<std::unique_ptr<ml::Regressor>> global =
+      DeserializeModel(config, *merged);
+  ASSERT_TRUE(global.ok());
+
+  std::vector<double> pa = models[0]->Predict(p1.x);
+  std::vector<double> pb = models[1]->Predict(p1.x);
+  std::vector<double> pg = (*global)->Predict(p1.x);
+  for (size_t i = 0; i < pg.size(); ++i) {
+    EXPECT_NEAR(pg[i], 0.3 * pa[i] + 0.7 * pb[i], 1e-9);
+  }
+}
+
+TEST(AggregateBlobsTest, RejectsBadInputs) {
+  Configuration config = HuberConfig();
+  EXPECT_FALSE(AggregateModelBlobs(config, {}, {}).ok());
+  EXPECT_FALSE(AggregateModelBlobs(config, {{1.0}, {1.0, 2.0}}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(AggregateModelBlobs(config, {{1.0}}, {0.0}).ok());
+  Configuration xgb = XgbConfig();
+  EXPECT_FALSE(AggregateModelBlobs(xgb, {{1.0}}, {1.0}).ok());  // Short blob.
+}
+
+}  // namespace
+}  // namespace fedfc::automl

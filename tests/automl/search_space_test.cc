@@ -1,0 +1,164 @@
+#include "automl/search_space.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/tree/gbdt.h"
+
+namespace fedfc::automl {
+namespace {
+
+TEST(AlgorithmTest, NamesAndIndices) {
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kLasso), "Lasso");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kXgb), "XGBRegressor");
+  EXPECT_EQ(AllAlgorithms().size(), kNumAlgorithms);
+  EXPECT_TRUE(AlgorithmFromIndex(0).ok());
+  EXPECT_FALSE(AlgorithmFromIndex(-1).ok());
+  EXPECT_FALSE(AlgorithmFromIndex(6).ok());
+}
+
+TEST(SearchSpaceTest, Table2Dimensions) {
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kLasso).n_dims(), 2u);
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kLinearSvr).n_dims(), 2u);
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kElasticNetCv).n_dims(), 2u);
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kXgb).n_dims(), 5u);
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kHuber).n_dims(), 2u);
+  EXPECT_EQ(SearchSpace::ForAlgorithm(AlgorithmId::kQuantile).n_dims(), 2u);
+}
+
+TEST(SearchSpaceTest, SamplesRespectTable2Ranges) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Configuration c = SearchSpace::ForAlgorithm(AlgorithmId::kXgb).Sample(&rng);
+    EXPECT_GE(c.numeric.at("n_estimators"), 5.0);
+    EXPECT_LE(c.numeric.at("n_estimators"), 20.0);
+    EXPECT_GE(c.numeric.at("max_depth"), 2.0);
+    EXPECT_LE(c.numeric.at("max_depth"), 10.0);
+    EXPECT_GE(c.numeric.at("learning_rate"), 0.01);
+    EXPECT_LE(c.numeric.at("learning_rate"), 1.0);
+    EXPECT_GE(c.numeric.at("reg_lambda"), 0.8);
+    EXPECT_LE(c.numeric.at("reg_lambda"), 10.0);
+    EXPECT_GE(c.numeric.at("subsample"), 0.1);
+    EXPECT_LE(c.numeric.at("subsample"), 1.0);
+    // Integer dims land on integers.
+    EXPECT_DOUBLE_EQ(c.numeric.at("n_estimators"),
+                     std::round(c.numeric.at("n_estimators")));
+  }
+}
+
+TEST(SearchSpaceTest, LogUniformAlphaCoversOrdersOfMagnitude) {
+  Rng rng(2);
+  const SearchSpace& lasso = SearchSpace::ForAlgorithm(AlgorithmId::kLasso);
+  double lo = 1e9, hi = -1e9;
+  for (int trial = 0; trial < 200; ++trial) {
+    double alpha = lasso.Sample(&rng).numeric.at("alpha");
+    EXPECT_GE(alpha, std::exp(-5.0) * 0.999);
+    EXPECT_LE(alpha, 10.0 * 1.001);
+    lo = std::min(lo, alpha);
+    hi = std::max(hi, alpha);
+  }
+  EXPECT_LT(lo, 0.05);  // Samples actually reach the low decades.
+  EXPECT_GT(hi, 1.0);
+}
+
+TEST(SearchSpaceTest, CategoricalChoicesCovered) {
+  Rng rng(3);
+  std::set<std::string> seen;
+  const SearchSpace& huber = SearchSpace::ForAlgorithm(AlgorithmId::kHuber);
+  for (int trial = 0; trial < 100; ++trial) {
+    seen.insert(huber.Sample(&rng).categorical.at("epsilon"));
+  }
+  EXPECT_EQ(seen.size(), 3u);  // {1.0, 1.35, 1.5}.
+}
+
+TEST(SearchSpaceTest, EncodeDecodeRoundTrip) {
+  Rng rng(4);
+  for (AlgorithmId id : AllAlgorithms()) {
+    const SearchSpace& space = SearchSpace::ForAlgorithm(id);
+    for (int trial = 0; trial < 20; ++trial) {
+      Configuration c = space.Sample(&rng);
+      Configuration back = space.Decode(space.Encode(c));
+      EXPECT_EQ(back.algorithm, c.algorithm);
+      for (const auto& [k, v] : c.numeric) {
+        EXPECT_NEAR(back.numeric.at(k), v, 1e-9 + 1e-9 * std::fabs(v))
+            << AlgorithmName(id) << " " << k;
+      }
+      for (const auto& [k, v] : c.categorical) {
+        EXPECT_EQ(back.categorical.at(k), v) << AlgorithmName(id) << " " << k;
+      }
+    }
+  }
+}
+
+TEST(ConfigurationTest, TensorRoundTrip) {
+  Rng rng(5);
+  for (AlgorithmId id : AllAlgorithms()) {
+    Configuration c = SearchSpace::ForAlgorithm(id).Sample(&rng);
+    Result<Configuration> back = Configuration::FromTensor(c.ToTensor());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->algorithm, c.algorithm);
+    EXPECT_EQ(back->categorical, c.categorical);
+  }
+}
+
+TEST(ConfigurationTest, FromTensorRejectsCorruption) {
+  EXPECT_FALSE(Configuration::FromTensor({}).ok());
+  EXPECT_FALSE(Configuration::FromTensor({99.0, 0.5, 0.5}).ok());
+  EXPECT_FALSE(Configuration::FromTensor({0.0, 0.5}).ok());  // Lasso needs 2 dims.
+}
+
+TEST(ConfigurationTest, ToStringMentionsAlgorithmAndParams) {
+  Rng rng(6);
+  Configuration c = SearchSpace::ForAlgorithm(AlgorithmId::kLasso).Sample(&rng);
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("Lasso"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("selection"), std::string::npos);
+}
+
+TEST(GridTest, CoversCategoricalTimesContinuous) {
+  const SearchSpace& lasso = SearchSpace::ForAlgorithm(AlgorithmId::kLasso);
+  std::vector<Configuration> grid = lasso.Grid(3);
+  EXPECT_EQ(grid.size(), 6u);  // 3 alphas x 2 selections.
+  std::set<std::string> selections;
+  for (const auto& c : grid) selections.insert(c.categorical.at("selection"));
+  EXPECT_EQ(selections.size(), 2u);
+}
+
+TEST(GridTest, IntegerAxisLimitedByCardinality) {
+  const SearchSpace& xgb = SearchSpace::ForAlgorithm(AlgorithmId::kXgb);
+  std::vector<Configuration> grid = xgb.Grid(2);
+  EXPECT_EQ(grid.size(), 32u);  // 2^5.
+}
+
+TEST(CreateRegressorTest, AllAlgorithmsInstantiate) {
+  Rng rng(7);
+  for (AlgorithmId id : AllAlgorithms()) {
+    Configuration c = SearchSpace::ForAlgorithm(id).Sample(&rng);
+    Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(c);
+    ASSERT_TRUE(model.ok()) << AlgorithmName(id);
+    EXPECT_FALSE((*model)->Name().empty());
+  }
+}
+
+TEST(CreateRegressorTest, HyperparametersReachTheModel) {
+  Configuration c;
+  c.algorithm = AlgorithmId::kXgb;
+  c.numeric["n_estimators"] = 7;
+  c.numeric["max_depth"] = 3;
+  c.numeric["learning_rate"] = 0.5;
+  c.numeric["reg_lambda"] = 2.0;
+  c.numeric["subsample"] = 0.9;
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(c);
+  ASSERT_TRUE(model.ok());
+  auto* gbdt = dynamic_cast<ml::GbdtRegressor*>(model->get());
+  ASSERT_NE(gbdt, nullptr);
+  EXPECT_EQ(gbdt->config().n_estimators, 7u);
+  EXPECT_EQ(gbdt->config().max_depth, 3);
+  EXPECT_DOUBLE_EQ(gbdt->config().learning_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "automl/knowledge_base.h"
+#include "automl/meta_model.h"
+#include "ml/tree/random_forest.h"
+
+namespace fedfc::automl {
+namespace {
+
+/// KB where record i sits at meta-feature position (i, 0, 0) and carries a
+/// distinctive winning Lasso configuration (alpha index-coded).
+KnowledgeBase MakeKbWithConfigs(size_t n) {
+  KnowledgeBase kb;
+  for (size_t i = 0; i < n; ++i) {
+    KnowledgeBaseRecord r;
+    r.dataset_name = "d" + std::to_string(i);
+    r.meta_features = {static_cast<double>(i), 0.0, 0.0};
+    r.best_algorithm = static_cast<int>(AlgorithmId::kLasso);
+    r.algorithm_losses.assign(kNumAlgorithms, 1.0);
+    r.algorithm_losses[r.best_algorithm] = 0.1;
+    r.best_configs.assign(kNumAlgorithms, {});
+    Configuration lasso;
+    lasso.algorithm = AlgorithmId::kLasso;
+    // Distinct per-record alpha so warm starts are distinguishable.
+    lasso.numeric["alpha"] = 0.001 * static_cast<double>(i + 1);
+    lasso.categorical["selection"] = "cyclic";
+    r.best_configs[static_cast<size_t>(AlgorithmId::kLasso)] = lasso.ToTensor();
+    Configuration huber;
+    huber.algorithm = AlgorithmId::kHuber;
+    huber.categorical["epsilon"] = "1.35";
+    huber.numeric["alpha"] = 0.01;
+    r.best_configs[static_cast<size_t>(AlgorithmId::kHuber)] = huber.ToTensor();
+    kb.Add(std::move(r));
+  }
+  return kb;
+}
+
+MetaModel TrainOn(const KnowledgeBase& kb) {
+  ml::ForestConfig cfg;
+  cfg.n_trees = 10;
+  MetaModel model(std::make_unique<ml::RandomForestClassifier>(cfg));
+  Rng rng(1);
+  EXPECT_TRUE(model.Train(kb, &rng).ok());
+  return model;
+}
+
+TEST(WarmStartTest, NearestNeighbourConfigComesFirst) {
+  KnowledgeBase kb = MakeKbWithConfigs(10);
+  MetaModel model = TrainOn(kb);
+  // Query at position 7: record 7 is nearest.
+  Result<std::vector<Configuration>> configs = model.WarmStartConfigurations(
+      {7.0, 0.0, 0.0}, {AlgorithmId::kLasso}, 2);
+  ASSERT_TRUE(configs.ok()) << configs.status();
+  ASSERT_GE(configs->size(), 1u);
+  EXPECT_EQ(configs->front().algorithm, AlgorithmId::kLasso);
+  EXPECT_NEAR(configs->front().numeric.at("alpha"), 0.008, 0.002);
+}
+
+TEST(WarmStartTest, FiltersToRequestedAlgorithms) {
+  KnowledgeBase kb = MakeKbWithConfigs(6);
+  MetaModel model = TrainOn(kb);
+  Result<std::vector<Configuration>> configs = model.WarmStartConfigurations(
+      {2.0, 0.0, 0.0}, {AlgorithmId::kHuber}, 4);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  for (const Configuration& c : *configs) {
+    EXPECT_EQ(c.algorithm, AlgorithmId::kHuber);
+  }
+}
+
+TEST(WarmStartTest, DeduplicatesIdenticalConfigs) {
+  // All records share the same Huber config: only one should come back.
+  KnowledgeBase kb = MakeKbWithConfigs(5);
+  MetaModel model = TrainOn(kb);
+  Result<std::vector<Configuration>> configs = model.WarmStartConfigurations(
+      {2.0, 0.0, 0.0}, {AlgorithmId::kHuber}, 5);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ(configs->size(), 1u);
+}
+
+TEST(WarmStartTest, RespectsRequestedCount) {
+  KnowledgeBase kb = MakeKbWithConfigs(10);
+  MetaModel model = TrainOn(kb);
+  Result<std::vector<Configuration>> configs = model.WarmStartConfigurations(
+      {5.0, 0.0, 0.0}, {AlgorithmId::kLasso, AlgorithmId::kHuber}, 3);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_LE(configs->size(), 3u);
+  EXPECT_GE(configs->size(), 2u);
+}
+
+TEST(WarmStartTest, UntrainedModelFails) {
+  ml::ForestConfig cfg;
+  MetaModel model(std::make_unique<ml::RandomForestClassifier>(cfg));
+  EXPECT_FALSE(
+      model.WarmStartConfigurations({1.0}, {AlgorithmId::kLasso}, 2).ok());
+}
+
+TEST(WarmStartTest, EmptyConfigBlocksYieldEmptyList) {
+  // Records without stored configs (legacy KB) return no warm starts.
+  KnowledgeBase kb;
+  for (size_t i = 0; i < 6; ++i) {
+    KnowledgeBaseRecord r;
+    r.dataset_name = "d" + std::to_string(i);
+    r.meta_features = {static_cast<double>(i), 0.0};
+    r.best_algorithm = 0;
+    r.algorithm_losses.assign(kNumAlgorithms, 1.0);
+    kb.Add(std::move(r));
+  }
+  MetaModel model = TrainOn(kb);
+  Result<std::vector<Configuration>> configs = model.WarmStartConfigurations(
+      {1.0, 0.0}, AllAlgorithms(), 3);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_TRUE(configs->empty());
+}
+
+TEST(WarmStartTest, KbCsvPersistsConfigs) {
+  KnowledgeBase kb = MakeKbWithConfigs(3);
+  std::string path = "/tmp/fedfc_kb_warm_test.csv";
+  ASSERT_TRUE(kb.SaveCsv(path).ok());
+  Result<KnowledgeBase> back = KnowledgeBase::LoadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  const auto& r = back->records()[1];
+  ASSERT_EQ(r.best_configs.size(), kNumAlgorithms);
+  EXPECT_EQ(r.best_configs[static_cast<size_t>(AlgorithmId::kLasso)],
+            kb.records()[1].best_configs[static_cast<size_t>(AlgorithmId::kLasso)]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -1,0 +1,55 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.h"
+#include "ts/series.h"
+
+namespace fedfc {
+namespace {
+
+TEST(LoggingTest, LevelThresholdRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  FEDFC_LOG(Debug) << "below threshold " << 42;
+  FEDFC_LOG(Info) << "also below threshold";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  FEDFC_CHECK(1 + 1 == 2) << "never evaluated";
+  FEDFC_DCHECK(true);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ FEDFC_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(ToStringTest, MatrixSummary) {
+  Matrix m({{1, 2}, {3, 4}});
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("2x2"), std::string::npos);
+  EXPECT_NE(s.find("[1, 2]"), std::string::npos);
+  // Truncation marker for big matrices.
+  Matrix big(100, 2, 0.0);
+  EXPECT_NE(big.ToString(3).find("..."), std::string::npos);
+}
+
+TEST(ToStringTest, SeriesSummary) {
+  ts::Series s({1, 2, 3}, 0, 3600);
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("3600"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedfc

@@ -1,0 +1,202 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/vec_math.h"
+#include "data/benchmark_suite.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "ts/adf.h"
+#include "ts/periodogram.h"
+
+namespace fedfc::data {
+namespace {
+
+TEST(GeneratorTest, LengthAndDeterminism) {
+  SignalSpec spec;
+  spec.length = 300;
+  Rng r1(5), r2(5);
+  ts::Series a = GenerateSignal(spec, &r1);
+  ts::Series b = GenerateSignal(spec, &r2);
+  EXPECT_EQ(a.size(), 300u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorTest, SeasonalityIsDetectable) {
+  SignalSpec spec;
+  spec.length = 1024;
+  spec.level = 0.0;
+  spec.seasonalities = {{32.0, 5.0, 0.0}};
+  spec.noise_std = 0.5;
+  Rng rng(6);
+  ts::Series s = GenerateSignal(spec, &rng);
+  auto comps = ts::DetectSeasonalities(s.values(), 3);
+  ASSERT_FALSE(comps.empty());
+  EXPECT_NEAR(comps.front().period, 32.0, 3.0);
+}
+
+TEST(GeneratorTest, RandomWalkComponentMakesUnitRoot) {
+  SignalSpec spec;
+  spec.length = 1000;
+  spec.random_walk_std = 1.0;
+  spec.noise_std = 0.01;
+  Rng rng(7);
+  ts::Series s = GenerateSignal(spec, &rng);
+  EXPECT_FALSE(ts::IsStationary(s.values(), true));
+}
+
+TEST(GeneratorTest, MissingFractionApproximatelyRespected) {
+  SignalSpec spec;
+  spec.length = 2000;
+  spec.missing_fraction = 0.2;
+  Rng rng(8);
+  ts::Series s = GenerateSignal(spec, &rng);
+  EXPECT_NEAR(s.MissingFraction(), 0.2, 0.05);
+}
+
+TEST(GeneratorTest, MultiplicativeCompositionScalesWithLevel) {
+  SignalSpec spec;
+  spec.length = 500;
+  spec.level = 100.0;
+  spec.composition = Composition::kMultiplicative;
+  spec.seasonalities = {{24.0, 10.0, 0.0}};
+  spec.noise_std = 0.01;
+  Rng rng(9);
+  ts::Series s = GenerateSignal(spec, &rng);
+  EXPECT_GT(StdDev(s.values()), 1.0);
+  EXPECT_NEAR(Mean(s.values()), 100.0, 20.0);
+}
+
+TEST(GeneratorTest, CorrelatedBasketSharesFactor) {
+  Rng rng(10);
+  std::vector<ts::Series> basket =
+      GenerateCorrelatedBasket(5, 400, 50.0, 0.5, 0.05, 86400, &rng);
+  ASSERT_EQ(basket.size(), 5u);
+  // Pairwise return correlation should be high (common factor dominates).
+  auto returns = [](const ts::Series& s) {
+    std::vector<double> r;
+    for (size_t i = 1; i < s.size(); ++i) r.push_back(s[i] - s[i - 1]);
+    return r;
+  };
+  double corr = PearsonCorrelation(returns(basket[0]), returns(basket[1]));
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(MakeFederatedTest, SplitsAndMinInstances) {
+  SignalSpec spec;
+  spec.length = 1000;
+  Rng rng(11);
+  ts::Series s = GenerateSignal(spec, &rng);
+  Result<FederatedDataset> ds = MakeFederated("test", s, 5, 100);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->n_clients(), 5u);
+  EXPECT_EQ(ds->total_instances(), 1000u);
+  EXPECT_FALSE(ds->naturally_federated);
+  EXPECT_FALSE(MakeFederated("too-small", s, 5, 500).ok());
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  ts::Series s({1.5, ts::MissingValue(), 3.25}, 1000000, 3600);
+  std::string path = std::filesystem::temp_directory_path() / "fedfc_test.csv";
+  ASSERT_TRUE(WriteSeriesCsv(s, path).ok());
+  Result<ts::Series> back = ReadSeriesCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->start_epoch(), 1000000);
+  EXPECT_EQ(back->interval_seconds(), 3600);
+  EXPECT_DOUBLE_EQ((*back)[0], 1.5);
+  EXPECT_TRUE(ts::IsMissing((*back)[1]));
+  EXPECT_DOUBLE_EQ((*back)[2], 3.25);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsBadFiles) {
+  EXPECT_FALSE(ReadSeriesCsv("/nonexistent/path.csv").ok());
+  std::string path = std::filesystem::temp_directory_path() / "fedfc_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "timestamp,value\n100,1.0\n300,2.0\n350,3.0\n";  // Irregular.
+  }
+  EXPECT_FALSE(ReadSeriesCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SplitCsvLineHandlesEmptyFields) {
+  std::vector<std::string> f = SplitCsvLine("a,,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST(BenchmarkSuiteTest, HasTwelveEntriesMatchingTable3) {
+  const auto& info = BenchmarkSuiteInfo();
+  ASSERT_EQ(info.size(), 12u);
+  EXPECT_STREQ(info[0].name, "BOE-XUDLERD");
+  EXPECT_EQ(info[0].paper_length, 15653u);
+  EXPECT_EQ(info[0].paper_clients, 20);
+  EXPECT_STREQ(info[2].name, "USBirthsDaily");
+  EXPECT_EQ(info[2].paper_clients, 5);
+  // The three ETF datasets are naturally federated.
+  for (size_t i = 9; i < 12; ++i) EXPECT_TRUE(info[i].naturally_federated);
+  for (size_t i = 0; i < 9; ++i) EXPECT_FALSE(info[i].naturally_federated);
+}
+
+TEST(BenchmarkSuiteTest, BuildsScaledDataset) {
+  BenchmarkSuiteOptions opt;
+  opt.length_scale = 16.0;
+  Result<FederatedDataset> ds = BuildBenchmarkDataset(2, opt);  // USBirths.
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->n_clients(), 5u);
+  EXPECT_GE(ds->total_instances(), 5u * opt.min_instances_per_client);
+  EXPECT_GT(ds->consolidated.size(), 0u);
+}
+
+TEST(BenchmarkSuiteTest, EtfDatasetsHaveNoConsolidatedSeries) {
+  BenchmarkSuiteOptions opt;
+  opt.length_scale = 8.0;
+  Result<FederatedDataset> ds = BuildBenchmarkDataset(9, opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->naturally_federated);
+  EXPECT_EQ(ds->consolidated.size(), 0u);
+  EXPECT_EQ(ds->n_clients(), 10u);
+}
+
+TEST(BenchmarkSuiteTest, OutOfRangeIndexRejected) {
+  EXPECT_FALSE(BuildBenchmarkDataset(12, BenchmarkSuiteOptions{}).ok());
+}
+
+TEST(BenchmarkSuiteTest, DeterministicForFixedSeed) {
+  BenchmarkSuiteOptions opt;
+  opt.length_scale = 32.0;
+  Result<FederatedDataset> a = BuildBenchmarkDataset(0, opt);
+  Result<FederatedDataset> b = BuildBenchmarkDataset(0, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->clients.size(), b->clients.size());
+  for (size_t i = 0; i < a->clients[0].size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->clients[0][i], b->clients[0][i]);
+  }
+}
+
+// Sweep: every suite entry builds at fast scale with the paper's client count.
+class SuiteSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SuiteSweepTest, BuildsWithPaperClientCount) {
+  BenchmarkSuiteOptions opt;
+  opt.length_scale = 16.0;
+  Result<FederatedDataset> ds = BuildBenchmarkDataset(GetParam(), opt);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(static_cast<int>(ds->n_clients()),
+            BenchmarkSuiteInfo()[GetParam()].paper_clients);
+  for (const auto& client : ds->clients) {
+    EXPECT_GE(client.size(), 100u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, SuiteSweepTest,
+                         ::testing::Range<size_t>(0, 12));
+
+}  // namespace
+}  // namespace fedfc::data

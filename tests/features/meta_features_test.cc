@@ -1,0 +1,200 @@
+#include "features/meta_features.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generators.h"
+
+namespace fedfc::features {
+namespace {
+
+ts::Series SeasonalSeries(size_t n, double period, uint64_t seed) {
+  Rng rng(seed);
+  data::SignalSpec spec;
+  spec.length = n;
+  spec.level = 10.0;
+  spec.seasonalities = {{period, 3.0, 0.0}};
+  spec.noise_std = 0.3;
+  return data::GenerateSignal(spec, &rng);
+}
+
+TEST(ClientMetaFeaturesTest, BasicFieldsPopulated) {
+  ts::Series s = SeasonalSeries(600, 24, 1);
+  ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+  EXPECT_DOUBLE_EQ(m.n_instances, 600.0);
+  EXPECT_DOUBLE_EQ(m.missing_pct, 0.0);
+  EXPECT_DOUBLE_EQ(m.sampling_rate, 1.0);  // Daily sampling.
+  EXPECT_GE(m.fractal_dimension, 1.0);
+  EXPECT_LE(m.fractal_dimension, 2.0);
+  EXPECT_EQ(m.histogram.size(), kHistogramBins);
+}
+
+TEST(ClientMetaFeaturesTest, DetectsSeasonality) {
+  ts::Series s = SeasonalSeries(1024, 32, 2);
+  ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+  ASSERT_GT(m.n_seasonal_components, 0.0);
+  EXPECT_NEAR(m.seasonal_components.front().period, 32.0, 4.0);
+  EXPECT_GT(m.max_seasonal_period, 0.0);
+}
+
+TEST(ClientMetaFeaturesTest, MissingFractionReflected) {
+  Rng rng(3);
+  data::SignalSpec spec;
+  spec.length = 500;
+  spec.missing_fraction = 0.1;
+  ts::Series s = data::GenerateSignal(spec, &rng);
+  ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+  EXPECT_NEAR(m.missing_pct, 0.1, 0.05);
+}
+
+TEST(ClientMetaFeaturesTest, RandomWalkNotStationaryButDiffIs) {
+  // The 5% ADF test has a 5% false-positive rate on unit roots by design, so
+  // assert the majority verdict over seeds rather than any single draw.
+  int non_stationary = 0, diff1_stationary = 0;
+  constexpr int kSeeds = 10;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(seed);
+    data::SignalSpec spec;
+    spec.length = 800;
+    spec.random_walk_std = 1.0;
+    spec.noise_std = 0.01;
+    ts::Series s = data::GenerateSignal(spec, &rng);
+    ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+    if (m.target_stationary == 0.0) ++non_stationary;
+    if (m.stationary_after_diff1 == 1.0) ++diff1_stationary;
+  }
+  EXPECT_GE(non_stationary, 8);
+  EXPECT_EQ(diff1_stationary, kSeeds);
+}
+
+TEST(ClientMetaFeaturesTest, TensorRoundTrip) {
+  ts::Series s = SeasonalSeries(600, 24, 5);
+  ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+  std::vector<double> tensor = m.ToTensor();
+  Result<ClientMetaFeatures> back = ClientMetaFeatures::FromTensor(tensor);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->n_instances, m.n_instances);
+  EXPECT_DOUBLE_EQ(back->skewness, m.skewness);
+  EXPECT_EQ(back->seasonal_components.size(), m.seasonal_components.size());
+  EXPECT_EQ(back->histogram, m.histogram);
+}
+
+TEST(ClientMetaFeaturesTest, FromTensorRejectsCorruption) {
+  EXPECT_FALSE(ClientMetaFeatures::FromTensor({1.0, 2.0}).ok());
+  ts::Series s = SeasonalSeries(400, 16, 6);
+  std::vector<double> tensor = ComputeClientMetaFeatures(s).ToTensor();
+  tensor.pop_back();
+  EXPECT_FALSE(ClientMetaFeatures::FromTensor(tensor).ok());
+}
+
+TEST(ClientMetaFeaturesTest, TinySeriesDoesNotCrash) {
+  ts::Series s({1.0, 2.0, 3.0}, 0, 86400);
+  ClientMetaFeatures m = ComputeClientMetaFeatures(s);
+  EXPECT_DOUBLE_EQ(m.n_instances, 3.0);
+  EXPECT_EQ(m.histogram.size(), kHistogramBins);
+}
+
+std::vector<ClientMetaFeatures> MakeClientSet(size_t n_clients, uint64_t seed) {
+  std::vector<ClientMetaFeatures> out;
+  for (size_t j = 0; j < n_clients; ++j) {
+    out.push_back(ComputeClientMetaFeatures(SeasonalSeries(512, 24, seed + j)));
+  }
+  return out;
+}
+
+TEST(AggregateTest, VectorMatchesSchemaWidth) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(4, 10);
+  Result<AggregatedMetaFeatures> agg =
+      AggregateMetaFeatures(clients, {512, 512, 512, 512});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->values.size(), AggregatedMetaFeatures::FeatureNames().size());
+  EXPECT_DOUBLE_EQ(agg->values[0], 4.0);  // n_clients.
+}
+
+TEST(AggregateTest, InstanceSumAndStats) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(2, 20);
+  clients[0].n_instances = 100;
+  clients[1].n_instances = 300;
+  Result<AggregatedMetaFeatures> agg = AggregateMetaFeatures(clients, {100, 300});
+  ASSERT_TRUE(agg.ok());
+  const auto& names = AggregatedMetaFeatures::FeatureNames();
+  auto at = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return agg->values[i];
+    }
+    ADD_FAILURE() << "no such feature " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(at("instances_sum"), 400.0);
+  EXPECT_DOUBLE_EQ(at("instances_avg"), 200.0);
+  EXPECT_DOUBLE_EQ(at("instances_min"), 100.0);
+  EXPECT_DOUBLE_EQ(at("instances_max"), 300.0);
+}
+
+TEST(AggregateTest, StationarityEntropyZeroWhenUnanimous) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(4, 30);
+  for (auto& c : clients) c.target_stationary = 1.0;
+  Result<AggregatedMetaFeatures> agg =
+      AggregateMetaFeatures(clients, {1, 1, 1, 1});
+  ASSERT_TRUE(agg.ok());
+  const auto& names = AggregatedMetaFeatures::FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "target_stationarity_entropy") {
+      EXPECT_DOUBLE_EQ(agg->values[i], 0.0);
+    }
+  }
+}
+
+TEST(AggregateTest, StationarityEntropyMaxWhenSplit) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(4, 40);
+  clients[0].target_stationary = 1.0;
+  clients[1].target_stationary = 1.0;
+  clients[2].target_stationary = 0.0;
+  clients[3].target_stationary = 0.0;
+  Result<AggregatedMetaFeatures> agg =
+      AggregateMetaFeatures(clients, {1, 1, 1, 1});
+  ASSERT_TRUE(agg.ok());
+  const auto& names = AggregatedMetaFeatures::FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "target_stationarity_entropy") {
+      EXPECT_DOUBLE_EQ(agg->values[i], 1.0);  // Maximum binary entropy.
+    }
+  }
+}
+
+TEST(AggregateTest, GlobalLagAndSeasonalQuantities) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(3, 50);
+  clients[0].n_significant_lags = 3;
+  clients[1].n_significant_lags = 8;
+  clients[2].n_significant_lags = 5;
+  clients[1].max_significant_lag = 12;
+  Result<AggregatedMetaFeatures> agg = AggregateMetaFeatures(clients, {1, 1, 1});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->global_lag_count, 8u);
+  EXPECT_GE(agg->global_max_lag, 12u);
+  // Shared 24-sample seasonality should be merged into one global period.
+  ASSERT_FALSE(agg->global_seasonal_periods.empty());
+  EXPECT_NEAR(agg->global_seasonal_periods.front(), 24.0, 4.0);
+}
+
+TEST(AggregateTest, KlStatsSmallForIdenticalClients) {
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(3, 60);
+  Result<AggregatedMetaFeatures> agg = AggregateMetaFeatures(clients, {1, 1, 1});
+  ASSERT_TRUE(agg.ok());
+  const auto& names = AggregatedMetaFeatures::FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "kl_avg") EXPECT_LT(agg->values[i], 0.5);
+  }
+}
+
+TEST(AggregateTest, RejectsBadInputs) {
+  EXPECT_FALSE(AggregateMetaFeatures({}, {}).ok());
+  std::vector<ClientMetaFeatures> clients = MakeClientSet(2, 70);
+  EXPECT_FALSE(AggregateMetaFeatures(clients, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace fedfc::features

@@ -1,0 +1,135 @@
+#include "fl/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ml/linear/lasso.h"
+#include "ml/tree/gbdt.h"
+
+namespace fedfc::fl {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Problem MakeProblem(double slope, uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = Matrix(100, 1);
+  p.y.resize(100);
+  for (size_t i = 0; i < 100; ++i) {
+    p.x(i, 0) = rng.Uniform(-2, 2);
+    p.y[i] = slope * p.x(i, 0);
+  }
+  return p;
+}
+
+TEST(AggregateModelsTest, LinearModelsFedAvg) {
+  // Two clients with different slopes; equal weights -> averaged slope.
+  Problem p1 = MakeProblem(2.0, 1);
+  Problem p2 = MakeProblem(4.0, 2);
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  ml::LassoRegressor::Config cfg;
+  cfg.alpha = 1e-5;
+  for (const Problem* p : {&p1, &p2}) {
+    auto model = std::make_unique<ml::LassoRegressor>(cfg);
+    Rng rng(3);
+    ASSERT_TRUE(model->Fit(p->x, p->y, &rng).ok());
+    models.push_back(std::move(model));
+  }
+  Result<std::unique_ptr<ml::Regressor>> global =
+      AggregateModels(std::move(models), {0.5, 0.5});
+  ASSERT_TRUE(global.ok());
+  Matrix probe({{1.0}});
+  EXPECT_NEAR((*global)->Predict(probe)[0], 3.0, 0.1);
+}
+
+TEST(AggregateModelsTest, WeightsBiasTheAverage) {
+  Problem p1 = MakeProblem(2.0, 4);
+  Problem p2 = MakeProblem(4.0, 5);
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  ml::LassoRegressor::Config cfg;
+  cfg.alpha = 1e-5;
+  for (const Problem* p : {&p1, &p2}) {
+    auto model = std::make_unique<ml::LassoRegressor>(cfg);
+    Rng rng(6);
+    ASSERT_TRUE(model->Fit(p->x, p->y, &rng).ok());
+    models.push_back(std::move(model));
+  }
+  Result<std::unique_ptr<ml::Regressor>> global =
+      AggregateModels(std::move(models), {1.0, 0.0});
+  ASSERT_TRUE(global.ok());
+  Matrix probe({{1.0}});
+  EXPECT_NEAR((*global)->Predict(probe)[0], 2.0, 0.1);
+}
+
+TEST(AggregateModelsTest, TreeModelsBecomeEnsemble) {
+  Problem p1 = MakeProblem(2.0, 7);
+  Problem p2 = MakeProblem(4.0, 8);
+  std::vector<std::unique_ptr<ml::Regressor>> models;
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 20;
+  for (const Problem* p : {&p1, &p2}) {
+    auto model = std::make_unique<ml::GbdtRegressor>(cfg);
+    Rng rng(9);
+    ASSERT_TRUE(model->Fit(p->x, p->y, &rng).ok());
+    models.push_back(std::move(model));
+  }
+  Result<std::unique_ptr<ml::Regressor>> global =
+      AggregateModels(std::move(models), {0.5, 0.5});
+  ASSERT_TRUE(global.ok());
+  EXPECT_NE((*global)->Name().find("Ensemble"), std::string::npos);
+  Matrix probe({{1.0}});
+  EXPECT_NEAR((*global)->Predict(probe)[0], 3.0, 0.5);
+}
+
+TEST(AggregateModelsTest, RejectsBadInputs) {
+  EXPECT_FALSE(AggregateModels({}, {}).ok());
+}
+
+TEST(EnsembleRegressorTest, WeightedAverageOfMembers) {
+  Problem p1 = MakeProblem(1.0, 10);
+  ml::LassoRegressor::Config cfg;
+  cfg.alpha = 1e-5;
+  auto m1 = std::make_unique<ml::LassoRegressor>(cfg);
+  auto m2 = std::make_unique<ml::LassoRegressor>(cfg);
+  Rng rng(11);
+  ASSERT_TRUE(m1->Fit(p1.x, p1.y, &rng).ok());
+  Problem p2 = MakeProblem(3.0, 12);
+  ASSERT_TRUE(m2->Fit(p2.x, p2.y, &rng).ok());
+
+  EnsembleRegressor ensemble;
+  ensemble.Add(std::move(m1), 3.0);
+  ensemble.Add(std::move(m2), 1.0);
+  EXPECT_EQ(ensemble.size(), 2u);
+  Matrix probe({{1.0}});
+  // (3 * 1.0 + 1 * 3.0) / 4 = 1.5.
+  EXPECT_NEAR(ensemble.Predict(probe)[0], 1.5, 0.05);
+}
+
+TEST(EnsembleRegressorTest, FitIsFailedPrecondition) {
+  EnsembleRegressor ensemble;
+  Matrix x(2, 1);
+  Rng rng(13);
+  EXPECT_EQ(ensemble.Fit(x, {1, 2}, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EnsembleRegressorTest, CopyIsDeep) {
+  Problem p = MakeProblem(2.0, 14);
+  ml::LassoRegressor::Config cfg;
+  cfg.alpha = 1e-5;
+  auto m = std::make_unique<ml::LassoRegressor>(cfg);
+  Rng rng(15);
+  ASSERT_TRUE(m->Fit(p.x, p.y, &rng).ok());
+  EnsembleRegressor ensemble;
+  ensemble.Add(std::move(m), 1.0);
+  EnsembleRegressor copy = ensemble;
+  Matrix probe({{1.0}});
+  EXPECT_DOUBLE_EQ(copy.Predict(probe)[0], ensemble.Predict(probe)[0]);
+}
+
+}  // namespace
+}  // namespace fedfc::fl

@@ -1,0 +1,135 @@
+#include "fl/payload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::fl {
+namespace {
+
+TEST(PayloadTest, SetAndGetAllTypes) {
+  Payload p;
+  p.SetDouble("loss", 0.25);
+  p.SetInt("round", 7);
+  p.SetString("name", "client-3");
+  p.SetTensor("params", {1.0, 2.0, 3.0});
+
+  EXPECT_DOUBLE_EQ(*p.GetDouble("loss"), 0.25);
+  EXPECT_EQ(*p.GetInt("round"), 7);
+  EXPECT_EQ(*p.GetString("name"), "client-3");
+  EXPECT_EQ(p.GetTensor("params")->size(), 3u);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.Has("loss"));
+  EXPECT_FALSE(p.Has("missing"));
+}
+
+TEST(PayloadTest, MissingKeyIsNotFound) {
+  Payload p;
+  EXPECT_EQ(p.GetDouble("x").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PayloadTest, TypeMismatchIsInvalidArgument) {
+  Payload p;
+  p.SetDouble("x", 1.0);
+  EXPECT_EQ(p.GetInt("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetString("x").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.GetTensor("x").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PayloadTest, KeysAreSorted) {
+  Payload p;
+  p.SetDouble("zebra", 1);
+  p.SetDouble("alpha", 2);
+  std::vector<std::string> keys = p.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zebra");
+}
+
+TEST(PayloadTest, SerializeRoundTrip) {
+  Payload p;
+  p.SetDouble("d", -1.5e-300);
+  p.SetInt("i", -42);
+  p.SetString("s", "hello world");
+  p.SetTensor("t", {0.0, 1e300, -3.7});
+  std::vector<uint8_t> bytes = p.Serialize();
+  Result<Payload> back = Payload::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(PayloadTest, EmptyPayloadRoundTrip) {
+  Payload p;
+  Result<Payload> back = Payload::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST(PayloadTest, DeserializeRejectsTruncation) {
+  Payload p;
+  p.SetTensor("t", {1, 2, 3});
+  std::vector<uint8_t> bytes = p.Serialize();
+  for (size_t cut = 1; cut < bytes.size(); cut += 7) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - cut);
+    EXPECT_FALSE(Payload::Deserialize(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(PayloadTest, DeserializeRejectsTrailingBytes) {
+  Payload p;
+  p.SetInt("i", 1);
+  std::vector<uint8_t> bytes = p.Serialize();
+  bytes.push_back(0);
+  EXPECT_FALSE(Payload::Deserialize(bytes).ok());
+}
+
+TEST(PayloadTest, DeserializeRejectsUnknownTag) {
+  Payload p;
+  p.SetInt("i", 1);
+  std::vector<uint8_t> bytes = p.Serialize();
+  // Tag byte follows 4-byte count + 4-byte key length + 1-byte key.
+  bytes[4 + 4 + 1] = 99;
+  EXPECT_FALSE(Payload::Deserialize(bytes).ok());
+}
+
+// Property: random payloads always round-trip.
+class PayloadFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PayloadFuzzTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  Payload p;
+  size_t n_entries = rng.Index(10) + 1;
+  for (size_t e = 0; e < n_entries; ++e) {
+    std::string key = "k" + std::to_string(e);
+    switch (rng.Index(4)) {
+      case 0:
+        p.SetDouble(key, rng.Normal(0, 1e6));
+        break;
+      case 1:
+        p.SetInt(key, rng.Int(-1000000, 1000000));
+        break;
+      case 2: {
+        std::string s;
+        for (size_t i = 0; i < rng.Index(50); ++i) {
+          s.push_back(static_cast<char>(rng.Int(32, 126)));
+        }
+        p.SetString(key, s);
+        break;
+      }
+      default: {
+        std::vector<double> t(rng.Index(100));
+        for (double& v : t) v = rng.Normal();
+        p.SetTensor(key, t);
+      }
+    }
+  }
+  Result<Payload> back = Payload::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PayloadFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace fedfc::fl

@@ -1,0 +1,142 @@
+#include "fl/server.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/transport.h"
+
+namespace fedfc::fl {
+namespace {
+
+/// Test client: echoes a scalar equal to its configured value and its id.
+class EchoClient : public Client {
+ public:
+  EchoClient(std::string id, double value, size_t n)
+      : id_(std::move(id)), value_(value), n_(n) {}
+
+  std::string id() const override { return id_; }
+  size_t num_examples() const override { return n_; }
+
+  Result<Payload> Handle(const std::string& task,
+                         const Payload& request) override {
+    if (task == "fail") return Status::Internal("induced failure");
+    Payload reply;
+    reply.SetDouble("value", value_);
+    reply.SetTensor("vec", {value_, 2.0 * value_});
+    if (request.Has("echo")) {
+      reply.SetString("echo", *request.GetString("echo"));
+    }
+    return reply;
+  }
+
+ private:
+  std::string id_;
+  double value_;
+  size_t n_;
+};
+
+std::unique_ptr<Server> MakeServer(std::vector<double> values,
+                                   std::vector<size_t> sizes) {
+  std::vector<std::shared_ptr<Client>> clients;
+  for (size_t j = 0; j < values.size(); ++j) {
+    clients.push_back(
+        std::make_shared<EchoClient>("c" + std::to_string(j), values[j], sizes[j]));
+  }
+  return std::make_unique<Server>(
+      std::make_unique<InProcessTransport>(std::move(clients)), sizes);
+}
+
+TEST(ServerTest, BroadcastReachesAllClients) {
+  auto server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10});
+  Payload request;
+  request.SetString("echo", "hi");
+  Result<std::vector<ClientReply>> replies = server->Broadcast("any", request);
+  ASSERT_TRUE(replies.ok());
+  EXPECT_EQ(replies->size(), 3u);
+  for (const auto& r : *replies) {
+    EXPECT_EQ(*r.payload.GetString("echo"), "hi");
+    EXPECT_NEAR(r.weight, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(ServerTest, WeightsFollowClientSizes) {
+  auto server = MakeServer({1.0, 2.0}, {30, 10});
+  Result<std::vector<ClientReply>> replies =
+      server->Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  EXPECT_NEAR((*replies)[0].weight, 0.75, 1e-12);
+  EXPECT_NEAR((*replies)[1].weight, 0.25, 1e-12);
+}
+
+TEST(ServerTest, AggregateScalarIsWeightedMean) {
+  auto server = MakeServer({1.0, 5.0}, {30, 10});
+  Result<std::vector<ClientReply>> replies =
+      server->Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  Result<double> agg = Server::AggregateScalar(*replies, "value");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR(*agg, 0.75 * 1.0 + 0.25 * 5.0, 1e-12);
+}
+
+TEST(ServerTest, AggregateTensorIsElementwiseWeightedMean) {
+  auto server = MakeServer({1.0, 3.0}, {10, 10});
+  Result<std::vector<ClientReply>> replies =
+      server->Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  Result<std::vector<double>> agg = Server::AggregateTensor(*replies, "vec");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR((*agg)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*agg)[1], 4.0, 1e-12);
+}
+
+TEST(ServerTest, AllClientsFailingIsError) {
+  auto server = MakeServer({1.0, 2.0}, {10, 10});
+  EXPECT_FALSE(server->Broadcast("fail", Payload()).ok());
+}
+
+TEST(ServerTest, TransportStatsAccumulate) {
+  auto server = MakeServer({1.0}, {10});
+  EXPECT_EQ(server->transport_stats().messages, 0u);
+  ASSERT_TRUE(server->Broadcast("any", Payload()).ok());
+  EXPECT_EQ(server->transport_stats().messages, 1u);
+  EXPECT_GT(server->transport_stats().bytes_to_server, 0u);
+}
+
+TEST(TransportTest, OutOfRangeClientIndex) {
+  std::vector<std::shared_ptr<Client>> clients;
+  clients.push_back(std::make_shared<EchoClient>("c0", 1.0, 10));
+  InProcessTransport transport(std::move(clients));
+  EXPECT_FALSE(transport.Execute(5, "any", Payload()).ok());
+}
+
+TEST(FlakyTransportTest, PartialFailuresTolerated) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes;
+  for (int j = 0; j < 10; ++j) {
+    clients.push_back(std::make_shared<EchoClient>("c" + std::to_string(j),
+                                                   static_cast<double>(j), 10));
+    sizes.push_back(10);
+  }
+  auto inner = std::make_unique<InProcessTransport>(std::move(clients));
+  Server server(std::make_unique<FlakyTransport>(std::move(inner), 0.4, 7), sizes);
+  Result<std::vector<ClientReply>> replies = server.Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  EXPECT_LT(replies->size(), 10u);  // Some failed...
+  EXPECT_GE(replies->size(), 1u);   // ...but not all.
+  // Remaining weights renormalize to 1.
+  double total = 0.0;
+  for (const auto& r : *replies) total += r.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FlakyTransportTest, ZeroRateNeverFails) {
+  std::vector<std::shared_ptr<Client>> clients;
+  clients.push_back(std::make_shared<EchoClient>("c0", 1.0, 10));
+  auto inner = std::make_unique<InProcessTransport>(std::move(clients));
+  FlakyTransport transport(std::move(inner), 0.0, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(transport.Execute(0, "any", Payload()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace fedfc::fl

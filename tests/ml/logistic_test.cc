@@ -1,0 +1,101 @@
+#include "ml/linear/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ml/metrics.h"
+
+namespace fedfc::ml {
+namespace {
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs MakeBlobs(size_t n_per_class, int n_classes, uint64_t seed) {
+  Rng rng(seed);
+  Blobs p;
+  p.x = Matrix(n_per_class * n_classes, 2);
+  p.y.resize(n_per_class * n_classes);
+  for (int c = 0; c < n_classes; ++c) {
+    double cx = 4.0 * c;
+    for (size_t i = 0; i < n_per_class; ++i) {
+      size_t row = c * n_per_class + i;
+      p.x(row, 0) = cx + rng.Normal(0.0, 0.5);
+      p.x(row, 1) = rng.Normal(0.0, 0.5);
+      p.y[row] = c;
+    }
+  }
+  return p;
+}
+
+TEST(LogisticTest, SeparatesTwoBlobs) {
+  Blobs p = MakeBlobs(100, 2, 1);
+  LogisticRegressionClassifier model;
+  Rng rng(2);
+  ASSERT_TRUE(model.Fit(p.x, p.y, 2, &rng).ok());
+  EXPECT_GT(Accuracy(p.y, model.Predict(p.x)), 0.98);
+}
+
+TEST(LogisticTest, MultinomialThreeBlobs) {
+  Blobs p = MakeBlobs(100, 3, 3);
+  LogisticRegressionClassifier model;
+  Rng rng(4);
+  ASSERT_TRUE(model.Fit(p.x, p.y, 3, &rng).ok());
+  EXPECT_GT(Accuracy(p.y, model.Predict(p.x)), 0.95);
+  EXPECT_EQ(model.n_classes(), 3);
+}
+
+TEST(LogisticTest, ProbabilitiesNormalizedAndConfident) {
+  Blobs p = MakeBlobs(50, 2, 5);
+  LogisticRegressionClassifier model;
+  Rng rng(6);
+  ASSERT_TRUE(model.Fit(p.x, p.y, 2, &rng).ok());
+  Matrix proba = model.PredictProba(p.x);
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    EXPECT_NEAR(proba(i, 0) + proba(i, 1), 1.0, 1e-9);
+  }
+  // The center of class 0 should be classified with high confidence.
+  Matrix center({{0.0, 0.0}});
+  Matrix cp = model.PredictProba(center);
+  EXPECT_GT(cp(0, 0), 0.9);
+}
+
+TEST(LogisticTest, StrongL2ShrinksConfidence) {
+  Blobs p = MakeBlobs(50, 2, 7);
+  LogisticRegressionClassifier::Config weak_cfg;
+  weak_cfg.l2 = 1e-5;
+  LogisticRegressionClassifier::Config strong_cfg;
+  strong_cfg.l2 = 10.0;
+  LogisticRegressionClassifier weak(weak_cfg), strong(strong_cfg);
+  Rng r1(8), r2(9);
+  ASSERT_TRUE(weak.Fit(p.x, p.y, 2, &r1).ok());
+  ASSERT_TRUE(strong.Fit(p.x, p.y, 2, &r2).ok());
+  Matrix point({{0.0, 0.0}});
+  double weak_conf = weak.PredictProba(point)(0, 0);
+  double strong_conf = strong.PredictProba(point)(0, 0);
+  EXPECT_GT(weak_conf, strong_conf);
+}
+
+TEST(LogisticTest, RejectsBadInputs) {
+  LogisticRegressionClassifier model;
+  Rng rng(10);
+  EXPECT_FALSE(model.Fit(Matrix(), {}, 2, &rng).ok());
+  Blobs p = MakeBlobs(10, 2, 11);
+  EXPECT_FALSE(model.Fit(p.x, p.y, 1, &rng).ok());
+}
+
+TEST(LogisticTest, CloneReproducesPredictions) {
+  Blobs p = MakeBlobs(50, 3, 12);
+  LogisticRegressionClassifier model;
+  Rng rng(13);
+  ASSERT_TRUE(model.Fit(p.x, p.y, 3, &rng).ok());
+  auto clone = model.Clone();
+  std::vector<int> a = model.Predict(p.x);
+  std::vector<int> b = clone->Predict(p.x);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fedfc::ml

@@ -1,0 +1,65 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/vec_math.h"
+
+namespace fedfc::ml {
+namespace {
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVar) {
+  Matrix x({{1, 10}, {2, 20}, {3, 30}});
+  StandardScaler scaler;
+  Matrix xs = scaler.FitTransform(x);
+  for (size_t c = 0; c < 2; ++c) {
+    std::vector<double> col = xs.Column(c);
+    EXPECT_NEAR(Mean(col), 0.0, 1e-12);
+    EXPECT_NEAR(StdDev(col), 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, ConstantColumnGetsUnitScale) {
+  Matrix x({{5, 1}, {5, 2}, {5, 3}});
+  StandardScaler scaler;
+  Matrix xs = scaler.FitTransform(x);
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(xs(r, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 1.0);
+}
+
+TEST(StandardScalerTest, TransformUsesStoredStats) {
+  Matrix train({{0.0}, {10.0}});
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Matrix test({{5.0}});
+  Matrix out = scaler.Transform(test);
+  EXPECT_NEAR(out(0, 0), 0.0, 1e-12);  // 5 is the train mean.
+}
+
+TEST(TargetScalerTest, RoundTrip) {
+  std::vector<double> y = {10, 20, 30, 40};
+  TargetScaler scaler;
+  scaler.Fit(y);
+  std::vector<double> ys = scaler.Transform(y);
+  EXPECT_NEAR(Mean(ys), 0.0, 1e-12);
+  std::vector<double> back = scaler.InverseTransform(ys);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(back[i], y[i], 1e-10);
+}
+
+TEST(TargetScalerTest, ConstantTargetSafe) {
+  TargetScaler scaler;
+  scaler.Fit({7, 7, 7});
+  EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+  std::vector<double> t = scaler.Transform({7});
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+TEST(TargetScalerTest, RestoreSetsState) {
+  TargetScaler scaler;
+  scaler.Restore(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(scaler.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(scaler.scale(), 2.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform({7.0})[0], 2.0);
+}
+
+}  // namespace
+}  // namespace fedfc::ml

@@ -1,0 +1,130 @@
+#include "ts/acf.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::ts {
+namespace {
+
+std::vector<double> Ar1Series(double phi, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    x = phi * x + rng.Normal();
+    v[t] = x;
+  }
+  return v;
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  std::vector<double> v = Ar1Series(0.5, 500, 1);
+  std::vector<double> acf = Acf(v, 10);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AcfTest, WhiteNoiseHasSmallAutocorrelation) {
+  std::vector<double> v = Ar1Series(0.0, 5000, 2);
+  std::vector<double> acf = Acf(v, 10);
+  for (size_t lag = 1; lag <= 10; ++lag) {
+    EXPECT_LT(std::fabs(acf[lag]), 0.05) << "lag " << lag;
+  }
+}
+
+TEST(AcfTest, Ar1AcfDecaysGeometrically) {
+  double phi = 0.8;
+  std::vector<double> v = Ar1Series(phi, 20000, 3);
+  std::vector<double> acf = Acf(v, 5);
+  for (size_t lag = 1; lag <= 5; ++lag) {
+    EXPECT_NEAR(acf[lag], std::pow(phi, lag), 0.06) << "lag " << lag;
+  }
+}
+
+TEST(AcfTest, ConstantSeriesIsZeroBeyondLagZero) {
+  std::vector<double> v(100, 3.0);
+  std::vector<double> acf = Acf(v, 5);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (size_t lag = 1; lag <= 5; ++lag) EXPECT_DOUBLE_EQ(acf[lag], 0.0);
+}
+
+TEST(AcfTest, EmptyInputHandled) {
+  std::vector<double> acf = Acf({}, 3);
+  EXPECT_EQ(acf.size(), 4u);
+}
+
+TEST(PacfTest, Ar1HasSingleSignificantLag) {
+  std::vector<double> v = Ar1Series(0.7, 10000, 4);
+  std::vector<double> pacf = Pacf(v, 10);
+  EXPECT_NEAR(pacf[0], 0.7, 0.05);  // Lag 1 ~= phi.
+  for (size_t lag = 2; lag <= 10; ++lag) {
+    EXPECT_LT(std::fabs(pacf[lag - 1]), 0.05) << "lag " << lag;
+  }
+}
+
+TEST(PacfTest, Ar2HasTwoSignificantLags) {
+  // AR(2): x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + e.
+  Rng rng(5);
+  std::vector<double> v(20000);
+  double x1 = 0.0, x2 = 0.0;
+  for (size_t t = 0; t < v.size(); ++t) {
+    double x = 0.5 * x1 + 0.3 * x2 + rng.Normal();
+    v[t] = x;
+    x2 = x1;
+    x1 = x;
+  }
+  std::vector<double> pacf = Pacf(v, 6);
+  EXPECT_GT(std::fabs(pacf[0]), 0.3);
+  EXPECT_NEAR(pacf[1], 0.3, 0.05);  // PACF at lag 2 ~= phi_2.
+  for (size_t lag = 3; lag <= 6; ++lag) {
+    EXPECT_LT(std::fabs(pacf[lag - 1]), 0.05);
+  }
+}
+
+TEST(PacfTest, ValuesBoundedByOne) {
+  std::vector<double> v = Ar1Series(0.95, 300, 6);
+  for (double p : Pacf(v, 20)) {
+    EXPECT_LE(std::fabs(p), 1.0);
+  }
+}
+
+TEST(SignificantLagsTest, Ar1FindsLagOne) {
+  std::vector<double> v = Ar1Series(0.7, 2000, 7);
+  SignificantLags lags = FindSignificantPacfLags(v);
+  ASSERT_FALSE(lags.lags.empty());
+  EXPECT_EQ(lags.lags.front(), 1u);
+}
+
+TEST(SignificantLagsTest, WhiteNoiseFindsFewLags) {
+  std::vector<double> v = Ar1Series(0.0, 2000, 8);
+  SignificantLags lags = FindSignificantPacfLags(v);
+  // 95% band: expect ~5% false positives over 40 lags => at most a few.
+  EXPECT_LE(lags.lags.size(), 5u);
+}
+
+TEST(SignificantLagsTest, InsignificantBetweenCount) {
+  // Seasonal AR with lags 1 and 7 significant: insignificant gap = 5.
+  Rng rng(9);
+  std::vector<double> v(20000);
+  for (size_t t = 0; t < v.size(); ++t) {
+    double prev1 = t >= 1 ? v[t - 1] : 0.0;
+    double prev7 = t >= 7 ? v[t - 7] : 0.0;
+    v[t] = 0.4 * prev1 + 0.4 * prev7 + rng.Normal();
+  }
+  SignificantLags lags = FindSignificantPacfLags(v, 12);
+  ASSERT_GE(lags.lags.size(), 2u);
+  EXPECT_EQ(lags.lags.front(), 1u);
+  // Span minus significant count.
+  size_t span = lags.lags.back() - lags.lags.front() + 1;
+  EXPECT_EQ(lags.insignificant_between, span - lags.lags.size());
+}
+
+TEST(SignificantLagsTest, ShortSeriesReturnsEmpty) {
+  EXPECT_TRUE(FindSignificantPacfLags({1, 2, 3}).lags.empty());
+}
+
+}  // namespace
+}  // namespace fedfc::ts

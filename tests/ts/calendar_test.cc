@@ -1,0 +1,74 @@
+#include "ts/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace fedfc::ts {
+namespace {
+
+TEST(CalendarTest, EpochZeroIsThursday1970) {
+  CivilTime ct = CivilFromEpoch(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(ct.weekday, 3);  // Monday-based: Thursday = 3.
+  EXPECT_EQ(ct.hour, 0);
+  EXPECT_EQ(ct.day_of_year, 1);
+}
+
+TEST(CalendarTest, KnownDate) {
+  // 2020-02-29T12:30:00Z (leap day, Saturday).
+  int64_t epoch = EpochFromCivil(2020, 2, 29, 12, 30, 0);
+  CivilTime ct = CivilFromEpoch(epoch);
+  EXPECT_EQ(ct.year, 2020);
+  EXPECT_EQ(ct.month, 2);
+  EXPECT_EQ(ct.day, 29);
+  EXPECT_EQ(ct.weekday, 5);  // Saturday.
+  EXPECT_EQ(ct.hour, 12);
+  EXPECT_EQ(ct.minute, 30);
+  EXPECT_EQ(ct.day_of_year, 60);
+}
+
+TEST(CalendarTest, RoundTripAcrossDecades) {
+  for (int year = 1960; year <= 2060; year += 7) {
+    int64_t epoch = EpochFromCivil(year, 6, 15, 3, 0, 0);
+    CivilTime ct = CivilFromEpoch(epoch);
+    EXPECT_EQ(ct.year, year);
+    EXPECT_EQ(ct.month, 6);
+    EXPECT_EQ(ct.day, 15);
+    EXPECT_EQ(ct.hour, 3);
+  }
+}
+
+TEST(CalendarTest, NegativeEpochBefore1970) {
+  // 1969-12-31T23:00:00Z.
+  CivilTime ct = CivilFromEpoch(-3600);
+  EXPECT_EQ(ct.year, 1969);
+  EXPECT_EQ(ct.month, 12);
+  EXPECT_EQ(ct.day, 31);
+  EXPECT_EQ(ct.hour, 23);
+}
+
+TEST(CalendarTest, WeekdayCycles) {
+  int64_t monday = EpochFromCivil(2024, 1, 1);  // 2024-01-01 was a Monday.
+  for (int d = 0; d < 14; ++d) {
+    CivilTime ct = CivilFromEpoch(monday + d * 86400);
+    EXPECT_EQ(ct.weekday, d % 7);
+  }
+}
+
+TEST(CalendarTest, LeapYearRules) {
+  EXPECT_TRUE(IsLeapYear(2000));   // Divisible by 400.
+  EXPECT_FALSE(IsLeapYear(1900));  // Divisible by 100 only.
+  EXPECT_TRUE(IsLeapYear(2024));
+  EXPECT_FALSE(IsLeapYear(2023));
+}
+
+TEST(CalendarTest, DayOfYearEndOfYear) {
+  CivilTime ct = CivilFromEpoch(EpochFromCivil(2023, 12, 31));
+  EXPECT_EQ(ct.day_of_year, 365);
+  CivilTime leap = CivilFromEpoch(EpochFromCivil(2024, 12, 31));
+  EXPECT_EQ(leap.day_of_year, 366);
+}
+
+}  // namespace
+}  // namespace fedfc::ts

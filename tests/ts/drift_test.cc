@@ -1,0 +1,123 @@
+#include "ts/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::ts {
+namespace {
+
+PageHinkleyDetector::Config TestConfig() {
+  PageHinkleyDetector::Config cfg;
+  cfg.delta = 0.01;
+  cfg.threshold = 10.0;
+  cfg.min_samples = 20;
+  return cfg;
+}
+
+TEST(PageHinkleyTest, StationaryStreamStaysQuiet) {
+  PageHinkleyDetector detector(TestConfig());
+  Rng rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    EXPECT_FALSE(detector.Update(1.0 + rng.Normal(0.0, 0.1))) << "step " << t;
+  }
+  EXPECT_EQ(detector.n_detections(), 0u);
+}
+
+TEST(PageHinkleyTest, LevelShiftIsDetected) {
+  PageHinkleyDetector detector(TestConfig());
+  Rng rng(2);
+  bool detected = false;
+  for (int t = 0; t < 200; ++t) {
+    detector.Update(1.0 + rng.Normal(0.0, 0.1));
+  }
+  for (int t = 0; t < 300 && !detected; ++t) {
+    detected = detector.Update(3.0 + rng.Normal(0.0, 0.1));
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_EQ(detector.n_detections(), 1u);
+}
+
+TEST(PageHinkleyTest, NoAlarmBeforeMinSamples) {
+  PageHinkleyDetector::Config cfg = TestConfig();
+  cfg.min_samples = 100;
+  PageHinkleyDetector detector(cfg);
+  // A massive jump within the warm-up window must not fire.
+  for (int t = 0; t < 99; ++t) {
+    EXPECT_FALSE(detector.Update(t < 10 ? 0.0 : 1000.0));
+  }
+}
+
+TEST(PageHinkleyTest, ResetsAfterDetection) {
+  PageHinkleyDetector detector(TestConfig());
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) detector.Update(rng.Normal(1.0, 0.1));
+  bool detected = false;
+  for (int t = 0; t < 200 && !detected; ++t) {
+    detected = detector.Update(rng.Normal(5.0, 0.1));
+  }
+  ASSERT_TRUE(detected);
+  // After the internal reset the statistic restarts near zero.
+  EXPECT_EQ(detector.n_samples(), 0u);
+  // The new regime's level becomes the baseline: no immediate re-alarm.
+  int alarms = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (detector.Update(rng.Normal(5.0, 0.1))) ++alarms;
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(PageHinkleyTest, DownwardShiftDoesNotAlarmUpwardDetector) {
+  PageHinkleyDetector detector(TestConfig());
+  Rng rng(4);
+  for (int t = 0; t < 100; ++t) detector.Update(rng.Normal(5.0, 0.1));
+  for (int t = 0; t < 200; ++t) {
+    EXPECT_FALSE(detector.Update(rng.Normal(1.0, 0.1)));
+  }
+}
+
+TEST(PageHinkleyTest, GradualDriftEventuallyDetected) {
+  PageHinkleyDetector detector(TestConfig());
+  Rng rng(5);
+  bool detected = false;
+  for (int t = 0; t < 3000 && !detected; ++t) {
+    double level = 1.0 + 0.005 * t;  // Slow upward creep.
+    detected = detector.Update(level + rng.Normal(0.0, 0.05));
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(PageHinkleyTest, ForgettingFactorAdaptsBaseline) {
+  PageHinkleyDetector::Config cfg = TestConfig();
+  cfg.forgetting = 0.99;
+  PageHinkleyDetector detector(cfg);
+  Rng rng(6);
+  for (int t = 0; t < 500; ++t) {
+    EXPECT_FALSE(detector.Update(2.0 + rng.Normal(0.0, 0.1)));
+  }
+}
+
+TEST(PageHinkleyTest, HigherThresholdNeedsMoreEvidence) {
+  Rng rng(7);
+  std::vector<double> stream;
+  for (int t = 0; t < 100; ++t) stream.push_back(1.0 + rng.Normal(0.0, 0.1));
+  for (int t = 0; t < 400; ++t) stream.push_back(2.0 + rng.Normal(0.0, 0.1));
+
+  auto detect_at = [&](double threshold) {
+    PageHinkleyDetector::Config cfg = TestConfig();
+    cfg.threshold = threshold;
+    PageHinkleyDetector detector(cfg);
+    for (size_t t = 0; t < stream.size(); ++t) {
+      if (detector.Update(stream[t])) return static_cast<int>(t);
+    }
+    return -1;
+  };
+  int fast = detect_at(5.0);
+  int slow = detect_at(60.0);
+  ASSERT_GE(fast, 0);
+  ASSERT_GE(slow, 0);
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace fedfc::ts

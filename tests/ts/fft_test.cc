@@ -1,0 +1,112 @@
+#include "ts/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::ts {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(FftTest, DeltaFunctionHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  Fft(&data);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> original(64);
+  for (size_t i = 0; i < 64; ++i) {
+    data[i] = {rng.Normal(), rng.Normal()};
+    original[i] = data[i];
+  }
+  Fft(&data);
+  Fft(&data, /*inverse=*/true);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(data[i].real() / 64.0, original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / 64.0, original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesAtBin) {
+  const size_t n = 128;
+  const size_t k = 5;
+  std::vector<double> x(n);
+  for (size_t t = 0; t < n; ++t) {
+    x[t] = std::cos(2.0 * std::numbers::pi * k * t / n);
+  }
+  std::vector<std::complex<double>> spec = RealFft(x);
+  // Energy at bins k and n-k; near-zero elsewhere.
+  for (size_t b = 0; b < n; ++b) {
+    double mag = std::abs(spec[b]);
+    if (b == k || b == n - k) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9) << "bin " << b;
+    } else {
+      EXPECT_LT(mag, 1e-9) << "bin " << b;
+    }
+  }
+}
+
+TEST(FftTest, RealFftZeroPadsToPowerOfTwo) {
+  std::vector<double> x(100, 1.0);
+  std::vector<std::complex<double>> spec = RealFft(x);
+  EXPECT_EQ(spec.size(), 128u);
+}
+
+TEST(FftTest, ParsevalTheoremHolds) {
+  Rng rng(2);
+  const size_t n = 256;
+  std::vector<double> x(n);
+  double time_energy = 0.0;
+  for (double& v : x) {
+    v = rng.Normal();
+    time_energy += v * v;
+  }
+  std::vector<std::complex<double>> spec = RealFft(x);
+  double freq_energy = 0.0;
+  for (const auto& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8);
+}
+
+// Linearity property across sizes.
+class FftSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftSizeTest, LinearityHolds) {
+  size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = {rng.Normal(), 0.0};
+    b[i] = {rng.Normal(), 0.0};
+    sum[i] = a[i] + b[i];
+  }
+  Fft(&a);
+  Fft(&b);
+  Fft(&sum);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sum[i].real(), a[i].real() + b[i].real(), 1e-9);
+    EXPECT_NEAR(sum[i].imag(), a[i].imag() + b[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace fedfc::ts

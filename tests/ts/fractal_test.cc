@@ -1,0 +1,76 @@
+#include "ts/fractal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::ts {
+namespace {
+
+TEST(FractalTest, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(HiguchiFractalDimension({1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(HiguchiFractalDimension(std::vector<double>(100, 5.0)), 1.0);
+}
+
+TEST(FractalTest, SmoothSineIsNearOne) {
+  std::vector<double> v(1000);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = std::sin(2.0 * std::numbers::pi * t / 500.0);
+  }
+  double d = HiguchiFractalDimension(v);
+  EXPECT_LT(d, 1.3);
+}
+
+TEST(FractalTest, WhiteNoiseIsNearTwo) {
+  Rng rng(1);
+  std::vector<double> v(4000);
+  for (double& x : v) x = rng.Normal();
+  double d = HiguchiFractalDimension(v);
+  EXPECT_GT(d, 1.85);
+}
+
+TEST(FractalTest, RandomWalkIsNearOnePointFive) {
+  Rng rng(2);
+  std::vector<double> v(4000);
+  double x = 0.0;
+  for (double& e : v) {
+    x += rng.Normal();
+    e = x;
+  }
+  double d = HiguchiFractalDimension(v);
+  EXPECT_NEAR(d, 1.5, 0.15);
+}
+
+TEST(FractalTest, ResultAlwaysInUnitRange) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> v(200);
+    for (double& x : v) x = rng.Uniform(-100, 100);
+    double d = HiguchiFractalDimension(v);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+TEST(FractalTest, OrderingSmoothToRough) {
+  Rng rng(4);
+  std::vector<double> smooth(2000), walk(2000), noise(2000);
+  double acc = 0.0;
+  for (size_t t = 0; t < 2000; ++t) {
+    smooth[t] = std::sin(t / 100.0);
+    acc += rng.Normal();
+    walk[t] = acc;
+    noise[t] = rng.Normal();
+  }
+  double ds = HiguchiFractalDimension(smooth);
+  double dw = HiguchiFractalDimension(walk);
+  double dn = HiguchiFractalDimension(noise);
+  EXPECT_LT(ds, dw);
+  EXPECT_LT(dw, dn);
+}
+
+}  // namespace
+}  // namespace fedfc::ts

@@ -1,0 +1,81 @@
+#include "ts/interpolation.h"
+
+#include <gtest/gtest.h>
+
+namespace fedfc::ts {
+namespace {
+
+TEST(InterpolationTest, NoMissingIsIdentity) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_EQ(LinearInterpolate(v), v);
+}
+
+TEST(InterpolationTest, InteriorGapInterpolatesLinearly) {
+  std::vector<double> v = {0, MissingValue(), MissingValue(), 3};
+  std::vector<double> out = LinearInterpolate(v);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(InterpolationTest, LeadingGapBackfills) {
+  std::vector<double> v = {MissingValue(), MissingValue(), 5, 6};
+  std::vector<double> out = LinearInterpolate(v);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(InterpolationTest, TrailingGapForwardFills) {
+  std::vector<double> v = {1, 2, MissingValue(), MissingValue()};
+  std::vector<double> out = LinearInterpolate(v);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+  EXPECT_DOUBLE_EQ(out[3], 2.0);
+}
+
+TEST(InterpolationTest, FullyMissingBecomesZeros) {
+  std::vector<double> v = {MissingValue(), MissingValue()};
+  std::vector<double> out = LinearInterpolate(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(InterpolationTest, SingleObservationFillsEverything) {
+  std::vector<double> v = {MissingValue(), 7, MissingValue()};
+  std::vector<double> out = LinearInterpolate(v);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[2], 7.0);
+}
+
+TEST(InterpolationTest, EmptyInput) {
+  EXPECT_TRUE(LinearInterpolate(std::vector<double>{}).empty());
+}
+
+TEST(InterpolationTest, SeriesOverloadPreservesTimeAxis) {
+  Series s({1, MissingValue(), 3}, 1000, 60);
+  Series out = LinearInterpolate(s);
+  EXPECT_EQ(out.start_epoch(), 1000);
+  EXPECT_EQ(out.interval_seconds(), 60);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+// Property sweep: interpolation never introduces values outside the observed
+// range for interior gaps.
+class InterpolationRangeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(InterpolationRangeTest, StaysWithinNeighbourRange) {
+  size_t gap = GetParam();
+  std::vector<double> v = {2.0};
+  for (size_t i = 0; i < gap; ++i) v.push_back(MissingValue());
+  v.push_back(8.0);
+  std::vector<double> out = LinearInterpolate(v);
+  for (size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_GE(out[i], 2.0);
+    EXPECT_LE(out[i], 8.0);
+    EXPECT_GT(out[i], out[i - 1]);  // Monotone between increasing endpoints.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GapSizes, InterpolationRangeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace fedfc::ts

@@ -1,0 +1,79 @@
+#include "ts/trend.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fedfc::ts {
+namespace {
+
+TEST(TrendTest, StationarySeriesGetsFlatTrend) {
+  Rng rng(1);
+  std::vector<double> v(500);
+  for (double& x : v) x = 5.0 + rng.Normal(0.0, 0.5);
+  TrendModel m = FitTrend(v);
+  EXPECT_EQ(m.kind, TrendKind::kFlat);
+  EXPECT_NEAR(m.level, 5.0, 0.1);
+  EXPECT_NEAR(m.Evaluate(1000.0), 5.0, 0.1);
+}
+
+TEST(TrendTest, LinearTrendRecovered) {
+  Rng rng(2);
+  std::vector<double> v(600);
+  for (size_t t = 0; t < v.size(); ++t) {
+    v[t] = 2.0 + 0.05 * static_cast<double>(t) + rng.Normal(0.0, 0.3);
+  }
+  TrendModel m = FitTrend(v);
+  EXPECT_EQ(m.kind, TrendKind::kLinear);
+  EXPECT_NEAR(m.slope, 0.05, 0.005);
+  EXPECT_GT(m.r2, 0.9);
+  // Extrapolation continues the line.
+  EXPECT_NEAR(m.Evaluate(1000.0), 2.0 + 0.05 * 1000.0, 3.0);
+}
+
+TEST(TrendTest, LogisticTrendRecovered) {
+  Rng rng(3);
+  std::vector<double> v(600);
+  for (size_t t = 0; t < v.size(); ++t) {
+    double logistic = 10.0 / (1.0 + std::exp(-0.02 * (static_cast<double>(t) - 300)));
+    v[t] = logistic + rng.Normal(0.0, 0.05);
+  }
+  TrendModel m = FitTrend(v);
+  EXPECT_EQ(m.kind, TrendKind::kLogistic);
+  EXPECT_GT(m.r2, 0.95);
+  // Saturation: far-future value near the cap, not unbounded.
+  double far = m.Evaluate(5000.0);
+  EXPECT_LT(far, 15.0);
+  EXPECT_GT(far, 8.0);
+}
+
+TEST(TrendTest, ShortSeriesFallsBackToFlat) {
+  TrendModel m = FitTrend({1, 2, 3, 4, 5});
+  EXPECT_EQ(m.kind, TrendKind::kFlat);
+  EXPECT_DOUBLE_EQ(m.level, 3.0);
+}
+
+TEST(TrendTest, EvaluateRangeMatchesEvaluate) {
+  TrendModel m;
+  m.kind = TrendKind::kLinear;
+  m.level = 1.0;
+  m.slope = 2.0;
+  std::vector<double> r = m.EvaluateRange(4);
+  ASSERT_EQ(r.size(), 4u);
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(r[t], m.Evaluate(static_cast<double>(t)));
+  }
+}
+
+TEST(TrendTest, ToStringMentionsKind) {
+  TrendModel m;
+  m.kind = TrendKind::kLogistic;
+  EXPECT_NE(m.ToString().find("logistic"), std::string::npos);
+  EXPECT_STREQ(TrendKindName(TrendKind::kFlat), "flat");
+  EXPECT_STREQ(TrendKindName(TrendKind::kLinear), "linear");
+}
+
+}  // namespace
+}  // namespace fedfc::ts

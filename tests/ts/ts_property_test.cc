@@ -1,0 +1,129 @@
+/// Cross-cutting property tests for the time-series substrate: invariances
+/// that must hold for arbitrary well-formed inputs.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/vec_math.h"
+#include "ts/acf.h"
+#include "ts/adf.h"
+#include "ts/fractal.h"
+#include "ts/interpolation.h"
+#include "ts/periodogram.h"
+#include "ts/series.h"
+
+namespace fedfc::ts {
+namespace {
+
+std::vector<double> RandomSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double level = rng.Uniform(-50, 50);
+  double period = rng.Uniform(8, 64);
+  double amp = rng.Uniform(0.1, 5.0);
+  for (size_t t = 0; t < n; ++t) {
+    v[t] = level + amp * std::sin(2.0 * std::numbers::pi * t / period) +
+           rng.Normal(0.0, 0.5);
+  }
+  return v;
+}
+
+class TsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TsPropertyTest, AcfIsAffineInvariant) {
+  std::vector<double> v = RandomSignal(400, GetParam());
+  std::vector<double> shifted = v;
+  for (double& x : shifted) x = 3.0 * x + 100.0;
+  std::vector<double> a = Acf(v, 10);
+  std::vector<double> b = Acf(shifted, 10);
+  for (size_t lag = 0; lag <= 10; ++lag) {
+    EXPECT_NEAR(a[lag], b[lag], 1e-9) << "lag " << lag;
+  }
+}
+
+TEST_P(TsPropertyTest, AcfBoundedByOne) {
+  std::vector<double> v = RandomSignal(300, GetParam() + 100);
+  for (double rho : Acf(v, 30)) {
+    EXPECT_LE(std::fabs(rho), 1.0 + 1e-9);
+  }
+}
+
+TEST_P(TsPropertyTest, InterpolationIsIdempotent) {
+  std::vector<double> v = RandomSignal(200, GetParam() + 200);
+  Rng rng(GetParam());
+  for (double& x : v) {
+    if (rng.Bernoulli(0.2)) x = MissingValue();
+  }
+  std::vector<double> once = LinearInterpolate(v);
+  std::vector<double> twice = LinearInterpolate(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(TsPropertyTest, InterpolationPreservesObservedValues) {
+  std::vector<double> v = RandomSignal(200, GetParam() + 300);
+  Rng rng(GetParam() + 1);
+  std::vector<double> holey = v;
+  for (double& x : holey) {
+    if (rng.Bernoulli(0.3)) x = MissingValue();
+  }
+  std::vector<double> filled = LinearInterpolate(holey);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!IsMissing(holey[i])) {
+      EXPECT_DOUBLE_EQ(filled[i], holey[i]);
+    }
+  }
+}
+
+TEST_P(TsPropertyTest, DifferencingReducesLengthByOrder) {
+  std::vector<double> v = RandomSignal(150, GetParam() + 400);
+  for (int d = 0; d <= 3; ++d) {
+    EXPECT_EQ(Difference(v, d).size(), v.size() - static_cast<size_t>(d));
+  }
+}
+
+TEST_P(TsPropertyTest, FractalDimensionScaleInvariant) {
+  std::vector<double> v = RandomSignal(600, GetParam() + 500);
+  std::vector<double> scaled = v;
+  for (double& x : scaled) x *= 42.0;
+  EXPECT_NEAR(HiguchiFractalDimension(v), HiguchiFractalDimension(scaled), 1e-9);
+}
+
+TEST_P(TsPropertyTest, SeasonalityDetectionScaleInvariant) {
+  std::vector<double> v = RandomSignal(512, GetParam() + 600);
+  std::vector<double> scaled = v;
+  for (double& x : scaled) x = 10.0 * x - 5.0;
+  auto a = DetectSeasonalities(v, 3);
+  auto b = DetectSeasonalities(scaled, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].period, b[i].period, 1e-9);
+  }
+}
+
+TEST_P(TsPropertyTest, SplitClientsPartitionExactly) {
+  std::vector<double> v = RandomSignal(333, GetParam() + 700);
+  Series s(v, 0, 3600);
+  for (int n_clients : {2, 3, 5, 7}) {
+    auto splits = SplitIntoClients(s, n_clients);
+    ASSERT_TRUE(splits.ok());
+    size_t total = 0;
+    size_t pos = 0;
+    for (const Series& split : *splits) {
+      for (size_t i = 0; i < split.size(); ++i) {
+        EXPECT_DOUBLE_EQ(split[i], v[pos + i]);
+      }
+      pos += split.size();
+      total += split.size();
+    }
+    EXPECT_EQ(total, v.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace fedfc::ts
