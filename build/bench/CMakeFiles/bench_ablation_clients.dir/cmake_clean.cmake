@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clients.dir/bench_ablation_clients.cc.o"
+  "CMakeFiles/bench_ablation_clients.dir/bench_ablation_clients.cc.o.d"
+  "bench_ablation_clients"
+  "bench_ablation_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

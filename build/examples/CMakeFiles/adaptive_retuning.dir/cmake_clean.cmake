@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_retuning.dir/adaptive_retuning.cpp.o"
+  "CMakeFiles/adaptive_retuning.dir/adaptive_retuning.cpp.o.d"
+  "adaptive_retuning"
+  "adaptive_retuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_retuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_forecasting.dir/energy_forecasting.cpp.o"
+  "CMakeFiles/energy_forecasting.dir/energy_forecasting.cpp.o.d"
+  "energy_forecasting"
+  "energy_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_cli.dir/fedfc_cli.cpp.o"
+  "CMakeFiles/fedfc_cli.dir/fedfc_cli.cpp.o.d"
+  "fedfc_cli"
+  "fedfc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

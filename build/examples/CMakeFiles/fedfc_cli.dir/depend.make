@@ -1,0 +1,2 @@
+# Empty dependencies file for fedfc_cli.
+# This may be replaced when dependencies are built.

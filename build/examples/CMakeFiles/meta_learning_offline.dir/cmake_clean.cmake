@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_learning_offline.dir/meta_learning_offline.cpp.o"
+  "CMakeFiles/meta_learning_offline.dir/meta_learning_offline.cpp.o.d"
+  "meta_learning_offline"
+  "meta_learning_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_learning_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stock_etf.cpp" "examples/CMakeFiles/stock_etf.dir/stock_etf.cpp.o" "gcc" "examples/CMakeFiles/stock_etf.dir/stock_etf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automl/CMakeFiles/fedfc_automl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedfc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/fedfc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedfc_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fedfc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/fedfc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

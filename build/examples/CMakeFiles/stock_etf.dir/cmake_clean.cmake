@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_etf.dir/stock_etf.cpp.o"
+  "CMakeFiles/stock_etf.dir/stock_etf.cpp.o.d"
+  "stock_etf"
+  "stock_etf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_etf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stock_etf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automl/adaptive.cc" "src/automl/CMakeFiles/fedfc_automl.dir/adaptive.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/adaptive.cc.o.d"
+  "/root/repo/src/automl/bayesopt/bayes_opt.cc" "src/automl/CMakeFiles/fedfc_automl.dir/bayesopt/bayes_opt.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/bayesopt/bayes_opt.cc.o.d"
+  "/root/repo/src/automl/bayesopt/gp.cc" "src/automl/CMakeFiles/fedfc_automl.dir/bayesopt/gp.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/bayesopt/gp.cc.o.d"
+  "/root/repo/src/automl/engine.cc" "src/automl/CMakeFiles/fedfc_automl.dir/engine.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/engine.cc.o.d"
+  "/root/repo/src/automl/fed_client.cc" "src/automl/CMakeFiles/fedfc_automl.dir/fed_client.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/fed_client.cc.o.d"
+  "/root/repo/src/automl/knowledge_base.cc" "src/automl/CMakeFiles/fedfc_automl.dir/knowledge_base.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/automl/meta_model.cc" "src/automl/CMakeFiles/fedfc_automl.dir/meta_model.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/meta_model.cc.o.d"
+  "/root/repo/src/automl/model_io.cc" "src/automl/CMakeFiles/fedfc_automl.dir/model_io.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/model_io.cc.o.d"
+  "/root/repo/src/automl/nbeats_baseline.cc" "src/automl/CMakeFiles/fedfc_automl.dir/nbeats_baseline.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/nbeats_baseline.cc.o.d"
+  "/root/repo/src/automl/search_space.cc" "src/automl/CMakeFiles/fedfc_automl.dir/search_space.cc.o" "gcc" "src/automl/CMakeFiles/fedfc_automl.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/fedfc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fedfc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedfc_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/fedfc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedfc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_automl.dir/adaptive.cc.o"
+  "CMakeFiles/fedfc_automl.dir/adaptive.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/bayesopt/bayes_opt.cc.o"
+  "CMakeFiles/fedfc_automl.dir/bayesopt/bayes_opt.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/bayesopt/gp.cc.o"
+  "CMakeFiles/fedfc_automl.dir/bayesopt/gp.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/engine.cc.o"
+  "CMakeFiles/fedfc_automl.dir/engine.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/fed_client.cc.o"
+  "CMakeFiles/fedfc_automl.dir/fed_client.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/knowledge_base.cc.o"
+  "CMakeFiles/fedfc_automl.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/meta_model.cc.o"
+  "CMakeFiles/fedfc_automl.dir/meta_model.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/model_io.cc.o"
+  "CMakeFiles/fedfc_automl.dir/model_io.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/nbeats_baseline.cc.o"
+  "CMakeFiles/fedfc_automl.dir/nbeats_baseline.cc.o.d"
+  "CMakeFiles/fedfc_automl.dir/search_space.cc.o"
+  "CMakeFiles/fedfc_automl.dir/search_space.cc.o.d"
+  "libfedfc_automl.a"
+  "libfedfc_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

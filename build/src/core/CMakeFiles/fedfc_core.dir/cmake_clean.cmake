@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_core.dir/logging.cc.o"
+  "CMakeFiles/fedfc_core.dir/logging.cc.o.d"
+  "CMakeFiles/fedfc_core.dir/matrix.cc.o"
+  "CMakeFiles/fedfc_core.dir/matrix.cc.o.d"
+  "CMakeFiles/fedfc_core.dir/rng.cc.o"
+  "CMakeFiles/fedfc_core.dir/rng.cc.o.d"
+  "CMakeFiles/fedfc_core.dir/status.cc.o"
+  "CMakeFiles/fedfc_core.dir/status.cc.o.d"
+  "CMakeFiles/fedfc_core.dir/vec_math.cc.o"
+  "CMakeFiles/fedfc_core.dir/vec_math.cc.o.d"
+  "libfedfc_core.a"
+  "libfedfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

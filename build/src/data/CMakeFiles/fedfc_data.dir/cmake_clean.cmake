@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_data.dir/benchmark_suite.cc.o"
+  "CMakeFiles/fedfc_data.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/fedfc_data.dir/csv.cc.o"
+  "CMakeFiles/fedfc_data.dir/csv.cc.o.d"
+  "CMakeFiles/fedfc_data.dir/dataset.cc.o"
+  "CMakeFiles/fedfc_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fedfc_data.dir/generators.cc.o"
+  "CMakeFiles/fedfc_data.dir/generators.cc.o.d"
+  "libfedfc_data.a"
+  "libfedfc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

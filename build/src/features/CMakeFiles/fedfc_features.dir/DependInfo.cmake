@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_engineering.cc" "src/features/CMakeFiles/fedfc_features.dir/feature_engineering.cc.o" "gcc" "src/features/CMakeFiles/fedfc_features.dir/feature_engineering.cc.o.d"
+  "/root/repo/src/features/feature_selection.cc" "src/features/CMakeFiles/fedfc_features.dir/feature_selection.cc.o" "gcc" "src/features/CMakeFiles/fedfc_features.dir/feature_selection.cc.o.d"
+  "/root/repo/src/features/meta_features.cc" "src/features/CMakeFiles/fedfc_features.dir/meta_features.cc.o" "gcc" "src/features/CMakeFiles/fedfc_features.dir/meta_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/fedfc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fedfc_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_features.dir/feature_engineering.cc.o"
+  "CMakeFiles/fedfc_features.dir/feature_engineering.cc.o.d"
+  "CMakeFiles/fedfc_features.dir/feature_selection.cc.o"
+  "CMakeFiles/fedfc_features.dir/feature_selection.cc.o.d"
+  "CMakeFiles/fedfc_features.dir/meta_features.cc.o"
+  "CMakeFiles/fedfc_features.dir/meta_features.cc.o.d"
+  "libfedfc_features.a"
+  "libfedfc_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

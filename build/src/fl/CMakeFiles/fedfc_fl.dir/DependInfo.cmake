@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregation.cc" "src/fl/CMakeFiles/fedfc_fl.dir/aggregation.cc.o" "gcc" "src/fl/CMakeFiles/fedfc_fl.dir/aggregation.cc.o.d"
+  "/root/repo/src/fl/payload.cc" "src/fl/CMakeFiles/fedfc_fl.dir/payload.cc.o" "gcc" "src/fl/CMakeFiles/fedfc_fl.dir/payload.cc.o.d"
+  "/root/repo/src/fl/secure_aggregation.cc" "src/fl/CMakeFiles/fedfc_fl.dir/secure_aggregation.cc.o" "gcc" "src/fl/CMakeFiles/fedfc_fl.dir/secure_aggregation.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/fl/CMakeFiles/fedfc_fl.dir/server.cc.o" "gcc" "src/fl/CMakeFiles/fedfc_fl.dir/server.cc.o.d"
+  "/root/repo/src/fl/transport.cc" "src/fl/CMakeFiles/fedfc_fl.dir/transport.cc.o" "gcc" "src/fl/CMakeFiles/fedfc_fl.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fedfc_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_fl.dir/aggregation.cc.o"
+  "CMakeFiles/fedfc_fl.dir/aggregation.cc.o.d"
+  "CMakeFiles/fedfc_fl.dir/payload.cc.o"
+  "CMakeFiles/fedfc_fl.dir/payload.cc.o.d"
+  "CMakeFiles/fedfc_fl.dir/secure_aggregation.cc.o"
+  "CMakeFiles/fedfc_fl.dir/secure_aggregation.cc.o.d"
+  "CMakeFiles/fedfc_fl.dir/server.cc.o"
+  "CMakeFiles/fedfc_fl.dir/server.cc.o.d"
+  "CMakeFiles/fedfc_fl.dir/transport.cc.o"
+  "CMakeFiles/fedfc_fl.dir/transport.cc.o.d"
+  "libfedfc_fl.a"
+  "libfedfc_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

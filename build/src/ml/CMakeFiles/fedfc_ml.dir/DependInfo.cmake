@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/linear/coordinate_descent.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/coordinate_descent.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/coordinate_descent.cc.o.d"
+  "/root/repo/src/ml/linear/elastic_net.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/elastic_net.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/elastic_net.cc.o.d"
+  "/root/repo/src/ml/linear/huber.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/huber.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/huber.cc.o.d"
+  "/root/repo/src/ml/linear/lasso.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/lasso.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/lasso.cc.o.d"
+  "/root/repo/src/ml/linear/linear_base.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/linear_base.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/linear_base.cc.o.d"
+  "/root/repo/src/ml/linear/linear_svr.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/linear_svr.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/linear_svr.cc.o.d"
+  "/root/repo/src/ml/linear/logistic.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/logistic.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/logistic.cc.o.d"
+  "/root/repo/src/ml/linear/quantile.cc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/quantile.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/linear/quantile.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/fedfc_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/fedfc_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/nn/adam.cc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/adam.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/adam.cc.o.d"
+  "/root/repo/src/ml/nn/dense.cc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/dense.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/dense.cc.o.d"
+  "/root/repo/src/ml/nn/mlp.cc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/mlp.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/ml/nn/nbeats.cc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/nbeats.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/nn/nbeats.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/fedfc_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/tree/decision_tree.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/decision_tree.cc.o.d"
+  "/root/repo/src/ml/tree/feature_binning.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/feature_binning.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/feature_binning.cc.o.d"
+  "/root/repo/src/ml/tree/gbdt.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/gbdt.cc.o.d"
+  "/root/repo/src/ml/tree/gbdt_tree.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/gbdt_tree.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/gbdt_tree.cc.o.d"
+  "/root/repo/src/ml/tree/hist_gbdt.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/hist_gbdt.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/hist_gbdt.cc.o.d"
+  "/root/repo/src/ml/tree/oblivious_gbdt.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/oblivious_gbdt.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/oblivious_gbdt.cc.o.d"
+  "/root/repo/src/ml/tree/random_forest.cc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/fedfc_ml.dir/tree/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

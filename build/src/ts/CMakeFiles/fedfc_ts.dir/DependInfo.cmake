@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/acf.cc" "src/ts/CMakeFiles/fedfc_ts.dir/acf.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/acf.cc.o.d"
+  "/root/repo/src/ts/adf.cc" "src/ts/CMakeFiles/fedfc_ts.dir/adf.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/adf.cc.o.d"
+  "/root/repo/src/ts/calendar.cc" "src/ts/CMakeFiles/fedfc_ts.dir/calendar.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/calendar.cc.o.d"
+  "/root/repo/src/ts/drift.cc" "src/ts/CMakeFiles/fedfc_ts.dir/drift.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/drift.cc.o.d"
+  "/root/repo/src/ts/fft.cc" "src/ts/CMakeFiles/fedfc_ts.dir/fft.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/fft.cc.o.d"
+  "/root/repo/src/ts/fractal.cc" "src/ts/CMakeFiles/fedfc_ts.dir/fractal.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/fractal.cc.o.d"
+  "/root/repo/src/ts/interpolation.cc" "src/ts/CMakeFiles/fedfc_ts.dir/interpolation.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/interpolation.cc.o.d"
+  "/root/repo/src/ts/kl_divergence.cc" "src/ts/CMakeFiles/fedfc_ts.dir/kl_divergence.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/kl_divergence.cc.o.d"
+  "/root/repo/src/ts/multi_series.cc" "src/ts/CMakeFiles/fedfc_ts.dir/multi_series.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/multi_series.cc.o.d"
+  "/root/repo/src/ts/periodogram.cc" "src/ts/CMakeFiles/fedfc_ts.dir/periodogram.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/periodogram.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/ts/CMakeFiles/fedfc_ts.dir/series.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/series.cc.o.d"
+  "/root/repo/src/ts/trend.cc" "src/ts/CMakeFiles/fedfc_ts.dir/trend.cc.o" "gcc" "src/ts/CMakeFiles/fedfc_ts.dir/trend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

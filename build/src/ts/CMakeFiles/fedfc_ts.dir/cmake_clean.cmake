@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedfc_ts.dir/acf.cc.o"
+  "CMakeFiles/fedfc_ts.dir/acf.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/adf.cc.o"
+  "CMakeFiles/fedfc_ts.dir/adf.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/calendar.cc.o"
+  "CMakeFiles/fedfc_ts.dir/calendar.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/drift.cc.o"
+  "CMakeFiles/fedfc_ts.dir/drift.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/fft.cc.o"
+  "CMakeFiles/fedfc_ts.dir/fft.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/fractal.cc.o"
+  "CMakeFiles/fedfc_ts.dir/fractal.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/interpolation.cc.o"
+  "CMakeFiles/fedfc_ts.dir/interpolation.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/kl_divergence.cc.o"
+  "CMakeFiles/fedfc_ts.dir/kl_divergence.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/multi_series.cc.o"
+  "CMakeFiles/fedfc_ts.dir/multi_series.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/periodogram.cc.o"
+  "CMakeFiles/fedfc_ts.dir/periodogram.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/series.cc.o"
+  "CMakeFiles/fedfc_ts.dir/series.cc.o.d"
+  "CMakeFiles/fedfc_ts.dir/trend.cc.o"
+  "CMakeFiles/fedfc_ts.dir/trend.cc.o.d"
+  "libfedfc_ts.a"
+  "libfedfc_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedfc_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedfc_ts.a"
+)

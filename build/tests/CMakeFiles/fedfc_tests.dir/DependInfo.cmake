@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automl/adaptive_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/adaptive_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/adaptive_test.cc.o.d"
+  "/root/repo/tests/automl/bayes_opt_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/bayes_opt_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/bayes_opt_test.cc.o.d"
+  "/root/repo/tests/automl/engine_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/engine_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/engine_test.cc.o.d"
+  "/root/repo/tests/automl/fed_client_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/fed_client_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/fed_client_test.cc.o.d"
+  "/root/repo/tests/automl/integration_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/integration_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/integration_test.cc.o.d"
+  "/root/repo/tests/automl/knowledge_base_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/knowledge_base_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/knowledge_base_test.cc.o.d"
+  "/root/repo/tests/automl/meta_model_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/meta_model_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/meta_model_test.cc.o.d"
+  "/root/repo/tests/automl/model_io_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/model_io_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/model_io_test.cc.o.d"
+  "/root/repo/tests/automl/nbeats_baseline_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/nbeats_baseline_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/nbeats_baseline_test.cc.o.d"
+  "/root/repo/tests/automl/search_space_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/search_space_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/search_space_test.cc.o.d"
+  "/root/repo/tests/automl/warm_start_test.cc" "tests/CMakeFiles/fedfc_tests.dir/automl/warm_start_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/automl/warm_start_test.cc.o.d"
+  "/root/repo/tests/core/logging_test.cc" "tests/CMakeFiles/fedfc_tests.dir/core/logging_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/core/logging_test.cc.o.d"
+  "/root/repo/tests/core/matrix_test.cc" "tests/CMakeFiles/fedfc_tests.dir/core/matrix_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/core/matrix_test.cc.o.d"
+  "/root/repo/tests/core/rng_test.cc" "tests/CMakeFiles/fedfc_tests.dir/core/rng_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/core/rng_test.cc.o.d"
+  "/root/repo/tests/core/status_test.cc" "tests/CMakeFiles/fedfc_tests.dir/core/status_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/core/status_test.cc.o.d"
+  "/root/repo/tests/core/vec_math_test.cc" "tests/CMakeFiles/fedfc_tests.dir/core/vec_math_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/core/vec_math_test.cc.o.d"
+  "/root/repo/tests/data/data_test.cc" "tests/CMakeFiles/fedfc_tests.dir/data/data_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/data/data_test.cc.o.d"
+  "/root/repo/tests/features/feature_engineering_test.cc" "tests/CMakeFiles/fedfc_tests.dir/features/feature_engineering_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/features/feature_engineering_test.cc.o.d"
+  "/root/repo/tests/features/meta_features_test.cc" "tests/CMakeFiles/fedfc_tests.dir/features/meta_features_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/features/meta_features_test.cc.o.d"
+  "/root/repo/tests/features/multivariate_test.cc" "tests/CMakeFiles/fedfc_tests.dir/features/multivariate_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/features/multivariate_test.cc.o.d"
+  "/root/repo/tests/fl/aggregation_test.cc" "tests/CMakeFiles/fedfc_tests.dir/fl/aggregation_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/fl/aggregation_test.cc.o.d"
+  "/root/repo/tests/fl/payload_test.cc" "tests/CMakeFiles/fedfc_tests.dir/fl/payload_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/fl/payload_test.cc.o.d"
+  "/root/repo/tests/fl/secure_aggregation_test.cc" "tests/CMakeFiles/fedfc_tests.dir/fl/secure_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/fl/secure_aggregation_test.cc.o.d"
+  "/root/repo/tests/fl/server_test.cc" "tests/CMakeFiles/fedfc_tests.dir/fl/server_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/fl/server_test.cc.o.d"
+  "/root/repo/tests/ml/gbdt_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/gbdt_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/gbdt_test.cc.o.d"
+  "/root/repo/tests/ml/linear_edge_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/linear_edge_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/linear_edge_test.cc.o.d"
+  "/root/repo/tests/ml/linear_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/linear_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/linear_test.cc.o.d"
+  "/root/repo/tests/ml/logistic_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/logistic_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/logistic_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/nn_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/nn_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/nn_test.cc.o.d"
+  "/root/repo/tests/ml/scaler_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/scaler_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/scaler_test.cc.o.d"
+  "/root/repo/tests/ml/tree_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ml/tree_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ml/tree_test.cc.o.d"
+  "/root/repo/tests/ts/acf_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/acf_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/acf_test.cc.o.d"
+  "/root/repo/tests/ts/adf_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/adf_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/adf_test.cc.o.d"
+  "/root/repo/tests/ts/calendar_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/calendar_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/calendar_test.cc.o.d"
+  "/root/repo/tests/ts/drift_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/drift_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/drift_test.cc.o.d"
+  "/root/repo/tests/ts/fft_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/fft_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/fft_test.cc.o.d"
+  "/root/repo/tests/ts/fractal_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/fractal_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/fractal_test.cc.o.d"
+  "/root/repo/tests/ts/interpolation_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/interpolation_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/interpolation_test.cc.o.d"
+  "/root/repo/tests/ts/kl_divergence_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/kl_divergence_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/kl_divergence_test.cc.o.d"
+  "/root/repo/tests/ts/periodogram_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/periodogram_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/periodogram_test.cc.o.d"
+  "/root/repo/tests/ts/series_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/series_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/series_test.cc.o.d"
+  "/root/repo/tests/ts/trend_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/trend_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/trend_test.cc.o.d"
+  "/root/repo/tests/ts/ts_property_test.cc" "tests/CMakeFiles/fedfc_tests.dir/ts/ts_property_test.cc.o" "gcc" "tests/CMakeFiles/fedfc_tests.dir/ts/ts_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automl/CMakeFiles/fedfc_automl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedfc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/fedfc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedfc_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fedfc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/fedfc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedfc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
