@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full verification gate for this repository:
+#
+#   1. ThreadSanitizer pass over the concurrency-sensitive suites (tests/core
+#      and tests/fl — the thread pool, the parallel broadcast, and the
+#      transports it relies on), built into build-tsan/.
+#   2. Plain build of everything + the full ctest suite, in build/.
+#
+# Usage: scripts/check.sh          # both phases
+#        scripts/check.sh tsan     # TSan phase only
+#        scripts/check.sh plain    # plain build + ctest only
+#
+# Works with the default Makefiles generator; pass -G Ninja through
+# CMAKE_GENERATOR if preferred.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+phase="${1:-all}"
+if [[ "$phase" != "all" && "$phase" != "tsan" && "$phase" != "plain" ]]; then
+  echo "usage: $0 [all|tsan|plain]" >&2
+  exit 2
+fi
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "$phase" == "all" || "$phase" == "tsan" ]]; then
+  echo "=== [1/2] ThreadSanitizer: core/ + fl/ test suites ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g"
+  cmake --build build-tsan --target fedfc_fl_core_tests -j"$jobs"
+  ./build-tsan/tests/fedfc_fl_core_tests
+fi
+
+if [[ "$phase" == "all" || "$phase" == "plain" ]]; then
+  echo "=== [2/2] Plain build + full ctest ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j"$jobs"
+  ctest --test-dir build --output-on-failure -j"$jobs"
+fi
+
+echo "All checks passed."

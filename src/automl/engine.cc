@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "automl/fed_client.h"
+#include "core/thread_pool.h"
 #include "automl/model_io.h"
 #include "features/feature_selection.h"
 #include "features/meta_features.h"
@@ -31,6 +32,8 @@ FedForecasterEngine::FedForecasterEngine(const MetaModel* meta_model,
 
 Result<EngineReport> FedForecasterEngine::Run(fl::Server* server) {
   FEDFC_CHECK(server != nullptr);
+  server->set_num_threads(options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                                    : options_.num_threads);
   auto start = std::chrono::steady_clock::now();
   Rng rng(options_.seed);
   EngineReport report;

@@ -46,6 +46,12 @@ struct EngineOptions {
   /// paper's univariate setting.
   size_t n_covariates = 0;
   size_t covariate_lags = 2;
+  /// Worker threads for client fan-out in every federated round (applied to
+  /// the server at Run time). 0 = hardware concurrency; 1 = the exact
+  /// sequential broadcast path. Replies are index-ordered, so losses and the
+  /// aggregated model are identical for every thread count (see
+  /// docs/ARCHITECTURE.md, "Concurrency model").
+  size_t num_threads = 0;
   uint64_t seed = 1;
   BayesOptConfig bo;
 };

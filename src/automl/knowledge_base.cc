@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "automl/fed_client.h"
+#include "core/thread_pool.h"
 #include "core/vec_math.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -91,7 +92,8 @@ Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
                                                      const ts::Series& series,
                                                      int n_clients,
                                                      size_t grid_per_dim,
-                                                     uint64_t seed) {
+                                                     uint64_t seed,
+                                                     size_t num_threads) {
   // Federated split and clients, mirroring the online protocol.
   FEDFC_ASSIGN_OR_RETURN(
       std::vector<ts::Series> splits,
@@ -106,7 +108,8 @@ Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
     clients.push_back(std::make_shared<ForecastClient>(
         "kb-" + std::to_string(j), splits[j], copt));
   }
-  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes);
+  fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes,
+                    num_threads);
 
   // Aggregate meta-features.
   FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> mf_replies,
@@ -275,28 +278,56 @@ Result<KnowledgeBase> BuildKnowledgeBase(const KnowledgeBaseOptions& options) {
   KnowledgeBase kb;
   static constexpr int kClientChoices[] = {5, 10, 15, 20};
   size_t total = options.n_synthetic + options.n_real_like;
+
+  // Sample every dataset up front from the single options RNG. The stream of
+  // draws is exactly the sequential one, and the labelling passes below only
+  // use per-record seeds — so the finished knowledge base does not depend on
+  // num_threads (the SaveCsv cache stays byte-stable).
+  struct DatasetSpec {
+    std::string name;
+    ts::Series series;
+    int n_clients = 0;
+    uint64_t seed = 0;
+  };
+  std::vector<DatasetSpec> specs;
+  specs.reserve(total);
   for (size_t i = 0; i < total; ++i) {
     bool real_like = i >= options.n_synthetic;
     // Lengths span [L/2, 2L] so the knowledge base covers the size range of
     // the datasets it will be asked about (kNN warm starts depend on this).
     size_t length = options.series_length / 2 +
                     rng.Index(options.series_length * 3 / 2 + 1);
-    ts::Series series = SampleKnowledgeBaseSeries(length, real_like, &rng);
+    DatasetSpec spec;
+    spec.series = SampleKnowledgeBaseSeries(length, real_like, &rng);
     // Client count that keeps every split workable.
-    int n_clients = kClientChoices[rng.Index(4)];
-    while (n_clients > 5 &&
-           length / static_cast<size_t>(n_clients) < 120) {
-      n_clients -= 5;
+    spec.n_clients = kClientChoices[rng.Index(4)];
+    while (spec.n_clients > 5 &&
+           length / static_cast<size_t>(spec.n_clients) < 120) {
+      spec.n_clients -= 5;
     }
-    std::string name =
+    spec.name =
         (real_like ? std::string("real_") : std::string("syn_")) + std::to_string(i);
-    Result<KnowledgeBaseRecord> record = BuildKnowledgeBaseRecord(
-        name, series, n_clients, options.grid_per_dim, options.seed + i);
-    if (!record.ok()) {
-      FEDFC_LOG(Warning) << "kb record " << name << " failed: " << record.status();
+    spec.seed = options.seed + i;
+    specs.push_back(std::move(spec));
+  }
+
+  // Label records concurrently — one federation per record, nothing shared.
+  // Each record's internal server stays sequential to avoid nested pools.
+  std::vector<Result<KnowledgeBaseRecord>> slots(
+      total, Status::Internal("kb record not built"));
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(total, [&](size_t i) {
+    const DatasetSpec& spec = specs[i];
+    slots[i] = BuildKnowledgeBaseRecord(spec.name, spec.series, spec.n_clients,
+                                        options.grid_per_dim, spec.seed);
+  });
+  for (size_t i = 0; i < total; ++i) {
+    if (!slots[i].ok()) {
+      FEDFC_LOG(Warning) << "kb record " << specs[i].name
+                         << " failed: " << slots[i].status();
       continue;
     }
-    kb.Add(std::move(*record));
+    kb.Add(std::move(*slots[i]));
   }
   if (kb.size() < 4) {
     return Status::Internal("knowledge base construction produced too few records");

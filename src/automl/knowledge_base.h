@@ -50,16 +50,25 @@ struct KnowledgeBaseOptions {
   size_t grid_per_dim = 2;   ///< Grid resolution for the labelling search.
   size_t series_length = 1200;
   uint64_t seed = 42;
+  /// Records built concurrently (each record owns its own federation, so
+  /// dataset-level fan-out is race-free). Every series is sampled from the
+  /// single options seed *before* the parallel region, so the resulting
+  /// knowledge base is identical for every thread count. 1 = sequential.
+  size_t num_threads = 1;
 };
 
 /// Labels one federated dataset by federated grid search over all six
 /// algorithm spaces and returns the knowledge-base row. Exposed separately
 /// so the runtime bench (Section 5.2) can time a single record.
+/// `num_threads` parallelizes the per-configuration client fan-out of the
+/// internal server; keep it at 1 when records themselves are built in
+/// parallel (nested pools oversubscribe the machine).
 Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
                                                      const ts::Series& series,
                                                      int n_clients,
                                                      size_t grid_per_dim,
-                                                     uint64_t seed);
+                                                     uint64_t seed,
+                                                     size_t num_threads = 1);
 
 /// Builds the full synthetic + real-like knowledge base (offline phase).
 Result<KnowledgeBase> BuildKnowledgeBase(const KnowledgeBaseOptions& options);

@@ -1,0 +1,79 @@
+#ifndef FEDFC_CORE_THREAD_POOL_H_
+#define FEDFC_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fedfc {
+
+/// Fixed-size worker pool shared by every parallel hot path in the library
+/// (federated broadcast fan-out, knowledge-base construction, forest
+/// training). Semantics chosen for reproducibility:
+///
+///  - A pool of size 1 spawns no threads: Submit and ParallelFor run the
+///    work inline on the calling thread, in order. Callers that gate on
+///    `num_threads == 1` therefore get behavior bit-identical to a plain
+///    sequential loop.
+///  - ParallelFor(n, fn) invokes fn(i) exactly once for every i in [0, n)
+///    and returns only after all invocations finished. If any invocation
+///    throws, the exception of the *lowest* index is rethrown, so the error
+///    a caller observes does not depend on thread scheduling.
+///  - Calling Submit/ParallelFor from inside a worker task runs the work
+///    inline instead of enqueueing, so nested parallel sections cannot
+///    deadlock the pool.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` is clamped to 1. Workers are joined in ~ThreadPool;
+  /// destruction waits for all queued tasks to finish.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return size_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits it to return 0 when the count is unknowable).
+  static size_t HardwareThreads();
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface from future::get().
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0) ... fn(n-1), blocking until every call returned. See the
+  /// class comment for the ordering and exception guarantees.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  /// Runs `task` inline when the pool is sequential or the caller is
+  /// already a worker; enqueues it otherwise.
+  void Schedule(std::function<void()> task);
+  void WorkerLoop();
+
+  size_t size_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fedfc
+
+#endif  // FEDFC_CORE_THREAD_POOL_H_

@@ -1,22 +1,52 @@
 #include "fl/server.h"
 
+#include <optional>
+#include <utility>
+
 #include "core/logging.h"
 
 namespace fedfc::fl {
 
-Server::Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes)
+Server::Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes,
+               size_t num_threads)
     : transport_(std::move(transport)), client_sizes_(std::move(client_sizes)) {
   FEDFC_CHECK(transport_ != nullptr);
   FEDFC_CHECK(transport_->num_clients() == client_sizes_.size())
       << "transport/client size mismatch";
+  set_num_threads(num_threads);
+}
+
+void Server::set_num_threads(size_t num_threads) {
+  if (num_threads <= 1) {
+    pool_.reset();
+    return;
+  }
+  if (pool_ && pool_->size() == num_threads) return;
+  pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
 Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
                                                    const Payload& request) {
+  const size_t n = num_clients();
+  std::vector<std::optional<Result<Payload>>> slots(n);
+  if (pool_ && n > 1) {
+    // Fan out one task per client; each slot is written by exactly one
+    // worker, so the only shared mutable state is inside the transport
+    // (which is locked) and the pool itself.
+    pool_->ParallelFor(n, [&](size_t j) {
+      slots[j] = transport_->Execute(j, task, request);
+    });
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      slots[j] = transport_->Execute(j, task, request);
+    }
+  }
+  // Index-ordered gather: reply order, renormalized weights, and the
+  // reported error are all independent of execution interleaving.
   std::vector<ClientReply> replies;
   std::string last_error;
-  for (size_t j = 0; j < num_clients(); ++j) {
-    Result<Payload> reply = transport_->Execute(j, task, request);
+  for (size_t j = 0; j < n; ++j) {
+    Result<Payload>& reply = *slots[j];
     if (!reply.ok()) {
       last_error = reply.status().ToString();
       FEDFC_LOG(Warning) << "client " << j << " failed task '" << task

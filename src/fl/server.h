@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/result.h"
+#include "core/thread_pool.h"
 #include "fl/payload.h"
 #include "fl/transport.h"
 
@@ -21,16 +22,29 @@ struct ClientReply {
 /// Orchestrates broadcast/gather rounds over a transport — the role of the
 /// Flower server. Aggregation weights follow Equation 1:
 /// alpha_j = |D_j| / |D| (renormalized over the clients that responded).
+///
+/// With `num_threads > 1` every broadcast fans client execution out over a
+/// thread pool (clients are independent by construction, so rounds are
+/// embarrassingly parallel). Replies are gathered into client-index-ordered
+/// slots, so the returned vector — and every aggregate computed from it — is
+/// identical to the sequential result no matter how many threads ran the
+/// round. `num_threads == 1` (the default) takes the plain sequential loop.
 class Server {
  public:
   /// `client_sizes[j]` = |D_j| for weight computation.
-  Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes);
+  Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes,
+         size_t num_threads = 1);
 
   size_t num_clients() const { return client_sizes_.size(); }
 
+  /// Resizes the broadcast worker pool (1 = sequential). Cheap when the
+  /// count is unchanged; must not be called while a broadcast is in flight.
+  void set_num_threads(size_t num_threads);
+  size_t num_threads() const { return pool_ ? pool_->size() : 1; }
+
   /// Sends the same task to all clients; returns successful replies with
-  /// normalized weights. Fails only when every client fails (partial
-  /// participation is the FL norm, not an error).
+  /// normalized weights, ordered by client index. Fails only when every
+  /// client fails (partial participation is the FL norm, not an error).
   Result<std::vector<ClientReply>> Broadcast(const std::string& task,
                                              const Payload& request);
 
@@ -42,12 +56,13 @@ class Server {
   static Result<std::vector<double>> AggregateTensor(
       const std::vector<ClientReply>& replies, const std::string& key);
 
-  const TransportStats& transport_stats() const { return transport_->stats(); }
+  TransportStats transport_stats() const { return transport_->stats(); }
   Transport& transport() { return *transport_; }
 
  private:
   std::unique_ptr<Transport> transport_;
   std::vector<size_t> client_sizes_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when running sequentially.
 };
 
 }  // namespace fedfc::fl

@@ -10,14 +10,20 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
   }
   // Round-trip through the wire format in both directions.
   std::vector<uint8_t> request_bytes = request.Serialize();
-  stats_.messages += 1;
-  stats_.bytes_to_clients += request_bytes.size() + task.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.bytes_to_clients += request_bytes.size() + task.size();
+  }
   FEDFC_ASSIGN_OR_RETURN(Payload decoded_request,
                          Payload::Deserialize(request_bytes));
   FEDFC_ASSIGN_OR_RETURN(Payload reply,
                          clients_[client_index]->Handle(task, decoded_request));
   std::vector<uint8_t> reply_bytes = reply.Serialize();
-  stats_.bytes_to_server += reply_bytes.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_to_server += reply_bytes.size();
+  }
   return Payload::Deserialize(reply_bytes);
 }
 
@@ -28,11 +34,18 @@ FlakyTransport::FlakyTransport(std::unique_ptr<Transport> inner, double failure_
 Result<Payload> FlakyTransport::Execute(size_t client_index, const std::string& task,
                                         const Payload& request) {
   // xorshift64* keeps this decorator dependency-free and deterministic.
-  state_ ^= state_ >> 12;
-  state_ ^= state_ << 25;
-  state_ ^= state_ >> 27;
-  uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
-  double u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  // The draw order (and therefore which clients fail) depends on broadcast
+  // scheduling when the server runs multi-threaded; the stream itself stays
+  // race-free behind the mutex.
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
+    u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  }
   if (u < failure_rate_) {
     return Status::IOError("injected transport failure");
   }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,12 @@ struct TransportStats {
 
 /// Routes a task to one client and returns its reply. Concrete transports
 /// may add latency models or failure injection.
+///
+/// Thread-safety contract (relied on by the parallel fl::Server::Broadcast):
+/// Execute may be called concurrently from multiple threads as long as every
+/// concurrent call targets a *distinct* client_index. Implementations must
+/// guard any state shared across clients (statistics, RNG streams); clients
+/// themselves are only ever driven by one thread at a time.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -28,7 +35,9 @@ class Transport {
   virtual size_t num_clients() const = 0;
   virtual Result<Payload> Execute(size_t client_index, const std::string& task,
                                   const Payload& request) = 0;
-  virtual const TransportStats& stats() const = 0;
+  /// Snapshot of the accumulated statistics (by value: the counters may be
+  /// updated concurrently while a broadcast is in flight).
+  virtual TransportStats stats() const = 0;
 };
 
 /// In-process transport that still round-trips every payload through the
@@ -42,12 +51,16 @@ class InProcessTransport : public Transport {
   size_t num_clients() const override { return clients_.size(); }
   Result<Payload> Execute(size_t client_index, const std::string& task,
                           const Payload& request) override;
-  const TransportStats& stats() const override { return stats_; }
+  TransportStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
   Client& client(size_t index) { return *clients_[index]; }
 
  private:
   std::vector<std::shared_ptr<Client>> clients_;
+  mutable std::mutex stats_mutex_;
   TransportStats stats_;
 };
 
@@ -61,11 +74,12 @@ class FlakyTransport : public Transport {
   size_t num_clients() const override { return inner_->num_clients(); }
   Result<Payload> Execute(size_t client_index, const std::string& task,
                           const Payload& request) override;
-  const TransportStats& stats() const override { return inner_->stats(); }
+  TransportStats stats() const override { return inner_->stats(); }
 
  private:
   std::unique_ptr<Transport> inner_;
   double failure_rate_;
+  std::mutex state_mutex_;
   uint64_t state_;
 };
 

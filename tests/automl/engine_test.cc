@@ -147,6 +147,39 @@ TEST(EngineTest, TimeBudgetStopsTheLoop) {
   EXPECT_LT(report->elapsed_seconds, 20.0);
 }
 
+TEST(EngineTest, NumThreadsDoesNotChangeLosses) {
+  // The parallel broadcast gathers replies into index-ordered slots, so the
+  // whole engine run — every aggregated loss, the chosen configuration, the
+  // global model — must be identical at any thread count.
+  std::vector<ts::Series> splits = MakeSplits(4, 150, 13);
+  MetaModel meta = MakeTrainedMetaModel();
+  std::vector<EngineReport> reports;
+  for (size_t num_threads : {1u, 4u}) {
+    auto server = MakeServer(splits, 14);
+    EngineOptions opt = FastOptions();
+    opt.num_threads = num_threads;
+    FedForecasterEngine engine(&meta, opt);
+    Result<EngineReport> report = engine.Run(server.get());
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(server->num_threads(), num_threads);
+    reports.push_back(std::move(*report));
+  }
+  ASSERT_EQ(reports.size(), 2u);
+  const EngineReport& seq = reports[0];
+  const EngineReport& par = reports[1];
+  ASSERT_EQ(seq.loss_history.size(), par.loss_history.size());
+  for (size_t i = 0; i < seq.loss_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.loss_history[i], par.loss_history[i]) << "round " << i;
+  }
+  EXPECT_DOUBLE_EQ(seq.best_valid_loss, par.best_valid_loss);
+  EXPECT_DOUBLE_EQ(seq.test_loss, par.test_loss);
+  EXPECT_EQ(seq.best_config.algorithm, par.best_config.algorithm);
+  ASSERT_EQ(seq.global_model_blob.size(), par.global_model_blob.size());
+  for (size_t i = 0; i < seq.global_model_blob.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.global_model_blob[i], par.global_model_blob[i]);
+  }
+}
+
 TEST(EngineTest, LossHistoryBestIsReportedBest) {
   std::vector<ts::Series> splits = MakeSplits(3, 150, 11);
   auto server = MakeServer(splits, 12);

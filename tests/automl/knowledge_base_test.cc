@@ -64,6 +64,36 @@ TEST(BuildKnowledgeBaseTest, SmallBaseBuilds) {
   }
 }
 
+TEST(BuildKnowledgeBaseTest, ThreadCountDoesNotChangeRecords) {
+  // Dataset sampling happens before the parallel region and labelling uses
+  // per-record seeds, so the base must be identical at any thread count.
+  std::vector<KnowledgeBase> bases;
+  for (size_t num_threads : {1u, 3u}) {
+    KnowledgeBaseOptions opt;
+    opt.n_synthetic = 4;
+    opt.n_real_like = 1;
+    opt.grid_per_dim = 1;
+    opt.series_length = 700;
+    opt.seed = 11;
+    opt.num_threads = num_threads;
+    Result<KnowledgeBase> kb = BuildKnowledgeBase(opt);
+    ASSERT_TRUE(kb.ok()) << kb.status();
+    bases.push_back(std::move(*kb));
+  }
+  ASSERT_EQ(bases[0].size(), bases[1].size());
+  for (size_t i = 0; i < bases[0].size(); ++i) {
+    const KnowledgeBaseRecord& a = bases[0].records()[i];
+    const KnowledgeBaseRecord& b = bases[1].records()[i];
+    EXPECT_EQ(a.dataset_name, b.dataset_name);
+    EXPECT_EQ(a.best_algorithm, b.best_algorithm);
+    ASSERT_EQ(a.algorithm_losses.size(), b.algorithm_losses.size());
+    for (size_t k = 0; k < a.algorithm_losses.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.algorithm_losses[k], b.algorithm_losses[k]);
+    }
+    EXPECT_EQ(a.best_configs, b.best_configs);
+  }
+}
+
 TEST(KnowledgeBaseCsvTest, SaveLoadRoundTrip) {
   KnowledgeBase kb;
   KnowledgeBaseRecord r;

@@ -1,0 +1,137 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fedfc {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  std::future<int> f = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SequentialPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  // Submit on a sequential pool completes before returning.
+  std::thread::id caller = std::this_thread::get_id();
+  std::future<std::thread::id> f =
+      pool.Submit([]() { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForUsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::atomic<size_t> concurrent(0), peak(0);
+  pool.ParallelFor(16, [&](size_t) {
+    size_t now = concurrent.fetch_add(1) + 1;
+    size_t seen = peak.load();
+    while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    concurrent.fetch_sub(1);
+  });
+  EXPECT_GE(peak.load(), 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(32, [&](size_t i) {
+      if (i == 3 || i == 20) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForContinuesAfterException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran(0);
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  // Every index still executed; the pool remains usable.
+  EXPECT_EQ(ran.load(), 16);
+  std::future<int> f = pool.Submit([]() { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total(0);
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(ThreadPoolTest, ManyTasksFromManyCallers) {
+  ThreadPool pool(4);
+  std::vector<std::future<size_t>> futures;
+  futures.reserve(100);
+  for (size_t i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  size_t total = 0;
+  for (auto& f : futures) total += f.get();
+  size_t expected = 0;
+  for (size_t i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done(0);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.Submit([&]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+        return 0;
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace fedfc

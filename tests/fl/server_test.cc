@@ -2,23 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "fl/transport.h"
 
 namespace fedfc::fl {
 namespace {
 
 /// Test client: echoes a scalar equal to its configured value and its id.
+/// `delay` stalls the reply so concurrent broadcasts complete out of
+/// submission order; `fail_tasks` makes the named task error deterministically.
 class EchoClient : public Client {
  public:
-  EchoClient(std::string id, double value, size_t n)
-      : id_(std::move(id)), value_(value), n_(n) {}
+  EchoClient(std::string id, double value, size_t n,
+             std::chrono::milliseconds delay = std::chrono::milliseconds(0),
+             bool fail_all = false)
+      : id_(std::move(id)), value_(value), n_(n), delay_(delay),
+        fail_all_(fail_all) {}
 
   std::string id() const override { return id_; }
   size_t num_examples() const override { return n_; }
 
   Result<Payload> Handle(const std::string& task,
                          const Payload& request) override {
-    if (task == "fail") return Status::Internal("induced failure");
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    if (fail_all_ || task == "fail") return Status::Internal("induced failure");
     Payload reply;
     reply.SetDouble("value", value_);
     reply.SetTensor("vec", {value_, 2.0 * value_});
@@ -32,6 +41,8 @@ class EchoClient : public Client {
   std::string id_;
   double value_;
   size_t n_;
+  std::chrono::milliseconds delay_;
+  bool fail_all_;
 };
 
 std::unique_ptr<Server> MakeServer(std::vector<double> values,
@@ -99,6 +110,133 @@ TEST(ServerTest, TransportStatsAccumulate) {
   ASSERT_TRUE(server->Broadcast("any", Payload()).ok());
   EXPECT_EQ(server->transport_stats().messages, 1u);
   EXPECT_GT(server->transport_stats().bytes_to_server, 0u);
+}
+
+TEST(ConcurrentServerTest, RepliesArriveInClientIndexOrder) {
+  // Client 0 is the slowest and client 7 the fastest, so with 4 workers the
+  // completion order is roughly reversed; the gathered replies must still be
+  // index-ordered with the right values.
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes;
+  constexpr size_t kN = 8;
+  for (size_t j = 0; j < kN; ++j) {
+    clients.push_back(std::make_shared<EchoClient>(
+        "c" + std::to_string(j), static_cast<double>(j), 10,
+        std::chrono::milliseconds(2 * (kN - j))));
+    sizes.push_back(10);
+  }
+  Server server(std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+                /*num_threads=*/4);
+  EXPECT_EQ(server.num_threads(), 4u);
+  Result<std::vector<ClientReply>> replies = server.Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  ASSERT_EQ(replies->size(), kN);
+  for (size_t j = 0; j < kN; ++j) {
+    EXPECT_EQ((*replies)[j].client_index, j);
+    EXPECT_DOUBLE_EQ(*(*replies)[j].payload.GetDouble("value"),
+                     static_cast<double>(j));
+    EXPECT_NEAR((*replies)[j].weight, 1.0 / kN, 1e-12);
+  }
+}
+
+TEST(ConcurrentServerTest, MatchesSequentialBroadcast) {
+  auto make = [](size_t num_threads) {
+    std::vector<std::shared_ptr<Client>> clients;
+    std::vector<size_t> sizes = {30, 10, 20, 40};
+    for (size_t j = 0; j < sizes.size(); ++j) {
+      clients.push_back(std::make_shared<EchoClient>(
+          "c" + std::to_string(j), 1.5 * static_cast<double>(j + 1), sizes[j]));
+    }
+    return std::make_unique<Server>(
+        std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+        num_threads);
+  };
+  auto sequential = make(1);
+  auto parallel = make(4);
+  Result<std::vector<ClientReply>> a = sequential->Broadcast("any", Payload());
+  Result<std::vector<ClientReply>> b = parallel->Broadcast("any", Payload());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t j = 0; j < a->size(); ++j) {
+    EXPECT_EQ((*a)[j].client_index, (*b)[j].client_index);
+    EXPECT_DOUBLE_EQ((*a)[j].weight, (*b)[j].weight);
+    EXPECT_DOUBLE_EQ(*(*a)[j].payload.GetDouble("value"),
+                     *(*b)[j].payload.GetDouble("value"));
+  }
+  Result<double> agg_a = Server::AggregateScalar(*a, "value");
+  Result<double> agg_b = Server::AggregateScalar(*b, "value");
+  ASSERT_TRUE(agg_a.ok());
+  ASSERT_TRUE(agg_b.ok());
+  EXPECT_DOUBLE_EQ(*agg_a, *agg_b);
+}
+
+TEST(ConcurrentServerTest, PartialParticipationStillAggregates) {
+  // Client 2 fails deterministically; the others answer under 4 workers.
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes = {10, 20, 30, 40};
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    clients.push_back(std::make_shared<EchoClient>(
+        "c" + std::to_string(j), static_cast<double>(j), sizes[j],
+        std::chrono::milliseconds(1), /*fail_all=*/j == 2));
+  }
+  Server server(std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+                /*num_threads=*/4);
+  Result<std::vector<ClientReply>> replies = server.Broadcast("any", Payload());
+  ASSERT_TRUE(replies.ok());
+  ASSERT_EQ(replies->size(), 3u);
+  EXPECT_EQ((*replies)[0].client_index, 0u);
+  EXPECT_EQ((*replies)[1].client_index, 1u);
+  EXPECT_EQ((*replies)[2].client_index, 3u);
+  double total = 0.0;
+  for (const auto& r : *replies) total += r.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Weights renormalize over the 70 responding examples.
+  EXPECT_NEAR((*replies)[2].weight, 40.0 / 70.0, 1e-12);
+  Result<double> agg = Server::AggregateScalar(*replies, "value");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR(*agg, (10.0 * 0 + 20.0 * 1 + 40.0 * 3) / 70.0, 1e-12);
+}
+
+TEST(ConcurrentServerTest, AllClientsFailingIsStillError) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes = {10, 10, 10};
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    clients.push_back(std::make_shared<EchoClient>("c" + std::to_string(j), 1.0,
+                                                   10));
+  }
+  Server server(std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+                /*num_threads=*/3);
+  EXPECT_FALSE(server.Broadcast("fail", Payload()).ok());
+}
+
+TEST(ConcurrentServerTest, TransportStatsCountEveryMessage) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes;
+  constexpr size_t kN = 16;
+  for (size_t j = 0; j < kN; ++j) {
+    clients.push_back(
+        std::make_shared<EchoClient>("c" + std::to_string(j), 1.0, 10));
+    sizes.push_back(10);
+  }
+  Server server(std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+                /*num_threads=*/4);
+  ASSERT_TRUE(server.Broadcast("any", Payload()).ok());
+  ASSERT_TRUE(server.Broadcast("any", Payload()).ok());
+  TransportStats stats = server.transport_stats();
+  EXPECT_EQ(stats.messages, 2 * kN);
+  EXPECT_GT(stats.bytes_to_server, 0u);
+}
+
+TEST(ConcurrentServerTest, SetNumThreadsSwitchesModes) {
+  auto server = MakeServer({1.0, 2.0}, {10, 10});
+  EXPECT_EQ(server->num_threads(), 1u);
+  server->set_num_threads(4);
+  EXPECT_EQ(server->num_threads(), 4u);
+  ASSERT_TRUE(server->Broadcast("any", Payload()).ok());
+  server->set_num_threads(1);
+  EXPECT_EQ(server->num_threads(), 1u);
+  ASSERT_TRUE(server->Broadcast("any", Payload()).ok());
 }
 
 TEST(TransportTest, OutOfRangeClientIndex) {
