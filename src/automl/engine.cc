@@ -2,24 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
+#include <utility>
 
-#include "automl/fed_client.h"
-#include "core/thread_pool.h"
 #include "automl/model_io.h"
-#include "features/feature_selection.h"
-#include "features/meta_features.h"
+#include "automl/phases/feature_phase.h"
+#include "automl/phases/meta_phase.h"
+#include "core/thread_pool.h"
 
 namespace fedfc::automl {
-
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 FedForecasterEngine::FedForecasterEngine(const MetaModel* meta_model,
                                          EngineOptions options)
@@ -37,156 +27,89 @@ Result<EngineReport> FedForecasterEngine::Run(fl::Server* server) {
   auto start = std::chrono::steady_clock::now();
   Rng rng(options_.seed);
   EngineReport report;
+  // Each phase draws participant samples from its own seed stream; unused at
+  // full participation, so the legacy path consumes no randomness here.
+  auto round_opts = [this](uint64_t phase_tag) {
+    phases::PhaseRoundOptions r;
+    r.policy = options_.round;
+    r.sampling_seed_base = options_.seed + phase_tag * 0x100000ULL;
+    return r;
+  };
 
-  // Phase I-II (Figure 1): client meta-features -> server aggregation.
-  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> mf_replies,
-                         server->Broadcast(tasks::kMetaFeatures, fl::Payload()));
-  std::vector<features::ClientMetaFeatures> client_mfs;
-  std::vector<double> weights;
-  for (const auto& reply : mf_replies) {
-    FEDFC_ASSIGN_OR_RETURN(std::vector<double> t,
-                           reply.payload.GetTensor("meta_features"));
-    FEDFC_ASSIGN_OR_RETURN(features::ClientMetaFeatures mf,
-                           features::ClientMetaFeatures::FromTensor(t));
-    client_mfs.push_back(std::move(mf));
-    weights.push_back(reply.weight);
-  }
-  FEDFC_ASSIGN_OR_RETURN(features::AggregatedMetaFeatures agg,
-                         features::AggregateMetaFeatures(client_mfs, weights));
+  // Phases I-II (Figure 1): client meta-features -> server aggregation.
+  FEDFC_ASSIGN_OR_RETURN(phases::MetaPhaseOutput meta,
+                         phases::RunMetaPhase(*server, round_opts(0)));
 
   // Meta-model recommendation (Algorithm 1 lines 9-10).
   if (options_.use_meta_model) {
-    FEDFC_ASSIGN_OR_RETURN(report.recommended,
-                           meta_model_->Recommend(agg.values, options_.top_k));
+    FEDFC_ASSIGN_OR_RETURN(
+        report.recommended,
+        meta_model_->Recommend(meta.aggregated.values, options_.top_k));
   } else {
     report.recommended = AllAlgorithms();
   }
 
-  // Unified feature engineering spec from the aggregated meta-features
-  // (Section 4.2.1).
-  features::FeatureEngineeringSpec spec;
-  spec.n_lags = std::max<size_t>(
-      2, std::min<size_t>(agg.global_lag_count, options_.max_lags));
-  spec.seasonal_periods = agg.global_seasonal_periods;
-  if (options_.n_covariates > 0) {
-    spec.n_covariates = options_.n_covariates;
-    spec.covariate_lags = options_.covariate_lags;
-  }
+  // Section 4.2: unified spec + federated feature selection.
+  phases::FeaturePhaseInput feature_input;
+  feature_input.aggregated = &meta.aggregated;
+  feature_input.feature_selection = options_.feature_selection;
+  feature_input.feature_coverage = options_.feature_coverage;
+  feature_input.max_lags = options_.max_lags;
+  feature_input.n_covariates = options_.n_covariates;
+  feature_input.covariate_lags = options_.covariate_lags;
+  FEDFC_ASSIGN_OR_RETURN(
+      report.spec, phases::RunFeaturePhase(*server, feature_input, round_opts(1)));
+  std::vector<double> spec_tensor = report.spec.ToTensor();
 
-  // Federated feature selection (Section 4.2.2).
-  if (options_.feature_selection) {
-    fl::Payload request;
-    request.SetTensor("spec", spec.ToTensor());
-    Result<std::vector<fl::ClientReply>> replies =
-        server->Broadcast(tasks::kFeatureImportance, request);
-    if (replies.ok()) {
-      std::vector<std::vector<double>> importances;
-      std::vector<double> imp_weights;
-      for (const auto& reply : *replies) {
-        Result<std::vector<double>> imp = reply.payload.GetTensor("importances");
-        if (!imp.ok()) continue;
-        importances.push_back(std::move(*imp));
-        imp_weights.push_back(reply.weight);
-      }
-      if (!importances.empty()) {
-        Result<std::vector<size_t>> selected = features::SelectFeatures(
-            importances, imp_weights, options_.feature_coverage);
-        if (selected.ok() &&
-            selected->size() < features::FeatureSchema(spec).size()) {
-          spec.selected_features = std::move(*selected);
-        }
-      }
-    }
-  }
-  report.spec = spec;
-  std::vector<double> spec_tensor = spec.ToTensor();
-
-  // Phase III: server-side hyperparameter search (Algorithm 1 lines 14-22).
-  // The meta-model's concrete instantiation recommendations (the winning
-  // configurations of the nearest knowledge-base datasets) are evaluated
-  // first — "the recommended instantiations ... serve as a warm start to the
-  // optimization process" (Section 4).
-  std::vector<Configuration> warm_start;
+  // Phase III: server-side hyperparameter search. The meta-model's concrete
+  // instantiation recommendations (the winning configurations of the nearest
+  // knowledge-base datasets) are evaluated first — "the recommended
+  // instantiations ... serve as a warm start to the optimization process"
+  // (Section 4).
+  phases::OptimizePhaseInput opt_input;
+  opt_input.recommended = report.recommended;
   if (options_.use_meta_model &&
       options_.strategy == SearchStrategy::kBayesOpt) {
     Result<std::vector<Configuration>> configs =
-        meta_model_->WarmStartConfigurations(agg.values, report.recommended,
+        meta_model_->WarmStartConfigurations(meta.aggregated.values,
+                                             report.recommended,
                                              /*n_configs=*/3);
-    if (configs.ok()) warm_start = std::move(*configs);
+    if (configs.ok()) opt_input.warm_start = std::move(*configs);
     // Consumed from the back: reverse so the nearest neighbour goes first.
-    std::reverse(warm_start.begin(), warm_start.end());
+    std::reverse(opt_input.warm_start.begin(), opt_input.warm_start.end());
   }
-  PortfolioOptimizer portfolio(report.recommended, options_.bo);
-  while (true) {
-    if (options_.max_iterations > 0 &&
-        report.iterations >= options_.max_iterations) {
-      break;
-    }
-    if (SecondsSince(start) >= options_.time_budget_seconds &&
-        report.iterations > 0) {
-      break;
-    }
-    Configuration config;
-    if (!warm_start.empty()) {
-      config = warm_start.back();
-      warm_start.pop_back();
-    } else if (options_.strategy == SearchStrategy::kBayesOpt) {
-      config = portfolio.Propose(&rng);
-    } else {
-      AlgorithmId algo = report.recommended[rng.Index(report.recommended.size())];
-      config = SearchSpace::ForAlgorithm(algo).Sample(&rng);
-    }
-    fl::Payload request;
-    request.SetTensor("spec", spec_tensor);
-    request.SetTensor("config", config.ToTensor());
-    Result<std::vector<fl::ClientReply>> replies =
-        server->Broadcast(tasks::kFitEvaluate, request);
-    ++report.iterations;
-    if (!replies.ok()) continue;
-    Result<double> loss = fl::Server::AggregateScalar(*replies, "valid_loss");
-    if (!loss.ok() || !std::isfinite(*loss)) continue;
-    report.loss_history.push_back(*loss);
-    portfolio.Observe(config, *loss);
-  }
-  if (portfolio.n_observations() == 0) {
-    return Status::DeadlineExceeded(
-        "budget exhausted before any configuration was evaluated");
-  }
-  report.best_config = portfolio.best_config();
-  report.best_valid_loss = portfolio.best_loss();
+  opt_input.spec_tensor = spec_tensor;
+  opt_input.strategy = options_.strategy;
+  opt_input.bo = options_.bo;
+  opt_input.max_iterations = options_.max_iterations;
+  opt_input.time_budget_seconds = options_.time_budget_seconds;
+  opt_input.start = start;
+  opt_input.rng = &rng;
+  FEDFC_ASSIGN_OR_RETURN(
+      phases::OptimizePhaseOutput opt,
+      phases::RunOptimizePhase(*server, std::move(opt_input), round_opts(2)));
+  report.best_config = opt.best_config;
+  report.best_valid_loss = opt.best_valid_loss;
+  report.iterations = opt.iterations;
+  report.loss_history = std::move(opt.loss_history);
 
-  // Phase IV: final local fits and global aggregation (lines 23-27).
-  fl::Payload final_request;
-  final_request.SetTensor("spec", spec_tensor);
-  final_request.SetTensor("config", report.best_config.ToTensor());
-  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> final_replies,
-                         server->Broadcast(tasks::kFitFinal, final_request));
-  std::vector<std::vector<double>> blobs;
-  std::vector<double> blob_weights;
-  for (const auto& reply : final_replies) {
-    FEDFC_ASSIGN_OR_RETURN(std::vector<double> blob,
-                           reply.payload.GetTensor("model_blob"));
-    blobs.push_back(std::move(blob));
-    blob_weights.push_back(reply.weight);
-  }
+  // Phase IV: final local fits and global aggregation (lines 23-27), then
+  // deployment and evaluation on the federated test tails.
   FEDFC_ASSIGN_OR_RETURN(
       report.global_model_blob,
-      AggregateModelBlobs(report.best_config, blobs, blob_weights));
-
-  // Deploy and evaluate on the federated test tails.
+      phases::RunFinalFitPhase(*server, spec_tensor, report.best_config,
+                               round_opts(3)));
   if (options_.evaluate_test) {
-    fl::Payload eval_request;
-    eval_request.SetTensor("spec", spec_tensor);
-    eval_request.SetTensor("config", report.best_config.ToTensor());
-    eval_request.SetTensor("model_blob", report.global_model_blob);
-    FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> eval_replies,
-                           server->Broadcast(tasks::kEvaluateModel, eval_request));
-    FEDFC_ASSIGN_OR_RETURN(report.test_loss,
-                           fl::Server::AggregateScalar(eval_replies, "test_loss"));
+    FEDFC_ASSIGN_OR_RETURN(
+        report.test_loss,
+        phases::RunEvaluatePhase(*server, spec_tensor, report.best_config,
+                                 report.global_model_blob, round_opts(4)));
   }
 
   report.transport = server->transport_stats();
-  report.elapsed_seconds = SecondsSince(start);
+  report.elapsed_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
   return report;
 }
 

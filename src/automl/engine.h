@@ -6,6 +6,7 @@
 
 #include "automl/bayesopt/bayes_opt.h"
 #include "automl/meta_model.h"
+#include "automl/phases/optimize_phase.h"
 #include "automl/search_space.h"
 #include "core/result.h"
 #include "features/feature_engineering.h"
@@ -14,11 +15,7 @@
 
 namespace fedfc::automl {
 
-/// How candidate configurations are proposed each round.
-enum class SearchStrategy {
-  kBayesOpt,  ///< Meta-model warm start + GP/EI portfolio (FedForecaster).
-  kRandom,    ///< Uniform sampling (the paper's random-search baseline).
-};
+using phases::SearchStrategy;
 
 struct EngineOptions {
   SearchStrategy strategy = SearchStrategy::kBayesOpt;
@@ -52,6 +49,11 @@ struct EngineOptions {
   /// aggregated model are identical for every thread count (see
   /// docs/ARCHITECTURE.md, "Concurrency model").
   size_t num_threads = 0;
+  /// Participation/retry policy applied to every round the engine issues.
+  /// The defaults (full participation, no retries) reproduce the legacy
+  /// broadcast bit-for-bit; fractional participation is seeded from `seed`,
+  /// so runs stay reproducible.
+  fl::RoundPolicy round;
   uint64_t seed = 1;
   BayesOptConfig bo;
 };
@@ -72,7 +74,9 @@ struct EngineReport {
 
 /// The FedForecaster engine (Algorithm 1) — and, with
 /// `strategy = kRandom, use_meta_model = false`, the random-search baseline
-/// run through the identical federated pipeline.
+/// run through the identical federated pipeline. `Run` is a thin driver: the
+/// pipeline itself lives in automl/phases/, each stage a function of the
+/// RoundRunner interface.
 class FedForecasterEngine {
  public:
   /// `meta_model` may be null when `options.use_meta_model` is false.

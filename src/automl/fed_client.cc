@@ -12,6 +12,7 @@ namespace fedfc::automl {
 ForecastClient::ForecastClient(std::string id, ts::Series series, Options options)
     : id_(std::move(id)), options_(options), rng_(options.seed) {
   series_.target = std::move(series);
+  RegisterHandlers();
 }
 
 ForecastClient::ForecastClient(std::string id, ts::MultiSeries series,
@@ -21,6 +22,31 @@ ForecastClient::ForecastClient(std::string id, ts::MultiSeries series,
       options_(options),
       rng_(options.seed) {
   FEDFC_CHECK(series_.Validate().ok()) << "misaligned covariate channels";
+  RegisterHandlers();
+}
+
+void ForecastClient::RegisterHandlers() {
+  registry_.RegisterTyped<fl::MetaFeaturesRequest, fl::MetaFeaturesReply>(
+      tasks::kMetaFeatures,
+      [this](const fl::MetaFeaturesRequest& r) { return HandleMetaFeatures(r); });
+  registry_.RegisterTyped<fl::FeatureImportanceRequest, fl::FeatureImportanceReply>(
+      tasks::kFeatureImportance, [this](const fl::FeatureImportanceRequest& r) {
+        return HandleFeatureImportance(r);
+      });
+  registry_.RegisterTyped<fl::FitEvaluateRequest, fl::FitEvaluateReply>(
+      tasks::kFitEvaluate,
+      [this](const fl::FitEvaluateRequest& r) { return HandleFitEvaluate(r); });
+  registry_.RegisterTyped<fl::FitFinalRequest, fl::FitFinalReply>(
+      tasks::kFitFinal,
+      [this](const fl::FitFinalRequest& r) { return HandleFitFinal(r); });
+  registry_.RegisterTyped<fl::EvaluateModelRequest, fl::EvaluateModelReply>(
+      tasks::kEvaluateModel,
+      [this](const fl::EvaluateModelRequest& r) { return HandleEvaluateModel(r); });
+}
+
+Result<fl::Payload> ForecastClient::Handle(const std::string& task,
+                                           const fl::Payload& request) {
+  return registry_.Dispatch(task, request);
 }
 
 size_t ForecastClient::num_examples() const {
@@ -41,11 +67,12 @@ ForecastClient::RowSplit ForecastClient::SplitRows(size_t n_rows) const {
 }
 
 Result<const features::EngineeredData*> ForecastClient::EngineeredFor(
-    const features::FeatureEngineeringSpec& spec,
     const std::vector<double>& spec_tensor) {
   if (cached_data_.has_value() && cached_spec_tensor_ == spec_tensor) {
     return Result<const features::EngineeredData*>(&*cached_data_);
   }
+  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
+                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
   FEDFC_ASSIGN_OR_RETURN(features::EngineeredData data,
                          features::EngineerFeatures(series_, spec));
   cached_data_ = std::move(data);
@@ -53,59 +80,40 @@ Result<const features::EngineeredData*> ForecastClient::EngineeredFor(
   return Result<const features::EngineeredData*>(&*cached_data_);
 }
 
-Result<fl::Payload> ForecastClient::Handle(const std::string& task,
-                                           const fl::Payload& request) {
-  if (task == tasks::kMetaFeatures) return HandleMetaFeatures();
-  if (task == tasks::kFeatureImportance) return HandleFeatureImportance(request);
-  if (task == tasks::kFitEvaluate) return HandleFitEvaluate(request);
-  if (task == tasks::kFitFinal) return HandleFitFinal(request);
-  if (task == tasks::kEvaluateModel) return HandleEvaluateModel(request);
-  return Status::Unimplemented("unknown client task: " + task);
-}
-
-Result<fl::Payload> ForecastClient::HandleMetaFeatures() {
+Result<fl::MetaFeaturesReply> ForecastClient::HandleMetaFeatures(
+    const fl::MetaFeaturesRequest&) {
   // Meta-features are computed over the training region only — the test
   // tail must not leak into the pipeline configuration.
   ts::Series head = series_.target.Slice(0, num_examples());
   features::ClientMetaFeatures mf = features::ComputeClientMetaFeatures(head);
-  fl::Payload reply;
-  reply.SetTensor("meta_features", mf.ToTensor());
-  reply.SetInt("n_instances", static_cast<int64_t>(head.size()));
+  fl::MetaFeaturesReply reply;
+  reply.meta_features = mf.ToTensor();
+  reply.n_instances = static_cast<int64_t>(head.size());
   return reply;
 }
 
-Result<fl::Payload> ForecastClient::HandleFeatureImportance(
-    const fl::Payload& request) {
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
-                         request.GetTensor("spec"));
-  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
-                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
+Result<fl::FeatureImportanceReply> ForecastClient::HandleFeatureImportance(
+    const fl::FeatureImportanceRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
-                         EngineeredFor(spec, spec_tensor));
+                         EngineeredFor(request.spec));
   RowSplit split = SplitRows(data->x.rows());
   features::EngineeredData train_view;
   std::vector<size_t> idx(split.train_end);
   for (size_t i = 0; i < split.train_end; ++i) idx[i] = i;
   train_view.x = data->x.SelectRows(idx);
   train_view.y.assign(data->y.begin(), data->y.begin() + split.train_end);
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> importances,
+  fl::FeatureImportanceReply reply;
+  FEDFC_ASSIGN_OR_RETURN(reply.importances,
                          features::ComputeFeatureImportances(train_view, &rng_));
-  fl::Payload reply;
-  reply.SetTensor("importances", std::move(importances));
   return reply;
 }
 
-Result<fl::Payload> ForecastClient::HandleFitEvaluate(const fl::Payload& request) {
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
-                         request.GetTensor("spec"));
-  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
-                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
-                         request.GetTensor("config"));
+Result<fl::FitEvaluateReply> ForecastClient::HandleFitEvaluate(
+    const fl::FitEvaluateRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(Configuration config,
-                         Configuration::FromTensor(config_tensor));
+                         Configuration::FromTensor(request.config));
   FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
-                         EngineeredFor(spec, spec_tensor));
+                         EngineeredFor(request.spec));
   RowSplit split = SplitRows(data->x.rows());
   if (split.train_end < 8 || split.valid_end <= split.train_end) {
     return Status::FailedPrecondition("client split too small to fit/evaluate");
@@ -158,23 +166,18 @@ Result<fl::Payload> ForecastClient::HandleFitEvaluate(const fl::Payload& request
   if (!std::isfinite(loss)) {
     return Status::Internal("non-finite validation loss");
   }
-  fl::Payload reply;
-  reply.SetDouble("valid_loss", loss);
-  reply.SetInt("n_valid", static_cast<int64_t>(total_points));
+  fl::FitEvaluateReply reply;
+  reply.valid_loss = loss;
+  reply.n_valid = static_cast<int64_t>(total_points);
   return reply;
 }
 
-Result<fl::Payload> ForecastClient::HandleFitFinal(const fl::Payload& request) {
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
-                         request.GetTensor("spec"));
-  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
-                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
-                         request.GetTensor("config"));
+Result<fl::FitFinalReply> ForecastClient::HandleFitFinal(
+    const fl::FitFinalRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(Configuration config,
-                         Configuration::FromTensor(config_tensor));
+                         Configuration::FromTensor(request.config));
   FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
-                         EngineeredFor(spec, spec_tensor));
+                         EngineeredFor(request.spec));
   RowSplit split = SplitRows(data->x.rows());
   // Final fit uses train + validation (Algorithm 1 lines 23-25).
   std::vector<size_t> idx(split.valid_end);
@@ -185,28 +188,20 @@ Result<fl::Payload> ForecastClient::HandleFitFinal(const fl::Payload& request) {
   FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
                          CreateRegressor(config));
   FEDFC_RETURN_IF_ERROR(model->Fit(x_fit, y_fit, &rng_));
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> blob,
-                         SerializeModel(config, *model));
-  fl::Payload reply;
-  reply.SetTensor("model_blob", std::move(blob));
-  reply.SetInt("n_fit", static_cast<int64_t>(y_fit.size()));
+  fl::FitFinalReply reply;
+  FEDFC_ASSIGN_OR_RETURN(reply.model_blob, SerializeModel(config, *model));
+  reply.n_fit = static_cast<int64_t>(y_fit.size());
   return reply;
 }
 
-Result<fl::Payload> ForecastClient::HandleEvaluateModel(const fl::Payload& request) {
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> spec_tensor,
-                         request.GetTensor("spec"));
-  FEDFC_ASSIGN_OR_RETURN(features::FeatureEngineeringSpec spec,
-                         features::FeatureEngineeringSpec::FromTensor(spec_tensor));
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> config_tensor,
-                         request.GetTensor("config"));
+Result<fl::EvaluateModelReply> ForecastClient::HandleEvaluateModel(
+    const fl::EvaluateModelRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(Configuration config,
-                         Configuration::FromTensor(config_tensor));
-  FEDFC_ASSIGN_OR_RETURN(std::vector<double> blob, request.GetTensor("model_blob"));
+                         Configuration::FromTensor(request.config));
   FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
-                         DeserializeModel(config, blob));
+                         DeserializeModel(config, request.model_blob));
   FEDFC_ASSIGN_OR_RETURN(const features::EngineeredData* data,
-                         EngineeredFor(spec, spec_tensor));
+                         EngineeredFor(request.spec));
   RowSplit split = SplitRows(data->x.rows());
   if (split.valid_end >= data->x.rows()) {
     return Status::FailedPrecondition("client has no test rows");
@@ -216,10 +211,9 @@ Result<fl::Payload> ForecastClient::HandleEvaluateModel(const fl::Payload& reque
   Matrix x_test = data->x.SelectRows(test_idx);
   std::vector<double> y_test(data->y.begin() + split.valid_end, data->y.end());
   std::vector<double> pred = model->Predict(x_test);
-  double loss = ml::MeanSquaredError(y_test, pred);
-  fl::Payload reply;
-  reply.SetDouble("test_loss", loss);
-  reply.SetInt("n_test", static_cast<int64_t>(y_test.size()));
+  fl::EvaluateModelReply reply;
+  reply.test_loss = ml::MeanSquaredError(y_test, pred);
+  reply.n_test = static_cast<int64_t>(y_test.size());
   return reply;
 }
 

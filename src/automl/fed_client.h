@@ -9,26 +9,25 @@
 #include "features/feature_engineering.h"
 #include "features/meta_features.h"
 #include "fl/client.h"
+#include "fl/task_codec.h"
 #include "ts/multi_series.h"
 #include "ts/series.h"
 
 namespace fedfc::automl {
 
-/// Task names understood by ForecastClient. Keeping them in one place makes
-/// the protocol greppable.
+/// Protocol task ids. The canonical definitions (and their typed codecs)
+/// live in fl/task_codec.h; this re-export keeps the historical
+/// `automl::tasks::` spelling working.
 namespace tasks {
-inline constexpr char kMetaFeatures[] = "meta_features";
-inline constexpr char kFeatureImportance[] = "feature_importance";
-inline constexpr char kFitEvaluate[] = "fit_evaluate";
-inline constexpr char kFitFinal[] = "fit_final";
-inline constexpr char kEvaluateModel[] = "evaluate_model";
+using namespace ::fedfc::fl::tasks;
 }  // namespace tasks
 
 /// The client side of FedForecaster (Algorithm 1): owns one private series
 /// split and answers the meta-feature, feature-engineering, fit/evaluate and
-/// final-model tasks. The trailing `test_fraction` of the split is reserved
-/// for the final federated test evaluation and never used for training or
-/// validation.
+/// final-model tasks through a typed handler registry (one handler per task
+/// id, each decoding/encoding via the fl/task_codec.h structs). The trailing
+/// `test_fraction` of the split is reserved for the final federated test
+/// evaluation and never used for training or validation.
 class ForecastClient : public fl::Client {
  public:
   struct Options {
@@ -48,20 +47,26 @@ class ForecastClient : public fl::Client {
   /// Training examples only (the weight alpha_j of Equation 1).
   size_t num_examples() const override;
 
+  /// Dispatches to the registered handler for `task`.
   Result<fl::Payload> Handle(const std::string& task,
                              const fl::Payload& request) override;
 
  private:
-  Result<fl::Payload> HandleMetaFeatures();
-  Result<fl::Payload> HandleFeatureImportance(const fl::Payload& request);
-  Result<fl::Payload> HandleFitEvaluate(const fl::Payload& request);
-  Result<fl::Payload> HandleFitFinal(const fl::Payload& request);
-  Result<fl::Payload> HandleEvaluateModel(const fl::Payload& request);
+  void RegisterHandlers();
+
+  Result<fl::MetaFeaturesReply> HandleMetaFeatures(
+      const fl::MetaFeaturesRequest& request);
+  Result<fl::FeatureImportanceReply> HandleFeatureImportance(
+      const fl::FeatureImportanceRequest& request);
+  Result<fl::FitEvaluateReply> HandleFitEvaluate(
+      const fl::FitEvaluateRequest& request);
+  Result<fl::FitFinalReply> HandleFitFinal(const fl::FitFinalRequest& request);
+  Result<fl::EvaluateModelReply> HandleEvaluateModel(
+      const fl::EvaluateModelRequest& request);
 
   /// Engineers features over the full split under `spec`, cached by spec
   /// tensor (the BO loop re-sends the same spec every round).
   Result<const features::EngineeredData*> EngineeredFor(
-      const features::FeatureEngineeringSpec& spec,
       const std::vector<double>& spec_tensor);
 
   /// Row ranges of the engineered matrix: [0, train_end) training,
@@ -76,6 +81,7 @@ class ForecastClient : public fl::Client {
   ts::MultiSeries series_;
   Options options_;
   Rng rng_;
+  fl::TaskRegistry registry_;
   std::vector<double> cached_spec_tensor_;
   std::optional<features::EngineeredData> cached_data_;
 };

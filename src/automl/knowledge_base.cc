@@ -8,12 +8,14 @@
 #include <sstream>
 
 #include "automl/fed_client.h"
+#include "automl/phases/meta_phase.h"
 #include "core/thread_pool.h"
 #include "core/vec_math.h"
 #include "data/csv.h"
 #include "data/generators.h"
 #include "features/meta_features.h"
 #include "fl/server.h"
+#include "fl/task_codec.h"
 #include "fl/transport.h"
 
 namespace fedfc::automl {
@@ -111,21 +113,10 @@ Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
   fl::Server server(std::make_unique<fl::InProcessTransport>(clients), sizes,
                     num_threads);
 
-  // Aggregate meta-features.
-  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> mf_replies,
-                         server.Broadcast(tasks::kMetaFeatures, fl::Payload()));
-  std::vector<features::ClientMetaFeatures> client_mfs;
-  std::vector<double> weights;
-  for (const auto& reply : mf_replies) {
-    FEDFC_ASSIGN_OR_RETURN(std::vector<double> t,
-                           reply.payload.GetTensor("meta_features"));
-    FEDFC_ASSIGN_OR_RETURN(features::ClientMetaFeatures mf,
-                           features::ClientMetaFeatures::FromTensor(t));
-    client_mfs.push_back(std::move(mf));
-    weights.push_back(reply.weight);
-  }
-  FEDFC_ASSIGN_OR_RETURN(features::AggregatedMetaFeatures agg,
-                         features::AggregateMetaFeatures(client_mfs, weights));
+  // Aggregate meta-features (the same phase the online engine runs).
+  FEDFC_ASSIGN_OR_RETURN(phases::MetaPhaseOutput meta,
+                         phases::RunMetaPhase(server, phases::PhaseRoundOptions{}));
+  const features::AggregatedMetaFeatures& agg = meta.aggregated;
 
   // A fixed engineering spec derived from the aggregated meta-features.
   features::FeatureEngineeringSpec spec;
@@ -155,13 +146,14 @@ Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
       grid = std::move(subset);
     }
     for (const Configuration& config : grid) {
-      fl::Payload request;
-      request.SetTensor("spec", spec.ToTensor());
-      request.SetTensor("config", config.ToTensor());
-      Result<std::vector<fl::ClientReply>> replies =
-          server.Broadcast(tasks::kFitEvaluate, request);
-      if (!replies.ok()) continue;
-      Result<double> loss = fl::Server::AggregateScalar(*replies, "valid_loss");
+      fl::FitEvaluateRequest request;
+      request.spec = spec.ToTensor();
+      request.config = config.ToTensor();
+      Result<fl::RoundResult> round = server.RunRound(
+          fl::RoundSpec(fl::tasks::kFitEvaluate, request.ToPayload()));
+      if (!round.ok()) continue;
+      Result<double> loss =
+          fl::Server::AggregateScalar(round->replies, "valid_loss");
       if (!loss.ok() || !std::isfinite(*loss)) continue;
       size_t ai = static_cast<size_t>(algo);
       if (*loss < record.algorithm_losses[ai]) {

@@ -56,7 +56,14 @@ NBeatsClient::NBeatsClient(std::string id, ts::Series series, Options options)
       values_(ts::LinearInterpolate(series.values())),
       options_(options),
       rng_(options.seed),
-      model_(options.nbeats) {}
+      model_(options.nbeats) {
+  registry_.RegisterTyped<fl::NBeatsRoundRequest, fl::NBeatsRoundReply>(
+      tasks::kNBeatsRound,
+      [this](const fl::NBeatsRoundRequest& r) { return HandleRound(r); });
+  registry_.RegisterTyped<fl::NBeatsEvaluateRequest, fl::NBeatsEvaluateReply>(
+      tasks::kNBeatsEvaluate,
+      [this](const fl::NBeatsEvaluateRequest& r) { return HandleEvaluate(r); });
+}
 
 size_t NBeatsClient::num_examples() const {
   auto test = static_cast<size_t>(options_.test_fraction *
@@ -66,12 +73,11 @@ size_t NBeatsClient::num_examples() const {
 
 Result<fl::Payload> NBeatsClient::Handle(const std::string& task,
                                          const fl::Payload& request) {
-  if (task == tasks::kNBeatsRound) return HandleRound(request);
-  if (task == tasks::kNBeatsEvaluate) return HandleEvaluate(request);
-  return Status::Unimplemented("unknown nbeats client task: " + task);
+  return registry_.Dispatch(task, request);
 }
 
-Result<fl::Payload> NBeatsClient::HandleRound(const fl::Payload& request) {
+Result<fl::NBeatsRoundReply> NBeatsClient::HandleRound(
+    const fl::NBeatsRoundRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(WindowSplit split,
                          SplitWindows(values_, options_.lookback,
                                       options_.test_fraction));
@@ -79,10 +85,8 @@ Result<fl::Payload> NBeatsClient::HandleRound(const fl::Payload& request) {
     Rng init_rng(options_.init_seed);
     FEDFC_RETURN_IF_ERROR(model_.Build(options_.lookback, &init_rng));
   }
-  if (request.Has("params")) {
-    FEDFC_ASSIGN_OR_RETURN(std::vector<double> params,
-                           request.GetTensor("params"));
-    FEDFC_RETURN_IF_ERROR(model_.SetParameters(params));
+  if (request.params.has_value()) {
+    FEDFC_RETURN_IF_ERROR(model_.SetParameters(*request.params));
   }
   // Local training: a few epochs from the incoming global parameters.
   ml::NBeatsConfig round_config = options_.nbeats;
@@ -94,15 +98,15 @@ Result<fl::Payload> NBeatsClient::HandleRound(const fl::Payload& request) {
   FEDFC_RETURN_IF_ERROR(model_.SetParameters(trainer.GetParameters()));
 
   std::vector<double> train_pred = trainer.Predict(split.x_train);
-  fl::Payload reply;
-  reply.SetTensor("params", trainer.GetParameters());
-  reply.SetDouble("train_loss",
-                  ml::MeanSquaredError(split.y_train, train_pred));
-  reply.SetInt("n_train", static_cast<int64_t>(split.y_train.size()));
+  fl::NBeatsRoundReply reply;
+  reply.params = trainer.GetParameters();
+  reply.train_loss = ml::MeanSquaredError(split.y_train, train_pred);
+  reply.n_train = static_cast<int64_t>(split.y_train.size());
   return reply;
 }
 
-Result<fl::Payload> NBeatsClient::HandleEvaluate(const fl::Payload& request) {
+Result<fl::NBeatsEvaluateReply> NBeatsClient::HandleEvaluate(
+    const fl::NBeatsEvaluateRequest& request) {
   FEDFC_ASSIGN_OR_RETURN(WindowSplit split,
                          SplitWindows(values_, options_.lookback,
                                       options_.test_fraction));
@@ -113,15 +117,13 @@ Result<fl::Payload> NBeatsClient::HandleEvaluate(const fl::Payload& request) {
     Rng init_rng(options_.init_seed);
     FEDFC_RETURN_IF_ERROR(model_.Build(options_.lookback, &init_rng));
   }
-  if (request.Has("params")) {
-    FEDFC_ASSIGN_OR_RETURN(std::vector<double> params,
-                           request.GetTensor("params"));
-    FEDFC_RETURN_IF_ERROR(model_.SetParameters(params));
+  if (request.params.has_value()) {
+    FEDFC_RETURN_IF_ERROR(model_.SetParameters(*request.params));
   }
   std::vector<double> pred = model_.Predict(split.x_test);
-  fl::Payload reply;
-  reply.SetDouble("test_loss", ml::MeanSquaredError(split.y_test, pred));
-  reply.SetInt("n_test", static_cast<int64_t>(split.y_test.size()));
+  fl::NBeatsEvaluateReply reply;
+  reply.test_loss = ml::MeanSquaredError(split.y_test, pred);
+  reply.n_test = static_cast<int64_t>(split.y_test.size());
   return reply;
 }
 
@@ -154,27 +156,43 @@ Result<NBeatsReport> FedNBeatsBaseline::Run(
         report.rounds > 0) {
       break;
     }
-    fl::Payload request;
-    if (!global_params.empty()) request.SetTensor("params", global_params);
-    Result<std::vector<fl::ClientReply>> replies =
-        server.Broadcast(tasks::kNBeatsRound, request);
+    fl::NBeatsRoundRequest request;
+    if (!global_params.empty()) request.params = global_params;
+    Result<fl::RoundResult> round =
+        server.RunRound(fl::RoundSpec(tasks::kNBeatsRound, request.ToPayload()));
     ++report.rounds;
-    if (!replies.ok()) continue;
-    Result<std::vector<double>> avg =
-        fl::Server::AggregateTensor(*replies, "params");
-    if (!avg.ok()) continue;
-    global_params = std::move(*avg);
+    if (!round.ok()) continue;
+    // FedAvg: weighted element-wise average of the clients' trained params.
+    std::vector<double> avg;
+    bool decoded = true;
+    for (const fl::ClientReply& r : round->replies) {
+      Result<fl::NBeatsRoundReply> reply = fl::NBeatsRoundReply::FromPayload(r.payload);
+      if (!reply.ok() || (!avg.empty() && reply->params.size() != avg.size())) {
+        decoded = false;
+        break;
+      }
+      if (avg.empty()) avg.assign(reply->params.size(), 0.0);
+      for (size_t i = 0; i < avg.size(); ++i) avg[i] += r.weight * reply->params[i];
+    }
+    if (!decoded || avg.empty()) continue;
+    global_params = std::move(avg);
   }
   if (global_params.empty()) {
     return Status::DeadlineExceeded("FedNBeats: no completed round in budget");
   }
 
-  fl::Payload eval_request;
-  eval_request.SetTensor("params", global_params);
-  FEDFC_ASSIGN_OR_RETURN(std::vector<fl::ClientReply> eval_replies,
-                         server.Broadcast(tasks::kNBeatsEvaluate, eval_request));
-  FEDFC_ASSIGN_OR_RETURN(report.test_loss,
-                         fl::Server::AggregateScalar(eval_replies, "test_loss"));
+  fl::NBeatsEvaluateRequest eval_request;
+  eval_request.params = global_params;
+  FEDFC_ASSIGN_OR_RETURN(
+      fl::RoundResult eval_round,
+      server.RunRound(fl::RoundSpec(tasks::kNBeatsEvaluate,
+                                    eval_request.ToPayload())));
+  report.test_loss = 0.0;
+  for (const fl::ClientReply& r : eval_round.replies) {
+    FEDFC_ASSIGN_OR_RETURN(fl::NBeatsEvaluateReply reply,
+                           fl::NBeatsEvaluateReply::FromPayload(r.payload));
+    report.test_loss += r.weight * reply.test_loss;
+  }
   report.elapsed_seconds = SecondsSince(start);
   return report;
 }

@@ -8,14 +8,15 @@
 #include "core/result.h"
 #include "fl/client.h"
 #include "fl/server.h"
+#include "fl/task_codec.h"
 #include "ml/nn/nbeats.h"
 #include "ts/series.h"
 
 namespace fedfc::automl {
 
+/// Task ids (canonical definitions in fl/task_codec.h).
 namespace tasks {
-inline constexpr char kNBeatsRound[] = "nbeats_round";
-inline constexpr char kNBeatsEvaluate[] = "nbeats_evaluate";
+using namespace ::fedfc::fl::tasks;
 }  // namespace tasks
 
 /// Client for the federated N-BEATS baseline: local windowed training with
@@ -38,17 +39,20 @@ class NBeatsClient : public fl::Client {
 
   std::string id() const override { return id_; }
   size_t num_examples() const override;
+  /// Dispatches to the registered handler for `task`.
   Result<fl::Payload> Handle(const std::string& task,
                              const fl::Payload& request) override;
 
  private:
-  Result<fl::Payload> HandleRound(const fl::Payload& request);
-  Result<fl::Payload> HandleEvaluate(const fl::Payload& request);
+  Result<fl::NBeatsRoundReply> HandleRound(const fl::NBeatsRoundRequest& request);
+  Result<fl::NBeatsEvaluateReply> HandleEvaluate(
+      const fl::NBeatsEvaluateRequest& request);
 
   std::string id_;
   std::vector<double> values_;  ///< Interpolated series values.
   Options options_;
   Rng rng_;
+  fl::TaskRegistry registry_;
   ml::NBeatsRegressor model_;
 };
 

@@ -1,0 +1,58 @@
+#include "automl/phases/feature_phase.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+#include "features/feature_selection.h"
+#include "fl/task_codec.h"
+
+namespace fedfc::automl::phases {
+
+Result<features::FeatureEngineeringSpec> RunFeaturePhase(
+    fl::RoundRunner& runner, const FeaturePhaseInput& input,
+    const PhaseRoundOptions& round) {
+  FEDFC_CHECK(input.aggregated != nullptr);
+  const features::AggregatedMetaFeatures& agg = *input.aggregated;
+
+  // Unified spec from the aggregated meta-features (Section 4.2.1).
+  features::FeatureEngineeringSpec spec;
+  spec.n_lags = std::max<size_t>(
+      2, std::min<size_t>(agg.global_lag_count, input.max_lags));
+  spec.seasonal_periods = agg.global_seasonal_periods;
+  if (input.n_covariates > 0) {
+    spec.n_covariates = input.n_covariates;
+    spec.covariate_lags = input.covariate_lags;
+  }
+  if (!input.feature_selection) return spec;
+
+  // Federated feature selection (Section 4.2.2), best-effort.
+  fl::FeatureImportanceRequest request;
+  request.spec = spec.ToTensor();
+  fl::RoundSpec round_spec(fl::tasks::kFeatureImportance, request.ToPayload());
+  round_spec.policy = round.policy;
+  round_spec.sampling_seed = round.sampling_seed_base;
+  Result<fl::RoundResult> result = runner.RunRound(round_spec);
+  if (!result.ok()) return spec;
+
+  std::vector<std::vector<double>> importances;
+  std::vector<double> imp_weights;
+  for (const fl::ClientReply& r : result->replies) {
+    Result<fl::FeatureImportanceReply> reply =
+        fl::FeatureImportanceReply::FromPayload(r.payload);
+    if (!reply.ok()) continue;
+    importances.push_back(std::move(reply->importances));
+    imp_weights.push_back(r.weight);
+  }
+  if (importances.empty()) return spec;
+
+  Result<std::vector<size_t>> selected = features::SelectFeatures(
+      importances, imp_weights, input.feature_coverage);
+  if (selected.ok() && selected->size() < features::FeatureSchema(spec).size()) {
+    spec.selected_features = std::move(*selected);
+  }
+  return spec;
+}
+
+}  // namespace fedfc::automl::phases

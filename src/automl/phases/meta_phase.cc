@@ -1,0 +1,38 @@
+#include "automl/phases/meta_phase.h"
+
+#include <utility>
+#include <vector>
+
+#include "fl/task_codec.h"
+
+namespace fedfc::automl::phases {
+
+Result<MetaPhaseOutput> RunMetaPhase(fl::RoundRunner& runner,
+                                     const PhaseRoundOptions& round) {
+  fl::RoundSpec spec(fl::tasks::kMetaFeatures,
+                     fl::MetaFeaturesRequest().ToPayload());
+  spec.policy = round.policy;
+  spec.sampling_seed = round.sampling_seed_base;
+  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
+
+  std::vector<features::ClientMetaFeatures> client_mfs;
+  std::vector<double> weights;
+  client_mfs.reserve(result.replies.size());
+  weights.reserve(result.replies.size());
+  for (const fl::ClientReply& r : result.replies) {
+    FEDFC_ASSIGN_OR_RETURN(fl::MetaFeaturesReply reply,
+                           fl::MetaFeaturesReply::FromPayload(r.payload));
+    FEDFC_ASSIGN_OR_RETURN(
+        features::ClientMetaFeatures mf,
+        features::ClientMetaFeatures::FromTensor(reply.meta_features));
+    client_mfs.push_back(std::move(mf));
+    weights.push_back(r.weight);
+  }
+  MetaPhaseOutput out;
+  FEDFC_ASSIGN_OR_RETURN(out.aggregated,
+                         features::AggregateMetaFeatures(client_mfs, weights));
+  out.trace = result.trace;
+  return out;
+}
+
+}  // namespace fedfc::automl::phases

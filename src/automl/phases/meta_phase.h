@@ -1,0 +1,25 @@
+#ifndef FEDFC_AUTOML_PHASES_META_PHASE_H_
+#define FEDFC_AUTOML_PHASES_META_PHASE_H_
+
+#include "automl/phases/round_options.h"
+#include "core/result.h"
+#include "features/meta_features.h"
+#include "fl/round.h"
+
+namespace fedfc::automl::phases {
+
+struct MetaPhaseOutput {
+  features::AggregatedMetaFeatures aggregated;
+  fl::RoundTrace trace;  ///< Accounting for the meta-features round.
+};
+
+/// Phases I-II of Figure 1 (Algorithm 1 lines 3-8): one `meta_features`
+/// round gathering every client's Table 1 meta-features, aggregated with the
+/// per-row methods weighted by |D_j|. Fails when the round fails or any
+/// reply is undecodable.
+Result<MetaPhaseOutput> RunMetaPhase(fl::RoundRunner& runner,
+                                     const PhaseRoundOptions& round);
+
+}  // namespace fedfc::automl::phases
+
+#endif  // FEDFC_AUTOML_PHASES_META_PHASE_H_

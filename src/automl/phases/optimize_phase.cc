@@ -1,0 +1,125 @@
+#include "automl/phases/optimize_phase.h"
+
+#include <cmath>
+#include <utility>
+
+#include "automl/model_io.h"
+#include "core/logging.h"
+#include "fl/task_codec.h"
+
+namespace fedfc::automl::phases {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Equation 1 aggregation of the per-client validation losses, in reply
+/// (client-index) order.
+Result<double> AggregateValidLoss(const std::vector<fl::ClientReply>& replies) {
+  double acc = 0.0;
+  for (const fl::ClientReply& r : replies) {
+    FEDFC_ASSIGN_OR_RETURN(fl::FitEvaluateReply reply,
+                           fl::FitEvaluateReply::FromPayload(r.payload));
+    acc += r.weight * reply.valid_loss;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<OptimizePhaseOutput> RunOptimizePhase(fl::RoundRunner& runner,
+                                             OptimizePhaseInput input,
+                                             const PhaseRoundOptions& round) {
+  FEDFC_CHECK(input.rng != nullptr);
+  OptimizePhaseOutput out;
+  PortfolioOptimizer portfolio(input.recommended, input.bo);
+  while (true) {
+    if (input.max_iterations > 0 && out.iterations >= input.max_iterations) {
+      break;
+    }
+    if (SecondsSince(input.start) >= input.time_budget_seconds &&
+        out.iterations > 0) {
+      break;
+    }
+    Configuration config;
+    if (!input.warm_start.empty()) {
+      config = input.warm_start.back();
+      input.warm_start.pop_back();
+    } else if (input.strategy == SearchStrategy::kBayesOpt) {
+      config = portfolio.Propose(input.rng);
+    } else {
+      AlgorithmId algo =
+          input.recommended[input.rng->Index(input.recommended.size())];
+      config = SearchSpace::ForAlgorithm(algo).Sample(input.rng);
+    }
+    fl::FitEvaluateRequest request;
+    request.spec = input.spec_tensor;
+    request.config = config.ToTensor();
+    fl::RoundSpec spec(fl::tasks::kFitEvaluate, request.ToPayload());
+    spec.policy = round.policy;
+    spec.sampling_seed = round.sampling_seed_base + out.iterations;
+    Result<fl::RoundResult> result = runner.RunRound(spec);
+    ++out.iterations;
+    if (!result.ok()) continue;
+    Result<double> loss = AggregateValidLoss(result->replies);
+    if (!loss.ok() || !std::isfinite(*loss)) continue;
+    out.loss_history.push_back(*loss);
+    portfolio.Observe(config, *loss);
+  }
+  if (portfolio.n_observations() == 0) {
+    return Status::DeadlineExceeded(
+        "budget exhausted before any configuration was evaluated");
+  }
+  out.best_config = portfolio.best_config();
+  out.best_valid_loss = portfolio.best_loss();
+  return out;
+}
+
+Result<std::vector<double>> RunFinalFitPhase(fl::RoundRunner& runner,
+                                             const std::vector<double>& spec_tensor,
+                                             const Configuration& config,
+                                             const PhaseRoundOptions& round) {
+  fl::FitFinalRequest request;
+  request.spec = spec_tensor;
+  request.config = config.ToTensor();
+  fl::RoundSpec spec(fl::tasks::kFitFinal, request.ToPayload());
+  spec.policy = round.policy;
+  spec.sampling_seed = round.sampling_seed_base;
+  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
+  std::vector<std::vector<double>> blobs;
+  std::vector<double> blob_weights;
+  for (const fl::ClientReply& r : result.replies) {
+    FEDFC_ASSIGN_OR_RETURN(fl::FitFinalReply reply,
+                           fl::FitFinalReply::FromPayload(r.payload));
+    blobs.push_back(std::move(reply.model_blob));
+    blob_weights.push_back(r.weight);
+  }
+  return AggregateModelBlobs(config, blobs, blob_weights);
+}
+
+Result<double> RunEvaluatePhase(fl::RoundRunner& runner,
+                                const std::vector<double>& spec_tensor,
+                                const Configuration& config,
+                                const std::vector<double>& model_blob,
+                                const PhaseRoundOptions& round) {
+  fl::EvaluateModelRequest request;
+  request.spec = spec_tensor;
+  request.config = config.ToTensor();
+  request.model_blob = model_blob;
+  fl::RoundSpec spec(fl::tasks::kEvaluateModel, request.ToPayload());
+  spec.policy = round.policy;
+  spec.sampling_seed = round.sampling_seed_base;
+  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
+  double acc = 0.0;
+  for (const fl::ClientReply& r : result.replies) {
+    FEDFC_ASSIGN_OR_RETURN(fl::EvaluateModelReply reply,
+                           fl::EvaluateModelReply::FromPayload(r.payload));
+    acc += r.weight * reply.test_loss;
+  }
+  return acc;
+}
+
+}  // namespace fedfc::automl::phases

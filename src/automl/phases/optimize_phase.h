@@ -1,0 +1,73 @@
+#ifndef FEDFC_AUTOML_PHASES_OPTIMIZE_PHASE_H_
+#define FEDFC_AUTOML_PHASES_OPTIMIZE_PHASE_H_
+
+#include <chrono>
+#include <vector>
+
+#include "automl/bayesopt/bayes_opt.h"
+#include "automl/phases/round_options.h"
+#include "automl/search_space.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "fl/round.h"
+
+namespace fedfc::automl::phases {
+
+/// How candidate configurations are proposed each round.
+enum class SearchStrategy {
+  kBayesOpt,  ///< Meta-model warm start + GP/EI portfolio (FedForecaster).
+  kRandom,    ///< Uniform sampling (the paper's random-search baseline).
+};
+
+struct OptimizePhaseInput {
+  std::vector<AlgorithmId> recommended;
+  /// Meta-model instantiation recommendations, consumed back-to-front (the
+  /// caller reverses so the nearest neighbour's configuration goes first).
+  std::vector<Configuration> warm_start;
+  std::vector<double> spec_tensor;
+  SearchStrategy strategy = SearchStrategy::kBayesOpt;
+  BayesOptConfig bo;
+  /// Hard iteration cap (0 = unbounded; whichever of budget/iterations
+  /// triggers first stops the loop, per Algorithm 1).
+  size_t max_iterations = 0;
+  double time_budget_seconds = 5.0;
+  /// The budget is anchored at the engine start, not the phase start.
+  std::chrono::steady_clock::time_point start;
+  Rng* rng = nullptr;  ///< Proposal randomness (not owned).
+};
+
+struct OptimizePhaseOutput {
+  Configuration best_config;
+  double best_valid_loss = 0.0;  ///< Best aggregated global loss seen.
+  size_t iterations = 0;
+  std::vector<double> loss_history;  ///< Aggregated loss per round.
+};
+
+/// Phase III (Algorithm 1 lines 14-22): the server-side hyperparameter
+/// search. Round i of the loop samples clients with seed
+/// `round.sampling_seed_base + i`. A failed round or non-finite aggregated
+/// loss skips the observation but still counts against the iteration cap.
+/// Fails with DeadlineExceeded when the budget expires before any
+/// configuration was evaluated.
+Result<OptimizePhaseOutput> RunOptimizePhase(fl::RoundRunner& runner,
+                                             OptimizePhaseInput input,
+                                             const PhaseRoundOptions& round);
+
+/// Phase IV (Algorithm 1 lines 23-27): final local fits under the winning
+/// configuration, FedAvg-aggregated into the deployable global model blob.
+Result<std::vector<double>> RunFinalFitPhase(fl::RoundRunner& runner,
+                                             const std::vector<double>& spec_tensor,
+                                             const Configuration& config,
+                                             const PhaseRoundOptions& round);
+
+/// Deploys the global model to every client and returns the weighted
+/// federated test loss (Table 3 protocol).
+Result<double> RunEvaluatePhase(fl::RoundRunner& runner,
+                                const std::vector<double>& spec_tensor,
+                                const Configuration& config,
+                                const std::vector<double>& model_blob,
+                                const PhaseRoundOptions& round);
+
+}  // namespace fedfc::automl::phases
+
+#endif  // FEDFC_AUTOML_PHASES_OPTIMIZE_PHASE_H_

@@ -1,0 +1,21 @@
+#ifndef FEDFC_AUTOML_PHASES_ROUND_OPTIONS_H_
+#define FEDFC_AUTOML_PHASES_ROUND_OPTIONS_H_
+
+#include <cstdint>
+
+#include "fl/round.h"
+
+namespace fedfc::automl::phases {
+
+/// How a phase turns its work into federated rounds: every round issued by
+/// the phase shares `policy`, and round i of the phase samples clients with
+/// seed `sampling_seed_base + i` (unused at full participation, so the
+/// defaults add no RNG consumption to the legacy path).
+struct PhaseRoundOptions {
+  fl::RoundPolicy policy;
+  uint64_t sampling_seed_base = 0;
+};
+
+}  // namespace fedfc::automl::phases
+
+#endif  // FEDFC_AUTOML_PHASES_ROUND_OPTIONS_H_

@@ -71,32 +71,61 @@ class Reader {
 
 }  // namespace
 
+namespace {
+
+const char* TypeName(const Payload::Value& value) {
+  switch (value.index()) {
+    case 0: return "double";
+    case 1: return "int";
+    case 2: return "string";
+    default: return "tensor";
+  }
+}
+
+}  // namespace
+
+Status Payload::KeyNotFound(const std::string& key) const {
+  std::string available;
+  for (const auto& [k, _] : values_) {
+    if (!available.empty()) available += ", ";
+    available += k;
+  }
+  return Status::NotFound("payload key '" + key + "' not found; available: [" +
+                          available + "]");
+}
+
+Status Payload::TypeMismatch(const std::string& key, const Value& value,
+                             const char* wanted) const {
+  return Status::InvalidArgument("payload key '" + key + "' holds a " +
+                                 TypeName(value) + ", not a " + wanted);
+}
+
 Result<double> Payload::GetDouble(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (it == values_.end()) return KeyNotFound(key);
   if (const double* v = std::get_if<double>(&it->second)) return *v;
-  return Status::InvalidArgument("payload key is not a double: " + key);
+  return TypeMismatch(key, it->second, "double");
 }
 
 Result<int64_t> Payload::GetInt(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (it == values_.end()) return KeyNotFound(key);
   if (const int64_t* v = std::get_if<int64_t>(&it->second)) return *v;
-  return Status::InvalidArgument("payload key is not an int: " + key);
+  return TypeMismatch(key, it->second, "int");
 }
 
 Result<std::string> Payload::GetString(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (it == values_.end()) return KeyNotFound(key);
   if (const std::string* v = std::get_if<std::string>(&it->second)) return *v;
-  return Status::InvalidArgument("payload key is not a string: " + key);
+  return TypeMismatch(key, it->second, "string");
 }
 
 Result<std::vector<double>> Payload::GetTensor(const std::string& key) const {
   auto it = values_.find(key);
-  if (it == values_.end()) return Status::NotFound("payload key: " + key);
+  if (it == values_.end()) return KeyNotFound(key);
   if (const auto* v = std::get_if<std::vector<double>>(&it->second)) return *v;
-  return Status::InvalidArgument("payload key is not a tensor: " + key);
+  return TypeMismatch(key, it->second, "tensor");
 }
 
 std::vector<std::string> Payload::Keys() const {

@@ -48,6 +48,13 @@ class Payload {
   bool operator==(const Payload& other) const { return values_ == other.values_; }
 
  private:
+  /// Key-miss error naming the available keys (round plumbing is far easier
+  /// to debug when the message shows what the payload actually carries).
+  Status KeyNotFound(const std::string& key) const;
+  /// Type-mismatch error naming the actual stored type.
+  Status TypeMismatch(const std::string& key, const Value& value,
+                      const char* wanted) const;
+
   std::map<std::string, Value> values_;
 };
 

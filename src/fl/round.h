@@ -1,0 +1,102 @@
+#ifndef FEDFC_FL_ROUND_H_
+#define FEDFC_FL_ROUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fl/payload.h"
+
+namespace fedfc::fl {
+
+/// Reply from one client, tagged with its index and aggregation weight.
+struct ClientReply {
+  size_t client_index = 0;
+  double weight = 0.0;  ///< alpha_j, normalized over responding clients.
+  Payload payload;
+};
+
+/// Orchestration knobs shared by every round of a run: who participates and
+/// how stubborn the server is about individual client failures. The defaults
+/// (everyone participates, no retries, tolerate any non-empty response set)
+/// reproduce the plain broadcast semantics exactly.
+struct RoundPolicy {
+  /// Fraction of the population sampled into the round, in (0, 1]. With 1.0
+  /// every client participates and no sampling RNG is consumed.
+  double participation_fraction = 1.0;
+  /// Extra attempts per client after a failed execute (0 = fail fast).
+  size_t max_retries = 0;
+  /// Base pause before re-attempting a failed client; attempt k waits
+  /// `retry_backoff_ms * 2^k` (exponential backoff). 0 retries immediately.
+  double retry_backoff_ms = 0.0;
+  /// Minimum fraction of *sampled* clients that must succeed for the round
+  /// to count, in [0, 1]. The round always fails when nobody succeeds; a
+  /// threshold above 0 additionally rejects too-partial rounds.
+  double min_success_fraction = 0.0;
+};
+
+/// One fully-specified federated round: the task, its request payload, the
+/// participation/retry policy, and the seed for client sampling (unused when
+/// `policy.participation_fraction == 1.0`).
+struct RoundSpec {
+  std::string task;
+  Payload request;
+  RoundPolicy policy;
+  uint64_t sampling_seed = 0;
+
+  RoundSpec() = default;
+  RoundSpec(std::string task_id, Payload req)
+      : task(std::move(task_id)), request(std::move(req)) {}
+};
+
+/// Outcome of one sampled client's participation in a round.
+struct ClientOutcome {
+  size_t client_index = 0;
+  bool ok = false;
+  size_t retries = 0;   ///< Re-attempts consumed (0 = first try decided it).
+  std::string error;    ///< Last failure message when !ok.
+};
+
+/// Per-round accounting: what the round cost in messages, bytes, retries and
+/// wall time. Message/byte counts are transport-stat deltas, so they include
+/// retried attempts.
+struct RoundTrace {
+  size_t sampled_clients = 0;
+  size_t ok_clients = 0;
+  size_t failed_clients = 0;
+  size_t retries = 0;
+  size_t messages = 0;
+  size_t bytes_to_clients = 0;
+  size_t bytes_to_server = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Result of a round: the successful replies (client-index-ordered, weights
+/// renormalized over the respondents — Equation 1), the per-sampled-client
+/// outcomes (also index-ordered), and the round's accounting trace.
+struct RoundResult {
+  std::vector<ClientReply> replies;
+  std::vector<ClientOutcome> outcomes;
+  RoundTrace trace;
+};
+
+/// The narrow interface the engine phases program against: "run one round,
+/// give me the result". `fl::Server` is the production implementation;
+/// phase unit tests substitute fakes that never touch a transport.
+class RoundRunner {
+ public:
+  virtual ~RoundRunner() = default;
+
+  virtual Result<RoundResult> RunRound(const RoundSpec& spec) = 0;
+};
+
+/// Client indices participating in the round, ascending. Sampling is seeded
+/// by `spec.sampling_seed` alone; full participation (fraction = 1.0, the
+/// default) never consumes RNG state, so the legacy broadcast behavior needs
+/// no seed. At least one client is always sampled.
+std::vector<size_t> SampleParticipants(const RoundSpec& spec, size_t num_clients);
+
+}  // namespace fedfc::fl
+
+#endif  // FEDFC_FL_ROUND_H_

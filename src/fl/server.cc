@@ -1,6 +1,8 @@
 #include "fl/server.h"
 
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "core/logging.h"
@@ -25,47 +27,109 @@ void Server::set_num_threads(size_t num_threads) {
   pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
-Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
-                                                   const Payload& request) {
-  const size_t n = num_clients();
-  std::vector<std::optional<Result<Payload>>> slots(n);
+Result<RoundResult> Server::RunRound(const RoundSpec& spec) {
+  if (spec.policy.participation_fraction <= 0.0 ||
+      spec.policy.participation_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "round '" + spec.task + "': participation_fraction must be in (0, 1]");
+  }
+  auto start = std::chrono::steady_clock::now();
+  const TransportStats stats_before = transport_->stats();
+  const std::vector<size_t> sampled = SampleParticipants(spec, num_clients());
+  const size_t n = sampled.size();
+
+  struct Attempt {
+    std::optional<Result<Payload>> reply;
+    size_t retries = 0;
+  };
+  std::vector<Attempt> slots(n);
+  auto execute_with_retries = [&](size_t s) {
+    const size_t j = sampled[s];
+    for (size_t attempt = 0;; ++attempt) {
+      slots[s].reply = transport_->Execute(j, spec.task, spec.request);
+      slots[s].retries = attempt;
+      if (slots[s].reply->ok() || attempt >= spec.policy.max_retries) return;
+      if (spec.policy.retry_backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            spec.policy.retry_backoff_ms * static_cast<double>(1ULL << attempt)));
+      }
+    }
+  };
   if (pool_ && n > 1) {
-    // Fan out one task per client; each slot is written by exactly one
-    // worker, so the only shared mutable state is inside the transport
+    // Fan out one task per sampled client; each slot is written by exactly
+    // one worker, so the only shared mutable state is inside the transport
     // (which is locked) and the pool itself.
-    pool_->ParallelFor(n, [&](size_t j) {
-      slots[j] = transport_->Execute(j, task, request);
-    });
+    pool_->ParallelFor(n, execute_with_retries);
   } else {
-    for (size_t j = 0; j < n; ++j) {
-      slots[j] = transport_->Execute(j, task, request);
-    }
+    for (size_t s = 0; s < n; ++s) execute_with_retries(s);
   }
-  // Index-ordered gather: reply order, renormalized weights, and the
-  // reported error are all independent of execution interleaving.
-  std::vector<ClientReply> replies;
+
+  // Index-ordered gather: reply order, outcome order, renormalized weights,
+  // and the reported error are all independent of execution interleaving.
+  RoundResult result;
+  result.outcomes.reserve(n);
   std::string last_error;
-  for (size_t j = 0; j < n; ++j) {
-    Result<Payload>& reply = *slots[j];
+  for (size_t s = 0; s < n; ++s) {
+    const size_t j = sampled[s];
+    Result<Payload>& reply = *slots[s].reply;
+    ClientOutcome outcome;
+    outcome.client_index = j;
+    outcome.retries = slots[s].retries;
+    result.trace.retries += slots[s].retries;
     if (!reply.ok()) {
-      last_error = reply.status().ToString();
-      FEDFC_LOG(Warning) << "client " << j << " failed task '" << task
+      outcome.ok = false;
+      outcome.error = reply.status().ToString();
+      last_error = outcome.error;
+      FEDFC_LOG(Warning) << "client " << j << " failed task '" << spec.task
                          << "': " << last_error;
-      continue;
+    } else {
+      outcome.ok = true;
+      ClientReply cr;
+      cr.client_index = j;
+      cr.weight = static_cast<double>(client_sizes_[j]);
+      cr.payload = std::move(*reply);
+      result.replies.push_back(std::move(cr));
     }
-    ClientReply cr;
-    cr.client_index = j;
-    cr.weight = static_cast<double>(client_sizes_[j]);
-    cr.payload = std::move(*reply);
-    replies.push_back(std::move(cr));
+    result.outcomes.push_back(std::move(outcome));
   }
-  if (replies.empty()) {
-    return Status::Internal("all clients failed task '" + task + "': " + last_error);
+  result.trace.sampled_clients = n;
+  result.trace.ok_clients = result.replies.size();
+  result.trace.failed_clients = n - result.replies.size();
+
+  if (result.replies.empty()) {
+    return Status::Internal("all clients failed task '" + spec.task +
+                            "': " + last_error);
+  }
+  if (static_cast<double>(result.trace.ok_clients) <
+      spec.policy.min_success_fraction * static_cast<double>(n)) {
+    return Status::Internal(
+        "round '" + spec.task + "' below success threshold: " +
+        std::to_string(result.trace.ok_clients) + "/" + std::to_string(n) +
+        " clients succeeded (require " +
+        std::to_string(spec.policy.min_success_fraction) + "); last error: " +
+        last_error);
   }
   double total = 0.0;
-  for (const auto& r : replies) total += r.weight;
-  for (auto& r : replies) r.weight /= total;
-  return replies;
+  for (const auto& r : result.replies) total += r.weight;
+  for (auto& r : result.replies) r.weight /= total;
+
+  const TransportStats stats_after = transport_->stats();
+  result.trace.messages = stats_after.messages - stats_before.messages;
+  result.trace.bytes_to_clients =
+      stats_after.bytes_to_clients - stats_before.bytes_to_clients;
+  result.trace.bytes_to_server =
+      stats_after.bytes_to_server - stats_before.bytes_to_server;
+  result.trace.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
+                                                   const Payload& request) {
+  RoundSpec spec(task, request);
+  FEDFC_ASSIGN_OR_RETURN(RoundResult result, RunRound(spec));
+  return std::move(result.replies);
 }
 
 Result<double> Server::AggregateScalar(const std::vector<ClientReply>& replies,

@@ -8,28 +8,27 @@
 #include "core/result.h"
 #include "core/thread_pool.h"
 #include "fl/payload.h"
+#include "fl/round.h"
 #include "fl/transport.h"
 
 namespace fedfc::fl {
 
-/// Reply from one client, tagged with its index and aggregation weight.
-struct ClientReply {
-  size_t client_index = 0;
-  double weight = 0.0;  ///< alpha_j, normalized over responding clients.
-  Payload payload;
-};
-
-/// Orchestrates broadcast/gather rounds over a transport — the role of the
-/// Flower server. Aggregation weights follow Equation 1:
-/// alpha_j = |D_j| / |D| (renormalized over the clients that responded).
+/// Orchestrates federated rounds over a transport — the role of the Flower
+/// server. `RunRound` is the one engine entry point: it samples participants
+/// (seeded, per the spec's policy), drives each sampled client with the
+/// spec's retry budget, gathers index-ordered replies with renormalized
+/// Equation 1 weights (alpha_j = |D_j| / |D| over the respondents), and
+/// accounts the round in a RoundTrace.
 ///
-/// With `num_threads > 1` every broadcast fans client execution out over a
+/// With `num_threads > 1` every round fans client execution out over a
 /// thread pool (clients are independent by construction, so rounds are
 /// embarrassingly parallel). Replies are gathered into client-index-ordered
-/// slots, so the returned vector — and every aggregate computed from it — is
-/// identical to the sequential result no matter how many threads ran the
-/// round. `num_threads == 1` (the default) takes the plain sequential loop.
-class Server {
+/// slots, so the returned RoundResult — and every aggregate computed from it
+/// — is identical to the sequential result no matter how many threads ran
+/// the round. `num_threads == 1` (the default) takes the plain sequential
+/// loop. With `participation_fraction = 1.0` and `max_retries = 0` (the
+/// RoundPolicy defaults) the round is bit-identical to the legacy Broadcast.
+class Server : public RoundRunner {
  public:
   /// `client_sizes[j]` = |D_j| for weight computation.
   Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes,
@@ -37,14 +36,20 @@ class Server {
 
   size_t num_clients() const { return client_sizes_.size(); }
 
-  /// Resizes the broadcast worker pool (1 = sequential). Cheap when the
-  /// count is unchanged; must not be called while a broadcast is in flight.
+  /// Resizes the round worker pool (1 = sequential). Cheap when the count is
+  /// unchanged; must not be called while a round is in flight.
   void set_num_threads(size_t num_threads);
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }
 
-  /// Sends the same task to all clients; returns successful replies with
-  /// normalized weights, ordered by client index. Fails only when every
-  /// client fails (partial participation is the FL norm, not an error).
+  /// Runs one federated round as described by the spec. Fails when every
+  /// sampled client fails, or when fewer than
+  /// `policy.min_success_fraction` of them succeed (partial participation is
+  /// the FL norm, not an error).
+  Result<RoundResult> RunRound(const RoundSpec& spec) override;
+
+  /// Thin compatibility wrapper over RunRound with the default policy
+  /// (full participation, no retries): sends the task to all clients and
+  /// returns the successful replies.
   Result<std::vector<ClientReply>> Broadcast(const std::string& task,
                                              const Payload& request);
 

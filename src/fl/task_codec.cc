@@ -1,0 +1,199 @@
+#include "fl/task_codec.h"
+
+namespace fedfc::fl {
+
+// Key strings are the historical hand-rolled payload keys; they must not
+// change, or wire bytes (and serialized-stat baselines) drift.
+namespace {
+constexpr char kKeySpec[] = "spec";
+constexpr char kKeyConfig[] = "config";
+constexpr char kKeyParams[] = "params";
+constexpr char kKeyModelBlob[] = "model_blob";
+}  // namespace
+
+Payload MetaFeaturesReply::ToPayload() const {
+  Payload p;
+  p.SetTensor("meta_features", meta_features);
+  p.SetInt("n_instances", n_instances);
+  return p;
+}
+
+Result<MetaFeaturesReply> MetaFeaturesReply::FromPayload(const Payload& p) {
+  MetaFeaturesReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.meta_features, p.GetTensor("meta_features"));
+  FEDFC_ASSIGN_OR_RETURN(out.n_instances, p.GetInt("n_instances"));
+  return out;
+}
+
+Payload FeatureImportanceRequest::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeySpec, spec);
+  return p;
+}
+
+Result<FeatureImportanceRequest> FeatureImportanceRequest::FromPayload(
+    const Payload& p) {
+  FeatureImportanceRequest out;
+  FEDFC_ASSIGN_OR_RETURN(out.spec, p.GetTensor(kKeySpec));
+  return out;
+}
+
+Payload FeatureImportanceReply::ToPayload() const {
+  Payload p;
+  p.SetTensor("importances", importances);
+  return p;
+}
+
+Result<FeatureImportanceReply> FeatureImportanceReply::FromPayload(
+    const Payload& p) {
+  FeatureImportanceReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.importances, p.GetTensor("importances"));
+  return out;
+}
+
+Payload FitEvaluateRequest::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeySpec, spec);
+  p.SetTensor(kKeyConfig, config);
+  return p;
+}
+
+Result<FitEvaluateRequest> FitEvaluateRequest::FromPayload(const Payload& p) {
+  FitEvaluateRequest out;
+  FEDFC_ASSIGN_OR_RETURN(out.spec, p.GetTensor(kKeySpec));
+  FEDFC_ASSIGN_OR_RETURN(out.config, p.GetTensor(kKeyConfig));
+  return out;
+}
+
+Payload FitEvaluateReply::ToPayload() const {
+  Payload p;
+  p.SetDouble("valid_loss", valid_loss);
+  p.SetInt("n_valid", n_valid);
+  return p;
+}
+
+Result<FitEvaluateReply> FitEvaluateReply::FromPayload(const Payload& p) {
+  FitEvaluateReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.valid_loss, p.GetDouble("valid_loss"));
+  FEDFC_ASSIGN_OR_RETURN(out.n_valid, p.GetInt("n_valid"));
+  return out;
+}
+
+Payload FitFinalRequest::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeySpec, spec);
+  p.SetTensor(kKeyConfig, config);
+  return p;
+}
+
+Result<FitFinalRequest> FitFinalRequest::FromPayload(const Payload& p) {
+  FitFinalRequest out;
+  FEDFC_ASSIGN_OR_RETURN(out.spec, p.GetTensor(kKeySpec));
+  FEDFC_ASSIGN_OR_RETURN(out.config, p.GetTensor(kKeyConfig));
+  return out;
+}
+
+Payload FitFinalReply::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeyModelBlob, model_blob);
+  p.SetInt("n_fit", n_fit);
+  return p;
+}
+
+Result<FitFinalReply> FitFinalReply::FromPayload(const Payload& p) {
+  FitFinalReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.model_blob, p.GetTensor(kKeyModelBlob));
+  FEDFC_ASSIGN_OR_RETURN(out.n_fit, p.GetInt("n_fit"));
+  return out;
+}
+
+Payload EvaluateModelRequest::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeySpec, spec);
+  p.SetTensor(kKeyConfig, config);
+  p.SetTensor(kKeyModelBlob, model_blob);
+  return p;
+}
+
+Result<EvaluateModelRequest> EvaluateModelRequest::FromPayload(const Payload& p) {
+  EvaluateModelRequest out;
+  FEDFC_ASSIGN_OR_RETURN(out.spec, p.GetTensor(kKeySpec));
+  FEDFC_ASSIGN_OR_RETURN(out.config, p.GetTensor(kKeyConfig));
+  FEDFC_ASSIGN_OR_RETURN(out.model_blob, p.GetTensor(kKeyModelBlob));
+  return out;
+}
+
+Payload EvaluateModelReply::ToPayload() const {
+  Payload p;
+  p.SetDouble("test_loss", test_loss);
+  p.SetInt("n_test", n_test);
+  return p;
+}
+
+Result<EvaluateModelReply> EvaluateModelReply::FromPayload(const Payload& p) {
+  EvaluateModelReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.test_loss, p.GetDouble("test_loss"));
+  FEDFC_ASSIGN_OR_RETURN(out.n_test, p.GetInt("n_test"));
+  return out;
+}
+
+Payload NBeatsRoundRequest::ToPayload() const {
+  Payload p;
+  if (params.has_value()) p.SetTensor(kKeyParams, *params);
+  return p;
+}
+
+Result<NBeatsRoundRequest> NBeatsRoundRequest::FromPayload(const Payload& p) {
+  NBeatsRoundRequest out;
+  if (p.Has(kKeyParams)) {
+    FEDFC_ASSIGN_OR_RETURN(out.params, p.GetTensor(kKeyParams));
+  }
+  return out;
+}
+
+Payload NBeatsRoundReply::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeyParams, params);
+  p.SetDouble("train_loss", train_loss);
+  p.SetInt("n_train", n_train);
+  return p;
+}
+
+Result<NBeatsRoundReply> NBeatsRoundReply::FromPayload(const Payload& p) {
+  NBeatsRoundReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.params, p.GetTensor(kKeyParams));
+  FEDFC_ASSIGN_OR_RETURN(out.train_loss, p.GetDouble("train_loss"));
+  FEDFC_ASSIGN_OR_RETURN(out.n_train, p.GetInt("n_train"));
+  return out;
+}
+
+Payload NBeatsEvaluateRequest::ToPayload() const {
+  Payload p;
+  if (params.has_value()) p.SetTensor(kKeyParams, *params);
+  return p;
+}
+
+Result<NBeatsEvaluateRequest> NBeatsEvaluateRequest::FromPayload(
+    const Payload& p) {
+  NBeatsEvaluateRequest out;
+  if (p.Has(kKeyParams)) {
+    FEDFC_ASSIGN_OR_RETURN(out.params, p.GetTensor(kKeyParams));
+  }
+  return out;
+}
+
+Payload NBeatsEvaluateReply::ToPayload() const {
+  Payload p;
+  p.SetDouble("test_loss", test_loss);
+  p.SetInt("n_test", n_test);
+  return p;
+}
+
+Result<NBeatsEvaluateReply> NBeatsEvaluateReply::FromPayload(const Payload& p) {
+  NBeatsEvaluateReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.test_loss, p.GetDouble("test_loss"));
+  FEDFC_ASSIGN_OR_RETURN(out.n_test, p.GetInt("n_test"));
+  return out;
+}
+
+}  // namespace fedfc::fl

@@ -17,9 +17,13 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
   }
   FEDFC_ASSIGN_OR_RETURN(Payload decoded_request,
                          Payload::Deserialize(request_bytes));
-  FEDFC_ASSIGN_OR_RETURN(Payload reply,
-                         clients_[client_index]->Handle(task, decoded_request));
-  std::vector<uint8_t> reply_bytes = reply.Serialize();
+  Result<Payload> handled = clients_[client_index]->Handle(task, decoded_request);
+  if (!handled.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.failures += 1;
+    return handled.status();
+  }
+  std::vector<uint8_t> reply_bytes = handled->Serialize();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.bytes_to_server += reply_bytes.size();
@@ -45,11 +49,19 @@ Result<Payload> FlakyTransport::Execute(size_t client_index, const std::string& 
     state_ ^= state_ >> 27;
     uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
     u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+    if (u < failure_rate_) ++injected_failures_;
   }
   if (u < failure_rate_) {
     return Status::IOError("injected transport failure");
   }
   return inner_->Execute(client_index, task, request);
+}
+
+TransportStats FlakyTransport::stats() const {
+  TransportStats stats = inner_->stats();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  stats.failures += injected_failures_;
+  return stats;
 }
 
 }  // namespace fedfc::fl

@@ -18,6 +18,9 @@ struct TransportStats {
   size_t messages = 0;
   size_t bytes_to_clients = 0;
   size_t bytes_to_server = 0;
+  /// Failed executes, including failures injected by decorator transports
+  /// (which never reach the inner transport's counters).
+  size_t failures = 0;
 };
 
 /// Routes a task to one client and returns its reply. Concrete transports
@@ -74,13 +77,17 @@ class FlakyTransport : public Transport {
   size_t num_clients() const override { return inner_->num_clients(); }
   Result<Payload> Execute(size_t client_index, const std::string& task,
                           const Payload& request) override;
-  TransportStats stats() const override { return inner_->stats(); }
+  /// Inner stats plus the failures this decorator injected (an injected
+  /// fault never reaches the inner transport, so it must be counted here or
+  /// it is invisible in reports).
+  TransportStats stats() const override;
 
  private:
   std::unique_ptr<Transport> inner_;
   double failure_rate_;
-  std::mutex state_mutex_;
+  mutable std::mutex state_mutex_;
   uint64_t state_;
+  size_t injected_failures_ = 0;
 };
 
 }  // namespace fedfc::fl

@@ -180,6 +180,85 @@ TEST(EngineTest, NumThreadsDoesNotChangeLosses) {
   }
 }
 
+TEST(EngineTest, ExplicitRoundPolicyMatchesDefaultAtEveryThreadCount) {
+  // The acceptance contract of the round-orchestration refactor: with full
+  // participation and no retries — spelled out explicitly — every engine
+  // output is bit-identical to the default (legacy-broadcast) configuration,
+  // sequentially and under a thread pool, and an unused retry budget on a
+  // reliable transport changes nothing either.
+  std::vector<ts::Series> splits = MakeSplits(4, 150, 17);
+  MetaModel meta = MakeTrainedMetaModel();
+  auto run = [&](fl::RoundPolicy policy, size_t num_threads) {
+    auto server = MakeServer(splits, 18);
+    EngineOptions opt = FastOptions();
+    opt.round = policy;
+    opt.num_threads = num_threads;
+    FedForecasterEngine engine(&meta, opt);
+    Result<EngineReport> report = engine.Run(server.get());
+    EXPECT_TRUE(report.ok()) << report.status();
+    return std::move(*report);
+  };
+  fl::RoundPolicy explicit_legacy;
+  explicit_legacy.participation_fraction = 1.0;
+  explicit_legacy.max_retries = 0;
+  fl::RoundPolicy with_retry_budget;
+  with_retry_budget.max_retries = 2;
+  EngineReport baseline = run(fl::RoundPolicy{}, 1);
+  for (const fl::RoundPolicy& policy : {explicit_legacy, with_retry_budget}) {
+    for (size_t num_threads : {1u, 4u}) {
+      EngineReport report = run(policy, num_threads);
+      ASSERT_EQ(baseline.loss_history.size(), report.loss_history.size());
+      for (size_t i = 0; i < baseline.loss_history.size(); ++i) {
+        EXPECT_DOUBLE_EQ(baseline.loss_history[i], report.loss_history[i]);
+      }
+      EXPECT_DOUBLE_EQ(baseline.best_valid_loss, report.best_valid_loss);
+      EXPECT_DOUBLE_EQ(baseline.test_loss, report.test_loss);
+      EXPECT_EQ(baseline.best_config.algorithm, report.best_config.algorithm);
+      ASSERT_EQ(baseline.global_model_blob.size(),
+                report.global_model_blob.size());
+      for (size_t i = 0; i < baseline.global_model_blob.size(); ++i) {
+        EXPECT_DOUBLE_EQ(baseline.global_model_blob[i],
+                         report.global_model_blob[i]);
+      }
+      // Same traffic: the typed codecs leave the wire bytes unchanged.
+      EXPECT_EQ(baseline.transport.messages, report.transport.messages);
+      EXPECT_EQ(baseline.transport.bytes_to_clients,
+                report.transport.bytes_to_clients);
+      EXPECT_EQ(baseline.transport.bytes_to_server,
+                report.transport.bytes_to_server);
+    }
+  }
+}
+
+TEST(EngineTest, PartialParticipationRunsAndIsSeedReproducible) {
+  std::vector<ts::Series> splits = MakeSplits(6, 120, 19);
+  auto run = [&]() {
+    auto server = MakeServer(splits, 20);
+    EngineOptions opt = FastOptions();
+    opt.strategy = SearchStrategy::kRandom;
+    opt.use_meta_model = false;
+    opt.round.participation_fraction = 0.5;
+    FedForecasterEngine engine(nullptr, opt);
+    Result<EngineReport> report = engine.Run(server.get());
+    EXPECT_TRUE(report.ok()) << report.status();
+    return std::move(*report);
+  };
+  EngineReport a = run();
+  EngineReport b = run();
+  EXPECT_EQ(a.iterations, 6u);
+  EXPECT_FALSE(a.loss_history.empty());
+  // Sampling is seeded from EngineOptions::seed: identical runs, identical
+  // sampled cohorts, identical losses.
+  ASSERT_EQ(a.loss_history.size(), b.loss_history.size());
+  for (size_t i = 0; i < a.loss_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.loss_history[i], b.loss_history[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.test_loss, b.test_loss);
+  // Fewer sampled clients per round means less traffic than full
+  // participation would generate for the same round count.
+  EXPECT_GT(a.transport.messages, 0u);
+}
+
 TEST(EngineTest, LossHistoryBestIsReportedBest) {
   std::vector<ts::Series> splits = MakeSplits(3, 150, 11);
   auto server = MakeServer(splits, 12);

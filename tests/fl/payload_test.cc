@@ -131,5 +131,29 @@ TEST_P(PayloadFuzzTest, RandomRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PayloadFuzzTest,
                          ::testing::Range<uint64_t>(0, 16));
 
+TEST(PayloadErrorTest, MissingKeyListsAvailableKeys) {
+  Payload p;
+  p.SetDouble("alpha", 1.0);
+  p.SetTensor("beta", {1.0, 2.0});
+  Result<double> missing = p.GetDouble("gamma");
+  ASSERT_FALSE(missing.ok());
+  std::string message = missing.status().ToString();
+  EXPECT_NE(message.find("gamma"), std::string::npos);
+  EXPECT_NE(message.find("alpha"), std::string::npos);
+  EXPECT_NE(message.find("beta"), std::string::npos);
+}
+
+TEST(PayloadErrorTest, TypeMismatchNamesActualType) {
+  Payload p;
+  p.SetString("name", "x");
+  p.SetInt("count", 3);
+  Result<double> as_double = p.GetDouble("name");
+  ASSERT_FALSE(as_double.ok());
+  EXPECT_NE(as_double.status().ToString().find("string"), std::string::npos);
+  Result<std::vector<double>> as_tensor = p.GetTensor("count");
+  ASSERT_FALSE(as_tensor.ok());
+  EXPECT_NE(as_tensor.status().ToString().find("int"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fedfc::fl

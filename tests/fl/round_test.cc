@@ -1,0 +1,290 @@
+#include "fl/round.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fl/server.h"
+#include "fl/transport.h"
+
+namespace fedfc::fl {
+namespace {
+
+/// Test client: echoes a scalar; `fail_all` makes every task error.
+class EchoClient : public Client {
+ public:
+  EchoClient(std::string id, double value, size_t n, bool fail_all = false)
+      : id_(std::move(id)), value_(value), n_(n), fail_all_(fail_all) {}
+
+  std::string id() const override { return id_; }
+  size_t num_examples() const override { return n_; }
+
+  Result<Payload> Handle(const std::string& task,
+                         const Payload& request) override {
+    (void)request;
+    if (fail_all_ || task == "fail") return Status::Internal("induced failure");
+    Payload reply;
+    reply.SetDouble("value", value_);
+    return reply;
+  }
+
+ private:
+  std::string id_;
+  double value_;
+  size_t n_;
+  bool fail_all_;
+};
+
+std::unique_ptr<Server> MakeServer(std::vector<double> values,
+                                   std::vector<size_t> sizes,
+                                   size_t num_threads = 1,
+                                   std::vector<bool> fail = {}) {
+  std::vector<std::shared_ptr<Client>> clients;
+  for (size_t j = 0; j < values.size(); ++j) {
+    clients.push_back(std::make_shared<EchoClient>(
+        "c" + std::to_string(j), values[j], sizes[j],
+        !fail.empty() && fail[j]));
+  }
+  return std::make_unique<Server>(
+      std::make_unique<InProcessTransport>(std::move(clients)), sizes,
+      num_threads);
+}
+
+/// Decorator that fails the first `n_failures` attempts against each client,
+/// then lets everything through — exercises the retry path deterministically.
+class FailFirstAttemptsTransport : public Transport {
+ public:
+  FailFirstAttemptsTransport(std::unique_ptr<Transport> inner, size_t n_failures)
+      : inner_(std::move(inner)),
+        attempts_(inner_->num_clients(), 0),
+        n_failures_(n_failures) {}
+
+  size_t num_clients() const override { return inner_->num_clients(); }
+
+  Result<Payload> Execute(size_t client_index, const std::string& task,
+                          const Payload& request) override {
+    if (attempts_[client_index]++ < n_failures_) {
+      return Status::DeadlineExceeded("simulated drop");
+    }
+    return inner_->Execute(client_index, task, request);
+  }
+
+  TransportStats stats() const override { return inner_->stats(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::vector<size_t> attempts_;  ///< Per-client, so no cross-client races.
+  size_t n_failures_;
+};
+
+TEST(SampleParticipantsTest, FullParticipationTakesEveryone) {
+  RoundSpec spec("any", Payload());
+  std::vector<size_t> sampled = SampleParticipants(spec, 7);
+  ASSERT_EQ(sampled.size(), 7u);
+  for (size_t j = 0; j < 7; ++j) EXPECT_EQ(sampled[j], j);
+}
+
+TEST(SampleParticipantsTest, FractionSamplesCeilAndIsSeedDeterministic) {
+  RoundSpec spec("any", Payload());
+  spec.policy.participation_fraction = 0.5;
+  spec.sampling_seed = 42;
+  std::vector<size_t> a = SampleParticipants(spec, 9);
+  std::vector<size_t> b = SampleParticipants(spec, 9);
+  EXPECT_EQ(a, b);                 // Same seed, same subset.
+  EXPECT_EQ(a.size(), 5u);         // ceil(0.5 * 9).
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  std::set<size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+  for (size_t j : a) EXPECT_LT(j, 9u);
+}
+
+TEST(SampleParticipantsTest, TinyFractionStillSamplesOneClient) {
+  RoundSpec spec("any", Payload());
+  spec.policy.participation_fraction = 1e-6;
+  EXPECT_EQ(SampleParticipants(spec, 10).size(), 1u);
+}
+
+TEST(RoundTest, DefaultPolicyMatchesBroadcastBitForBit) {
+  // The legacy Broadcast and a default-policy RunRound must agree byte-for-
+  // byte at every thread count (the PR's compatibility contract).
+  for (size_t num_threads : {1u, 4u}) {
+    auto a = MakeServer({1.5, 2.5, 3.5}, {30, 10, 20}, num_threads);
+    auto b = MakeServer({1.5, 2.5, 3.5}, {30, 10, 20}, num_threads);
+    Result<std::vector<ClientReply>> broadcast = a->Broadcast("any", Payload());
+    Result<RoundResult> round = b->RunRound(RoundSpec("any", Payload()));
+    ASSERT_TRUE(broadcast.ok());
+    ASSERT_TRUE(round.ok());
+    ASSERT_EQ(broadcast->size(), round->replies.size());
+    for (size_t j = 0; j < broadcast->size(); ++j) {
+      EXPECT_EQ((*broadcast)[j].client_index, round->replies[j].client_index);
+      EXPECT_DOUBLE_EQ((*broadcast)[j].weight, round->replies[j].weight);
+      EXPECT_EQ((*broadcast)[j].payload.Serialize(),
+                round->replies[j].payload.Serialize());
+    }
+    // Identical transport traffic on both paths.
+    TransportStats sa = a->transport_stats();
+    TransportStats sb = b->transport_stats();
+    EXPECT_EQ(sa.messages, sb.messages);
+    EXPECT_EQ(sa.bytes_to_clients, sb.bytes_to_clients);
+    EXPECT_EQ(sa.bytes_to_server, sb.bytes_to_server);
+  }
+}
+
+TEST(RoundTest, InvalidParticipationFractionRejected) {
+  auto server = MakeServer({1.0}, {10});
+  RoundSpec spec("any", Payload());
+  spec.policy.participation_fraction = 0.0;
+  EXPECT_FALSE(server->RunRound(spec).ok());
+  spec.policy.participation_fraction = 1.5;
+  EXPECT_FALSE(server->RunRound(spec).ok());
+}
+
+TEST(RoundTest, SampledSubsetRenormalizesWeights) {
+  auto server = MakeServer({0.0, 1.0, 2.0, 3.0, 4.0, 5.0},
+                           {10, 20, 30, 40, 50, 60});
+  RoundSpec spec("any", Payload());
+  spec.policy.participation_fraction = 0.5;
+  spec.sampling_seed = 7;
+  Result<RoundResult> round = server->RunRound(spec);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->replies.size(), 3u);
+  EXPECT_EQ(round->trace.sampled_clients, 3u);
+  EXPECT_EQ(round->trace.messages, 3u);  // Unsampled clients see no traffic.
+  double total = 0.0;
+  for (const auto& r : round->replies) total += r.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Each weight is |D_j| over the sampled total, not the population total.
+  size_t sampled_examples = 0;
+  for (const auto& r : round->replies) {
+    sampled_examples += (r.client_index + 1) * 10;
+  }
+  for (const auto& r : round->replies) {
+    EXPECT_NEAR(r.weight,
+                static_cast<double>((r.client_index + 1) * 10) /
+                    static_cast<double>(sampled_examples),
+                1e-12);
+  }
+}
+
+TEST(RoundTest, AllClientsFailingIsError) {
+  auto server = MakeServer({1.0, 2.0}, {10, 10});
+  Result<RoundResult> round = server->RunRound(RoundSpec("fail", Payload()));
+  ASSERT_FALSE(round.ok());
+  EXPECT_NE(round.status().ToString().find("all clients failed"),
+            std::string::npos);
+}
+
+TEST(RoundTest, RetriedClientContributesExactlyOnce) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes = {30, 10};
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    clients.push_back(std::make_shared<EchoClient>(
+        "c" + std::to_string(j), static_cast<double>(j + 1), sizes[j]));
+  }
+  auto inner = std::make_unique<InProcessTransport>(std::move(clients));
+  Server server(std::make_unique<FailFirstAttemptsTransport>(std::move(inner),
+                                                             /*n_failures=*/1),
+                sizes);
+  RoundSpec spec("any", Payload());
+  spec.policy.max_retries = 2;
+  Result<RoundResult> round = server.RunRound(spec);
+  ASSERT_TRUE(round.ok());
+  // Every client dropped once, retried, and landed exactly one reply with
+  // the full-participation weights.
+  ASSERT_EQ(round->replies.size(), 2u);
+  EXPECT_NEAR(round->replies[0].weight, 0.75, 1e-12);
+  EXPECT_NEAR(round->replies[1].weight, 0.25, 1e-12);
+  EXPECT_EQ(round->trace.retries, 2u);
+  ASSERT_EQ(round->outcomes.size(), 2u);
+  for (const auto& outcome : round->outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.retries, 1u);
+  }
+}
+
+TEST(RoundTest, RetryBudgetExhaustedMarksClientFailed) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes = {10, 10};
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    clients.push_back(std::make_shared<EchoClient>(
+        "c" + std::to_string(j), 1.0, sizes[j]));
+  }
+  auto inner = std::make_unique<InProcessTransport>(std::move(clients));
+  // Three failures per client but only one retry: every attempt fails.
+  Server server(std::make_unique<FailFirstAttemptsTransport>(std::move(inner),
+                                                             /*n_failures=*/3),
+                sizes);
+  RoundSpec spec("any", Payload());
+  spec.policy.max_retries = 1;
+  EXPECT_FALSE(server.RunRound(spec).ok());
+}
+
+TEST(RoundTest, MinSuccessFractionRejectsTooPartialRounds) {
+  // Client 1 of 3 fails; 2/3 succeed.
+  auto ok_server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10}, 1,
+                              {false, true, false});
+  RoundSpec spec("any", Payload());
+  spec.policy.min_success_fraction = 0.6;
+  Result<RoundResult> round = ok_server->RunRound(spec);
+  ASSERT_TRUE(round.ok());  // 2/3 >= 0.6.
+  EXPECT_EQ(round->trace.ok_clients, 2u);
+  EXPECT_EQ(round->trace.failed_clients, 1u);
+
+  auto strict_server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10}, 1,
+                                  {false, true, false});
+  spec.policy.min_success_fraction = 0.9;
+  Result<RoundResult> strict = strict_server->RunRound(spec);
+  ASSERT_FALSE(strict.ok());  // 2/3 < 0.9.
+  EXPECT_NE(strict.status().ToString().find("below success threshold"),
+            std::string::npos);
+}
+
+TEST(RoundTest, TraceAccountsMessagesAndBytes) {
+  auto server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10});
+  Result<RoundResult> round = server->RunRound(RoundSpec("any", Payload()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->trace.sampled_clients, 3u);
+  EXPECT_EQ(round->trace.ok_clients, 3u);
+  EXPECT_EQ(round->trace.failed_clients, 0u);
+  EXPECT_EQ(round->trace.messages, 3u);
+  EXPECT_GT(round->trace.bytes_to_clients, 0u);
+  EXPECT_GT(round->trace.bytes_to_server, 0u);
+  EXPECT_GE(round->trace.wall_seconds, 0.0);
+  // A second round accumulates fresh deltas, not the running totals.
+  Result<RoundResult> second = server->RunRound(RoundSpec("any", Payload()));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->trace.messages, 3u);
+}
+
+TEST(RoundTest, FailedExecutesCountInTransportStats) {
+  auto server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10}, 1,
+                           {false, true, false});
+  ASSERT_TRUE(server->RunRound(RoundSpec("any", Payload())).ok());
+  EXPECT_EQ(server->transport_stats().failures, 1u);
+}
+
+TEST(RoundTest, FlakyTransportReportsInjectedFailures) {
+  std::vector<std::shared_ptr<Client>> clients;
+  std::vector<size_t> sizes;
+  for (int j = 0; j < 20; ++j) {
+    clients.push_back(std::make_shared<EchoClient>("c" + std::to_string(j),
+                                                   1.0, 10));
+    sizes.push_back(10);
+  }
+  auto inner = std::make_unique<InProcessTransport>(std::move(clients));
+  Server server(std::make_unique<FlakyTransport>(std::move(inner), 0.4, 7),
+                sizes);
+  Result<RoundResult> round = server.RunRound(RoundSpec("any", Payload()));
+  ASSERT_TRUE(round.ok());
+  // With rate 0.4 over 20 clients some injections are certain for this seed;
+  // the decorator must surface them even though the inner transport never
+  // saw those calls.
+  EXPECT_GT(server.transport_stats().failures, 0u);
+  EXPECT_EQ(server.transport_stats().failures, round->trace.failed_clients);
+}
+
+}  // namespace
+}  // namespace fedfc::fl
