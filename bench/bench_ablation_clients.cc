@@ -39,11 +39,14 @@ int Main() {
     FEDFC_CHECK(dataset.ok()) << dataset.status();
     double ff = 0.0, rs = 0.0, nb = 0.0;
     for (int seed = 1; seed <= cfg.n_seeds; ++seed) {
-      uint64_t s = static_cast<uint64_t>(seed) * 100 + n_clients;
+      uint64_t s =
+          static_cast<uint64_t>(seed) * 100 + static_cast<uint64_t>(n_clients);
       ff += RunFedForecaster(*dataset, meta, cfg.budget_seconds, s,
-                             cfg.max_search_iterations).test_mse;
+                             static_cast<size_t>(cfg.max_search_iterations))
+                .test_mse;
       rs += RunRandomSearch(*dataset, cfg.budget_seconds, s,
-                            cfg.max_search_iterations).test_mse;
+                            static_cast<size_t>(cfg.max_search_iterations))
+                .test_mse;
       nb += RunFedNBeats(*dataset, cfg.budget_seconds, s).test_mse;
     }
     std::printf("%8d %14.4f %14.4f %12.4f\n", n_clients, ff / cfg.n_seeds,

@@ -127,8 +127,8 @@ int Main() {
         "%.1f KiB to clients, %.1f KiB to server\n",
         dataset->name.c_str(), elapsed, report->iterations,
         report->transport.messages,
-        report->transport.bytes_to_clients / 1024.0,
-        report->transport.bytes_to_server / 1024.0);
+        static_cast<double>(report->transport.bytes_to_clients) / 1024.0,
+        static_cast<double>(report->transport.bytes_to_server) / 1024.0);
   }
 
   // (4) Parallel broadcast fan-out: threads vs speedup on a 16-client

@@ -72,10 +72,12 @@ int Main() {
     std::map<std::string, int> model_votes;
     for (int seed = 1; seed <= cfg.n_seeds; ++seed) {
       uint64_t s = static_cast<uint64_t>(seed) * 1000 + d;
-      MethodOutcome off = RunFedForecaster(dataset, meta, cfg.budget_seconds, s,
-                                           cfg.max_search_iterations);
-      MethodOutcome ors = RunRandomSearch(dataset, cfg.budget_seconds, s,
-                                          cfg.max_search_iterations);
+      MethodOutcome off =
+          RunFedForecaster(dataset, meta, cfg.budget_seconds, s,
+                           static_cast<size_t>(cfg.max_search_iterations));
+      MethodOutcome ors =
+          RunRandomSearch(dataset, cfg.budget_seconds, s,
+                          static_cast<size_t>(cfg.max_search_iterations));
       MethodOutcome onb = RunFedNBeats(dataset, cfg.budget_seconds, s);
       MethodOutcome ocons =
           RunConsolidatedNBeats(dataset, cfg.budget_seconds, s);

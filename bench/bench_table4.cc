@@ -29,7 +29,7 @@ int Main() {
     double mrr = 0.0, f1 = 0.0;
     int ok_runs = 0;
     for (int split = 0; split < kSplits; ++split) {
-      Rng rng(1000 + split);
+      Rng rng(static_cast<uint64_t>(1000 + split));
       Result<automl::MetaModelEvaluation> eval =
           automl::EvaluateMetaModelCandidate(factory, kb, /*top_k=*/3, &rng);
       if (!eval.ok()) {

@@ -22,10 +22,11 @@ namespace {
 /// regime: the level jumps and the dominant period halves.
 double SensorValue(size_t t, size_t shift_at, Rng* rng) {
   constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const double td = static_cast<double>(t);
   if (t < shift_at) {
-    return 20.0 + 3.0 * std::sin(kTwoPi * t / 24.0) + rng->Normal(0.0, 0.3);
+    return 20.0 + 3.0 * std::sin(kTwoPi * td / 24.0) + rng->Normal(0.0, 0.3);
   }
-  return 35.0 + 3.0 * std::sin(kTwoPi * t / 12.0) + rng->Normal(0.0, 0.3);
+  return 35.0 + 3.0 * std::sin(kTwoPi * td / 12.0) + rng->Normal(0.0, 0.3);
 }
 
 }  // namespace
@@ -100,18 +101,25 @@ int main() {
   }
 
   std::printf("\nstreaming one-step MSE:\n");
-  if (pre_n > 0) std::printf("  before the shift:          %8.3f\n",
-                             pre_shift_loss / pre_n);
-  if (post_n > 0) std::printf("  after shift, stale model:  %8.3f\n",
-                              post_shift_loss / post_n);
-  if (rec_n > 0) std::printf("  after re-tuning:           %8.3f\n",
-                             recovered_loss / rec_n);
+  if (pre_n > 0) {
+    std::printf("  before the shift:          %8.3f\n",
+                pre_shift_loss / static_cast<double>(pre_n));
+  }
+  if (post_n > 0) {
+    std::printf("  after shift, stale model:  %8.3f\n",
+                post_shift_loss / static_cast<double>(post_n));
+  }
+  if (rec_n > 0) {
+    std::printf("  after re-tuning:           %8.3f\n",
+                recovered_loss / static_cast<double>(rec_n));
+  }
   double tail = 0.0;
   size_t tail_n = std::min<size_t>(25, step_losses.size());
   for (size_t i = step_losses.size() - tail_n; i < step_losses.size(); ++i) {
     tail += step_losses[i];
   }
-  std::printf("  final 25 steps (settled):  %8.3f\n", tail / tail_n);
+  std::printf("  final 25 steps (settled):  %8.3f\n",
+              tail / static_cast<double>(tail_n));
   std::printf("re-tunes triggered: %zu\n", adaptive.n_retunes());
   return 0;
 }

@@ -53,7 +53,8 @@ ts::Series SimulateBuilding(size_t hours, uint64_t seed) {
 /// Naive seasonal baseline: predict the same hour yesterday, scored on the
 /// same trailing 20% each client holds out.
 double NaiveBaselineMse(const ts::Series& s) {
-  size_t test_start = s.size() - static_cast<size_t>(0.2 * s.size());
+  size_t test_start =
+      s.size() - static_cast<size_t>(0.2 * static_cast<double>(s.size()));
   std::vector<double> y_true, y_pred;
   for (size_t t = test_start; t < s.size(); ++t) {
     if (t < 24 || ts::IsMissing(s[t]) || ts::IsMissing(s[t - 24])) continue;

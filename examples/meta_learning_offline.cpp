@@ -64,7 +64,9 @@ int main() {
 
   // --- Label distribution: which algorithms win the grid searches?
   std::vector<int> wins(automl::kNumAlgorithms, 0);
-  for (const auto& r : kb.records()) wins[r.best_algorithm]++;
+  for (const auto& r : kb.records()) {
+    wins[static_cast<size_t>(r.best_algorithm)]++;
+  }
   std::printf("\ngrid-search winners across the knowledge base:\n");
   for (size_t a = 0; a < automl::kNumAlgorithms; ++a) {
     std::printf("  %-18s %d\n",

@@ -100,8 +100,8 @@ int main() {
   std::printf("[online] federated test MSE:    %.4f\n", report->test_loss);
   std::printf("[online] transport: %zu messages, %.1f KiB up, %.1f KiB down\n",
               report->transport.messages,
-              report->transport.bytes_to_server / 1024.0,
-              report->transport.bytes_to_clients / 1024.0);
+              static_cast<double>(report->transport.bytes_to_server) / 1024.0,
+              static_cast<double>(report->transport.bytes_to_clients) / 1024.0);
 
   // --- The deployable global model.
   Result<std::unique_ptr<ml::Regressor>> global =

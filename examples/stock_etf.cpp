@@ -92,7 +92,7 @@ int main() {
   }
   if (local_ok > 0) {
     std::printf("local-only average test MSE: %.4f (%zu/%zu brokers tuned)\n",
-                local_total / local_ok, local_ok, members.size());
+                local_total / static_cast<double>(local_ok), local_ok, members.size());
     std::printf(
         "=> federation pools tuning signal across correlated books without "
         "sharing prices\n");

@@ -1,41 +1,120 @@
 #!/usr/bin/env bash
-# Full verification gate for this repository:
+# Full verification gate for this repository (see docs/STATIC_ANALYSIS.md):
 #
-#   1. ThreadSanitizer pass over the concurrency-sensitive suites (tests/core
-#      and tests/fl — the thread pool, the parallel broadcast, and the
-#      transports it relies on), built into build-tsan/.
-#   2. Plain build of everything + the full ctest suite, in build/.
+#   tsan    ThreadSanitizer over the concurrency-sensitive suites (tests/core,
+#           tests/fl, and the automl engine/phases suites that drive
+#           concurrent rounds), built into build-tsan/.
+#   asan    AddressSanitizer (+ leak checking) over the full test suite,
+#           built into build-asan/.
+#   ubsan   UndefinedBehaviorSanitizer (non-recoverable) over the full test
+#           suite, built into build-ubsan/.
+#   lint    fedfc_lint repo-invariant linter + its per-rule self-tests, and
+#           clang-tidy over src/ when clang-tidy is installed.
+#   format  clang-format --dry-run over tracked sources when clang-format is
+#           installed (check-only; never rewrites).
+#   plain   Release build of everything + the full ctest suite, in build/.
 #
-# Usage: scripts/check.sh          # both phases
-#        scripts/check.sh tsan     # TSan phase only
-#        scripts/check.sh plain    # plain build + ctest only
+# All phases build with FEDFC_WERROR=ON, so any warning in the upgraded tier
+# fails the gate.
+#
+# Usage: scripts/check.sh                 # all phases
+#        scripts/check.sh <phase> [...]   # any subset, in the given order
 #
 # Works with the default Makefiles generator; pass -G Ninja through
 # CMAKE_GENERATOR if preferred.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-phase="${1:-all}"
-if [[ "$phase" != "all" && "$phase" != "tsan" && "$phase" != "plain" ]]; then
-  echo "usage: $0 [all|tsan|plain]" >&2
-  exit 2
-fi
 jobs="$(nproc 2>/dev/null || echo 2)"
+phases=("$@")
+if [[ ${#phases[@]} -eq 0 ]]; then
+  phases=(tsan asan ubsan lint format plain)
+fi
+for p in "${phases[@]}"; do
+  case "$p" in
+    tsan|asan|ubsan|lint|format|plain|all) ;;
+    *) echo "usage: $0 [tsan|asan|ubsan|lint|format|plain ...]" >&2; exit 2 ;;
+  esac
+done
+if [[ " ${phases[*]} " == *" all "* ]]; then
+  phases=(tsan asan ubsan lint format plain)
+fi
 
-if [[ "$phase" == "all" || "$phase" == "tsan" ]]; then
-  echo "=== [1/2] ThreadSanitizer: core/ + fl/ test suites ==="
-  cmake -B build-tsan -S . \
+run_sanitizer_suite() {
+  # $1 = preset name (thread|address|undefined), $2 = build dir,
+  # $3 = target, $4... = command to run from the repo root.
+  local preset="$1" dir="$2" target="$3"
+  shift 3
+  cmake -B "$dir" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g"
-  cmake --build build-tsan --target fedfc_fl_core_tests -j"$jobs"
-  ./build-tsan/tests/fedfc_fl_core_tests
-fi
+    -DFEDFC_WERROR=ON \
+    -DFEDFC_SANITIZE="$preset" \
+    -DCMAKE_CXX_FLAGS="-O1"
+  cmake --build "$dir" --target "$target" -j"$jobs"
+  "$@"
+}
 
-if [[ "$phase" == "all" || "$phase" == "plain" ]]; then
-  echo "=== [2/2] Plain build + full ctest ==="
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build -j"$jobs"
-  ctest --test-dir build --output-on-failure -j"$jobs"
-fi
+for phase in "${phases[@]}"; do
+  case "$phase" in
+    tsan)
+      echo "=== [tsan] ThreadSanitizer: core/ + fl/ + automl engine/phases ==="
+      run_sanitizer_suite thread build-tsan fedfc_concurrency_tests \
+        ./build-tsan/tests/fedfc_concurrency_tests
+      ;;
+    asan)
+      echo "=== [asan] AddressSanitizer: full test suite ==="
+      run_sanitizer_suite address build-asan fedfc_tests \
+        ./build-asan/tests/fedfc_tests
+      ;;
+    ubsan)
+      echo "=== [ubsan] UndefinedBehaviorSanitizer: full test suite ==="
+      run_sanitizer_suite undefined build-ubsan fedfc_tests \
+        ./build-ubsan/tests/fedfc_tests
+      ;;
+    lint)
+      echo "=== [lint] fedfc_lint + clang-tidy ==="
+      cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFEDFC_WERROR=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      cmake --build build --target fedfc_lint -j"$jobs"
+      ./build/tools/fedfc_lint/fedfc_lint --self-test
+      ./build/tools/fedfc_lint/fedfc_lint .
+      if command -v clang-tidy >/dev/null 2>&1; then
+        # shellcheck disable=SC2046
+        clang-tidy -p build --quiet --warnings-as-errors='*' \
+          $(git ls-files 'src/*.cc') || exit 1
+      else
+        echo "clang-tidy not installed; skipping (CI runs it)"
+      fi
+      ;;
+    format)
+      # Check-only, and only over files that changed relative to main (or the
+      # previous commit when main is checked out) — the tree is adopted
+      # incrementally, never mass-reformatted.
+      echo "=== [format] clang-format (check only, changed files) ==="
+      if command -v clang-format >/dev/null 2>&1; then
+        base="$(git merge-base HEAD origin/main 2>/dev/null \
+                || git rev-parse HEAD~1 2>/dev/null || echo HEAD)"
+        changed="$( { git diff --name-only --diff-filter=ACMR "$base" \
+                        -- '*.cc' '*.cpp' '*.h';
+                      git diff --name-only --diff-filter=ACMR \
+                        -- '*.cc' '*.cpp' '*.h'; } | sort -u)"
+        if [[ -n "$changed" ]]; then
+          # shellcheck disable=SC2086
+          clang-format --dry-run --Werror $changed || exit 1
+        else
+          echo "no changed C++ files to check"
+        fi
+      else
+        echo "clang-format not installed; skipping (CI runs it)"
+      fi
+      ;;
+    plain)
+      echo "=== [plain] Release build + full ctest ==="
+      cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFEDFC_WERROR=ON
+      cmake --build build -j"$jobs"
+      ctest --test-dir build --output-on-failure -j"$jobs"
+      ;;
+  esac
+done
 
 echo "All checks passed."

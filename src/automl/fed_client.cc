@@ -101,7 +101,9 @@ Result<fl::FeatureImportanceReply> ForecastClient::HandleFeatureImportance(
   std::vector<size_t> idx(split.train_end);
   for (size_t i = 0; i < split.train_end; ++i) idx[i] = i;
   train_view.x = data->x.SelectRows(idx);
-  train_view.y.assign(data->y.begin(), data->y.begin() + split.train_end);
+  train_view.y.assign(
+      data->y.begin(),
+      data->y.begin() + static_cast<std::ptrdiff_t>(split.train_end));
   fl::FeatureImportanceReply reply;
   FEDFC_ASSIGN_OR_RETURN(reply.importances,
                          features::ComputeFeatureImportances(train_view, &rng_));
@@ -143,7 +145,9 @@ Result<fl::FitEvaluateReply> ForecastClient::HandleFitEvaluate(
     std::vector<size_t> fit_idx(fold.fit_end);
     for (size_t i = 0; i < fold.fit_end; ++i) fit_idx[i] = i;
     Matrix x_fit = data->x.SelectRows(fit_idx);
-    std::vector<double> y_fit(data->y.begin(), data->y.begin() + fold.fit_end);
+    std::vector<double> y_fit(
+        data->y.begin(),
+        data->y.begin() + static_cast<std::ptrdiff_t>(fold.fit_end));
     FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
                            CreateRegressor(config));
     FEDFC_RETURN_IF_ERROR(model->Fit(x_fit, y_fit, &rng_));
@@ -151,8 +155,9 @@ Result<fl::FitEvaluateReply> ForecastClient::HandleFitEvaluate(
     std::vector<size_t> eval_idx;
     for (size_t i = fold.fit_end; i < fold.eval_end; ++i) eval_idx.push_back(i);
     Matrix x_eval = data->x.SelectRows(eval_idx);
-    std::vector<double> y_eval(data->y.begin() + fold.fit_end,
-                               data->y.begin() + fold.eval_end);
+    std::vector<double> y_eval(
+        data->y.begin() + static_cast<std::ptrdiff_t>(fold.fit_end),
+        data->y.begin() + static_cast<std::ptrdiff_t>(fold.eval_end));
     std::vector<double> pred = model->Predict(x_eval);
     double sse = 0.0;
     for (size_t i = 0; i < y_eval.size(); ++i) {
@@ -183,7 +188,9 @@ Result<fl::FitFinalReply> ForecastClient::HandleFitFinal(
   std::vector<size_t> idx(split.valid_end);
   for (size_t i = 0; i < split.valid_end; ++i) idx[i] = i;
   Matrix x_fit = data->x.SelectRows(idx);
-  std::vector<double> y_fit(data->y.begin(), data->y.begin() + split.valid_end);
+  std::vector<double> y_fit(
+      data->y.begin(),
+      data->y.begin() + static_cast<std::ptrdiff_t>(split.valid_end));
 
   FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
                          CreateRegressor(config));
@@ -209,7 +216,9 @@ Result<fl::EvaluateModelReply> ForecastClient::HandleEvaluateModel(
   std::vector<size_t> test_idx;
   for (size_t i = split.valid_end; i < data->x.rows(); ++i) test_idx.push_back(i);
   Matrix x_test = data->x.SelectRows(test_idx);
-  std::vector<double> y_test(data->y.begin() + split.valid_end, data->y.end());
+  std::vector<double> y_test(
+      data->y.begin() + static_cast<std::ptrdiff_t>(split.valid_end),
+      data->y.end());
   std::vector<double> pred = model->Predict(x_test);
   fl::EvaluateModelReply reply;
   reply.test_loss = ml::MeanSquaredError(y_test, pred);

@@ -177,8 +177,9 @@ Result<MetaModelEvaluation> EvaluateMetaModelCandidate(
   std::iota(order.begin(), order.end(), 0);
   rng->Shuffle(&order);
   size_t n_train = kb.size() * 4 / 5;
-  std::vector<size_t> train_idx(order.begin(), order.begin() + n_train);
-  std::vector<size_t> valid_idx(order.begin() + n_train, order.end());
+  const auto split_at = static_cast<std::ptrdiff_t>(n_train);
+  std::vector<size_t> train_idx(order.begin(), order.begin() + split_at);
+  std::vector<size_t> valid_idx(order.begin() + split_at, order.end());
   if (valid_idx.empty()) return Status::InvalidArgument("empty validation split");
 
   Matrix x_train = x.SelectRows(train_idx);

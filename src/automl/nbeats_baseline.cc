@@ -41,10 +41,10 @@ Result<WindowSplit> SplitWindows(const std::vector<double>& values, size_t lookb
   for (size_t i = 0; i < n_train; ++i) train_idx[i] = i;
   for (size_t i = n_train; i < x.rows(); ++i) test_idx.push_back(i);
   out.x_train = x.SelectRows(train_idx);
-  out.y_train.assign(y.begin(), y.begin() + n_train);
+  out.y_train.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n_train));
   if (!test_idx.empty()) {
     out.x_test = x.SelectRows(test_idx);
-    out.y_test.assign(y.begin() + n_train, y.end());
+    out.y_test.assign(y.begin() + static_cast<std::ptrdiff_t>(n_train), y.end());
   }
   return out;
 }

@@ -91,7 +91,8 @@ Result<FederatedDataset> BuildBenchmarkDataset(size_t index,
     FederatedDataset out;
     out.name = info.name;
     out.naturally_federated = true;
-    out.clients = GenerateCorrelatedBasket(info.paper_clients, member_len, level,
+    out.clients = GenerateCorrelatedBasket(static_cast<size_t>(info.paper_clients),
+                                           member_len, level,
                                            common_vol, idio_vol, 86400, &rng,
                                            outlier_fraction, outlier_scale);
     return out;
@@ -170,8 +171,9 @@ Result<FederatedDataset> BuildBenchmarkDataset(size_t index,
       return Status::Internal("unhandled benchmark dataset index");
   }
   ts::Series series = GenerateSignal(spec, &rng);
-  size_t min_per_client = std::min<size_t>(opt.min_instances_per_client,
-                                           len / info.paper_clients);
+  size_t min_per_client =
+      std::min<size_t>(opt.min_instances_per_client,
+                       len / static_cast<size_t>(info.paper_clients));
   return MakeFederated(info.name, series, info.paper_clients, min_per_client);
 }
 

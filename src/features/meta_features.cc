@@ -106,7 +106,8 @@ Result<ClientMetaFeatures> ClientMetaFeatures::FromTensor(
   if (i + n_bins != tensor.size()) {
     return Status::InvalidArgument("meta-feature tensor: bad histogram block");
   }
-  m.histogram.assign(tensor.begin() + i, tensor.end());
+  m.histogram.assign(tensor.begin() + static_cast<std::ptrdiff_t>(i),
+                     tensor.end());
   return m;
 }
 
@@ -171,13 +172,15 @@ ClientMetaFeatures ComputeClientMetaFeatures(const ts::Series& series) {
     for (size_t li = 0; li < lag_checks; ++li) {
       size_t lag = lags.lags[li];
       if (lag >= values.size()) continue;
-      std::vector<double> col(values.begin(), values.end() - lag);
+      std::vector<double> col(values.begin(),
+                              values.end() - static_cast<std::ptrdiff_t>(lag));
       check(col);
     }
     check(d1);
     check(d2);
     m.stationary_feature_fraction =
-        total > 0 ? static_cast<double>(stationary_count) / total : 0.0;
+        total > 0 ? static_cast<double>(stationary_count) / static_cast<double>(total)
+                  : 0.0;
   }
 
   // Shared histogram for the KL meta-feature.

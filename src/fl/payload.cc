@@ -29,14 +29,18 @@ class Reader {
   Result<uint32_t> U32() {
     if (pos_ + 4 > bytes_.size()) return Fail();
     uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    for (size_t i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
     pos_ += 4;
     return v;
   }
   Result<uint64_t> U64() {
     if (pos_ + 8 > bytes_.size()) return Fail<uint64_t>();
     uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    for (size_t i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
     pos_ += 8;
     return v;
   }
@@ -49,7 +53,8 @@ class Reader {
   Result<std::string> String(size_t len) {
     if (pos_ + len > bytes_.size()) return Status(StatusCode::kInvalidArgument,
                                                   "payload: truncated string");
-    std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + len);
+    const auto first = bytes_.begin() + static_cast<std::ptrdiff_t>(pos_);
+    std::string s(first, first + static_cast<std::ptrdiff_t>(len));
     pos_ += len;
     return s;
   }
@@ -154,7 +159,7 @@ std::vector<uint8_t> Payload::Serialize() const {
     } else if (const auto* t = std::get_if<std::vector<double>>(&value)) {
       out.push_back(static_cast<uint8_t>(Tag::kTensor));
       PutU32(&out, static_cast<uint32_t>(t->size()));
-      for (double d : *t) PutDouble(&out, d);
+      for (double elem : *t) PutDouble(&out, elem);
     }
   }
   return out;

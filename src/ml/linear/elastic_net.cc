@@ -89,7 +89,8 @@ Status ElasticNetCvRegressor::FitStandardized(const Matrix& x,
       std::vector<size_t> train_idx(train_end);
       for (size_t i = 0; i < train_end; ++i) train_idx[i] = i;
       Matrix xt = x.SelectRows(train_idx);
-      std::vector<double> yt(y.begin(), y.begin() + train_end);
+      std::vector<double> yt(y.begin(),
+                             y.begin() + static_cast<std::ptrdiff_t>(train_end));
 
       CdOptions opts;
       opts.alpha = alpha;

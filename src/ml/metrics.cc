@@ -60,11 +60,14 @@ double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
                int n_classes) {
   FEDFC_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
   FEDFC_CHECK(n_classes > 0);
-  std::vector<size_t> tp(n_classes, 0), fp(n_classes, 0), fn(n_classes, 0);
-  std::vector<bool> observed(n_classes, false);
+  const size_t num_classes = static_cast<size_t>(n_classes);
+  std::vector<size_t> tp(num_classes, 0), fp(num_classes, 0), fn(num_classes, 0);
+  std::vector<bool> observed(num_classes, false);
   for (size_t i = 0; i < y_true.size(); ++i) {
-    int t = y_true[i], p = y_pred[i];
-    FEDFC_DCHECK(t >= 0 && t < n_classes && p >= 0 && p < n_classes);
+    FEDFC_DCHECK(y_true[i] >= 0 && y_true[i] < n_classes && y_pred[i] >= 0 &&
+                 y_pred[i] < n_classes);
+    size_t t = static_cast<size_t>(y_true[i]);
+    size_t p = static_cast<size_t>(y_pred[i]);
     observed[t] = true;
     observed[p] = true;
     if (t == p) {
@@ -76,11 +79,12 @@ double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
   }
   double sum_f1 = 0.0;
   int seen = 0;
-  for (int c = 0; c < n_classes; ++c) {
+  for (size_t c = 0; c < num_classes; ++c) {
     if (!observed[c]) continue;
     ++seen;
-    double denom = 2.0 * tp[c] + fp[c] + fn[c];
-    if (denom > 0.0) sum_f1 += 2.0 * tp[c] / denom;
+    double denom = 2.0 * static_cast<double>(tp[c]) + static_cast<double>(fp[c]) +
+                   static_cast<double>(fn[c]);
+    if (denom > 0.0) sum_f1 += 2.0 * static_cast<double>(tp[c]) / denom;
   }
   if (seen == 0) return 0.0;
   return sum_f1 / static_cast<double>(seen);
@@ -94,7 +98,7 @@ double MeanReciprocalRankAtK(const std::vector<int>& y_true, const Matrix& proba
   for (size_t r = 0; r < proba.rows(); ++r) {
     std::vector<double> row(proba.Row(r), proba.Row(r) + proba.cols());
     std::vector<size_t> order = ArgsortDescending(row);
-    size_t top = std::min<size_t>(k, order.size());
+    size_t top = std::min<size_t>(static_cast<size_t>(k), order.size());
     for (size_t rank = 0; rank < top; ++rank) {
       if (static_cast<int>(order[rank]) == y_true[r]) {
         acc += 1.0 / static_cast<double>(rank + 1);

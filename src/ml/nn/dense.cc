@@ -129,10 +129,10 @@ size_t DenseLayer::LoadParameters(const std::vector<double>& params, size_t offs
   size_t nw = weights_.data().size();
   size_t nb = biases_.size();
   FEDFC_CHECK(offset + nw + nb <= params.size());
-  std::copy(params.begin() + offset, params.begin() + offset + nw,
-            weights_.data().begin());
-  std::copy(params.begin() + offset + nw, params.begin() + offset + nw + nb,
-            biases_.begin());
+  const auto first = params.begin() + static_cast<std::ptrdiff_t>(offset);
+  const auto mid = first + static_cast<std::ptrdiff_t>(nw);
+  std::copy(first, mid, weights_.data().begin());
+  std::copy(mid, mid + static_cast<std::ptrdiff_t>(nb), biases_.begin());
   return offset + nw + nb;
 }
 

@@ -41,7 +41,8 @@ Status MlpClassifier::Fit(const Matrix& x, const std::vector<int>& y, int n_clas
     rng->Shuffle(&order);
     for (size_t start = 0; start < n; start += batch) {
       size_t end = std::min(start + batch, n);
-      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      std::vector<size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                              order.begin() + static_cast<std::ptrdiff_t>(end));
       Matrix xb = xs.SelectRows(idx);
       Matrix act = xb;
       for (auto& layer : layers_) act = layer.Forward(act);

@@ -22,7 +22,7 @@ Matrix PolynomialBasis(int degree, size_t lookback, size_t start, size_t count) 
   Matrix basis(static_cast<size_t>(degree) + 1, count);
   for (int p = 0; p <= degree; ++p) {
     for (size_t i = 0; i < count; ++i) {
-      basis(p, i) = std::pow(TimeAt(start + i, lookback), p);
+      basis(static_cast<size_t>(p), i) = std::pow(TimeAt(start + i, lookback), p);
     }
   }
   return basis;
@@ -34,8 +34,9 @@ Matrix FourierBasis(int n_harmonics, size_t lookback, size_t start, size_t count
     for (size_t i = 0; i < count; ++i) {
       double t = TimeAt(start + i, lookback);
       double arg = 2.0 * std::numbers::pi * static_cast<double>(k) * t;
-      basis(2 * (k - 1), i) = std::cos(arg);
-      basis(2 * (k - 1) + 1, i) = std::sin(arg);
+      const size_t row = 2 * static_cast<size_t>(k - 1);
+      basis(row, i) = std::cos(arg);
+      basis(row + 1, i) = std::sin(arg);
     }
   }
   return basis;
@@ -221,7 +222,8 @@ Status NBeatsRegressor::Fit(const Matrix& x, const std::vector<double>& y, Rng* 
     rng->Shuffle(&order);
     for (size_t start = 0; start < n; start += batch) {
       size_t end = std::min(start + batch, n);
-      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      std::vector<size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                              order.begin() + static_cast<std::ptrdiff_t>(end));
       Matrix xb = xs.SelectRows(idx);
       const size_t b = xb.rows();
 

@@ -74,8 +74,10 @@ int32_t DecisionTree::MakeLeaf(BuildContext* ctx, const std::vector<size_t>& ind
     for (size_t i : indices) sum += (*ctx->y_reg)[i];
     leaf.value = indices.empty() ? 0.0 : sum / static_cast<double>(indices.size());
   } else {
-    leaf.dist.assign(n_classes_, 0.0);
-    for (size_t i : indices) leaf.dist[(*ctx->y_cls)[i]] += 1.0;
+    leaf.dist.assign(static_cast<size_t>(n_classes_), 0.0);
+    for (size_t i : indices) {
+      leaf.dist[static_cast<size_t>((*ctx->y_cls)[i])] += 1.0;
+    }
     double total = static_cast<double>(indices.size());
     if (total > 0.0) {
       for (double& d : leaf.dist) d /= total;
@@ -91,6 +93,8 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
                             int depth) {
   const Matrix& x = *ctx->x;
   const size_t n = indices.size();
+  const double dn = static_cast<double>(n);
+  const size_t num_classes = static_cast<size_t>(n_classes_ < 0 ? 0 : n_classes_);
 
   bool stop = depth >= config_.max_depth || n < config_.min_samples_split ||
               n < 2 * config_.min_samples_leaf;
@@ -141,11 +145,13 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
       sum_y += v;
       sum_y2 += v * v;
     }
-    parent_impurity = sum_y2 / n - (sum_y / n) * (sum_y / n);
+    parent_impurity = sum_y2 / dn - (sum_y / dn) * (sum_y / dn);
   } else {
-    parent_counts.assign(n_classes_, 0.0);
-    for (size_t i : indices) parent_counts[(*ctx->y_cls)[i]] += 1.0;
-    parent_impurity = GiniFromCounts(parent_counts, static_cast<double>(n));
+    parent_counts.assign(num_classes, 0.0);
+    for (size_t i : indices) {
+      parent_counts[static_cast<size_t>((*ctx->y_cls)[i])] += 1.0;
+    }
+    parent_impurity = GiniFromCounts(parent_counts, dn);
   }
 
   std::vector<std::pair<double, size_t>> sorted;
@@ -179,16 +185,17 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
         if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
           continue;
         }
+        double dl = static_cast<double>(n_left);
+        double dr = static_cast<double>(n_right);
         double sr = sum_y - sl, sr2 = sum_y2 - sl2;
-        double var_l = sl2 / n_left - (sl / n_left) * (sl / n_left);
-        double var_r = sr2 / n_right - (sr / n_right) * (sr / n_right);
-        gain = parent_impurity -
-               (n_left * var_l + n_right * var_r) / static_cast<double>(n);
+        double var_l = sl2 / dl - (sl / dl) * (sl / dl);
+        double var_r = sr2 / dr - (sr / dr) * (sr / dr);
+        gain = parent_impurity - (dl * var_l + dr * var_r) / dn;
       } else {
-        std::vector<double> cl(n_classes_, 0.0);
+        std::vector<double> cl(num_classes, 0.0);
         for (size_t i : indices) {
           if (x(i, f) <= thr) {
-            cl[(*ctx->y_cls)[i]] += 1.0;
+            cl[static_cast<size_t>((*ctx->y_cls)[i])] += 1.0;
             ++n_left;
           }
         }
@@ -196,12 +203,13 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
         if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
           continue;
         }
-        std::vector<double> cr(n_classes_);
-        for (int c = 0; c < n_classes_; ++c) cr[c] = parent_counts[c] - cl[c];
-        double gl = GiniFromCounts(cl, static_cast<double>(n_left));
-        double gr = GiniFromCounts(cr, static_cast<double>(n_right));
-        gain = parent_impurity -
-               (n_left * gl + n_right * gr) / static_cast<double>(n);
+        double dl = static_cast<double>(n_left);
+        double dr = static_cast<double>(n_right);
+        std::vector<double> cr(num_classes);
+        for (size_t c = 0; c < num_classes; ++c) cr[c] = parent_counts[c] - cl[c];
+        double gl = GiniFromCounts(cl, dl);
+        double gr = GiniFromCounts(cr, dr);
+        gain = parent_impurity - (dl * gl + dr * gr) / dn;
       }
       if (gain > best_gain) {
         best_gain = gain;
@@ -229,11 +237,12 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
         if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
           continue;
         }
+        double dl = static_cast<double>(n_left);
+        double dr = static_cast<double>(n_right);
         double sr = sum_y - sl, sr2 = sum_y2 - sl2;
-        double var_l = sl2 / n_left - (sl / n_left) * (sl / n_left);
-        double var_r = sr2 / n_right - (sr / n_right) * (sr / n_right);
-        double gain = parent_impurity -
-                      (n_left * var_l + n_right * var_r) / static_cast<double>(n);
+        double var_l = sl2 / dl - (sl / dl) * (sl / dl);
+        double var_r = sr2 / dr - (sr / dr) * (sr / dr);
+        double gain = parent_impurity - (dl * var_l + dr * var_r) / dn;
         if (gain > best_gain) {
           best_gain = gain;
           best_feature = static_cast<int>(f);
@@ -241,28 +250,28 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
         }
       }
     } else {
-      std::vector<double> cl(n_classes_, 0.0);
+      std::vector<double> cl(num_classes, 0.0);
       for (size_t pos = 0; pos + 1 < n; ++pos) {
-        cl[(*ctx->y_cls)[sorted[pos].second]] += 1.0;
+        cl[static_cast<size_t>((*ctx->y_cls)[sorted[pos].second])] += 1.0;
         if (sorted[pos].first == sorted[pos + 1].first) continue;
         size_t n_left = pos + 1;
         size_t n_right = n - n_left;
         if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
           continue;
         }
-        double gl = GiniFromCounts(cl, static_cast<double>(n_left));
+        double dl = static_cast<double>(n_left);
+        double dr = static_cast<double>(n_right);
+        double gl = GiniFromCounts(cl, dl);
         double gr = 0.0;
         {
-          double total_r = static_cast<double>(n_right);
           double g = 1.0;
-          for (int c = 0; c < n_classes_; ++c) {
-            double p = (parent_counts[c] - cl[c]) / total_r;
+          for (size_t c = 0; c < num_classes; ++c) {
+            double p = (parent_counts[c] - cl[c]) / dr;
             g -= p * p;
           }
           gr = g;
         }
-        double gain = parent_impurity -
-                      (n_left * gl + n_right * gr) / static_cast<double>(n);
+        double gain = parent_impurity - (dl * gl + dr * gr) / dn;
         if (gain > best_gain) {
           best_gain = gain;
           best_feature = static_cast<int>(f);
@@ -274,13 +283,13 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
 
   if (best_feature < 0) return MakeLeaf(ctx, indices);
 
-  importances_[best_feature] += best_gain * static_cast<double>(n);
+  importances_[static_cast<size_t>(best_feature)] += best_gain * dn;
 
   std::vector<size_t> left_idx, right_idx;
   left_idx.reserve(n);
   right_idx.reserve(n);
   for (size_t i : indices) {
-    if (x(i, best_feature) <= best_threshold) {
+    if (x(i, static_cast<size_t>(best_feature)) <= best_threshold) {
       left_idx.push_back(i);
     } else {
       right_idx.push_back(i);
@@ -297,29 +306,29 @@ int32_t DecisionTree::Build(BuildContext* ctx, std::vector<size_t>& indices,
   int32_t self = static_cast<int32_t>(nodes_.size() - 1);
   int32_t left = Build(ctx, left_idx, depth + 1);
   int32_t right = Build(ctx, right_idx, depth + 1);
-  nodes_[self].left = left;
-  nodes_[self].right = right;
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
   return self;
 }
 
 double DecisionTree::PredictRow(const double* row) const {
   FEDFC_DCHECK(!nodes_.empty());
-  int32_t cur = 0;
-  while (nodes_[cur].feature >= 0) {
-    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
-                                                            : nodes_[cur].right;
+  const Node* node = nodes_.data();
+  while (node->feature >= 0) {
+    node = nodes_.data() +
+           (row[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes_[cur].value;
+  return node->value;
 }
 
 const std::vector<double>& DecisionTree::PredictDistRow(const double* row) const {
   FEDFC_DCHECK(!nodes_.empty());
-  int32_t cur = 0;
-  while (nodes_[cur].feature >= 0) {
-    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
-                                                            : nodes_[cur].right;
+  const Node* node = nodes_.data();
+  while (node->feature >= 0) {
+    node = nodes_.data() +
+           (row[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes_[cur].dist;
+  return node->dist;
 }
 
 }  // namespace fedfc::ml

@@ -26,7 +26,9 @@ class BinnedMatrix {
 
   /// Upper edge of bin b for feature `col` (split "bin <= b" corresponds to
   /// value <= UpperEdge(col, b)).
-  double UpperEdge(size_t col, int b) const { return edges_[col][b]; }
+  double UpperEdge(size_t col, int b) const {
+    return edges_[col][static_cast<size_t>(b)];
+  }
 
  private:
   size_t rows_ = 0;

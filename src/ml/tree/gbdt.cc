@@ -11,7 +11,8 @@ namespace {
 
 std::vector<size_t> SubsampleRows(size_t n, double fraction, Rng* rng) {
   if (fraction >= 1.0 || rng == nullptr) return {};
-  size_t k = std::max<size_t>(2, static_cast<size_t>(fraction * n));
+  size_t k = std::max<size_t>(
+      2, static_cast<size_t>(fraction * static_cast<double>(n)));
   k = std::min(k, n);
   return rng->Sample(n, k);
 }

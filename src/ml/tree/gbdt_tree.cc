@@ -77,13 +77,13 @@ int32_t GbdtTree::Build(const Matrix& x, const std::vector<double>& g,
     return static_cast<int32_t>(nodes_.size() - 1);
   }
 
-  gains_[best_feature] += best_gain;
+  gains_[static_cast<size_t>(best_feature)] += best_gain;
 
   std::vector<size_t> left_idx, right_idx;
   left_idx.reserve(n);
   right_idx.reserve(n);
   for (size_t i : indices) {
-    if (x(i, best_feature) <= best_threshold) {
+    if (x(i, static_cast<size_t>(best_feature)) <= best_threshold) {
       left_idx.push_back(i);
     } else {
       right_idx.push_back(i);
@@ -99,8 +99,8 @@ int32_t GbdtTree::Build(const Matrix& x, const std::vector<double>& g,
   int32_t self = static_cast<int32_t>(nodes_.size() - 1);
   int32_t left = Build(x, g, h, left_idx, depth + 1, config);
   int32_t right = Build(x, g, h, right_idx, depth + 1, config);
-  nodes_[self].left = left;
-  nodes_[self].right = right;
+  nodes_[static_cast<size_t>(self)].left = left;
+  nodes_[static_cast<size_t>(self)].right = right;
   return self;
 }
 
@@ -145,12 +145,12 @@ Result<GbdtTree> GbdtTree::FromSpan(const std::vector<double>& data,
 
 double GbdtTree::PredictRow(const double* row) const {
   FEDFC_DCHECK(!nodes_.empty());
-  int32_t cur = 0;
-  while (nodes_[cur].feature >= 0) {
-    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold ? nodes_[cur].left
-                                                            : nodes_[cur].right;
+  const Node* node = nodes_.data();
+  while (node->feature >= 0) {
+    node = nodes_.data() +
+           (row[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes_[cur].weight;
+  return node->weight;
 }
 
 }  // namespace fedfc::ml::gbdt_internal

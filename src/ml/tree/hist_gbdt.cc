@@ -41,11 +41,12 @@ SplitCandidate FindBestSplit(const gbdt_internal::BinnedMatrix& binned,
   for (size_t f = 0; f < binned.cols(); ++f) {
     int nb = binned.n_bins(f);
     if (nb < 2) continue;
-    hist_g.assign(nb, 0.0);
-    hist_h.assign(nb, 0.0);
-    hist_n.assign(nb, 0);
+    const size_t n_bins = static_cast<size_t>(nb);
+    hist_g.assign(n_bins, 0.0);
+    hist_h.assign(n_bins, 0.0);
+    hist_n.assign(n_bins, 0);
     for (size_t i : leaf.rows) {
-      int b = binned.bin(i, f);
+      size_t b = static_cast<size_t>(binned.bin(i, f));
       hist_g[b] += g[i];
       hist_h[b] += h[i];
       hist_n[b] += 1;
@@ -53,7 +54,7 @@ SplitCandidate FindBestSplit(const gbdt_internal::BinnedMatrix& binned,
     double gl = 0.0, hl = 0.0;
     size_t nl = 0;
     double parent = LeafScore(leaf.g_sum, leaf.h_sum, lambda);
-    for (int b = 0; b + 1 < nb; ++b) {
+    for (size_t b = 0; b + 1 < n_bins; ++b) {
       gl += hist_g[b];
       hl += hist_h[b];
       nl += hist_n[b];
@@ -64,7 +65,7 @@ SplitCandidate FindBestSplit(const gbdt_internal::BinnedMatrix& binned,
       if (gain > best.gain) {
         best.gain = gain;
         best.feature = static_cast<int>(f);
-        best.bin = b;
+        best.bin = static_cast<int>(b);
       }
     }
   }
@@ -74,12 +75,12 @@ SplitCandidate FindBestSplit(const gbdt_internal::BinnedMatrix& binned,
 }  // namespace
 
 double HistGbdtClassifier::Tree::PredictRow(const double* row) const {
-  int32_t cur = 0;
-  while (nodes[cur].feature >= 0) {
-    cur = row[nodes[cur].feature] <= nodes[cur].threshold ? nodes[cur].left
-                                                          : nodes[cur].right;
+  const Node* node = nodes.data();
+  while (node->feature >= 0) {
+    node = nodes.data() +
+           (row[node->feature] <= node->threshold ? node->left : node->right);
   }
-  return nodes[cur].weight;
+  return node->weight;
 }
 
 HistGbdtClassifier::Tree HistGbdtClassifier::BuildTree(
@@ -121,8 +122,9 @@ HistGbdtClassifier::Tree HistGbdtClassifier::BuildTree(
     leaves.erase(leaves.begin() + static_cast<ptrdiff_t>(best_leaf));
 
     LeafState left, right;
+    const size_t split_feature = static_cast<size_t>(leaf.best.feature);
     for (size_t i : leaf.rows) {
-      if (binned.bin(i, leaf.best.feature) <= leaf.best.bin) {
+      if (binned.bin(i, split_feature) <= leaf.best.bin) {
         left.rows.push_back(i);
         left.g_sum += g[i];
         left.h_sum += h[i];
@@ -141,9 +143,9 @@ HistGbdtClassifier::Tree HistGbdtClassifier::BuildTree(
     tree.nodes.push_back(right_node);
     right.node_index = static_cast<int32_t>(tree.nodes.size() - 1);
 
-    Node& parent = tree.nodes[leaf.node_index];
+    Node& parent = tree.nodes[static_cast<size_t>(leaf.node_index)];
     parent.feature = leaf.best.feature;
-    parent.threshold = binned.UpperEdge(leaf.best.feature, leaf.best.bin);
+    parent.threshold = binned.UpperEdge(split_feature, leaf.best.bin);
     parent.left = left.node_index;
     parent.right = right.node_index;
 

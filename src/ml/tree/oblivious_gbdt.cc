@@ -51,22 +51,23 @@ ObliviousGbdtClassifier::Tree ObliviousGbdtClassifier::BuildTree(
     for (size_t f = 0; f < binned.cols(); ++f) {
       int nb = binned.n_bins(f);
       if (nb < 2) continue;
+      const size_t n_bins = static_cast<size_t>(nb);
       // Histogram per (group, bin).
-      hg.assign(n_groups * nb, 0.0);
-      hh.assign(n_groups * nb, 0.0);
+      hg.assign(n_groups * n_bins, 0.0);
+      hh.assign(n_groups * n_bins, 0.0);
       for (size_t i = 0; i < n; ++i) {
-        size_t slot = leaf_of[i] * nb + binned.bin(i, f);
+        size_t slot = leaf_of[i] * n_bins + binned.bin(i, f);
         hg[slot] += g[i];
         hh[slot] += h[i];
       }
       // Scan candidate bins; the same bin threshold splits every group.
-      for (int b = 0; b + 1 < nb; ++b) {
+      for (size_t b = 0; b + 1 < n_bins; ++b) {
         double score = 0.0;
         for (size_t gr = 0; gr < n_groups; ++gr) {
           double gl = 0.0, hl = 0.0;
-          for (int bb = 0; bb <= b; ++bb) {
-            gl += hg[gr * nb + bb];
-            hl += hh[gr * nb + bb];
+          for (size_t bb = 0; bb <= b; ++bb) {
+            gl += hg[gr * n_bins + bb];
+            hl += hh[gr * n_bins + bb];
           }
           score += LeafScore(gl, hl, lambda) +
                    LeafScore(group_g[gr] - gl, group_h[gr] - hl, lambda);
@@ -75,16 +76,17 @@ ObliviousGbdtClassifier::Tree ObliviousGbdtClassifier::BuildTree(
         if (gain > best_gain) {
           best_gain = gain;
           best_feature = static_cast<int>(f);
-          best_bin = b;
+          best_bin = static_cast<int>(b);
         }
       }
     }
 
     if (best_feature < 0) break;  // No useful split at this level.
+    const size_t split_feature = static_cast<size_t>(best_feature);
     tree.features.push_back(best_feature);
-    tree.thresholds.push_back(binned.UpperEdge(best_feature, best_bin));
+    tree.thresholds.push_back(binned.UpperEdge(split_feature, best_bin));
     for (size_t i = 0; i < n; ++i) {
-      if (binned.bin(i, best_feature) > best_bin) {
+      if (binned.bin(i, split_feature) > best_bin) {
         leaf_of[i] |= (1u << level);
       }
     }

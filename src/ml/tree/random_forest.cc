@@ -121,12 +121,13 @@ Status RandomForestClassifier::Fit(const Matrix& x, const std::vector<int>& y,
 
 Matrix RandomForestClassifier::PredictProba(const Matrix& x) const {
   FEDFC_CHECK(!trees_.empty()) << "PredictProba before Fit";
-  Matrix out(x.rows(), n_classes_, 0.0);
+  const size_t num_classes = static_cast<size_t>(n_classes_);
+  Matrix out(x.rows(), num_classes, 0.0);
   for (const auto& tree : trees_) {
     for (size_t r = 0; r < x.rows(); ++r) {
       const std::vector<double>& dist = tree.PredictDistRow(x.Row(r));
       double* row = out.Row(r);
-      for (int c = 0; c < n_classes_; ++c) row[c] += dist[c];
+      for (size_t c = 0; c < num_classes; ++c) row[c] += dist[c];
     }
   }
   double inv = 1.0 / static_cast<double>(trees_.size());

@@ -9,7 +9,7 @@ int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
   y -= m <= 2;
   const int64_t era = (y >= 0 ? y : y - 399) / 400;
   const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;    // [0, 365]
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;   // [0, 365]
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
   return era * 146097 + static_cast<int64_t>(doe) - 719468;
 }
@@ -29,7 +29,7 @@ Ymd CivilFromDays(int64_t z) {
   const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
   const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
   const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
-  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                           // [1, 12]
   return {y + (m <= 2), m, d};
 }
 

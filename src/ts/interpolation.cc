@@ -7,11 +7,11 @@ std::vector<double> LinearInterpolate(const std::vector<double>& values) {
   const size_t n = out.size();
   if (n == 0) return out;
 
-  // Index of the previous observed value, or -1.
-  ptrdiff_t prev = -1;
+  // Index of the previous observed value; n means "none seen yet".
+  size_t prev = n;
   for (size_t i = 0; i < n; ++i) {
     if (!IsMissing(out[i])) {
-      if (prev >= 0 && static_cast<size_t>(prev) + 1 < i) {
+      if (prev != n && prev + 1 < i) {
         // Interior gap (prev, i): interpolate linearly.
         double lo = out[prev];
         double hi = out[i];
@@ -20,17 +20,17 @@ std::vector<double> LinearInterpolate(const std::vector<double>& values) {
           double frac = static_cast<double>(j - prev) / span;
           out[j] = lo + frac * (hi - lo);
         }
-      } else if (prev < 0 && i > 0) {
+      } else if (prev == n && i > 0) {
         // Leading gap: backward fill.
         for (size_t j = 0; j < i; ++j) out[j] = out[i];
       }
-      prev = static_cast<ptrdiff_t>(i);
+      prev = i;
     }
   }
-  if (prev < 0) {
+  if (prev == n) {
     // Fully missing series.
     for (double& v : out) v = 0.0;
-  } else if (static_cast<size_t>(prev) + 1 < n) {
+  } else if (prev + 1 < n) {
     // Trailing gap: forward fill.
     for (size_t j = prev + 1; j < n; ++j) out[j] = out[prev];
   }

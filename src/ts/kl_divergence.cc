@@ -17,8 +17,9 @@ std::vector<double> SmoothedHistogram(const std::vector<double>& values, double 
   for (double v : values) {
     if (std::isnan(v)) continue;
     auto idx = static_cast<ptrdiff_t>((v - lo) / width);
-    idx = std::max<ptrdiff_t>(0, std::min<ptrdiff_t>(idx, bins - 1));
-    counts[idx] += 1.0;
+    idx = std::max<ptrdiff_t>(
+        0, std::min<ptrdiff_t>(idx, static_cast<ptrdiff_t>(bins) - 1));
+    counts[static_cast<size_t>(idx)] += 1.0;
   }
   double total = Sum(counts);
   for (double& c : counts) c /= total;

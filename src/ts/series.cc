@@ -32,7 +32,8 @@ std::vector<double> Series::NonMissingValues() const {
 
 Series Series::Slice(size_t begin, size_t end) const {
   FEDFC_CHECK(begin <= end && end <= values_.size());
-  std::vector<double> vals(values_.begin() + begin, values_.begin() + end);
+  std::vector<double> vals(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                           values_.begin() + static_cast<std::ptrdiff_t>(end));
   return Series(std::move(vals), TimestampAt(begin), interval_seconds_);
 }
 
@@ -101,7 +102,7 @@ Result<std::vector<Series>> SplitIntoClients(const Series& series, int n_clients
   }
   size_t rem = n % static_cast<size_t>(n_clients);
   std::vector<Series> out;
-  out.reserve(n_clients);
+  out.reserve(static_cast<size_t>(n_clients));
   size_t pos = 0;
   for (int c = 0; c < n_clients; ++c) {
     size_t len = base + (static_cast<size_t>(c) < rem ? 1 : 0);

@@ -28,7 +28,8 @@ std::vector<ts::Series> SeasonalClients(size_t n_clients, size_t per_client,
   for (size_t c = 0; c < n_clients; ++c) {
     std::vector<double> v(per_client);
     for (size_t t = 0; t < per_client; ++t) {
-      v[t] = level + 2.0 * std::sin(2.0 * std::numbers::pi * t / 24.0) +
+      v[t] = level +
+             2.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 24.0) +
              rng.Normal(0.0, 0.2);
     }
     out.emplace_back(std::move(v), 0, 3600);

@@ -53,7 +53,7 @@ MetaModel MakeTrainedMetaModel() {
     for (double& v : r.meta_features) v = rng.Normal();
     r.best_algorithm = static_cast<int>(i % kNumAlgorithms);
     r.algorithm_losses.assign(kNumAlgorithms, 1.0);
-    r.algorithm_losses[r.best_algorithm] = 0.1;
+    r.algorithm_losses[static_cast<size_t>(r.best_algorithm)] = 0.1;
     kb.Add(std::move(r));
   }
   ml::ForestConfig cfg;

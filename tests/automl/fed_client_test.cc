@@ -145,7 +145,7 @@ TEST(ForecastClientTest, WorksThroughServerBroadcast) {
   std::vector<std::shared_ptr<fl::Client>> clients;
   std::vector<size_t> sizes;
   for (int j = 0; j < 3; ++j) {
-    ts::Series s = TestSeries(400, 10 + j);
+    ts::Series s = TestSeries(400, static_cast<uint64_t>(10 + j));
     sizes.push_back(s.size());
     clients.push_back(std::make_shared<ForecastClient>(
         "c" + std::to_string(j), s, ForecastClient::Options{}));

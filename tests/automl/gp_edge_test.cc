@@ -1,0 +1,95 @@
+// Regression tests for degenerate inputs to the GP surrogate — the
+// bayesopt/gp sites hardened during the -Wconversion/-Wsign-conversion
+// cleanup (see docs/STATIC_ANALYSIS.md): single-observation fits, constant
+// targets (zero target variance), duplicated training points (SPD jitter
+// escalation), and expected improvement at vanishing variance.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automl/bayesopt/gp.h"
+#include "core/matrix.h"
+
+namespace fedfc::automl {
+namespace {
+
+TEST(GpEdgeTest, PredictBeforeFitReturnsPrior) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.fitted());
+  const auto pred = gp.Predict({0.5});
+  EXPECT_DOUBLE_EQ(pred.mean, 0.0);
+  EXPECT_GT(pred.variance, 0.0);
+}
+
+TEST(GpEdgeTest, FitRejectsBadShapes) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(gp.Fit(Matrix(2, 1), {1.0}).ok());
+}
+
+TEST(GpEdgeTest, SingleObservationFitInterpolates) {
+  // n = 1 drives every n-derived loop bound through its minimum.
+  GaussianProcess gp;
+  Matrix x(1, 1);
+  x(0, 0) = 0.5;
+  ASSERT_TRUE(gp.Fit(x, {3.0}).ok());
+  EXPECT_EQ(gp.n_observations(), 1u);
+  const auto at_train = gp.Predict({0.5});
+  EXPECT_NEAR(at_train.mean, 3.0, 1e-6);
+  const auto far = gp.Predict({0.0});
+  EXPECT_GT(far.variance, at_train.variance);
+}
+
+TEST(GpEdgeTest, ConstantTargetsDoNotDivideByZero) {
+  // StdDev(y) == 0: standardization must fall back to the 1e-12 floor, and
+  // predictions must come back finite at the shared mean.
+  GaussianProcess gp;
+  Matrix x(3, 1);
+  x(0, 0) = 0.1;
+  x(1, 0) = 0.5;
+  x(2, 0) = 0.9;
+  ASSERT_TRUE(gp.Fit(x, {2.0, 2.0, 2.0}).ok());
+  const auto pred = gp.Predict({0.5});
+  EXPECT_TRUE(std::isfinite(pred.mean));
+  EXPECT_TRUE(std::isfinite(pred.variance));
+  EXPECT_NEAR(pred.mean, 2.0, 1e-6);
+}
+
+TEST(GpEdgeTest, DuplicatedPointsSurviveViaJitter) {
+  // Identical rows make the kernel matrix singular up to noise; the
+  // escalating-jitter path must still produce a usable factorization.
+  GaussianProcess gp;
+  Matrix x(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    x(i, 0) = 0.25;
+    x(i, 1) = 0.75;
+  }
+  ASSERT_TRUE(gp.Fit(x, {1.0, 1.1, 0.9, 1.0}).ok());
+  const auto pred = gp.Predict({0.25, 0.75});
+  EXPECT_TRUE(std::isfinite(pred.mean));
+  EXPECT_GE(pred.variance, 0.0);
+}
+
+TEST(GpEdgeTest, ExpectedImprovementEdges) {
+  // Zero variance: EI reduces to max(best - mean, 0).
+  EXPECT_NEAR(ExpectedImprovement(1.0, 0.0, 2.0), 1.0, 1e-6);
+  EXPECT_NEAR(ExpectedImprovement(3.0, 0.0, 2.0), 0.0, 1e-6);
+  // Positive variance gives strictly positive EI even above the incumbent.
+  EXPECT_GT(ExpectedImprovement(3.0, 1.0, 2.0), 0.0);
+  // EI grows with variance at fixed mean.
+  EXPECT_GT(ExpectedImprovement(2.0, 4.0, 2.0),
+            ExpectedImprovement(2.0, 1.0, 2.0));
+}
+
+TEST(GpEdgeTest, KernelValueAtZeroDistanceIsSignalVariance) {
+  for (KernelKind kind : {KernelKind::kMatern52, KernelKind::kRbf}) {
+    EXPECT_NEAR(KernelValue(kind, 0.0, 0.3, 2.5), 2.5, 1e-12);
+    // Monotone decay in squared distance.
+    EXPECT_GT(KernelValue(kind, 0.01, 0.3, 2.5), KernelValue(kind, 0.04, 0.3, 2.5));
+  }
+}
+
+}  // namespace
+}  // namespace fedfc::automl

@@ -39,7 +39,8 @@ TEST(BuildRecordTest, ProducesLabelledRecord) {
   EXPECT_LT(record->best_algorithm, static_cast<int>(kNumAlgorithms));
   EXPECT_EQ(record->algorithm_losses.size(), kNumAlgorithms);
   // The winner actually has the lowest loss.
-  double best = record->algorithm_losses[record->best_algorithm];
+  double best =
+      record->algorithm_losses[static_cast<size_t>(record->best_algorithm)];
   for (double loss : record->algorithm_losses) EXPECT_GE(loss, best);
 }
 

@@ -19,7 +19,7 @@ KnowledgeBase MakeLearnableKb(size_t n, uint64_t seed) {
     r.meta_features = {key, rng.Normal(), rng.Normal()};
     r.best_algorithm = static_cast<int>(key);  // 0, 1 or 2.
     r.algorithm_losses.assign(kNumAlgorithms, 1.0);
-    r.algorithm_losses[r.best_algorithm] = 0.1;
+    r.algorithm_losses[static_cast<size_t>(r.best_algorithm)] = 0.1;
     kb.Add(std::move(r));
   }
   return kb;

@@ -32,7 +32,7 @@ std::vector<ts::Series> SineSplits(size_t n_clients, size_t per_client) {
     std::vector<double> v(per_client);
     for (size_t t = 0; t < per_client; ++t) {
       size_t global_t = c * per_client + t;
-      v[t] = std::sin(2.0 * std::numbers::pi * global_t / 16.0);
+      v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(global_t) / 16.0);
     }
     out.emplace_back(std::move(v), 0, 86400);
   }
@@ -95,7 +95,7 @@ TEST(FedNBeatsTest, RejectsEmptyClientList) {
 TEST(ConsolidatedNBeatsTest, LearnsSine) {
   std::vector<double> v(600);
   for (size_t t = 0; t < v.size(); ++t) {
-    v[t] = std::sin(2.0 * std::numbers::pi * t / 16.0);
+    v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 16.0);
   }
   ts::Series series(std::move(v), 0, 86400);
   ml::NBeatsConfig cfg = TinyConfig();

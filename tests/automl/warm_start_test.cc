@@ -17,7 +17,7 @@ KnowledgeBase MakeKbWithConfigs(size_t n) {
     r.meta_features = {static_cast<double>(i), 0.0, 0.0};
     r.best_algorithm = static_cast<int>(AlgorithmId::kLasso);
     r.algorithm_losses.assign(kNumAlgorithms, 1.0);
-    r.algorithm_losses[r.best_algorithm] = 0.1;
+    r.algorithm_losses[static_cast<size_t>(r.best_algorithm)] = 0.1;
     r.best_configs.assign(kNumAlgorithms, {});
     Configuration lasso;
     lasso.algorithm = AlgorithmId::kLasso;

@@ -123,8 +123,8 @@ TEST(EngineerTest, TrendFeatureTracksTrendingTarget) {
       mx += trend_col[i];
       my += data->y[i];
     }
-    mx /= trend_col.size();
-    my /= trend_col.size();
+    mx /= static_cast<double>(trend_col.size());
+    my /= static_cast<double>(trend_col.size());
     double num = 0, dx = 0, dy = 0;
     for (size_t i = 0; i < trend_col.size(); ++i) {
       num += (trend_col[i] - mx) * (data->y[i] - my);

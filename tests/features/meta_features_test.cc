@@ -186,7 +186,9 @@ TEST(AggregateTest, KlStatsSmallForIdenticalClients) {
   ASSERT_TRUE(agg.ok());
   const auto& names = AggregatedMetaFeatures::FeatureNames();
   for (size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == "kl_avg") EXPECT_LT(agg->values[i], 0.5);
+    if (names[i] == "kl_avg") {
+      EXPECT_LT(agg->values[i], 0.5);
+    }
   }
 }
 

@@ -111,8 +111,8 @@ TEST(MultivariateEngineerTest, CovariateColumnsCarrySignal) {
     mx += cov_col[i];
     my += data->y[i];
   }
-  mx /= cov_col.size();
-  my /= cov_col.size();
+  mx /= static_cast<double>(cov_col.size());
+  my /= static_cast<double>(cov_col.size());
   for (size_t i = 0; i < cov_col.size(); ++i) {
     num += (cov_col[i] - mx) * (data->y[i] - my);
     dx += (cov_col[i] - mx) * (cov_col[i] - mx);

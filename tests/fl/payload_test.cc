@@ -70,7 +70,8 @@ TEST(PayloadTest, DeserializeRejectsTruncation) {
   p.SetTensor("t", {1, 2, 3});
   std::vector<uint8_t> bytes = p.Serialize();
   for (size_t cut = 1; cut < bytes.size(); cut += 7) {
-    std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - cut);
+    std::vector<uint8_t> truncated(
+        bytes.begin(), bytes.end() - static_cast<std::ptrdiff_t>(cut));
     EXPECT_FALSE(Payload::Deserialize(truncated).ok()) << "cut " << cut;
   }
 }

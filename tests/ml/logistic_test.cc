@@ -16,12 +16,13 @@ struct Blobs {
 Blobs MakeBlobs(size_t n_per_class, int n_classes, uint64_t seed) {
   Rng rng(seed);
   Blobs p;
-  p.x = Matrix(n_per_class * n_classes, 2);
-  p.y.resize(n_per_class * n_classes);
+  const size_t num_classes = static_cast<size_t>(n_classes);
+  p.x = Matrix(n_per_class * num_classes, 2);
+  p.y.resize(n_per_class * num_classes);
   for (int c = 0; c < n_classes; ++c) {
     double cx = 4.0 * c;
     for (size_t i = 0; i < n_per_class; ++i) {
-      size_t row = c * n_per_class + i;
+      size_t row = static_cast<size_t>(c) * n_per_class + i;
       p.x(row, 0) = cx + rng.Normal(0.0, 0.5);
       p.x(row, 1) = rng.Normal(0.0, 0.5);
       p.y[row] = c;

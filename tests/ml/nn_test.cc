@@ -179,7 +179,7 @@ ml::NBeatsConfig TinyNBeats() {
 TEST(NBeatsTest, LearnsSineOneStepAhead) {
   std::vector<double> v(400);
   for (size_t t = 0; t < v.size(); ++t) {
-    v[t] = std::sin(2.0 * std::numbers::pi * t / 16.0);
+    v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 16.0);
   }
   Matrix x;
   std::vector<double> y;

@@ -49,7 +49,8 @@ TEST(FftTest, PureToneConcentratesAtBin) {
   const size_t k = 5;
   std::vector<double> x(n);
   for (size_t t = 0; t < n; ++t) {
-    x[t] = std::cos(2.0 * std::numbers::pi * k * t / n);
+    x[t] = std::cos(2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                    static_cast<double>(n));
   }
   std::vector<std::complex<double>> spec = RealFft(x);
   // Energy at bins k and n-k; near-zero elsewhere.

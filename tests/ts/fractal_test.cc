@@ -18,7 +18,7 @@ TEST(FractalTest, DegenerateInputsReturnOne) {
 TEST(FractalTest, SmoothSineIsNearOne) {
   std::vector<double> v(1000);
   for (size_t t = 0; t < v.size(); ++t) {
-    v[t] = std::sin(2.0 * std::numbers::pi * t / 500.0);
+    v[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 500.0);
   }
   double d = HiguchiFractalDimension(v);
   EXPECT_LT(d, 1.3);
@@ -60,7 +60,7 @@ TEST(FractalTest, OrderingSmoothToRough) {
   std::vector<double> smooth(2000), walk(2000), noise(2000);
   double acc = 0.0;
   for (size_t t = 0; t < 2000; ++t) {
-    smooth[t] = std::sin(t / 100.0);
+    smooth[t] = std::sin(static_cast<double>(t) / 100.0);
     acc += rng.Normal();
     walk[t] = acc;
     noise[t] = rng.Normal();

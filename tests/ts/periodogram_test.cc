@@ -15,7 +15,8 @@ std::vector<double> Sine(size_t n, double period, double amplitude,
   Rng rng(seed);
   std::vector<double> v(n);
   for (size_t t = 0; t < n; ++t) {
-    v[t] = amplitude * std::sin(2.0 * std::numbers::pi * t / period) +
+    v[t] = amplitude *
+               std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / period) +
            rng.Normal(0.0, noise_std);
   }
   return v;

@@ -25,7 +25,8 @@ std::vector<double> RandomSignal(size_t n, uint64_t seed) {
   double period = rng.Uniform(8, 64);
   double amp = rng.Uniform(0.1, 5.0);
   for (size_t t = 0; t < n; ++t) {
-    v[t] = level + amp * std::sin(2.0 * std::numbers::pi * t / period) +
+    v[t] = level +
+           amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / period) +
            rng.Normal(0.0, 0.5);
   }
   return v;

@@ -1,0 +1,492 @@
+// fedfc_lint: repo-invariant linter for the FedForecaster tree.
+//
+// Walks src/ and enforces invariants that keep federated rounds deterministic
+// and the wire protocol centralized (see docs/STATIC_ANALYSIS.md):
+//
+//   wire_keys    Payload Set*/Get* calls with a string-literal key (i.e. raw
+//                wire-key literals) may only appear in fl/task_codec.{h,cc}.
+//                Everything else must go through the typed codecs.
+//   rng          No std::rand / srand / std::random_device / time(nullptr)
+//                outside core/rng.{h,cc}. All randomness must flow through
+//                the seeded fedfc::Rng so rounds are reproducible.
+//   threads      No raw std::thread / std::jthread / std::async outside
+//                core/thread_pool.{h,cc}. Concurrency goes through the pool,
+//                which the TSan gate instruments.
+//   guards       Every header uses the canonical include guard
+//                FEDFC_<PATH>_H_ (and never #pragma once), so the guard
+//                style stays consistent across the tree.
+//
+// Usage:
+//   fedfc_lint <repo_root>          lint <repo_root>/src
+//   fedfc_lint --self-test          run all embedded rule self-tests
+//   fedfc_lint --self-test <rule>   run one rule's self-test
+//
+// Exit codes: 0 clean / self-tests pass, 1 violations found / self-test
+// failed, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // Path relative to src/.
+  size_t line = 0;   // 1-based.
+  std::string rule;
+  std::string detail;
+};
+
+struct SourceFile {
+  std::string rel_path;  // Relative to src/, forward slashes.
+  std::string content;
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Replaces comments and string/char literal *contents* with spaces so rules
+/// that must ignore prose (rng, threads) don't fire on documentation.
+/// Line structure is preserved. The returned text keeps the opening/closing
+/// quotes so literal-sensitive rules can still see where literals begin.
+std::string StripCommentsAndLiterals(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// --- Rule: wire_keys ------------------------------------------------------
+
+bool IsWireKeyExempt(const std::string& rel_path) {
+  // The codec owns the wire keys; Payload itself only sees caller-supplied
+  // keys (its own tests and implementation never hardcode protocol keys).
+  return rel_path == "fl/task_codec.h" || rel_path == "fl/task_codec.cc" ||
+         rel_path == "fl/payload.h" || rel_path == "fl/payload.cc";
+}
+
+void CheckWireKeys(const SourceFile& f, std::vector<Violation>* out) {
+  if (IsWireKeyExempt(f.rel_path)) return;
+  static const std::string_view kAccessors[] = {
+      "SetDouble", "SetInt", "SetString", "SetTensor",
+      "GetDouble", "GetInt", "GetString", "GetTensor",
+  };
+  // Use comment-stripped text so prose like `SetDouble("x")` in a comment
+  // doesn't fire, but keep quotes so we can spot literal keys.
+  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    for (std::string_view acc : kAccessors) {
+      size_t pos = 0;
+      while ((pos = line.find(acc, pos)) != std::string::npos) {
+        size_t after = pos + acc.size();
+        // Skip whitespace, then require `("` — a literal first argument.
+        while (after < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[after]))) {
+          ++after;
+        }
+        if (after + 1 < line.size() && line[after] == '(' &&
+            line[after + 1] == '"') {
+          out->push_back({f.rel_path, ln + 1, "wire_keys",
+                          std::string(acc) +
+                              " with a string-literal key outside "
+                              "fl/task_codec — route through the typed codec"});
+        }
+        pos = after;
+      }
+    }
+  }
+}
+
+// --- Rule: rng ------------------------------------------------------------
+
+bool IsRngExempt(const std::string& rel_path) {
+  return rel_path == "core/rng.h" || rel_path == "core/rng.cc";
+}
+
+void CheckRng(const SourceFile& f, std::vector<Violation>* out) {
+  if (IsRngExempt(f.rel_path)) return;
+  static const std::string_view kBanned[] = {
+      "std::rand", "std::srand", "std::random_device", "random_device",
+      "time(nullptr)", "time(NULL)",
+  };
+  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    for (std::string_view token : kBanned) {
+      if (lines[ln].find(token) != std::string::npos) {
+        out->push_back({f.rel_path, ln + 1, "rng",
+                        "unseeded randomness (" + std::string(token) +
+                            ") outside core/rng — use fedfc::Rng"});
+        break;  // One violation per line is enough.
+      }
+    }
+  }
+}
+
+// --- Rule: threads --------------------------------------------------------
+
+bool IsThreadsExempt(const std::string& rel_path) {
+  return rel_path == "core/thread_pool.h" || rel_path == "core/thread_pool.cc";
+}
+
+void CheckThreads(const SourceFile& f, std::vector<Violation>* out) {
+  if (IsThreadsExempt(f.rel_path)) return;
+  static const std::string_view kBanned[] = {
+      "std::thread", "std::jthread", "std::async",
+  };
+  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    for (std::string_view token : kBanned) {
+      size_t pos = lines[ln].find(token);
+      if (pos == std::string::npos) continue;
+      // `std::thread::hardware_concurrency()` is a capacity query, not a
+      // spawned thread; the pool itself decides how many workers to run.
+      if (token == "std::thread" &&
+          lines[ln].compare(pos, std::string_view("std::thread::").size(),
+                            "std::thread::") == 0) {
+        continue;
+      }
+      out->push_back({f.rel_path, ln + 1, "threads",
+                      "raw " + std::string(token) +
+                          " outside core/thread_pool — submit work to the "
+                          "pool so TSan covers it"});
+      break;
+    }
+  }
+}
+
+// --- Rule: guards ---------------------------------------------------------
+
+std::string CanonicalGuard(const std::string& rel_path) {
+  std::string guard = "FEDFC_";
+  for (char c : rel_path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
+  if (!EndsWith(f.rel_path, ".h")) return;
+  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
+  const std::string expected = CanonicalGuard(f.rel_path);
+  bool has_ifndef = false;
+  bool has_define = false;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    if (line.find("#pragma once") != std::string::npos) {
+      out->push_back({f.rel_path, ln + 1, "guards",
+                      "#pragma once — this tree uses canonical include guards ("
+                          + expected + ")"});
+      return;
+    }
+    std::istringstream iss(line);
+    std::string directive, name;
+    iss >> directive >> name;
+    if (!has_ifndef && directive == "#ifndef") {
+      has_ifndef = true;
+      if (name != expected) {
+        out->push_back({f.rel_path, ln + 1, "guards",
+                        "include guard '" + name + "' != canonical '" +
+                            expected + "'"});
+        return;
+      }
+    } else if (has_ifndef && !has_define && directive == "#define") {
+      has_define = true;
+      if (name != expected) {
+        out->push_back({f.rel_path, ln + 1, "guards",
+                        "guard #define '" + name + "' != canonical '" +
+                            expected + "'"});
+        return;
+      }
+    }
+  }
+  if (!has_ifndef || !has_define) {
+    out->push_back({f.rel_path, 1, "guards",
+                    "missing include guard (expected " + expected + ")"});
+  }
+}
+
+// --- Driver ---------------------------------------------------------------
+
+struct Rule {
+  std::string_view name;
+  void (*check)(const SourceFile&, std::vector<Violation>*);
+};
+
+constexpr Rule kRules[] = {
+    {"wire_keys", CheckWireKeys},
+    {"rng", CheckRng},
+    {"threads", CheckThreads},
+    {"guards", CheckGuards},
+};
+
+int LintTree(const fs::path& repo_root) {
+  const fs::path src = repo_root / "src";
+  if (!fs::is_directory(src)) {
+    std::fprintf(stderr, "fedfc_lint: %s is not a directory\n",
+                 src.string().c_str());
+    return 2;
+  }
+  std::vector<Violation> violations;
+  size_t n_files = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());  // Deterministic report order.
+  for (const fs::path& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fedfc_lint: cannot read %s\n", path.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile file;
+    file.rel_path = fs::relative(path, src).generic_string();
+    file.content = buf.str();
+    ++n_files;
+    for (const Rule& rule : kRules) rule.check(file, &violations);
+  }
+  if (violations.empty()) {
+    std::printf("fedfc_lint: %zu files clean (%zu rules)\n", n_files,
+                std::size(kRules));
+    return 0;
+  }
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "src/%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.detail.c_str());
+  }
+  std::fprintf(stderr, "fedfc_lint: %zu violation(s) in %zu files\n",
+               violations.size(), n_files);
+  return 1;
+}
+
+// --- Self-tests -----------------------------------------------------------
+//
+// Each rule gets (a) a seeded violation that must fire and (b) a clean /
+// exempt sample that must not, proving both halves of the invariant.
+
+struct SelfTestCase {
+  std::string_view rule;
+  SourceFile file;
+  bool expect_violation;
+  std::string_view what;
+};
+
+const std::vector<SelfTestCase>& SelfTestCases() {
+  static const std::vector<SelfTestCase> cases = {
+      // wire_keys
+      {"wire_keys",
+       {"automl/bad.cc", "void F(fedfc::fl::Payload* p) {\n"
+                         "  p->SetDouble(\"loss\", 1.0);\n}\n"},
+       true, "literal Payload key outside the codec fires"},
+      {"wire_keys",
+       {"fl/task_codec.cc", "void F(fedfc::fl::Payload* p) {\n"
+                            "  p->SetDouble(\"loss\", 1.0);\n}\n"},
+       false, "the codec itself may use literal keys"},
+      {"wire_keys",
+       {"fl/server.cc", "double G(const Payload& p, const std::string& key) {\n"
+                        "  return *p.GetDouble(key);\n}\n"},
+       false, "variable keys (aggregation helpers) are allowed"},
+      {"wire_keys",
+       {"automl/doc.cc", "// call SetDouble(\"loss\", v) via the codec\n"},
+       false, "mentions in comments do not fire"},
+      // rng
+      {"rng",
+       {"ts/bad.cc", "#include <cstdlib>\n"
+                     "int F() { return std::rand(); }\n"},
+       true, "std::rand outside core/rng fires"},
+      {"rng",
+       {"ml/bad_seed.cc", "uint64_t Seed() { return time(nullptr); }\n"},
+       true, "time(nullptr) seeding fires"},
+      {"rng",
+       {"core/rng.cc", "uint64_t Entropy() { return std::random_device{}(); }\n"},
+       false, "core/rng may touch entropy sources"},
+      {"rng",
+       {"ml/ok.cc", "double F(fedfc::Rng* rng) { return rng->Uniform(0, 1); }\n"},
+       false, "seeded fedfc::Rng use is clean"},
+      // threads
+      {"threads",
+       {"automl/bad_thread.cc", "#include <thread>\n"
+                                "void F() { std::thread t([] {}); t.join(); }\n"},
+       true, "raw std::thread outside the pool fires"},
+      {"threads",
+       {"fl/bad_async.cc", "#include <future>\n"
+                           "auto F() { return std::async([] { return 1; }); }\n"},
+       true, "std::async fires"},
+      {"threads",
+       {"core/thread_pool.cc", "void Spawn() { workers_.emplace_back(std::thread(\n"
+                               "    [] {})); }\n"},
+       false, "the pool implementation may spawn threads"},
+      {"threads",
+       {"core/ok.cc",
+        "size_t F() { return std::thread::hardware_concurrency(); }\n"},
+       false, "hardware_concurrency query is allowed"},
+      // guards
+      {"guards",
+       {"ts/bad_pragma.h", "#pragma once\nint F();\n"},
+       true, "#pragma once fires"},
+      {"guards",
+       {"ts/bad_guard.h", "#ifndef WRONG_NAME_H\n#define WRONG_NAME_H\n"
+                          "int F();\n#endif\n"},
+       true, "non-canonical guard name fires"},
+      {"guards",
+       {"ts/missing.h", "int F();\n"},
+       true, "missing guard fires"},
+      {"guards",
+       {"ts/good.h", "#ifndef FEDFC_TS_GOOD_H_\n#define FEDFC_TS_GOOD_H_\n"
+                     "int F();\n#endif  // FEDFC_TS_GOOD_H_\n"},
+       false, "canonical guard is clean"},
+  };
+  return cases;
+}
+
+int RunSelfTests(std::string_view only_rule) {
+  int failures = 0;
+  size_t run = 0;
+  for (const SelfTestCase& tc : SelfTestCases()) {
+    if (!only_rule.empty() && tc.rule != only_rule) continue;
+    ++run;
+    const Rule* rule = nullptr;
+    for (const Rule& r : kRules) {
+      if (r.name == tc.rule) rule = &r;
+    }
+    if (rule == nullptr) {
+      std::fprintf(stderr, "self-test: unknown rule %s\n",
+                   std::string(tc.rule).c_str());
+      return 2;
+    }
+    std::vector<Violation> found;
+    rule->check(tc.file, &found);
+    const bool fired = !found.empty();
+    if (fired != tc.expect_violation) {
+      ++failures;
+      std::fprintf(stderr, "FAIL [%s] %s (%s): expected %s, got %s\n",
+                   std::string(tc.rule).c_str(), tc.file.rel_path.c_str(),
+                   std::string(tc.what).c_str(),
+                   tc.expect_violation ? "violation" : "clean",
+                   fired ? "violation" : "clean");
+    } else {
+      std::printf("ok   [%s] %s\n", std::string(tc.rule).c_str(),
+                  std::string(tc.what).c_str());
+    }
+  }
+  if (run == 0) {
+    std::fprintf(stderr, "self-test: no cases for rule '%s'\n",
+                 std::string(only_rule).c_str());
+    return 2;
+  }
+  std::printf("fedfc_lint self-test: %zu case(s), %d failure(s)\n", run,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string_view(argv[1]) == "--self-test") {
+    return RunSelfTests(argc >= 3 ? std::string_view(argv[2])
+                                  : std::string_view());
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: fedfc_lint <repo_root> | fedfc_lint --self-test "
+                 "[rule]\n");
+    return 2;
+  }
+  return LintTree(argv[1]);
+}
