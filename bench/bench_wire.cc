@@ -1,0 +1,109 @@
+/// Wire-protocol micro-benchmarks: frames/sec and MB/s for encode and decode
+/// of net::Frame around small (scalar-only) and large (10k-double tensor)
+/// fl::Payload bodies — the per-message overhead the multi-process mode adds
+/// over fl::InProcessTransport (which serializes payloads but never frames).
+///
+/// Items/sec in the report = frames/sec; bytes/sec = MB/s on the wire.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fl/payload.h"
+#include "net/frame.h"
+
+namespace {
+
+using namespace fedfc;  // NOLINT: bench-local convenience.
+
+/// Scalar-only payload: the shape of a loss report or an evaluate request.
+fl::Payload SmallPayload() {
+  fl::Payload p;
+  p.SetDouble("loss", 0.421);
+  p.SetInt("round", 17);
+  p.SetString("algorithm", "gbdt");
+  return p;
+}
+
+/// Tensor payload: the shape of a model-parameter exchange (10k doubles).
+fl::Payload LargePayload() {
+  fl::Payload p;
+  std::vector<double> tensor(10000);
+  for (size_t i = 0; i < tensor.size(); ++i) {
+    tensor[i] = static_cast<double>(i) * 1e-3;
+  }
+  p.SetTensor("params", std::move(tensor));
+  p.SetDouble("loss", 0.5);
+  return p;
+}
+
+net::Frame MakeFrame(const fl::Payload& payload) {
+  net::Frame frame;
+  frame.type = net::FrameType::kRequest;
+  frame.task = "evaluate";
+  frame.body = payload.Serialize();
+  return frame;
+}
+
+void BM_EncodeFrame(benchmark::State& state, const fl::Payload& payload) {
+  const net::Frame frame = MakeFrame(payload);
+  const size_t wire_bytes = net::EncodedFrameSize(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::EncodeFrame(frame));
+  }
+  state.SetItemsProcessed(state.iterations());  // Frames/sec.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire_bytes));
+}
+
+void BM_DecodeFrame(benchmark::State& state, const fl::Payload& payload) {
+  const std::vector<uint8_t> bytes = net::EncodeFrame(MakeFrame(payload));
+  for (auto _ : state) {
+    Result<net::Frame> frame = net::DecodeFrame(bytes);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+
+/// Full wire round trip: payload -> frame -> bytes -> frame -> payload, the
+/// per-message CPU cost one TcpTransport::Execute adds on each side.
+void BM_EncodeDecodeRoundTrip(benchmark::State& state,
+                              const fl::Payload& payload) {
+  const net::Frame frame = MakeFrame(payload);
+  const size_t wire_bytes = net::EncodedFrameSize(frame);
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes = net::EncodeFrame(frame);
+    Result<net::Frame> back = net::DecodeFrame(bytes);
+    Result<fl::Payload> body = fl::Payload::Deserialize(back->body);
+    benchmark::DoNotOptimize(body);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire_bytes));
+}
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31u);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+
+BENCHMARK_CAPTURE(BM_EncodeFrame, small_scalar, SmallPayload());
+BENCHMARK_CAPTURE(BM_EncodeFrame, large_tensor_10k, LargePayload());
+BENCHMARK_CAPTURE(BM_DecodeFrame, small_scalar, SmallPayload());
+BENCHMARK_CAPTURE(BM_DecodeFrame, large_tensor_10k, LargePayload());
+BENCHMARK_CAPTURE(BM_EncodeDecodeRoundTrip, small_scalar, SmallPayload());
+BENCHMARK_CAPTURE(BM_EncodeDecodeRoundTrip, large_tensor_10k, LargePayload());
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

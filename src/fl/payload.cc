@@ -63,6 +63,7 @@ class Reader {
     return bytes_[pos_++];
   }
   bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t Remaining() const { return bytes_.size() - pos_; }
 
  private:
   template <typename T = uint32_t>
@@ -168,10 +169,24 @@ std::vector<uint8_t> Payload::Serialize() const {
 Result<Payload> Payload::Deserialize(const std::vector<uint8_t>& bytes) {
   Reader reader(bytes);
   FEDFC_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  // Adversarial-input guard: every declared length is capped against the
+  // bytes actually remaining *before* any allocation sized by it, so a
+  // hostile 4 GiB length field costs an error string, not an OOM. The
+  // smallest well-formed entry is 9 bytes (4 key_len + empty key + 1 tag +
+  // 4-byte zero-length string/tensor payload).
+  if (count > reader.Remaining() / 9) {
+    return Status::InvalidArgument("payload: entry count exceeds buffer");
+  }
   Payload out;
   for (uint32_t e = 0; e < count; ++e) {
     FEDFC_ASSIGN_OR_RETURN(uint32_t key_len, reader.U32());
+    if (key_len > reader.Remaining()) {
+      return Status::InvalidArgument("payload: key length exceeds buffer");
+    }
     FEDFC_ASSIGN_OR_RETURN(std::string key, reader.String(key_len));
+    if (out.Has(key)) {
+      return Status::InvalidArgument("payload: duplicate key '" + key + "'");
+    }
     FEDFC_ASSIGN_OR_RETURN(uint8_t tag, reader.Byte());
     switch (static_cast<Tag>(tag)) {
       case Tag::kDouble: {
@@ -186,12 +201,20 @@ Result<Payload> Payload::Deserialize(const std::vector<uint8_t>& bytes) {
       }
       case Tag::kString: {
         FEDFC_ASSIGN_OR_RETURN(uint32_t len, reader.U32());
+        if (len > reader.Remaining()) {
+          return Status::InvalidArgument(
+              "payload: string length exceeds buffer");
+        }
         FEDFC_ASSIGN_OR_RETURN(std::string s, reader.String(len));
         out.SetString(key, std::move(s));
         break;
       }
       case Tag::kTensor: {
         FEDFC_ASSIGN_OR_RETURN(uint32_t len, reader.U32());
+        if (len > reader.Remaining() / sizeof(double)) {
+          return Status::InvalidArgument(
+              "payload: tensor length exceeds buffer");
+        }
         std::vector<double> t(len);
         for (uint32_t i = 0; i < len; ++i) {
           FEDFC_ASSIGN_OR_RETURN(t[i], reader.Double());

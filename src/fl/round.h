@@ -69,6 +69,14 @@ struct RoundTrace {
   size_t messages = 0;
   size_t bytes_to_clients = 0;
   size_t bytes_to_server = 0;
+  /// Transport-level fault deltas for this round, split the same way
+  /// TransportStats splits them: `transport_timeouts` counts attempts that
+  /// died with kDeadlineExceeded, `transport_failures` everything else.
+  /// Unlike `failed_clients` (post-retry verdicts) these count *attempts*,
+  /// so a client that timed out twice and then succeeded contributes 2 here
+  /// and 0 to `failed_clients`.
+  size_t transport_failures = 0;
+  size_t transport_timeouts = 0;
   double wall_seconds = 0.0;
 };
 

@@ -119,6 +119,8 @@ Result<RoundResult> Server::RunRound(const RoundSpec& spec) {
       stats_after.bytes_to_clients - stats_before.bytes_to_clients;
   result.trace.bytes_to_server =
       stats_after.bytes_to_server - stats_before.bytes_to_server;
+  result.trace.transport_failures = stats_after.failures - stats_before.failures;
+  result.trace.transport_timeouts = stats_after.timeouts - stats_before.timeouts;
   result.trace.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -196,4 +196,16 @@ Result<NBeatsEvaluateReply> NBeatsEvaluateReply::FromPayload(const Payload& p) {
   return out;
 }
 
+Payload NumExamplesReply::ToPayload() const {
+  Payload p;
+  p.SetInt("n_examples", n_examples);
+  return p;
+}
+
+Result<NumExamplesReply> NumExamplesReply::FromPayload(const Payload& p) {
+  NumExamplesReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.n_examples, p.GetInt("n_examples"));
+  return out;
+}
+
 }  // namespace fedfc::fl

@@ -24,6 +24,11 @@ inline constexpr char kFitFinal[] = "fit_final";
 inline constexpr char kEvaluateModel[] = "evaluate_model";
 inline constexpr char kNBeatsRound[] = "nbeats_round";
 inline constexpr char kNBeatsEvaluate[] = "nbeats_evaluate";
+/// Control task answered by the worker serve loop itself (never by a
+/// Client handler): reports the client's |D_j| so a remote server can build
+/// its weight vector without out-of-band knowledge. The double underscore
+/// marks it as transport plumbing, not a protocol round.
+inline constexpr char kNumExamples[] = "__num_examples";
 }  // namespace tasks
 
 // ---------------------------------------------------------------------------
@@ -152,6 +157,22 @@ struct NBeatsEvaluateReply {
 
   Payload ToPayload() const;
   static Result<NBeatsEvaluateReply> FromPayload(const Payload& p);
+};
+
+/// `__num_examples`: request is empty; reply carries the client's local
+/// example count (the aggregation weight numerator of Equation 1).
+struct NumExamplesRequest {
+  Payload ToPayload() const { return Payload(); }
+  static Result<NumExamplesRequest> FromPayload(const Payload&) {
+    return NumExamplesRequest();
+  }
+};
+
+struct NumExamplesReply {
+  int64_t n_examples = 0;
+
+  Payload ToPayload() const;
+  static Result<NumExamplesReply> FromPayload(const Payload& p);
 };
 
 // ---------------------------------------------------------------------------

@@ -20,7 +20,11 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
   Result<Payload> handled = clients_[client_index]->Handle(task, decoded_request);
   if (!handled.ok()) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.failures += 1;
+    if (handled.status().code() == StatusCode::kDeadlineExceeded) {
+      stats_.timeouts += 1;
+    } else {
+      stats_.failures += 1;
+    }
     return handled.status();
   }
   std::vector<uint8_t> reply_bytes = handled->Serialize();

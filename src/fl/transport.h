@@ -19,8 +19,14 @@ struct TransportStats {
   size_t bytes_to_clients = 0;
   size_t bytes_to_server = 0;
   /// Failed executes, including failures injected by decorator transports
-  /// (which never reach the inner transport's counters).
+  /// (which never reach the inner transport's counters). Disjoint from
+  /// `timeouts`: a failed execute increments exactly one of the two.
   size_t failures = 0;
+  /// Executes that failed with kDeadlineExceeded specifically. Over a real
+  /// network (net::TcpTransport) a timeout means "slow or unreachable peer"
+  /// while `failures` means "peer answered wrongly or dropped us" — reports
+  /// and retry tuning need the distinction.
+  size_t timeouts = 0;
 };
 
 /// Routes a task to one client and returns its reply. Concrete transports

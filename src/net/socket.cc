@@ -1,0 +1,227 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <system_error>
+
+namespace fedfc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Absolute deadline for one public operation; `timeout_ms < 0` = forever.
+struct Deadline {
+  explicit Deadline(int timeout_ms)
+      : infinite(timeout_ms < 0),
+        at(Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                                   : timeout_ms)) {
+  }
+
+  /// Remaining budget for poll(2): -1 when infinite, else clamped at 0.
+  int RemainingMs() const {
+    if (infinite) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+
+  bool Expired() const { return !infinite && Clock::now() >= at; }
+
+  bool infinite;
+  Clock::time_point at;
+};
+
+std::string ErrnoMessage(const char* what, int err) {
+  return std::string(what) + ": " + std::error_code(err, std::generic_category())
+                                        .message();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(ErrnoMessage("socket: fcntl(O_NONBLOCK)", errno));
+  }
+  return Status::OK();
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("socket: '" + host +
+                                   "' is not a numeric IPv4 address");
+  }
+  return addr;
+}
+
+/// Waits for `events` on `fd` until the deadline. Returns OK when ready,
+/// DeadlineExceeded on timeout, IOError on poll failure.
+Status PollFor(int fd, short events, const Deadline& deadline,
+               const char* what) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, deadline.RemainingMs());
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + ": timed out");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(ErrnoMessage(what, errno));
+  }
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port,
+                                  int timeout_ms) {
+  const Deadline deadline(timeout_ms);
+  FEDFC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IOError(ErrnoMessage("socket: socket()", errno));
+  }
+  FEDFC_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+  const int one = 1;
+  // Latency over throughput: frames are small request/reply pairs.
+  (void)::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IOError(ErrnoMessage("socket: connect", errno));
+    }
+    FEDFC_RETURN_IF_ERROR(
+        PollFor(socket.fd(), POLLOUT, deadline, "socket: connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::IOError(ErrnoMessage("socket: getsockopt(SO_ERROR)", errno));
+    }
+    if (err != 0) {
+      return Status::IOError(ErrnoMessage("socket: connect", err));
+    }
+  }
+  return socket;
+}
+
+Status Socket::SendAll(const uint8_t* data, size_t len, int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("socket: not connected");
+  const Deadline deadline(timeout_ms);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send must yield a Status, not
+    // kill the process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      FEDFC_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline, "socket: send"));
+      continue;
+    }
+    return Status::IOError(ErrnoMessage("socket: send", errno));
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(uint8_t* data, size_t len, int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("socket: not connected");
+  const Deadline deadline(timeout_ms);
+  size_t received = 0;
+  while (received < len) {
+    const ssize_t n = ::recv(fd_, data + received, len - received, 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("socket: connection closed by peer");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      FEDFC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "socket: recv"));
+      continue;
+    }
+    return Status::IOError(ErrnoMessage("socket: recv", errno));
+  }
+  return Status::OK();
+}
+
+Status Socket::WaitReadable(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("socket: not connected");
+  return PollFor(fd_, POLLIN, Deadline(timeout_ms), "socket: wait readable");
+}
+
+Result<Listener> Listener::ListenTcp(const std::string& host, uint16_t port,
+                                     int backlog) {
+  FEDFC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IOError(ErrnoMessage("socket: socket()", errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(ErrnoMessage("socket: bind", errno));
+  }
+  if (::listen(socket.fd(), backlog) != 0) {
+    return Status::IOError(ErrnoMessage("socket: listen", errno));
+  }
+  FEDFC_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IOError(ErrnoMessage("socket: getsockname", errno));
+  }
+  return Listener(std::move(socket), ntohs(bound.sin_port));
+}
+
+Result<Socket> Listener::Accept(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("socket: not listening");
+  const Deadline deadline(timeout_ms);
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      FEDFC_RETURN_IF_ERROR(SetNonBlocking(conn.fd()));
+      const int one = 1;
+      (void)::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      FEDFC_RETURN_IF_ERROR(
+          PollFor(socket_.fd(), POLLIN, deadline, "socket: accept"));
+      continue;
+    }
+    return Status::IOError(ErrnoMessage("socket: accept", errno));
+  }
+}
+
+}  // namespace fedfc::net

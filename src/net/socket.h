@@ -1,0 +1,94 @@
+#ifndef FEDFC_NET_SOCKET_H_
+#define FEDFC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace fedfc::net {
+
+/// Thin RAII wrapper over a connected POSIX TCP socket. Every operation
+/// takes a per-call deadline in milliseconds (`timeout_ms < 0` blocks
+/// forever) enforced with poll(2), and reports failures as typed statuses:
+/// DeadlineExceeded on timeout, IOError on connection errors/EOF. This file
+/// (and its .cc) is the only place in the tree allowed to touch raw socket
+/// syscalls — enforced by the `sockets` rule of tools/fedfc_lint.
+///
+/// Hosts are numeric IPv4 addresses ("127.0.0.1"); name resolution is out
+/// of scope for the deterministic test/bench plumbing this backs.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Opens a non-blocking connection to `host:port`, waiting up to
+  /// `timeout_ms` for the handshake. Connection refusal and unreachable
+  /// peers surface as IOError; a slow handshake as DeadlineExceeded.
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                                   int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Sends exactly `len` bytes (looping over partial writes) within the
+  /// deadline.
+  Status SendAll(const uint8_t* data, size_t len, int timeout_ms);
+
+  /// Receives exactly `len` bytes within the deadline. A peer that closes
+  /// the connection mid-read yields IOError("connection closed by peer").
+  Status RecvAll(uint8_t* data, size_t len, int timeout_ms);
+
+  /// Blocks until the socket has readable data (or EOF), or the deadline
+  /// passes (DeadlineExceeded). Lets a serve loop idle-poll cheaply without
+  /// committing to a blocking read.
+  Status WaitReadable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket. `port == 0` binds an ephemeral port; `port()`
+/// reports the actual one (how the loopback tests avoid collisions).
+class Listener {
+ public:
+  Listener() = default;
+
+  static Result<Listener> ListenTcp(const std::string& host, uint16_t port,
+                                    int backlog = 16);
+
+  bool valid() const { return socket_.valid(); }
+  uint16_t port() const { return port_; }
+  void Close() { socket_.Close(); }
+
+  /// Accepts one pending connection, waiting up to `timeout_ms`.
+  Result<Socket> Accept(int timeout_ms);
+
+ private:
+  Listener(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace fedfc::net
+
+#endif  // FEDFC_NET_SOCKET_H_

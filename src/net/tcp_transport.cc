@@ -1,0 +1,133 @@
+#include "net/tcp_transport.h"
+
+#include "core/logging.h"
+#include "fl/task_codec.h"
+
+namespace fedfc::net {
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
+                           TcpTransportOptions options)
+    : endpoints_(std::move(endpoints)), options_(options) {
+  connections_.reserve(endpoints_.size());
+  for (size_t j = 0; j < endpoints_.size(); ++j) {
+    connections_.push_back(std::make_unique<Connection>());
+  }
+}
+
+Result<Frame> TcpTransport::RoundTrip(size_t client_index,
+                                      const Frame& request) {
+  Connection& conn = *connections_[client_index];
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  if (!conn.socket.valid()) {
+    const Endpoint& ep = endpoints_[client_index];
+    Result<Socket> connected =
+        Socket::ConnectTcp(ep.host, ep.port, options_.connect_timeout_ms);
+    if (!connected.ok()) return connected.status();
+    conn.socket = std::move(*connected);
+  }
+  Status sent = WriteFrame(conn.socket, request, options_.io_timeout_ms);
+  if (!sent.ok()) {
+    conn.socket.Close();
+    return sent;
+  }
+  Result<Frame> reply = ReadFrame(conn.socket, options_.io_timeout_ms);
+  if (!reply.ok()) {
+    // The stream may hold a half-read frame — poison, reconnect next call.
+    conn.socket.Close();
+  }
+  return reply;
+}
+
+void TcpTransport::CountFailure(const Status& status) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    stats_.timeouts += 1;
+  } else {
+    stats_.failures += 1;
+  }
+}
+
+Result<fl::Payload> TcpTransport::Execute(size_t client_index,
+                                          const std::string& task,
+                                          const fl::Payload& request) {
+  if (client_index >= endpoints_.size()) {
+    return Status::OutOfRange("transport: no such client");
+  }
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.task = task;
+  frame.body = request.Serialize();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.bytes_to_clients += EncodedFrameSize(frame);
+  }
+  Result<Frame> reply = RoundTrip(client_index, frame);
+  if (!reply.ok()) {
+    CountFailure(reply.status());
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    Status status = ErrorFrameStatus(*reply);
+    CountFailure(status);
+    return status;
+  }
+  if (reply->type != FrameType::kReply) {
+    Status status = Status::Internal("transport: unexpected frame type from client " +
+                                     std::to_string(client_index));
+    CountFailure(status);
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_to_server += EncodedFrameSize(*reply);
+  }
+  Result<fl::Payload> decoded = fl::Payload::Deserialize(reply->body);
+  if (!decoded.ok()) CountFailure(decoded.status());
+  return decoded;
+}
+
+fl::TransportStats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+Result<std::vector<size_t>> TcpTransport::QueryNumExamples() {
+  std::vector<size_t> sizes;
+  sizes.reserve(endpoints_.size());
+  for (size_t j = 0; j < endpoints_.size(); ++j) {
+    FEDFC_ASSIGN_OR_RETURN(
+        fl::Payload reply,
+        Execute(j, fl::tasks::kNumExamples, fl::Payload()));
+    FEDFC_ASSIGN_OR_RETURN(fl::NumExamplesReply decoded,
+                           fl::NumExamplesReply::FromPayload(reply));
+    if (decoded.n_examples < 0) {
+      return Status::Internal("transport: negative example count from client " +
+                              std::to_string(j));
+    }
+    sizes.push_back(static_cast<size_t>(decoded.n_examples));
+  }
+  return sizes;
+}
+
+Status TcpTransport::ShutdownWorker(size_t client_index) {
+  if (client_index >= endpoints_.size()) {
+    return Status::OutOfRange("transport: no such client");
+  }
+  Connection& conn = *connections_[client_index];
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  if (!conn.socket.valid()) {
+    const Endpoint& ep = endpoints_[client_index];
+    Result<Socket> connected =
+        Socket::ConnectTcp(ep.host, ep.port, options_.connect_timeout_ms);
+    if (!connected.ok()) return connected.status();
+    conn.socket = std::move(*connected);
+  }
+  Frame frame;
+  frame.type = FrameType::kShutdown;
+  Status sent = WriteFrame(conn.socket, frame, options_.io_timeout_ms);
+  conn.socket.Close();
+  return sent;
+}
+
+}  // namespace fedfc::net

@@ -1,0 +1,86 @@
+#ifndef FEDFC_NET_TCP_TRANSPORT_H_
+#define FEDFC_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fl/transport.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedfc::net {
+
+/// Where one federated client (a fedfc_worker process, or a WorkerServer
+/// thread in tests) is listening.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  int connect_timeout_ms = 5000;
+  /// Per send/receive deadline once a round-trip starts. Generous by
+  /// default: a slow client is the retry policy's problem, not a reason to
+  /// poison the connection early.
+  int io_timeout_ms = 30000;
+};
+
+/// fl::Transport over one persistent TCP connection per client.
+///
+/// Connections are opened lazily on first use and re-opened lazily after
+/// any failure: a failed round-trip closes the (possibly poisoned) stream,
+/// classifies the fault into TransportStats (`timeouts` for missed
+/// deadlines, `failures` for everything else), and returns the error — the
+/// caller's RoundPolicy retry/backoff machinery then drives recovery, and
+/// the retry's Execute reconnects. Nothing here loops or sleeps.
+///
+/// Thread-safety matches the Transport contract: concurrent Execute calls
+/// are allowed for distinct client indices (one mutex per connection, one
+/// for the shared stats).
+class TcpTransport : public fl::Transport {
+ public:
+  explicit TcpTransport(std::vector<Endpoint> endpoints,
+                        TcpTransportOptions options = {});
+
+  size_t num_clients() const override { return endpoints_.size(); }
+  Result<fl::Payload> Execute(size_t client_index, const std::string& task,
+                              const fl::Payload& request) override;
+  fl::TransportStats stats() const override;
+
+  /// Asks every worker for its local example count — the `client_sizes`
+  /// vector fl::Server needs, fetched over the wire so the server never
+  /// needs out-of-band knowledge of the private datasets.
+  Result<std::vector<size_t>> QueryNumExamples();
+
+  /// Best-effort shutdown signal to one worker (used by orderly teardown;
+  /// a worker that is already gone is not an error).
+  Status ShutdownWorker(size_t client_index);
+
+ private:
+  struct Connection {
+    std::mutex mutex;
+    Socket socket;
+  };
+
+  /// Sends `request` and reads one reply frame on client `client_index`'s
+  /// connection, connecting first if needed. Any failure closes the
+  /// connection before returning.
+  Result<Frame> RoundTrip(size_t client_index, const Frame& request);
+
+  /// Accounts one failed execute under the stats lock.
+  void CountFailure(const Status& status);
+
+  std::vector<Endpoint> endpoints_;
+  TcpTransportOptions options_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable std::mutex stats_mutex_;
+  fl::TransportStats stats_;
+};
+
+}  // namespace fedfc::net
+
+#endif  // FEDFC_NET_TCP_TRANSPORT_H_

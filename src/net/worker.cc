@@ -1,0 +1,72 @@
+#include "net/worker.h"
+
+#include "core/logging.h"
+#include "fl/payload.h"
+#include "fl/task_codec.h"
+
+namespace fedfc::net {
+
+Frame WorkerServer::HandleRequest(const Frame& request) {
+  Result<fl::Payload> decoded = fl::Payload::Deserialize(request.body);
+  if (!decoded.ok()) {
+    return MakeErrorFrame(request.task, decoded.status());
+  }
+  Result<fl::Payload> reply =
+      request.task == fl::tasks::kNumExamples
+          ? Result<fl::Payload>(
+                fl::NumExamplesReply{
+                    static_cast<int64_t>(client_->num_examples())}
+                    .ToPayload())
+          : client_->Handle(request.task, *decoded);
+  if (!reply.ok()) {
+    return MakeErrorFrame(request.task, reply.status());
+  }
+  Frame out;
+  out.type = FrameType::kReply;
+  out.task = request.task;
+  out.body = reply->Serialize();
+  return out;
+}
+
+bool WorkerServer::ServeConnection(Socket conn) {
+  while (!stopped()) {
+    Status readable = conn.WaitReadable(options_.poll_interval_ms);
+    if (readable.code() == StatusCode::kDeadlineExceeded) continue;  // Idle.
+    if (!readable.ok()) return false;
+    Result<Frame> frame = ReadFrame(conn, options_.io_timeout_ms);
+    if (!frame.ok()) {
+      // EOF, a half-dead peer, or wire garbage: drop the connection and let
+      // the server reconnect. The lazy-reconnect transport treats this as
+      // one failed execute, which the round policy absorbs.
+      FEDFC_LOG(Debug) << "worker '" << client_->id()
+                       << "': dropping connection: " << frame.status();
+      return false;
+    }
+    if (frame->type == FrameType::kShutdown) return true;
+    Frame reply = frame->type == FrameType::kRequest
+                      ? HandleRequest(*frame)
+                      : MakeErrorFrame(frame->task,
+                                       Status::InvalidArgument(
+                                           "worker: expected a request frame"));
+    Status sent = WriteFrame(conn, reply, options_.io_timeout_ms);
+    if (!sent.ok()) {
+      FEDFC_LOG(Debug) << "worker '" << client_->id()
+                       << "': reply failed: " << sent;
+      return false;
+    }
+  }
+  return false;
+}
+
+Status WorkerServer::Serve() {
+  FEDFC_CHECK(client_ != nullptr);
+  while (!stopped()) {
+    Result<Socket> conn = listener_.Accept(options_.poll_interval_ms);
+    if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+    if (!conn.ok()) return conn.status();
+    if (ServeConnection(std::move(*conn))) break;  // Shutdown frame.
+  }
+  return Status::OK();
+}
+
+}  // namespace fedfc::net

@@ -1,0 +1,67 @@
+#ifndef FEDFC_NET_WORKER_H_
+#define FEDFC_NET_WORKER_H_
+
+#include <atomic>
+#include <utility>
+
+#include "core/result.h"
+#include "fl/client.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace fedfc::net {
+
+struct WorkerOptions {
+  /// Granularity at which the serve loop re-checks its stop flag while idle
+  /// (waiting for a connection or for the next frame on one).
+  int poll_interval_ms = 200;
+  /// Per send/receive deadline once a frame transfer has started.
+  int io_timeout_ms = 30000;
+};
+
+/// Hosts one fl::Client behind a listening socket: the worker half of the
+/// multi-process deployment (fedfc_worker wraps this behind a CLI; the
+/// loopback tests run it on pool threads).
+///
+/// Lifecycle: `Serve` accepts one connection at a time and answers frames
+/// on it — `kRequest` frames are decoded, dispatched (the `__num_examples`
+/// control task is answered by the loop itself, everything else goes to
+/// `Client::Handle`), and answered with a `kReply` or `kError` frame. A
+/// dropped or garbled connection sends the loop back to accept, so a server
+/// reconnecting after a fault finds the worker ready; `kShutdown` (or
+/// `RequestStop`, callable from any thread or a signal handler) ends the
+/// loop. One connection at a time is exactly the Transport contract: a
+/// given client is never driven concurrently.
+class WorkerServer {
+ public:
+  WorkerServer(Listener listener, fl::Client* client,
+               WorkerOptions options = {})
+      : listener_(std::move(listener)), client_(client), options_(options) {}
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Blocks until a shutdown frame arrives or RequestStop is called.
+  /// Returns non-OK only when the listening socket itself fails.
+  Status Serve();
+
+  /// Asks the serve loop to exit at its next idle poll. Lock-free and
+  /// async-signal-safe.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Serves frames on one connection; true = shutdown frame received.
+  bool ServeConnection(Socket conn);
+
+  Frame HandleRequest(const Frame& request);
+
+  Listener listener_;
+  fl::Client* client_;
+  WorkerOptions options_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fedfc::net
+
+#endif  // FEDFC_NET_WORKER_H_

@@ -132,6 +132,110 @@ TEST_P(PayloadFuzzTest, RandomRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PayloadFuzzTest,
                          ::testing::Range<uint64_t>(0, 16));
 
+// Adversarial corpus: Deserialize must return a typed error — never crash,
+// hang, or allocate proportionally to an attacker-declared length — for any
+// input. These buffers are the wire-facing decoder's threat model now that
+// payloads arrive from remote workers (net::TcpTransport).
+
+TEST(PayloadAdversarialTest, OverflowingTensorLengthDoesNotAllocate) {
+  // count=1, key "t", tensor tag, declared length 0xFFFFFFFF (= 32 GiB of
+  // doubles) with no element bytes behind it. Must fail before the resize.
+  std::vector<uint8_t> bytes = {
+      1, 0, 0, 0,               // count
+      1, 0, 0, 0, 't',          // key
+      3,                        // Tag::kTensor
+      0xFF, 0xFF, 0xFF, 0xFF,   // declared length
+  };
+  Result<Payload> r = Payload::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("tensor length"), std::string::npos);
+}
+
+TEST(PayloadAdversarialTest, OverflowingStringAndKeyLengthsRejected) {
+  std::vector<uint8_t> huge_string = {
+      1, 0, 0, 0, 1, 0, 0, 0, 's',
+      2,                        // Tag::kString
+      0xFF, 0xFF, 0xFF, 0x7F,   // declared length ~2 GiB
+  };
+  EXPECT_EQ(Payload::Deserialize(huge_string).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<uint8_t> huge_key = {
+      1, 0, 0, 0,
+      0xFF, 0xFF, 0xFF, 0x7F,   // key length ~2 GiB
+  };
+  EXPECT_EQ(Payload::Deserialize(huge_key).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PayloadAdversarialTest, OverflowingEntryCountRejected) {
+  // count=0xFFFFFFFF with a nearly-empty buffer: the per-entry loop must not
+  // spin 4 billion times accumulating error-free empty entries.
+  std::vector<uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0};
+  Result<Payload> r = Payload::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("entry count"), std::string::npos);
+}
+
+TEST(PayloadAdversarialTest, DuplicateKeysRejected) {
+  Payload p;
+  p.SetInt("k", 1);
+  std::vector<uint8_t> one = p.Serialize();
+  // Splice the single entry in twice and fix up the count. (Built with
+  // push_back: GCC 12 emits false-positive -Warray-bounds on vector::insert
+  // here.)
+  std::vector<uint8_t> bytes = {2, 0, 0, 0};
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 4; i < one.size(); ++i) bytes.push_back(one[i]);
+  }
+  Result<Payload> r = Payload::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("duplicate key"), std::string::npos);
+}
+
+TEST(PayloadAdversarialTest, TruncationCorpusNeverCrashes) {
+  Payload p;
+  p.SetDouble("d", 3.14);
+  p.SetInt("i", -9);
+  p.SetString("s", "abcdefgh");
+  p.SetTensor("t", {1.0, 2.0, 3.0, 4.0});
+  std::vector<uint8_t> bytes = p.Serialize();
+  // Every proper prefix must produce a typed error (entries are consumed
+  // greedily, so a prefix can never be a valid payload plus nothing).
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    Result<Payload> r = Payload::Deserialize(cut);
+    EXPECT_FALSE(r.ok()) << "prefix length " << keep;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << "prefix length " << keep;
+  }
+}
+
+TEST(PayloadAdversarialTest, BitFlipCorpusNeverCrashes) {
+  Payload p;
+  p.SetDouble("loss", 0.5);
+  p.SetString("algo", "theta");
+  p.SetTensor("weights", {0.1, 0.2, 0.3});
+  const std::vector<uint8_t> bytes = p.Serialize();
+  // Flip every bit of every byte, one at a time. The decode may legitimately
+  // succeed (e.g. a flipped double mantissa) but must never crash, and a
+  // failure must be a typed InvalidArgument.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[i] = static_cast<uint8_t>(mutated[i] ^ (1u << b));
+      Result<Payload> r = Payload::Deserialize(mutated);
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+            << "byte " << i << " bit " << b;
+      }
+    }
+  }
+}
+
 TEST(PayloadErrorTest, MissingKeyListsAvailableKeys) {
   Payload p;
   p.SetDouble("alpha", 1.0);

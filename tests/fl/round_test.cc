@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -67,17 +68,25 @@ class FailFirstAttemptsTransport : public Transport {
   Result<Payload> Execute(size_t client_index, const std::string& task,
                           const Payload& request) override {
     if (attempts_[client_index]++ < n_failures_) {
+      injected_timeouts_.fetch_add(1, std::memory_order_relaxed);
       return Status::DeadlineExceeded("simulated drop");
     }
     return inner_->Execute(client_index, task, request);
   }
 
-  TransportStats stats() const override { return inner_->stats(); }
+  /// Injected drops never reach the inner transport, so they must be added
+  /// here — and as `timeouts`, since the injected status is DeadlineExceeded.
+  TransportStats stats() const override {
+    TransportStats stats = inner_->stats();
+    stats.timeouts += injected_timeouts_.load(std::memory_order_relaxed);
+    return stats;
+  }
 
  private:
   std::unique_ptr<Transport> inner_;
   std::vector<size_t> attempts_;  ///< Per-client, so no cross-client races.
   size_t n_failures_;
+  std::atomic<size_t> injected_timeouts_{0};
 };
 
 TEST(SampleParticipantsTest, FullParticipationTakesEveryone) {
@@ -203,6 +212,12 @@ TEST(RoundTest, RetriedClientContributesExactlyOnce) {
     EXPECT_TRUE(outcome.ok);
     EXPECT_EQ(outcome.retries, 1u);
   }
+  // The trace separates transport-level timeouts (one dropped attempt per
+  // client) from other failures, and counts attempts — not the post-retry
+  // verdicts, which are all successes here.
+  EXPECT_EQ(round->trace.transport_timeouts, 2u);
+  EXPECT_EQ(round->trace.transport_failures, 0u);
+  EXPECT_EQ(round->trace.failed_clients, 0u);
 }
 
 TEST(RoundTest, RetryBudgetExhaustedMarksClientFailed) {
@@ -262,8 +277,38 @@ TEST(RoundTest, TraceAccountsMessagesAndBytes) {
 TEST(RoundTest, FailedExecutesCountInTransportStats) {
   auto server = MakeServer({1.0, 2.0, 3.0}, {10, 10, 10}, 1,
                            {false, true, false});
-  ASSERT_TRUE(server->RunRound(RoundSpec("any", Payload())).ok());
+  Result<RoundResult> round = server->RunRound(RoundSpec("any", Payload()));
+  ASSERT_TRUE(round.ok());
+  // A handler error is a generic failure, not a timeout: the two counters
+  // are disjoint, in the stats and in the round's trace deltas.
   EXPECT_EQ(server->transport_stats().failures, 1u);
+  EXPECT_EQ(server->transport_stats().timeouts, 0u);
+  EXPECT_EQ(round->trace.transport_failures, 1u);
+  EXPECT_EQ(round->trace.transport_timeouts, 0u);
+}
+
+TEST(RoundTest, TimedOutHandlerCountsAsTimeout) {
+  // A client whose handler itself returns DeadlineExceeded lands in
+  // `timeouts`, keeping the counters disjoint end to end.
+  class SlowClient : public Client {
+   public:
+    std::string id() const override { return "slow"; }
+    size_t num_examples() const override { return 10; }
+    Result<Payload> Handle(const std::string&, const Payload&) override {
+      return Status::DeadlineExceeded("client too slow");
+    }
+  };
+  std::vector<std::shared_ptr<Client>> clients = {
+      std::make_shared<EchoClient>("ok", 1.0, 10),
+      std::make_shared<SlowClient>()};
+  Server server(std::make_unique<InProcessTransport>(std::move(clients)),
+                {10, 10});
+  Result<RoundResult> round = server.RunRound(RoundSpec("any", Payload()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(server.transport_stats().timeouts, 1u);
+  EXPECT_EQ(server.transport_stats().failures, 0u);
+  EXPECT_EQ(round->trace.transport_timeouts, 1u);
+  EXPECT_EQ(round->trace.transport_failures, 0u);
 }
 
 TEST(RoundTest, FlakyTransportReportsInjectedFailures) {

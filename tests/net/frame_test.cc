@@ -1,0 +1,171 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fedfc::net {
+namespace {
+
+Frame MakeRequest() {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.task = "meta_features";
+  f.body = {0x01, 0x02, 0x03, 0xFF, 0x00, 0x7F};
+  return f;
+}
+
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The canonical CRC-32 check vector: crc32("123456789") = 0xCBF43926.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check.data()), check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  Frame f = MakeRequest();
+  std::vector<uint8_t> bytes = EncodeFrame(f);
+  EXPECT_EQ(bytes.size(), EncodedFrameSize(f));
+  EXPECT_EQ(bytes.size(),
+            kFrameHeaderBytes + f.task.size() + f.body.size() +
+                kFrameTrailerBytes);
+  Result<Frame> back = DecodeFrame(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, f);
+}
+
+TEST(FrameTest, EmptyTaskAndBodyRoundTrip) {
+  Frame f;
+  f.type = FrameType::kShutdown;
+  Result<Frame> back = DecodeFrame(EncodeFrame(f));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, f);
+}
+
+TEST(FrameTest, ErrorFrameCarriesTypedStatus) {
+  Status original = Status::DeadlineExceeded("client too slow");
+  Frame f = MakeErrorFrame("fit", original);
+  Result<Frame> back = DecodeFrame(EncodeFrame(f));
+  ASSERT_TRUE(back.ok()) << back.status();
+  Status recovered = ErrorFrameStatus(*back);
+  EXPECT_EQ(recovered.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(recovered.message(), "client too slow");
+  EXPECT_EQ(back->task, "fit");
+}
+
+TEST(FrameTest, ErrorFrameStatusRejectsNonErrorFrames) {
+  Frame f = MakeRequest();
+  EXPECT_EQ(ErrorFrameStatus(f).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecodeTest, RejectsShortBuffers) {
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  for (size_t keep = 0; keep < kFrameHeaderBytes + kFrameTrailerBytes; ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    Result<Frame> r = DecodeFrame(cut);
+    ASSERT_FALSE(r.ok()) << "keep " << keep;
+    EXPECT_NE(r.status().ToString().find("truncated header"), std::string::npos);
+  }
+}
+
+TEST(FrameDecodeTest, RejectsTruncationAtEveryLength) {
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  for (size_t keep = kFrameHeaderBytes + kFrameTrailerBytes;
+       keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(DecodeFrame(cut).ok()) << "keep " << keep;
+  }
+}
+
+TEST(FrameDecodeTest, RejectsBadMagicAndVersion) {
+  std::vector<uint8_t> bad_magic = EncodeFrame(MakeRequest());
+  bad_magic[0] ^= 0xFF;
+  Result<Frame> r = DecodeFrame(bad_magic);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bad magic"), std::string::npos);
+
+  std::vector<uint8_t> bad_version = EncodeFrame(MakeRequest());
+  bad_version[4] = 99;
+  r = DecodeFrame(bad_version);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("protocol version"), std::string::npos);
+}
+
+TEST(FrameDecodeTest, RejectsUnknownTypeAndStatusCode) {
+  std::vector<uint8_t> bad_type = EncodeFrame(MakeRequest());
+  bad_type[6] = 17;
+  Result<Frame> r = DecodeFrame(bad_type);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unknown frame type"), std::string::npos);
+
+  std::vector<uint8_t> bad_code =
+      EncodeFrame(MakeErrorFrame("t", Status::Internal("x")));
+  bad_code[7] = 200;
+  r = DecodeFrame(bad_code);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("unknown status code"),
+            std::string::npos);
+}
+
+TEST(FrameDecodeTest, RejectsStatusCodeOnNonErrorFrame) {
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  bytes[7] = static_cast<uint8_t>(StatusCode::kInternal);
+  Result<Frame> r = DecodeFrame(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("non-error frame"), std::string::npos);
+}
+
+TEST(FrameDecodeTest, RejectsLengthsBeyondCapsWithoutAllocating) {
+  // task_len = 0xFFFFFFFF: must fail on the cap check, long before any
+  // allocation or read sized by the declared length.
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  for (size_t offset : {8u, 12u}) {  // task_len, body_len fields.
+    std::vector<uint8_t> huge = bytes;
+    huge[offset + 0] = 0xFF;
+    huge[offset + 1] = 0xFF;
+    huge[offset + 2] = 0xFF;
+    huge[offset + 3] = 0xFF;
+    Result<Frame> r = DecodeFrame(huge);
+    ASSERT_FALSE(r.ok()) << "offset " << offset;
+    EXPECT_NE(r.status().ToString().find("exceeds cap"), std::string::npos);
+  }
+}
+
+TEST(FrameDecodeTest, RejectsDeclaredLengthBeyondBuffer) {
+  // A task_len under the cap but larger than the actual buffer must be a
+  // typed error, not an out-of-bounds read.
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  bytes[8] = 0xFF;  // task_len: 13 -> 255 (< kMaxTaskBytes).
+  Result<Frame> r = DecodeFrame(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("declared lengths exceed buffer"),
+            std::string::npos);
+}
+
+TEST(FrameDecodeTest, RejectsTrailingBytes) {
+  std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  bytes.push_back(0);
+  Result<Frame> r = DecodeFrame(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("trailing bytes"), std::string::npos);
+}
+
+TEST(FrameDecodeTest, EveryBitFlipIsRejected) {
+  // CRC32 detects all single-bit corruption; header validation may reject
+  // some flips first. Either way no flipped frame may decode successfully.
+  const std::vector<uint8_t> bytes = EncodeFrame(MakeRequest());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[i] = static_cast<uint8_t>(mutated[i] ^ (1u << b));
+      EXPECT_FALSE(DecodeFrame(mutated).ok()) << "byte " << i << " bit " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedfc::net

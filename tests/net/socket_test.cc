@@ -1,0 +1,167 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "net/frame.h"
+
+namespace fedfc::net {
+namespace {
+
+/// Connects a client socket to a fresh ephemeral listener and accepts the
+/// server end. Loopback connects complete immediately, so this is safe on
+/// one thread.
+struct LoopbackPair {
+  Socket client;
+  Socket server;
+};
+
+LoopbackPair MakePair(Listener* listener) {
+  Result<Socket> client =
+      Socket::ConnectTcp("127.0.0.1", listener->port(), 2000);
+  EXPECT_TRUE(client.ok()) << client.status();
+  Result<Socket> server = listener->Accept(2000);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return {std::move(*client), std::move(*server)};
+}
+
+TEST(SocketTest, EphemeralListenerReportsRealPort) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_GT(listener->port(), 0u);
+}
+
+TEST(SocketTest, SendAllRecvAllRoundTrip) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+
+  const std::string message = "hello, federated world";
+  ASSERT_TRUE(pair.client
+                  .SendAll(reinterpret_cast<const uint8_t*>(message.data()),
+                           message.size(), 2000)
+                  .ok());
+  std::vector<uint8_t> received(message.size());
+  ASSERT_TRUE(pair.server.RecvAll(received.data(), received.size(), 2000).ok());
+  EXPECT_EQ(std::string(received.begin(), received.end()), message);
+}
+
+TEST(SocketTest, ConnectionRefusedIsIOError) {
+  // Bind an ephemeral port, then close the listener: the port is now (very
+  // probably) unbound, so connecting is refused immediately.
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  uint16_t dead_port = listener->port();
+  listener->Close();
+  Result<Socket> refused = Socket::ConnectTcp("127.0.0.1", dead_port, 2000);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kIOError);
+}
+
+TEST(SocketTest, NonNumericHostIsInvalidArgument) {
+  Result<Socket> r = Socket::ConnectTcp("not-a-host-name", 80, 100);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketTest, AcceptTimesOut) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  Result<Socket> r = listener->Accept(50);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketTest, RecvTimesOutWhenPeerIsSilent) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+  uint8_t byte = 0;
+  Status r = pair.server.RecvAll(&byte, 1, 50);
+  EXPECT_EQ(r.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketTest, WaitReadableTimesOutThenSeesData) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+  EXPECT_EQ(pair.server.WaitReadable(50).code(),
+            StatusCode::kDeadlineExceeded);
+  uint8_t byte = 42;
+  ASSERT_TRUE(pair.client.SendAll(&byte, 1, 2000).ok());
+  EXPECT_TRUE(pair.server.WaitReadable(2000).ok());
+}
+
+TEST(SocketTest, PeerCloseSurfacesAsIOError) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+  pair.client.Close();
+  uint8_t byte = 0;
+  Status r = pair.server.RecvAll(&byte, 1, 2000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kIOError);
+  EXPECT_NE(r.ToString().find("closed by peer"), std::string::npos);
+}
+
+TEST(SocketTest, LargeTransferLoopsOverPartialSends) {
+  // 4 MiB exceeds any default kernel socket buffer, forcing SendAll/RecvAll
+  // through their partial-transfer/EAGAIN paths. Needs a second thread (a
+  // single thread would deadlock once the buffers fill).
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+
+  std::vector<uint8_t> sent(4u << 20);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<uint8_t>(i * 131u + 17u);
+  }
+  ThreadPool pool(2);  // Size 1 would run the sender inline and deadlock.
+  Socket writer = std::move(pair.client);
+  auto send_result = pool.Submit([&sent, &writer]() {
+    return writer.SendAll(sent.data(), sent.size(), 10000);
+  });
+  std::vector<uint8_t> received(sent.size());
+  Status recv_status =
+      pair.server.RecvAll(received.data(), received.size(), 10000);
+  ASSERT_TRUE(send_result.get().ok());
+  ASSERT_TRUE(recv_status.ok()) << recv_status;
+  EXPECT_EQ(received, sent);
+}
+
+TEST(SocketTest, FramesTravelOverSockets) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.task = "evaluate";
+  frame.body.resize(1000);
+  std::iota(frame.body.begin(), frame.body.end(), uint8_t{0});
+  ASSERT_TRUE(WriteFrame(pair.client, frame, 2000).ok());
+  Result<Frame> back = ReadFrame(pair.server, 2000);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, frame);
+}
+
+TEST(SocketTest, ReadFrameRejectsGarbageHeader) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+
+  // 16 garbage bytes: ReadFrame must reject the header without waiting for
+  // (or allocating) the gigabytes its length fields imply.
+  std::vector<uint8_t> garbage(kFrameHeaderBytes, 0xEE);
+  ASSERT_TRUE(pair.client.SendAll(garbage.data(), garbage.size(), 2000).ok());
+  Result<Frame> r = ReadFrame(pair.server, 2000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedfc::net

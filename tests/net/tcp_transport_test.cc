@@ -1,0 +1,185 @@
+#include "net/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "fl/client.h"
+#include "net/socket.h"
+#include "net/worker.h"
+
+namespace fedfc::net {
+namespace {
+
+/// Echoes a scalar back; "fail" tasks return a typed NotFound error.
+class EchoClient : public fl::Client {
+ public:
+  EchoClient(std::string id, double value, size_t n)
+      : id_(std::move(id)), value_(value), n_(n) {}
+
+  std::string id() const override { return id_; }
+  size_t num_examples() const override { return n_; }
+
+  Result<fl::Payload> Handle(const std::string& task,
+                             const fl::Payload& request) override {
+    if (task == "fail") return Status::NotFound("no handler for 'fail'");
+    fl::Payload reply;
+    reply.SetDouble("value", value_);
+    if (request.Has("x")) reply.SetDouble("echo", *request.GetDouble("x"));
+    return reply;
+  }
+
+ private:
+  std::string id_;
+  double value_;
+  size_t n_;
+};
+
+WorkerOptions FastWorkerOptions() {
+  WorkerOptions opt;
+  opt.poll_interval_ms = 25;
+  opt.io_timeout_ms = 2000;
+  return opt;
+}
+
+/// One WorkerServer on a pool thread, torn down in the destructor. The pool
+/// must have a free thread (size >= 2: a size-1 pool runs Submit inline on
+/// the calling thread, which would deadlock the test against Serve).
+class WorkerHarness {
+ public:
+  WorkerHarness(ThreadPool* pool, fl::Client* client) {
+    Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status();
+    worker_ = std::make_unique<WorkerServer>(std::move(*listener), client,
+                                             FastWorkerOptions());
+    done_ = pool->Submit([w = worker_.get()]() { return w->Serve(); });
+  }
+
+  ~WorkerHarness() {
+    worker_->RequestStop();
+    EXPECT_TRUE(done_.get().ok());
+  }
+
+  uint16_t port() const { return worker_->port(); }
+
+ private:
+  std::unique_ptr<WorkerServer> worker_;
+  std::future<Status> done_;
+};
+
+TEST(TcpTransportTest, ExecuteRoundTripsPayload) {
+  ThreadPool pool(2);
+  EchoClient client("c0", 2.5, 40);
+  WorkerHarness worker(&pool, &client);
+
+  TcpTransport transport({{"127.0.0.1", worker.port()}});
+  fl::Payload request;
+  request.SetDouble("x", 7.0);
+  Result<fl::Payload> reply = transport.Execute(0, "any", request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_DOUBLE_EQ(*reply->GetDouble("value"), 2.5);
+  EXPECT_DOUBLE_EQ(*reply->GetDouble("echo"), 7.0);
+
+  fl::TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_GT(stats.bytes_to_clients, 0u);
+  EXPECT_GT(stats.bytes_to_server, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+}
+
+TEST(TcpTransportTest, ClientErrorTravelsAsTypedStatus) {
+  ThreadPool pool(2);
+  EchoClient client("c0", 1.0, 10);
+  WorkerHarness worker(&pool, &client);
+
+  TcpTransport transport({{"127.0.0.1", worker.port()}});
+  Result<fl::Payload> reply = transport.Execute(0, "fail", fl::Payload());
+  ASSERT_FALSE(reply.ok());
+  // The worker wraps the handler's status in an error frame; the transport
+  // reconstructs it code-and-message intact.
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(reply.status().ToString().find("no handler for 'fail'"),
+            std::string::npos);
+  EXPECT_EQ(transport.stats().failures, 1u);
+  EXPECT_EQ(transport.stats().timeouts, 0u);
+
+  // An app-level error does not poison the connection machinery: the next
+  // execute on the same client succeeds (reconnecting if needed).
+  Result<fl::Payload> ok = transport.Execute(0, "any", fl::Payload());
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(TcpTransportTest, ConnectionRefusedCountsAsFailure) {
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  uint16_t dead_port = listener->port();
+  listener->Close();
+
+  TcpTransportOptions opt;
+  opt.connect_timeout_ms = 500;
+  TcpTransport transport({{"127.0.0.1", dead_port}}, opt);
+  Result<fl::Payload> reply = transport.Execute(0, "any", fl::Payload());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(transport.stats().failures, 1u);
+  EXPECT_EQ(transport.stats().timeouts, 0u);
+}
+
+TEST(TcpTransportTest, SilentPeerCountsAsTimeout) {
+  // A listener that never answers: connect and send succeed (the kernel
+  // queues both), then the reply read hits its deadline.
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  TcpTransportOptions opt;
+  opt.io_timeout_ms = 100;
+  TcpTransport transport({{"127.0.0.1", listener->port()}}, opt);
+  Result<fl::Payload> reply = transport.Execute(0, "any", fl::Payload());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(transport.stats().timeouts, 1u);
+  EXPECT_EQ(transport.stats().failures, 0u);
+}
+
+TEST(TcpTransportTest, OutOfRangeClientIndexRejected) {
+  TcpTransport transport({{"127.0.0.1", 1}});
+  EXPECT_EQ(transport.Execute(5, "any", fl::Payload()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TcpTransportTest, QueryNumExamplesFetchesSizesOverTheWire) {
+  ThreadPool pool(3);
+  EchoClient c0("c0", 1.0, 30);
+  EchoClient c1("c1", 2.0, 10);
+  WorkerHarness w0(&pool, &c0);
+  WorkerHarness w1(&pool, &c1);
+
+  TcpTransport transport(
+      {{"127.0.0.1", w0.port()}, {"127.0.0.1", w1.port()}});
+  Result<std::vector<size_t>> sizes = transport.QueryNumExamples();
+  ASSERT_TRUE(sizes.ok()) << sizes.status();
+  EXPECT_EQ(*sizes, (std::vector<size_t>{30, 10}));
+}
+
+TEST(TcpTransportTest, ShutdownFrameStopsTheWorker) {
+  ThreadPool pool(2);
+  EchoClient client("c0", 1.0, 10);
+
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  WorkerServer worker(std::move(*listener), &client, FastWorkerOptions());
+  auto done = pool.Submit([&worker]() { return worker.Serve(); });
+
+  TcpTransport transport({{"127.0.0.1", worker.port()}});
+  ASSERT_TRUE(transport.Execute(0, "any", fl::Payload()).ok());
+  ASSERT_TRUE(transport.ShutdownWorker(0).ok());
+  // Serve returns on its own — no RequestStop needed.
+  EXPECT_TRUE(done.get().ok());
+}
+
+}  // namespace
+}  // namespace fedfc::net

@@ -1,11 +1,13 @@
 // fedfc_lint: repo-invariant linter for the FedForecaster tree.
 //
-// Walks src/ and enforces invariants that keep federated rounds deterministic
-// and the wire protocol centralized (see docs/STATIC_ANALYSIS.md):
+// Walks src/ (all rules) and tests/ (the rules marked include_tests) and
+// enforces invariants that keep federated rounds deterministic and the wire
+// protocol centralized (see docs/STATIC_ANALYSIS.md):
 //
 //   wire_keys    Payload Set*/Get* calls with a string-literal key (i.e. raw
 //                wire-key literals) may only appear in fl/task_codec.{h,cc}.
-//                Everything else must go through the typed codecs.
+//                Everything else must go through the typed codecs. src-only:
+//                tests legitimately probe payloads with literal keys.
 //   rng          No std::rand / srand / std::random_device / time(nullptr)
 //                outside core/rng.{h,cc}. All randomness must flow through
 //                the seeded fedfc::Rng so rounds are reproducible.
@@ -13,11 +15,16 @@
 //                core/thread_pool.{h,cc}. Concurrency goes through the pool,
 //                which the TSan gate instruments.
 //   guards       Every header uses the canonical include guard
-//                FEDFC_<PATH>_H_ (and never #pragma once), so the guard
-//                style stays consistent across the tree.
+//                FEDFC_<PATH>_H_ (FEDFC_TESTS_<PATH>_H_ under tests/, and
+//                never #pragma once), so the guard style stays consistent
+//                across the tree. Applies to tests/ too.
+//   sockets      Raw POSIX socket syscalls (socket/connect/send/recv/accept/
+//                bind/listen) may only appear in src/net/socket.cc. All other
+//                code — tests included — goes through net::Socket/Listener so
+//                deadlines and error mapping stay in one place.
 //
 // Usage:
-//   fedfc_lint <repo_root>          lint <repo_root>/src
+//   fedfc_lint <repo_root>          lint <repo_root>/src and <repo_root>/tests
 //   fedfc_lint --self-test          run all embedded rule self-tests
 //   fedfc_lint --self-test <rule>   run one rule's self-test
 //
@@ -39,15 +46,16 @@ namespace {
 namespace fs = std::filesystem;
 
 struct Violation {
-  std::string file;  // Path relative to src/.
+  std::string file;  // Path relative to its tree root (src/ or tests/).
   size_t line = 0;   // 1-based.
   std::string rule;
   std::string detail;
 };
 
 struct SourceFile {
-  std::string rel_path;  // Relative to src/, forward slashes.
+  std::string rel_path;      // Relative to its tree root, forward slashes.
   std::string content;
+  std::string tree = "src";  // "src" or "tests".
 };
 
 bool EndsWith(std::string_view s, std::string_view suffix) {
@@ -258,7 +266,10 @@ std::string CanonicalGuard(const std::string& rel_path) {
 void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
   if (!EndsWith(f.rel_path, ".h")) return;
   std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
-  const std::string expected = CanonicalGuard(f.rel_path);
+  // Headers under tests/ get a TESTS_ segment so their guards can never
+  // collide with a same-named header under src/.
+  const std::string expected = CanonicalGuard(
+      f.tree == "src" ? f.rel_path : f.tree + "/" + f.rel_path);
   bool has_ifndef = false;
   bool has_define = false;
   for (size_t ln = 0; ln < lines.size(); ++ln) {
@@ -296,31 +307,68 @@ void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
   }
 }
 
+// --- Rule: sockets --------------------------------------------------------
+
+void CheckSockets(const SourceFile& f, std::vector<Violation>* out) {
+  // The one file allowed to touch the raw syscalls; everything else uses the
+  // net::Socket/Listener wrappers.
+  if (f.tree == "src" && f.rel_path == "net/socket.cc") return;
+  static const std::string_view kSyscalls[] = {
+      "socket(", "connect(", "send(", "recv(",
+      "accept(", "bind(",    "listen(",
+  };
+  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    bool fired = false;
+    for (std::string_view token : kSyscalls) {
+      size_t pos = 0;
+      while (!fired && (pos = line.find(token, pos)) != std::string::npos) {
+        // Word boundary on the left: `Reconnect(` and `did_send(` are fine,
+        // `connect(` and `::connect(` are the syscall.
+        const char before = pos == 0 ? '\0' : line[pos - 1];
+        if (!(std::isalnum(static_cast<unsigned char>(before)) ||
+              before == '_')) {
+          out->push_back({f.rel_path, ln + 1, "sockets",
+                          "raw " + std::string(token) +
+                              ") outside net/socket.cc — use net::Socket / "
+                              "net::Listener"});
+          fired = true;  // One violation per line is enough.
+        }
+        pos += token.size();
+      }
+      if (fired) break;
+    }
+  }
+}
+
 // --- Driver ---------------------------------------------------------------
 
 struct Rule {
   std::string_view name;
   void (*check)(const SourceFile&, std::vector<Violation>*);
+  /// Whether the rule also walks tests/. Rules stay src-only when tests
+  /// legitimately need the pattern (literal payload keys in assertions,
+  /// std::thread::id plumbing in gtest internals).
+  bool include_tests;
 };
 
 constexpr Rule kRules[] = {
-    {"wire_keys", CheckWireKeys},
-    {"rng", CheckRng},
-    {"threads", CheckThreads},
-    {"guards", CheckGuards},
+    {"wire_keys", CheckWireKeys, false},
+    {"rng", CheckRng, false},
+    {"threads", CheckThreads, false},
+    {"guards", CheckGuards, true},
+    {"sockets", CheckSockets, true},
 };
 
-int LintTree(const fs::path& repo_root) {
-  const fs::path src = repo_root / "src";
-  if (!fs::is_directory(src)) {
-    std::fprintf(stderr, "fedfc_lint: %s is not a directory\n",
-                 src.string().c_str());
-    return 2;
-  }
-  std::vector<Violation> violations;
-  size_t n_files = 0;
+/// Lints every source file under `<repo_root>/<tree>`, applying the rules
+/// whose applicability matches. Violations come back tree-prefixed
+/// ("tests/net/foo_test.cc:12"). Returns 2 on I/O error, else 0.
+int LintOneTree(const fs::path& repo_root, const std::string& tree,
+                std::vector<Violation>* violations, size_t* n_files) {
+  const fs::path root = repo_root / tree;
   std::vector<fs::path> paths;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
     if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
@@ -336,10 +384,34 @@ int LintTree(const fs::path& repo_root) {
     std::ostringstream buf;
     buf << in.rdbuf();
     SourceFile file;
-    file.rel_path = fs::relative(path, src).generic_string();
+    file.rel_path = fs::relative(path, root).generic_string();
     file.content = buf.str();
-    ++n_files;
-    for (const Rule& rule : kRules) rule.check(file, &violations);
+    file.tree = tree;
+    ++*n_files;
+    const size_t before = violations->size();
+    for (const Rule& rule : kRules) {
+      if (tree == "tests" && !rule.include_tests) continue;
+      rule.check(file, violations);
+    }
+    for (size_t i = before; i < violations->size(); ++i) {
+      (*violations)[i].file = tree + "/" + (*violations)[i].file;
+    }
+  }
+  return 0;
+}
+
+int LintTree(const fs::path& repo_root) {
+  if (!fs::is_directory(repo_root / "src")) {
+    std::fprintf(stderr, "fedfc_lint: %s is not a directory\n",
+                 (repo_root / "src").string().c_str());
+    return 2;
+  }
+  std::vector<Violation> violations;
+  size_t n_files = 0;
+  for (const std::string& tree : {std::string("src"), std::string("tests")}) {
+    if (!fs::is_directory(repo_root / tree)) continue;  // tests/ is optional.
+    int rc = LintOneTree(repo_root, tree, &violations, &n_files);
+    if (rc != 0) return rc;
   }
   if (violations.empty()) {
     std::printf("fedfc_lint: %zu files clean (%zu rules)\n", n_files,
@@ -347,7 +419,7 @@ int LintTree(const fs::path& repo_root) {
     return 0;
   }
   for (const Violation& v : violations) {
-    std::fprintf(stderr, "src/%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
                  v.rule.c_str(), v.detail.c_str());
   }
   std::fprintf(stderr, "fedfc_lint: %zu violation(s) in %zu files\n",
@@ -431,6 +503,45 @@ const std::vector<SelfTestCase>& SelfTestCases() {
        {"ts/good.h", "#ifndef FEDFC_TS_GOOD_H_\n#define FEDFC_TS_GOOD_H_\n"
                      "int F();\n#endif  // FEDFC_TS_GOOD_H_\n"},
        false, "canonical guard is clean"},
+      {"guards",
+       {"net/helpers.h",
+        "#ifndef FEDFC_TESTS_NET_HELPERS_H_\n"
+        "#define FEDFC_TESTS_NET_HELPERS_H_\n"
+        "int F();\n#endif  // FEDFC_TESTS_NET_HELPERS_H_\n",
+        "tests"},
+       false, "tests/ headers use the TESTS_-prefixed canonical guard"},
+      {"guards",
+       {"net/helpers.h",
+        "#ifndef FEDFC_NET_HELPERS_H_\n#define FEDFC_NET_HELPERS_H_\n"
+        "int F();\n#endif\n",
+        "tests"},
+       true, "a tests/ header with the src-style guard fires"},
+      // sockets
+      {"sockets",
+       {"fl/bad_socket.cc", "#include <sys/socket.h>\n"
+                            "int F() { return socket(AF_INET, SOCK_STREAM, 0); }\n"},
+       true, "raw socket() outside net/socket.cc fires"},
+      {"sockets",
+       {"automl/bad_send.cc",
+        "long F(int fd, const void* p, unsigned long n) {\n"
+        "  return send(fd, p, n, 0); }\n"},
+       true, "raw send() fires"},
+      {"sockets",
+       {"bad_connect_test.cc",
+        "void F(int fd, const sockaddr* a, unsigned l) { ::connect(fd, a, l); }\n",
+        "tests"},
+       true, "raw ::connect() in tests/ fires too"},
+      {"sockets",
+       {"net/socket.cc", "int Open() { return socket(AF_INET, SOCK_STREAM, 0); }\n"},
+       false, "net/socket.cc itself may use the syscalls"},
+      {"sockets",
+       {"net/tcp_transport.cc",
+        "Status Reconnect() { return Socket::ConnectTcp(host_, port_, 100)\n"
+        "    .status(); }\n"},
+       false, "wrapper-API names containing the tokens do not fire"},
+      {"sockets",
+       {"net/doc.cc", "// the worker calls accept( under the hood\n"},
+       false, "mentions in comments do not fire"},
   };
   return cases;
 }

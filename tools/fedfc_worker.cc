@@ -1,0 +1,150 @@
+/// fedfc_worker: hosts one FedForecaster client behind a TCP socket — the
+/// worker half of the multi-process deployment (see docs/ARCHITECTURE.md,
+/// "Wire protocol & multi-process mode", and docs/CLI.md).
+///
+///   # worker 0 of a 3-client federation over series.csv
+///   fedfc_worker --data series.csv --clients 3 --index 0 --port 9100
+///
+///   # synthetic data, ephemeral port (printed on stdout)
+///   fedfc_worker --length 600 --period 24 --seed 7 --port 0
+///
+/// The worker answers protocol frames until it receives a shutdown frame or
+/// SIGINT/SIGTERM. Splitting is identical to `fedfc_cli run --clients N`:
+/// a federation of N workers over the same CSV reproduces the in-process
+/// simulation exactly.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "automl/fed_client.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "net/socket.h"
+#include "net/worker.h"
+#include "ts/series.h"
+
+using namespace fedfc;
+
+namespace {
+
+/// Minimal --key value parser; flags without values are booleans (mirrors
+/// fedfc_cli).
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "fedfc_worker: error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr, "%s",
+               "usage: fedfc_worker [--flags]\n"
+               "  --host H             bind address (default 127.0.0.1)\n"
+               "  --port P             listen port (0 = ephemeral, printed)\n"
+               "  --data FILE          series CSV (timestamp,value)\n"
+               "  --length/--level/--noise/--slope/--period/--missing/--seed\n"
+               "                       synthetic series when --data is absent\n"
+               "                       (same flags as `fedfc_cli generate`)\n"
+               "  --clients N          split the series across N clients\n"
+               "  --index J            serve split J in [0, N) (default 0)\n"
+               "  --id NAME            client id (default c<index>)\n"
+               "  --valid-fraction F   validation fraction (default 0.2)\n"
+               "  --test-fraction F    held-out test fraction (default 0.2)\n"
+               "  --client-seed S      client RNG seed (default index + 1)\n");
+  return 2;
+}
+
+net::WorkerServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0) return Usage();
+
+  ts::Series series;
+  if (flags.count("data") > 0) {
+    Result<ts::Series> loaded = data::ReadSeriesCsv(FlagOr(flags, "data", ""));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    series = std::move(*loaded);
+  } else {
+    data::SignalSpec spec;
+    spec.length = std::stoul(FlagOr(flags, "length", "600"));
+    spec.level = std::stod(FlagOr(flags, "level", "50"));
+    spec.noise_std = std::stod(FlagOr(flags, "noise", "1.0"));
+    spec.trend_slope = std::stod(FlagOr(flags, "slope", "0"));
+    double period = std::stod(FlagOr(flags, "period", "0"));
+    if (period > 0) spec.seasonalities = {{period, spec.level * 0.1, 0.0}};
+    spec.missing_fraction = std::stod(FlagOr(flags, "missing", "0"));
+    Rng rng(std::stoul(FlagOr(flags, "seed", "1")));
+    series = data::GenerateSignal(spec, &rng);
+  }
+
+  const int n_clients = std::stoi(FlagOr(flags, "clients", "1"));
+  const int index = std::stoi(FlagOr(flags, "index", "0"));
+  if (n_clients < 1 || index < 0 || index >= n_clients) {
+    return Fail("--index must be in [0, --clients)");
+  }
+  if (n_clients > 1) {
+    Result<std::vector<ts::Series>> splits =
+        ts::SplitIntoClients(series, n_clients);
+    if (!splits.ok()) return Fail(splits.status().ToString());
+    series = std::move((*splits)[static_cast<size_t>(index)]);
+  }
+
+  automl::ForecastClient::Options copt;
+  copt.valid_fraction = std::stod(FlagOr(flags, "valid-fraction", "0.2"));
+  copt.test_fraction = std::stod(FlagOr(flags, "test-fraction", "0.2"));
+  copt.seed = std::stoul(
+      FlagOr(flags, "client-seed", std::to_string(index + 1)));
+  const std::string id = FlagOr(flags, "id", "c" + std::to_string(index));
+  automl::ForecastClient client(id, std::move(series), copt);
+
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(std::stoi(FlagOr(flags, "port", "0")));
+  Result<net::Listener> listener = net::Listener::ListenTcp(host, port);
+  if (!listener.ok()) return Fail(listener.status().ToString());
+
+  net::WorkerServer server(std::move(*listener), &client);
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Machine-readable: orchestration scripts parse "listening <host> <port>".
+  std::printf("fedfc_worker %s listening %s %u (n_examples=%zu)\n", id.c_str(),
+              host.c_str(), static_cast<unsigned>(server.port()),
+              client.num_examples());
+  std::fflush(stdout);
+
+  Status served = server.Serve();
+  g_server = nullptr;
+  if (!served.ok()) return Fail(served.ToString());
+  std::printf("fedfc_worker %s: shut down cleanly\n", id.c_str());
+  return 0;
+}
