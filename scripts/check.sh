@@ -8,8 +8,9 @@
 #           built into build-asan/.
 #   ubsan   UndefinedBehaviorSanitizer (non-recoverable) over the full test
 #           suite, built into build-ubsan/.
-#   lint    fedfc_lint repo-invariant linter + its per-rule self-tests, and
-#           clang-tidy over src/ when clang-tidy is installed.
+#   lint    fedfc_lint repo-invariant linter (8 rules incl. result_discard /
+#           locks / includes; `--list-rules` prints the set) + its per-rule
+#           self-tests, and clang-tidy over src/ when clang-tidy is installed.
 #   format  clang-format --dry-run over tracked sources when clang-format is
 #           installed (check-only; never rewrites).
 #   plain   Release build of everything + the full ctest suite, in build/.
@@ -76,6 +77,7 @@ for phase in "${phases[@]}"; do
       cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DFEDFC_WERROR=ON \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
       cmake --build build --target fedfc_lint -j"$jobs"
+      ./build/tools/fedfc_lint/fedfc_lint --list-rules
       ./build/tools/fedfc_lint/fedfc_lint --self-test
       ./build/tools/fedfc_lint/fedfc_lint .
       if command -v clang-tidy >/dev/null 2>&1; then

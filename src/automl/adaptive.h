@@ -52,13 +52,13 @@ class AdaptiveForecaster {
   /// and re-tunes when drift fires.
   Result<StepResult> ObserveStep(const std::vector<double>& values);
 
-  const EngineReport& report() const { return report_; }
-  size_t n_retunes() const { return n_retunes_; }
-  size_t n_clients() const { return series_.size(); }
+  [[nodiscard]] const EngineReport& report() const { return report_; }
+  [[nodiscard]] size_t n_retunes() const { return n_retunes_; }
+  [[nodiscard]] size_t n_clients() const { return series_.size(); }
 
  private:
   /// One-step-ahead forecast for every client under the current deployment.
-  Result<std::vector<double>> ForecastNext() const;
+  [[nodiscard]] Result<std::vector<double>> ForecastNext() const;
   Status Retune();
 
   const MetaModel* meta_model_;

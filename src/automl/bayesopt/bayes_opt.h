@@ -33,14 +33,14 @@ class BayesianOptimizer {
   /// still in the random-initialization phase so new algorithms get tried.
   double BestExpectedImprovement(Rng* rng, Configuration* argmax);
 
-  double best_loss() const { return best_loss_; }
-  const Configuration& best_config() const { return best_config_; }
-  size_t n_observations() const { return observed_x_.size(); }
-  AlgorithmId algorithm() const { return algorithm_; }
+  [[nodiscard]] double best_loss() const { return best_loss_; }
+  [[nodiscard]] const Configuration& best_config() const { return best_config_; }
+  [[nodiscard]] size_t n_observations() const { return observed_x_.size(); }
+  [[nodiscard]] AlgorithmId algorithm() const { return algorithm_; }
 
  private:
   void RefitSurrogate();
-  std::vector<std::vector<double>> MakeCandidates(Rng* rng) const;
+  [[nodiscard]] std::vector<std::vector<double>> MakeCandidates(Rng* rng) const;
 
   AlgorithmId algorithm_;
   BayesOptConfig config_;
@@ -64,9 +64,9 @@ class PortfolioOptimizer {
   Configuration Propose(Rng* rng);
   void Observe(const Configuration& config, double loss);
 
-  double best_loss() const { return best_loss_; }
-  const Configuration& best_config() const { return best_config_; }
-  size_t n_observations() const { return n_observations_; }
+  [[nodiscard]] double best_loss() const { return best_loss_; }
+  [[nodiscard]] const Configuration& best_config() const { return best_config_; }
+  [[nodiscard]] size_t n_observations() const { return n_observations_; }
 
  private:
   std::vector<BayesianOptimizer> members_;

@@ -38,10 +38,10 @@ class GaussianProcess {
     double mean = 0.0;
     double variance = 0.0;
   };
-  Prediction Predict(const std::vector<double>& x) const;
+  [[nodiscard]] Prediction Predict(const std::vector<double>& x) const;
 
-  bool fitted() const { return !alpha_.empty(); }
-  size_t n_observations() const { return x_train_.rows(); }
+  [[nodiscard]] bool fitted() const { return !alpha_.empty(); }
+  [[nodiscard]] size_t n_observations() const { return x_train_.rows(); }
 
  private:
   GpConfig config_;

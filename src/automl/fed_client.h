@@ -75,7 +75,7 @@ class ForecastClient : public fl::Client {
     size_t train_end = 0;
     size_t valid_end = 0;
   };
-  RowSplit SplitRows(size_t n_rows) const;
+  [[nodiscard]] RowSplit SplitRows(size_t n_rows) const;
 
   std::string id_;
   ts::MultiSeries series_;

@@ -31,10 +31,10 @@ struct KnowledgeBaseRecord {
 class KnowledgeBase {
  public:
   void Add(KnowledgeBaseRecord record) { records_.push_back(std::move(record)); }
-  const std::vector<KnowledgeBaseRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<KnowledgeBaseRecord>& records() const { return records_; }
+  [[nodiscard]] size_t size() const { return records_.size(); }
 
-  Status SaveCsv(const std::string& path) const;
+  [[nodiscard]] Status SaveCsv(const std::string& path) const;
   static Result<KnowledgeBase> LoadCsv(const std::string& path);
 
  private:

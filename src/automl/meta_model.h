@@ -35,8 +35,8 @@ class MetaModel {
       const std::vector<double>& aggregated_meta_features,
       const std::vector<AlgorithmId>& algorithms, size_t n_configs) const;
 
-  bool trained() const { return trained_; }
-  const std::string classifier_name() const { return classifier_->Name(); }
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] const std::string classifier_name() const { return classifier_->Name(); }
 
  private:
   std::unique_ptr<ml::Classifier> classifier_;

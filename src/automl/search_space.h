@@ -49,11 +49,11 @@ struct Configuration {
   std::map<std::string, double> numeric;
   std::map<std::string, std::string> categorical;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Flat wire form for FL payloads: [algorithm_index, encoded dims...]
   /// using the unit-cube encoding of the algorithm's search space.
-  std::vector<double> ToTensor() const;
+  [[nodiscard]] std::vector<double> ToTensor() const;
   static Result<Configuration> FromTensor(const std::vector<double>& tensor);
 };
 
@@ -63,20 +63,20 @@ class SearchSpace {
  public:
   static const SearchSpace& ForAlgorithm(AlgorithmId id);
 
-  AlgorithmId algorithm() const { return algorithm_; }
-  const std::vector<HyperParam>& params() const { return params_; }
-  size_t n_dims() const { return params_.size(); }
+  [[nodiscard]] AlgorithmId algorithm() const { return algorithm_; }
+  [[nodiscard]] const std::vector<HyperParam>& params() const { return params_; }
+  [[nodiscard]] size_t n_dims() const { return params_.size(); }
 
-  Configuration Sample(Rng* rng) const;
+  [[nodiscard]] Configuration Sample(Rng* rng) const;
   /// Encodes to [0,1]^n_dims (log dims in log space; categoricals at their
   /// index midpoints).
-  std::vector<double> Encode(const Configuration& config) const;
+  [[nodiscard]] std::vector<double> Encode(const Configuration& config) const;
   /// Inverse of Encode (values clamped into range).
-  Configuration Decode(const std::vector<double>& unit) const;
+  [[nodiscard]] Configuration Decode(const std::vector<double>& unit) const;
 
   /// Full-factorial grid with ~`per_dim` points per dimension (used by the
   /// knowledge-base labelling grid search, Section 4.1.1).
-  std::vector<Configuration> Grid(size_t per_dim) const;
+  [[nodiscard]] std::vector<Configuration> Grid(size_t per_dim) const;
 
  private:
   SearchSpace(AlgorithmId id, std::vector<HyperParam> params)

@@ -29,9 +29,9 @@ class Matrix {
   /// Single-column matrix from a vector.
   static Matrix ColumnVector(const std::vector<double>& v);
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-  bool empty() const { return data_.empty(); }
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
 
   double& operator()(size_t r, size_t c) {
     FEDFC_DCHECK(r < rows_ && c < cols_);
@@ -44,31 +44,31 @@ class Matrix {
 
   /// Raw row pointer (row-major layout).
   double* Row(size_t r) { return &data_[r * cols_]; }
-  const double* Row(size_t r) const { return &data_[r * cols_]; }
+  [[nodiscard]] const double* Row(size_t r) const { return &data_[r * cols_]; }
 
   std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
 
-  Matrix Transpose() const;
-  Matrix Multiply(const Matrix& other) const;
-  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
-  Matrix Add(const Matrix& other) const;
-  Matrix Subtract(const Matrix& other) const;
-  Matrix Scale(double s) const;
+  [[nodiscard]] Matrix Transpose() const;
+  [[nodiscard]] Matrix Multiply(const Matrix& other) const;
+  [[nodiscard]] std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+  [[nodiscard]] Matrix Add(const Matrix& other) const;
+  [[nodiscard]] Matrix Subtract(const Matrix& other) const;
+  [[nodiscard]] Matrix Scale(double s) const;
 
   /// Appends a column of ones on the left (design matrices with intercept).
-  Matrix WithInterceptColumn() const;
+  [[nodiscard]] Matrix WithInterceptColumn() const;
 
   /// Extracts column c as a vector.
-  std::vector<double> Column(size_t c) const;
+  [[nodiscard]] std::vector<double> Column(size_t c) const;
   void SetColumn(size_t c, const std::vector<double>& v);
 
   /// Selects a subset of rows (by index, in order; duplicates allowed).
-  Matrix SelectRows(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Matrix SelectRows(const std::vector<size_t>& indices) const;
   /// Selects a subset of columns (by index, in order).
-  Matrix SelectColumns(const std::vector<size_t>& indices) const;
+  [[nodiscard]] Matrix SelectColumns(const std::vector<size_t>& indices) const;
 
-  std::string ToString(int max_rows = 8) const;
+  [[nodiscard]] std::string ToString(int max_rows = 8) const;
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;

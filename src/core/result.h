@@ -14,8 +14,14 @@ namespace fedfc {
 ///
 /// A Result<T> is either an OK status paired with a T, or a non-OK Status.
 /// Accessing the value of an errored Result aborts (programming error).
+///
+/// The class itself is [[nodiscard]]: a call whose Result is dropped on the
+/// floor is a compile error under FEDFC_WERROR (and a warning otherwise).
+/// The only sanctioned silencer is a `(void)` cast carrying a
+/// `// fedfc-allow(result_discard): <reason>` annotation, which the
+/// fedfc_lint `result_discard` rule audits (docs/STATIC_ANALYSIS.md).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common "return value;" case).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -25,14 +31,14 @@ class Result {
         << "Result constructed from OK status without a value";
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     FEDFC_CHECK(ok()) << "Result::value() on error: " << status().ToString();
     return std::get<T>(repr_);
   }
@@ -51,7 +57,7 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` when errored.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     if (ok()) return std::get<T>(repr_);
     return fallback;
   }

@@ -29,7 +29,12 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (the
 /// message is empty in the common OK case).
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile error under FEDFC_WERROR. Discards must be spelled `(void)` and
+/// carry a `// fedfc-allow(result_discard): <reason>` annotation, enforced
+/// by the fedfc_lint `result_discard` rule (docs/STATIC_ANALYSIS.md).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -61,12 +66,12 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

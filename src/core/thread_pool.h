@@ -39,7 +39,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t size() const { return size_; }
+  [[nodiscard]] size_t size() const { return size_; }
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits it to return 0 when the count is unknowable).

@@ -19,8 +19,8 @@ struct FederatedDataset {
   ts::Series consolidated;
   bool naturally_federated = false;
 
-  size_t n_clients() const { return clients.size(); }
-  size_t total_instances() const {
+  [[nodiscard]] size_t n_clients() const { return clients.size(); }
+  [[nodiscard]] size_t total_instances() const {
     size_t n = 0;
     for (const auto& c : clients) n += c.size();
     return n;

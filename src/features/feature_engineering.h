@@ -36,7 +36,7 @@ struct FeatureEngineeringSpec {
   std::vector<size_t> selected_features;
 
   /// Serialized form for FL payload broadcast.
-  std::vector<double> ToTensor() const;
+  [[nodiscard]] std::vector<double> ToTensor() const;
   static Result<FeatureEngineeringSpec> FromTensor(const std::vector<double>& t);
 };
 

@@ -49,7 +49,7 @@ struct ClientMetaFeatures {
   std::vector<double> histogram;
 
   /// Flat wire representation (fixed layout) for FL payloads.
-  std::vector<double> ToTensor() const;
+  [[nodiscard]] std::vector<double> ToTensor() const;
   static Result<ClientMetaFeatures> FromTensor(const std::vector<double>& tensor);
 };
 

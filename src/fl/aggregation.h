@@ -27,7 +27,7 @@ class EnsembleRegressor : public ml::Regressor {
     return std::make_unique<EnsembleRegressor>(*this);
   }
 
-  size_t size() const { return members_.size(); }
+  [[nodiscard]] size_t size() const { return members_.size(); }
 
  private:
   std::vector<std::unique_ptr<ml::Regressor>> members_;

@@ -30,19 +30,19 @@ class Payload {
     values_[key] = std::move(v);
   }
 
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-  size_t size() const { return values_.size(); }
+  [[nodiscard]] bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] size_t size() const { return values_.size(); }
 
-  Result<double> GetDouble(const std::string& key) const;
-  Result<int64_t> GetInt(const std::string& key) const;
-  Result<std::string> GetString(const std::string& key) const;
-  Result<std::vector<double>> GetTensor(const std::string& key) const;
+  [[nodiscard]] Result<double> GetDouble(const std::string& key) const;
+  [[nodiscard]] Result<int64_t> GetInt(const std::string& key) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
+  [[nodiscard]] Result<std::vector<double>> GetTensor(const std::string& key) const;
 
   /// Sorted key list (deterministic iteration for serialization and tests).
-  std::vector<std::string> Keys() const;
+  [[nodiscard]] std::vector<std::string> Keys() const;
 
   /// Compact binary wire format (little-endian, length-prefixed entries).
-  std::vector<uint8_t> Serialize() const;
+  [[nodiscard]] std::vector<uint8_t> Serialize() const;
   static Result<Payload> Deserialize(const std::vector<uint8_t>& bytes);
 
   bool operator==(const Payload& other) const { return values_ == other.values_; }
@@ -50,7 +50,7 @@ class Payload {
  private:
   /// Key-miss error naming the available keys (round plumbing is far easier
   /// to debug when the message shows what the payload actually carries).
-  Status KeyNotFound(const std::string& key) const;
+  [[nodiscard]] Status KeyNotFound(const std::string& key) const;
   /// Type-mismatch error naming the actual stored type.
   Status TypeMismatch(const std::string& key, const Value& value,
                       const char* wanted) const;

@@ -25,7 +25,7 @@ class SecureAggregator {
   SecureAggregator(size_t n_clients, uint64_t session_seed)
       : n_clients_(n_clients), session_seed_(session_seed) {}
 
-  size_t n_clients() const { return n_clients_; }
+  [[nodiscard]] size_t n_clients() const { return n_clients_; }
 
   /// Client side: masks `values` (already weighted by alpha_j) for client
   /// `client_index`. All clients must mask tensors of identical length.
@@ -39,7 +39,7 @@ class SecureAggregator {
       const std::vector<std::vector<double>>& masked);
 
   /// The shared mask stream for the (i, j) pair, exposed for tests.
-  std::vector<double> PairMask(size_t i, size_t j, size_t length) const;
+  [[nodiscard]] std::vector<double> PairMask(size_t i, size_t j, size_t length) const;
 
  private:
   size_t n_clients_;

@@ -34,12 +34,12 @@ class Server : public RoundRunner {
   Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes,
          size_t num_threads = 1);
 
-  size_t num_clients() const { return client_sizes_.size(); }
+  [[nodiscard]] size_t num_clients() const { return client_sizes_.size(); }
 
   /// Resizes the round worker pool (1 = sequential). Cheap when the count is
   /// unchanged; must not be called while a round is in flight.
   void set_num_threads(size_t num_threads);
-  size_t num_threads() const { return pool_ ? pool_->size() : 1; }
+  [[nodiscard]] size_t num_threads() const { return pool_ ? pool_->size() : 1; }
 
   /// Runs one federated round as described by the spec. Fails when every
   /// sampled client fails, or when fewer than
@@ -61,7 +61,7 @@ class Server : public RoundRunner {
   static Result<std::vector<double>> AggregateTensor(
       const std::vector<ClientReply>& replies, const std::string& key);
 
-  TransportStats transport_stats() const { return transport_->stats(); }
+  [[nodiscard]] TransportStats transport_stats() const { return transport_->stats(); }
   Transport& transport() { return *transport_; }
 
  private:

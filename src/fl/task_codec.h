@@ -42,7 +42,7 @@ inline constexpr char kNumExamples[] = "__num_examples";
 /// `meta_features`: request is empty; reply carries the client's Table 1
 /// meta-feature tensor and its instance count.
 struct MetaFeaturesRequest {
-  Payload ToPayload() const { return Payload(); }
+  [[nodiscard]] Payload ToPayload() const { return Payload(); }
   static Result<MetaFeaturesRequest> FromPayload(const Payload&) {
     return MetaFeaturesRequest();
   }
@@ -52,7 +52,7 @@ struct MetaFeaturesReply {
   std::vector<double> meta_features;
   int64_t n_instances = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<MetaFeaturesReply> FromPayload(const Payload& p);
 };
 
@@ -61,14 +61,14 @@ struct MetaFeaturesReply {
 struct FeatureImportanceRequest {
   std::vector<double> spec;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FeatureImportanceRequest> FromPayload(const Payload& p);
 };
 
 struct FeatureImportanceReply {
   std::vector<double> importances;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FeatureImportanceReply> FromPayload(const Payload& p);
 };
 
@@ -77,7 +77,7 @@ struct FitEvaluateRequest {
   std::vector<double> spec;
   std::vector<double> config;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FitEvaluateRequest> FromPayload(const Payload& p);
 };
 
@@ -85,7 +85,7 @@ struct FitEvaluateReply {
   double valid_loss = 0.0;
   int64_t n_valid = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FitEvaluateReply> FromPayload(const Payload& p);
 };
 
@@ -94,7 +94,7 @@ struct FitFinalRequest {
   std::vector<double> spec;
   std::vector<double> config;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FitFinalRequest> FromPayload(const Payload& p);
 };
 
@@ -102,7 +102,7 @@ struct FitFinalReply {
   std::vector<double> model_blob;
   int64_t n_fit = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<FitFinalReply> FromPayload(const Payload& p);
 };
 
@@ -113,7 +113,7 @@ struct EvaluateModelRequest {
   std::vector<double> config;
   std::vector<double> model_blob;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<EvaluateModelRequest> FromPayload(const Payload& p);
 };
 
@@ -121,7 +121,7 @@ struct EvaluateModelReply {
   double test_loss = 0.0;
   int64_t n_test = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<EvaluateModelReply> FromPayload(const Payload& p);
 };
 
@@ -130,7 +130,7 @@ struct EvaluateModelReply {
 struct NBeatsRoundRequest {
   std::optional<std::vector<double>> params;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<NBeatsRoundRequest> FromPayload(const Payload& p);
 };
 
@@ -139,7 +139,7 @@ struct NBeatsRoundReply {
   double train_loss = 0.0;
   int64_t n_train = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<NBeatsRoundReply> FromPayload(const Payload& p);
 };
 
@@ -147,7 +147,7 @@ struct NBeatsRoundReply {
 struct NBeatsEvaluateRequest {
   std::optional<std::vector<double>> params;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<NBeatsEvaluateRequest> FromPayload(const Payload& p);
 };
 
@@ -155,14 +155,14 @@ struct NBeatsEvaluateReply {
   double test_loss = 0.0;
   int64_t n_test = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<NBeatsEvaluateReply> FromPayload(const Payload& p);
 };
 
 /// `__num_examples`: request is empty; reply carries the client's local
 /// example count (the aggregation weight numerator of Equation 1).
 struct NumExamplesRequest {
-  Payload ToPayload() const { return Payload(); }
+  [[nodiscard]] Payload ToPayload() const { return Payload(); }
   static Result<NumExamplesRequest> FromPayload(const Payload&) {
     return NumExamplesRequest();
   }
@@ -171,7 +171,7 @@ struct NumExamplesRequest {
 struct NumExamplesReply {
   int64_t n_examples = 0;
 
-  Payload ToPayload() const;
+  [[nodiscard]] Payload ToPayload() const;
   static Result<NumExamplesReply> FromPayload(const Payload& p);
 };
 
@@ -200,17 +200,17 @@ class TaskRegistry {
     });
   }
 
-  bool Has(const std::string& task) const { return handlers_.count(task) > 0; }
+  [[nodiscard]] bool Has(const std::string& task) const { return handlers_.count(task) > 0; }
 
   /// Registered task ids, sorted (map order).
-  std::vector<std::string> TaskIds() const {
+  [[nodiscard]] std::vector<std::string> TaskIds() const {
     std::vector<std::string> ids;
     ids.reserve(handlers_.size());
     for (const auto& [task, _] : handlers_) ids.push_back(task);
     return ids;
   }
 
-  Result<Payload> Dispatch(const std::string& task, const Payload& request) const {
+  [[nodiscard]] Result<Payload> Dispatch(const std::string& task, const Payload& request) const {
     auto it = handlers_.find(task);
     if (it == handlers_.end()) {
       std::string known;

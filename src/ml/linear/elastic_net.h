@@ -29,7 +29,7 @@ class ElasticNetRegressor : public LinearRegressorBase {
     return std::make_unique<ElasticNetRegressor>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  protected:
   Status FitStandardized(const Matrix& x, const std::vector<double>& y, Rng* rng,
@@ -64,8 +64,8 @@ class ElasticNetCvRegressor : public LinearRegressorBase {
     return std::make_unique<ElasticNetCvRegressor>(*this);
   }
 
-  const Config& config() const { return config_; }
-  double chosen_alpha() const { return chosen_alpha_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] double chosen_alpha() const { return chosen_alpha_; }
 
  protected:
   Status FitStandardized(const Matrix& x, const std::vector<double>& y, Rng* rng,

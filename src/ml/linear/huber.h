@@ -29,7 +29,7 @@ class HuberRegressor : public LinearRegressorBase {
     return std::make_unique<HuberRegressor>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  protected:
   Status FitStandardized(const Matrix& x, const std::vector<double>& y, Rng* rng,

@@ -28,8 +28,8 @@ class LinearRegressorBase : public Regressor {
   Status SetParameters(const std::vector<double>& params) override;
   bool SupportsParameterAveraging() const override { return true; }
 
-  const std::vector<double>& weights() const { return weights_; }
-  double intercept() const { return intercept_; }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
 
  protected:
   /// Fits `weights_std`/`intercept_std` on standardized data. `x` rows are

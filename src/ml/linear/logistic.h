@@ -34,7 +34,7 @@ class LogisticRegressionClassifier : public Classifier {
     return std::make_unique<LogisticRegressionClassifier>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  private:
   Config config_;

@@ -30,7 +30,7 @@ class QuantileRegressor : public LinearRegressorBase {
     return std::make_unique<QuantileRegressor>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  protected:
   Status FitStandardized(const Matrix& x, const std::vector<double>& y, Rng* rng,

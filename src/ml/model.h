@@ -63,7 +63,7 @@ class Classifier {
   int n_classes_ = 0;
 
  public:
-  int n_classes() const { return n_classes_; }
+  [[nodiscard]] int n_classes() const { return n_classes_; }
 };
 
 }  // namespace fedfc::ml

@@ -27,7 +27,7 @@ class AdamOptimizer {
   void Step(const std::vector<ParamSpan>& spans);
 
   void Reset();
-  size_t step_count() const { return t_; }
+  [[nodiscard]] size_t step_count() const { return t_; }
 
  private:
   Config config_;

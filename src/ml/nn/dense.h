@@ -35,7 +35,7 @@ class DenseLayer {
   Matrix Forward(const Matrix& input);
 
   /// Inference-only forward: no state is cached, so Backward must not follow.
-  Matrix ForwardInference(const Matrix& input) const;
+  [[nodiscard]] Matrix ForwardInference(const Matrix& input) const;
 
   /// grad_output: (batch, out_dim); accumulates weight/bias grads and returns
   /// grad wrt the input, (batch, in_dim). Must follow a Forward call.
@@ -44,9 +44,9 @@ class DenseLayer {
   void ZeroGrads();
   std::vector<ParamSpan> Params();
 
-  size_t in_dim() const { return in_dim_; }
-  size_t out_dim() const { return out_dim_; }
-  size_t n_params() const { return weights_.data().size() + biases_.size(); }
+  [[nodiscard]] size_t in_dim() const { return in_dim_; }
+  [[nodiscard]] size_t out_dim() const { return out_dim_; }
+  [[nodiscard]] size_t n_params() const { return weights_.data().size() + biases_.size(); }
 
   /// Flat parameter I/O (weights row-major, then biases) for FL averaging.
   void AppendParameters(std::vector<double>* out) const;

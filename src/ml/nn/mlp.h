@@ -37,10 +37,10 @@ class MlpClassifier : public Classifier {
     return std::make_unique<MlpClassifier>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  private:
-  Matrix ForwardLogits(const Matrix& x) const;
+  [[nodiscard]] Matrix ForwardLogits(const Matrix& x) const;
 
   Config config_;
   StandardScaler scaler_;

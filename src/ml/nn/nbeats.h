@@ -56,7 +56,7 @@ class NBeatsBlock {
   std::pair<Matrix, Matrix> Forward(const Matrix& x);
 
   /// Inference-only forward (no cached state; Backward must not follow).
-  std::pair<Matrix, Matrix> ForwardInference(const Matrix& x) const;
+  [[nodiscard]] std::pair<Matrix, Matrix> ForwardInference(const Matrix& x) const;
 
   /// Returns grad wrt the block input; accumulates parameter grads.
   Matrix Backward(const Matrix& grad_backcast, const Matrix& grad_forecast);
@@ -65,9 +65,9 @@ class NBeatsBlock {
   std::vector<nn::ParamSpan> Params();
   void AppendParameters(std::vector<double>* out) const;
   size_t LoadParameters(const std::vector<double>& params, size_t offset);
-  size_t n_params() const;
+  [[nodiscard]] size_t n_params() const;
 
-  NBeatsBlockKind kind() const { return kind_; }
+  [[nodiscard]] NBeatsBlockKind kind() const { return kind_; }
 
  private:
   NBeatsBlockKind kind_;
@@ -105,9 +105,9 @@ class NBeatsRegressor : public Regressor {
     return std::make_unique<NBeatsRegressor>(*this);
   }
 
-  const NBeatsConfig& config() const { return config_; }
-  size_t n_params() const;
-  bool built() const { return !blocks_.empty(); }
+  [[nodiscard]] const NBeatsConfig& config() const { return config_; }
+  [[nodiscard]] size_t n_params() const;
+  [[nodiscard]] bool built() const { return !blocks_.empty(); }
 
  private:
   /// Forward over all blocks with residual stacking; training path.

@@ -12,12 +12,12 @@ namespace fedfc::ml {
 class StandardScaler {
  public:
   void Fit(const Matrix& x);
-  Matrix Transform(const Matrix& x) const;
+  [[nodiscard]] Matrix Transform(const Matrix& x) const;
   Matrix FitTransform(const Matrix& x);
 
-  bool fitted() const { return !means_.empty(); }
-  const std::vector<double>& means() const { return means_; }
-  const std::vector<double>& scales() const { return scales_; }
+  [[nodiscard]] bool fitted() const { return !means_.empty(); }
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scales_; }
 
  private:
   std::vector<double> means_;
@@ -28,11 +28,11 @@ class StandardScaler {
 class TargetScaler {
  public:
   void Fit(const std::vector<double>& y);
-  std::vector<double> Transform(const std::vector<double>& y) const;
-  std::vector<double> InverseTransform(const std::vector<double>& y) const;
+  [[nodiscard]] std::vector<double> Transform(const std::vector<double>& y) const;
+  [[nodiscard]] std::vector<double> InverseTransform(const std::vector<double>& y) const;
 
-  double mean() const { return mean_; }
-  double scale() const { return scale_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double scale() const { return scale_; }
 
   /// Direct state restore (used when scaler state travels with serialized
   /// model parameters across the federation). `scale` must be positive.

@@ -41,14 +41,14 @@ class DecisionTree {
              const std::vector<size_t>& sample_indices, Rng* rng);
 
   /// Regression prediction for one row.
-  double PredictRow(const double* row) const;
+  [[nodiscard]] double PredictRow(const double* row) const;
   /// Class distribution for one row (classification trees only).
-  const std::vector<double>& PredictDistRow(const double* row) const;
+  [[nodiscard]] const std::vector<double>& PredictDistRow(const double* row) const;
 
   /// Total impurity decrease attributed to each feature.
-  const std::vector<double>& feature_importances() const { return importances_; }
-  size_t n_nodes() const { return nodes_.size(); }
-  Task task() const { return task_; }
+  [[nodiscard]] const std::vector<double>& feature_importances() const { return importances_; }
+  [[nodiscard]] size_t n_nodes() const { return nodes_.size(); }
+  [[nodiscard]] Task task() const { return task_; }
 
  private:
   struct Node {

@@ -15,18 +15,18 @@ class BinnedMatrix {
   /// Bins each column into at most `max_bins` quantile buckets.
   static BinnedMatrix Build(const Matrix& x, int max_bins = 32);
 
-  uint8_t bin(size_t row, size_t col) const { return bins_[row * cols_ + col]; }
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
+  [[nodiscard]] uint8_t bin(size_t row, size_t col) const { return bins_[row * cols_ + col]; }
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
   /// Actual number of bins used for a feature (<= max_bins).
-  int n_bins(size_t col) const { return n_bins_[col]; }
+  [[nodiscard]] int n_bins(size_t col) const { return n_bins_[col]; }
 
   /// Bins a new (unseen) value of feature `col` using the stored edges.
-  uint8_t BinValue(size_t col, double value) const;
+  [[nodiscard]] uint8_t BinValue(size_t col, double value) const;
 
   /// Upper edge of bin b for feature `col` (split "bin <= b" corresponds to
   /// value <= UpperEdge(col, b)).
-  double UpperEdge(size_t col, int b) const {
+  [[nodiscard]] double UpperEdge(size_t col, int b) const {
     return edges_[col][static_cast<size_t>(b)];
   }
 

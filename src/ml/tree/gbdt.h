@@ -39,13 +39,13 @@ class GbdtRegressor : public Regressor {
     return std::make_unique<GbdtRegressor>(*this);
   }
 
-  const GbdtConfig& config() const { return config_; }
-  size_t n_trees() const { return trees_.size(); }
+  [[nodiscard]] const GbdtConfig& config() const { return config_; }
+  [[nodiscard]] size_t n_trees() const { return trees_.size(); }
 
   /// Full fitted-model encoding (base score + every tree) for FL transfer.
   /// This is NOT averageable (SupportsParameterAveraging stays false); the
   /// server reconstructs per-client models and ensembles them.
-  std::vector<double> SerializeModel() const;
+  [[nodiscard]] std::vector<double> SerializeModel() const;
   Status DeserializeModel(const std::vector<double>& data);
 
  private:
@@ -73,7 +73,7 @@ class GbdtClassifier : public Classifier {
     return std::make_unique<GbdtClassifier>(*this);
   }
 
-  const GbdtConfig& config() const { return config_; }
+  [[nodiscard]] const GbdtConfig& config() const { return config_; }
 
  private:
   GbdtConfig config_;

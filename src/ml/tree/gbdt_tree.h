@@ -29,11 +29,11 @@ class GbdtTree {
            const std::vector<double>& h, const std::vector<size_t>& sample_indices,
            const GbdtTreeConfig& config);
 
-  double PredictRow(const double* row) const;
+  [[nodiscard]] double PredictRow(const double* row) const;
 
-  size_t n_nodes() const { return nodes_.size(); }
+  [[nodiscard]] size_t n_nodes() const { return nodes_.size(); }
   /// Total split gain per feature (for importances).
-  const std::vector<double>& feature_gains() const { return gains_; }
+  [[nodiscard]] const std::vector<double>& feature_gains() const { return gains_; }
 
   /// Flat numeric encoding (for FL model transfer): node count followed by
   /// (feature, threshold, left, right, weight) per node.

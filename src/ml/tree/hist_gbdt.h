@@ -36,7 +36,7 @@ class HistGbdtClassifier : public Classifier {
     return std::make_unique<HistGbdtClassifier>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  private:
   struct Node {
@@ -48,7 +48,7 @@ class HistGbdtClassifier : public Classifier {
   };
   struct Tree {
     std::vector<Node> nodes;
-    double PredictRow(const double* row) const;
+    [[nodiscard]] double PredictRow(const double* row) const;
   };
 
   Tree BuildTree(const gbdt_internal::BinnedMatrix& binned,

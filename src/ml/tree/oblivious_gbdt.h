@@ -36,7 +36,7 @@ class ObliviousGbdtClassifier : public Classifier {
     return std::make_unique<ObliviousGbdtClassifier>(*this);
   }
 
-  const Config& config() const { return config_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  private:
   struct Tree {
@@ -45,7 +45,7 @@ class ObliviousGbdtClassifier : public Classifier {
     std::vector<int> features;
     std::vector<double> thresholds;
     std::vector<double> leaf_weights;  // Size 2^depth.
-    double PredictRow(const double* row) const;
+    [[nodiscard]] double PredictRow(const double* row) const;
   };
 
   Tree BuildTree(const gbdt_internal::BinnedMatrix& binned,

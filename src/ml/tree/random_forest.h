@@ -51,8 +51,8 @@ class RandomForestRegressor : public Regressor {
   }
 
   /// Importances normalized to sum to 1 (all-zero when no splits happened).
-  const std::vector<double>& feature_importances() const { return importances_; }
-  const ForestConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<double>& feature_importances() const { return importances_; }
+  [[nodiscard]] const ForestConfig& config() const { return config_; }
 
  private:
   ForestConfig config_;
@@ -80,8 +80,8 @@ class RandomForestClassifier : public Classifier {
     return std::make_unique<RandomForestClassifier>(*this);
   }
 
-  const std::vector<double>& feature_importances() const { return importances_; }
-  const ForestConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<double>& feature_importances() const { return importances_; }
+  [[nodiscard]] const ForestConfig& config() const { return config_; }
 
  private:
   ForestConfig config_;

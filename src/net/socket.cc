@@ -13,6 +13,8 @@
 
 #include <system_error>
 
+#include "core/logging.h"
+
 namespace fedfc::net {
 
 namespace {
@@ -44,6 +46,17 @@ struct Deadline {
 std::string ErrnoMessage(const char* what, int err) {
   return std::string(what) + ": " + std::error_code(err, std::generic_category())
                                         .message();
+}
+
+/// Best-effort boolean socket option (TCP_NODELAY, SO_REUSEADDR): a failure
+/// never aborts the connection, but it must not pass silently either — the
+/// errno is logged so a misbehaving stack is visible in worker logs.
+void EnableSockOptOrLog(int fd, int level, int optname, const char* what) {
+  const int one = 1;
+  if (::setsockopt(fd, level, optname, &one, sizeof(one)) != 0) {
+    FEDFC_LOG(Warning) << "socket: best-effort "
+                       << ErrnoMessage(what, errno) << " (continuing)";
+  }
 }
 
 Status SetNonBlocking(int fd) {
@@ -102,9 +115,9 @@ Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port,
     return Status::IOError(ErrnoMessage("socket: socket()", errno));
   }
   FEDFC_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
-  const int one = 1;
   // Latency over throughput: frames are small request/reply pairs.
-  (void)::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  EnableSockOptOrLog(socket.fd(), IPPROTO_TCP, TCP_NODELAY,
+                     "setsockopt(TCP_NODELAY)");
   if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     if (errno != EINPROGRESS) {
@@ -182,8 +195,8 @@ Result<Listener> Listener::ListenTcp(const std::string& host, uint16_t port,
   if (!socket.valid()) {
     return Status::IOError(ErrnoMessage("socket: socket()", errno));
   }
-  const int one = 1;
-  (void)::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  EnableSockOptOrLog(socket.fd(), SOL_SOCKET, SO_REUSEADDR,
+                     "setsockopt(SO_REUSEADDR)");
   if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     return Status::IOError(ErrnoMessage("socket: bind", errno));
@@ -209,9 +222,8 @@ Result<Socket> Listener::Accept(int timeout_ms) {
     if (fd >= 0) {
       Socket conn(fd);
       FEDFC_RETURN_IF_ERROR(SetNonBlocking(conn.fd()));
-      const int one = 1;
-      (void)::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
-                         sizeof(one));
+      EnableSockOptOrLog(conn.fd(), IPPROTO_TCP, TCP_NODELAY,
+                         "setsockopt(TCP_NODELAY)");
       return conn;
     }
     if (errno == EINTR) continue;

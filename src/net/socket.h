@@ -44,8 +44,8 @@ class Socket {
   static Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
                                    int timeout_ms);
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
   void Close();
 
   /// Sends exactly `len` bytes (looping over partial writes) within the
@@ -74,8 +74,8 @@ class Listener {
   static Result<Listener> ListenTcp(const std::string& host, uint16_t port,
                                     int backlog = 16);
 
-  bool valid() const { return socket_.valid(); }
-  uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  [[nodiscard]] uint16_t port() const { return port_; }
   void Close() { socket_.Close(); }
 
   /// Accepts one pending connection, waiting up to `timeout_ms`.

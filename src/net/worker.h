@@ -38,7 +38,7 @@ class WorkerServer {
                WorkerOptions options = {})
       : listener_(std::move(listener)), client_(client), options_(options) {}
 
-  uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] uint16_t port() const { return listener_.port(); }
 
   /// Blocks until a shutdown frame arrives or RequestStop is called.
   /// Returns non-OK only when the listening socket itself fails.
@@ -49,7 +49,7 @@ class WorkerServer {
   void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
 
  private:
-  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
   /// Serves frames on one connection; true = shutdown frame received.
   bool ServeConnection(Socket conn);

@@ -18,7 +18,7 @@ struct AdfResult {
   size_t n_obs = 0;             ///< Effective regression sample size.
 
   /// Rejects the unit-root null at 5% => series treated as stationary.
-  bool stationary() const { return statistic < critical_5pct; }
+  [[nodiscard]] bool stationary() const { return statistic < critical_5pct; }
 };
 
 /// Augmented Dickey-Fuller test with intercept. The augmentation lag order

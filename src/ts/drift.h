@@ -28,10 +28,10 @@ class PageHinkleyDetector {
 
   void Reset();
 
-  size_t n_samples() const { return n_; }
+  [[nodiscard]] size_t n_samples() const { return n_; }
   /// Current cumulative statistic (m_t - M_t).
-  double statistic() const { return cumulative_ - min_cumulative_; }
-  size_t n_detections() const { return detections_; }
+  [[nodiscard]] double statistic() const { return cumulative_ - min_cumulative_; }
+  [[nodiscard]] size_t n_detections() const { return detections_; }
 
  private:
   Config config_;

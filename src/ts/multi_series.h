@@ -18,14 +18,14 @@ struct MultiSeries {
   std::vector<std::string> covariate_names;
   std::vector<Series> covariates;
 
-  size_t size() const { return target.size(); }
-  size_t n_covariates() const { return covariates.size(); }
+  [[nodiscard]] size_t size() const { return target.size(); }
+  [[nodiscard]] size_t n_covariates() const { return covariates.size(); }
 
   /// Checks channel alignment: equal lengths and matching time axes.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Sub-range [begin, end) across all channels.
-  MultiSeries Slice(size_t begin, size_t end) const;
+  [[nodiscard]] MultiSeries Slice(size_t begin, size_t end) const;
 };
 
 /// Contiguous time-series client splits of a multivariate dataset (the

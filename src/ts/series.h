@@ -30,41 +30,41 @@ class Series {
         start_epoch_(start_epoch),
         interval_seconds_(interval_seconds) {}
 
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  [[nodiscard]] size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
 
   double operator[](size_t i) const { return values_[i]; }
   double& operator[](size_t i) { return values_[i]; }
 
-  const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
 
-  int64_t start_epoch() const { return start_epoch_; }
-  int64_t interval_seconds() const { return interval_seconds_; }
-  int64_t TimestampAt(size_t i) const {
+  [[nodiscard]] int64_t start_epoch() const { return start_epoch_; }
+  [[nodiscard]] int64_t interval_seconds() const { return interval_seconds_; }
+  [[nodiscard]] int64_t TimestampAt(size_t i) const {
     return start_epoch_ + static_cast<int64_t>(i) * interval_seconds_;
   }
 
   /// Sampling rate in observations per day (the paper's "Sampling Rate"
   /// meta-feature). 24 for hourly data, 1 for daily, etc.
-  double SamplesPerDay() const {
+  [[nodiscard]] double SamplesPerDay() const {
     return 86400.0 / static_cast<double>(interval_seconds_);
   }
 
-  size_t CountMissing() const;
-  double MissingFraction() const;
+  [[nodiscard]] size_t CountMissing() const;
+  [[nodiscard]] double MissingFraction() const;
 
   /// Values with missing entries removed (order preserved).
-  std::vector<double> NonMissingValues() const;
+  [[nodiscard]] std::vector<double> NonMissingValues() const;
 
   /// Sub-series [begin, end) preserving the time axis.
-  Series Slice(size_t begin, size_t end) const;
+  [[nodiscard]] Series Slice(size_t begin, size_t end) const;
 
   /// Splits into the leading `1 - valid_fraction` (train) and trailing
   /// `valid_fraction` (validation) — a proper time-series split.
-  Result<std::pair<Series, Series>> TrainValidSplit(double valid_fraction) const;
+  [[nodiscard]] Result<std::pair<Series, Series>> TrainValidSplit(double valid_fraction) const;
 
-  std::string ToString(int max_values = 8) const;
+  [[nodiscard]] std::string ToString(int max_values = 8) const;
 
  private:
   std::vector<double> values_;

@@ -28,11 +28,11 @@ struct TrendModel {
   /// In-sample R^2 of the fit (0 for kFlat).
   double r2 = 0.0;
 
-  double Evaluate(double t) const;
+  [[nodiscard]] double Evaluate(double t) const;
   /// Trend evaluated at t = 0..n-1.
-  std::vector<double> EvaluateRange(size_t n) const;
+  [[nodiscard]] std::vector<double> EvaluateRange(size_t n) const;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// Fits a trend component:

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
 #include <cstring>
 #include <numeric>
 #include <vector>
@@ -161,6 +165,22 @@ TEST(SocketTest, ReadFrameRejectsGarbageHeader) {
   Result<Frame> r = ReadFrame(pair.server, 2000);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketTest, NodelayIsActuallySetOnBothEnds) {
+  // Regression for the setsockopt error handling added during the
+  // [[nodiscard]] sweep: TCP_NODELAY used to be applied via bare (void)
+  // casts; it is now applied through a logged best-effort helper. Pin that
+  // the option still lands on both the connecting and the accepted socket.
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  LoopbackPair pair = MakePair(&*listener);
+  for (const Socket* s : {&pair.client, &pair.server}) {
+    int flag = 0;
+    socklen_t len = sizeof(flag);
+    ASSERT_EQ(::getsockopt(s->fd(), IPPROTO_TCP, TCP_NODELAY, &flag, &len), 0);
+    EXPECT_NE(flag, 0);
+  }
 }
 
 }  // namespace

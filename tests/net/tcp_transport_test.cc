@@ -10,65 +10,10 @@
 #include "fl/client.h"
 #include "net/socket.h"
 #include "net/worker.h"
+#include "worker_harness.h"
 
 namespace fedfc::net {
 namespace {
-
-/// Echoes a scalar back; "fail" tasks return a typed NotFound error.
-class EchoClient : public fl::Client {
- public:
-  EchoClient(std::string id, double value, size_t n)
-      : id_(std::move(id)), value_(value), n_(n) {}
-
-  std::string id() const override { return id_; }
-  size_t num_examples() const override { return n_; }
-
-  Result<fl::Payload> Handle(const std::string& task,
-                             const fl::Payload& request) override {
-    if (task == "fail") return Status::NotFound("no handler for 'fail'");
-    fl::Payload reply;
-    reply.SetDouble("value", value_);
-    if (request.Has("x")) reply.SetDouble("echo", *request.GetDouble("x"));
-    return reply;
-  }
-
- private:
-  std::string id_;
-  double value_;
-  size_t n_;
-};
-
-WorkerOptions FastWorkerOptions() {
-  WorkerOptions opt;
-  opt.poll_interval_ms = 25;
-  opt.io_timeout_ms = 2000;
-  return opt;
-}
-
-/// One WorkerServer on a pool thread, torn down in the destructor. The pool
-/// must have a free thread (size >= 2: a size-1 pool runs Submit inline on
-/// the calling thread, which would deadlock the test against Serve).
-class WorkerHarness {
- public:
-  WorkerHarness(ThreadPool* pool, fl::Client* client) {
-    Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
-    EXPECT_TRUE(listener.ok()) << listener.status();
-    worker_ = std::make_unique<WorkerServer>(std::move(*listener), client,
-                                             FastWorkerOptions());
-    done_ = pool->Submit([w = worker_.get()]() { return w->Serve(); });
-  }
-
-  ~WorkerHarness() {
-    worker_->RequestStop();
-    EXPECT_TRUE(done_.get().ok());
-  }
-
-  uint16_t port() const { return worker_->port(); }
-
- private:
-  std::unique_ptr<WorkerServer> worker_;
-  std::future<Status> done_;
-};
 
 TEST(TcpTransportTest, ExecuteRoundTripsPayload) {
   ThreadPool pool(2);

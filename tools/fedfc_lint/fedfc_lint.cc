@@ -1,32 +1,55 @@
 // fedfc_lint: repo-invariant linter for the FedForecaster tree.
 //
 // Walks src/ (all rules) and tests/ (the rules marked include_tests) and
-// enforces invariants that keep federated rounds deterministic and the wire
-// protocol centralized (see docs/STATIC_ANALYSIS.md):
+// enforces invariants that keep federated rounds deterministic, the wire
+// protocol centralized, and errors unignorable (see docs/STATIC_ANALYSIS.md).
 //
-//   wire_keys    Payload Set*/Get* calls with a string-literal key (i.e. raw
-//                wire-key literals) may only appear in fl/task_codec.{h,cc}.
-//                Everything else must go through the typed codecs. src-only:
-//                tests legitimately probe payloads with literal keys.
-//   rng          No std::rand / srand / std::random_device / time(nullptr)
-//                outside core/rng.{h,cc}. All randomness must flow through
-//                the seeded fedfc::Rng so rounds are reproducible.
-//   threads      No raw std::thread / std::jthread / std::async outside
-//                core/thread_pool.{h,cc}. Concurrency goes through the pool,
-//                which the TSan gate instruments.
-//   guards       Every header uses the canonical include guard
-//                FEDFC_<PATH>_H_ (FEDFC_TESTS_<PATH>_H_ under tests/, and
-//                never #pragma once), so the guard style stays consistent
-//                across the tree. Applies to tests/ too.
-//   sockets      Raw POSIX socket syscalls (socket/connect/send/recv/accept/
-//                bind/listen) may only appear in src/net/socket.cc. All other
-//                code — tests included — goes through net::Socket/Listener so
-//                deadlines and error mapping stay in one place.
+// Architecture: every file is lexed ONCE into a shared token stream
+// (identifiers, punctuation, string/char/number literals, with comments and
+// preprocessor directives captured out-of-band), and each rule pattern-matches
+// over that stream. Rules therefore never fire on prose in comments or on
+// text inside string literals, and never re-scan the raw bytes.
+//
+//   wire_keys       Payload Set*/Get* calls with a string-literal key (raw
+//                   wire-key literals) may only appear in fl/task_codec.{h,cc}.
+//                   Everything else must go through the typed codecs. src-only:
+//                   tests legitimately probe payloads with literal keys.
+//   rng             No std::rand / srand / std::random_device / time(nullptr)
+//                   outside core/rng.{h,cc}. All randomness must flow through
+//                   the seeded fedfc::Rng so rounds are reproducible.
+//   threads         No raw std::thread / std::jthread / std::async outside
+//                   core/thread_pool.{h,cc}. Concurrency goes through the
+//                   pool, which the TSan gate instruments.
+//   guards          Every header uses the canonical include guard
+//                   FEDFC_<PATH>_H_ (FEDFC_TESTS_<PATH>_H_ under tests/, and
+//                   never #pragma once). Applies to tests/ too.
+//   sockets         Raw POSIX socket syscalls (socket/connect/send/recv/
+//                   accept/bind/listen) may only appear in src/net/socket.cc.
+//                   All other code — tests included — goes through
+//                   net::Socket/Listener.
+//   result_discard  No `(void)`-casting of a call expression. Result<T> and
+//                   Status are [[nodiscard]]; a bare (void) cast silences the
+//                   compiler invisibly. The only sanctioned discard carries a
+//                   `// fedfc-allow(result_discard): <reason>` annotation on
+//                   the same or preceding line.
+//   locks           Outside core/thread_pool.{h,cc}, std::mutex is only taken
+//                   via RAII (lock_guard/unique_lock/scoped_lock) — manual
+//                   .lock()/.unlock()/.try_lock() calls are banned so no
+//                   early-return path can leak a held mutex.
+//   includes        #include paths are repo-root-relative: no `../` or `./`
+//                   segments, no absolute paths, and never an #include of a
+//                   .cc/.cpp file.
+//
+// Per-line escape hatch (audited, greppable): a comment of the form
+//   // fedfc-allow(<rule>): <non-empty reason>
+// on the violating line or the line directly above suppresses that rule
+// there. Only the annotation-aware rules (result_discard, locks, includes)
+// honour it; the five original invariants cannot be silenced.
 //
 // Usage:
-//   fedfc_lint <repo_root>          lint <repo_root>/src and <repo_root>/tests
-//   fedfc_lint --self-test          run all embedded rule self-tests
-//   fedfc_lint --self-test <rule>   run one rule's self-test
+//   fedfc_lint [--format=json] <repo_root>   lint <repo_root>/src and /tests
+//   fedfc_lint --self-test [rule]            run embedded rule self-tests
+//   fedfc_lint --list-rules                  print every rule + scope
 //
 // Exit codes: 0 clean / self-tests pass, 1 violations found / self-test
 // failed, 2 usage or I/O error.
@@ -36,6 +59,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -58,94 +83,243 @@ struct SourceFile {
   std::string tree = "src";  // "src" or "tests".
 };
 
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+// --- Lexer ----------------------------------------------------------------
+//
+// One pass over the raw bytes produces everything every rule needs:
+//   tokens      identifiers, punctuation, string/char/number literals
+//   comments    text + line of every // and /* */ comment (for fedfc-allow)
+//   directives  full text + line of every preprocessor directive line
+// Comment and literal *contents* never become tokens, so token-matching
+// rules are immune to prose by construction.
+
+enum class TokKind { kIdent, kPunct, kString, kChar, kNumber };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // Punct/ident spelling; literals keep their quotes.
+  size_t line;       // 1-based.
+};
+
+struct Comment {
+  size_t line;       // 1-based line where the comment starts.
+  std::string text;  // Without the // or /* */ markers.
+};
+
+struct Directive {
+  size_t line;       // 1-based.
+  std::string text;  // Full directive line, continuations joined, no comments.
+};
+
+struct LexedFile {
+  std::string rel_path;
+  std::string tree;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  /// fedfc-allow annotations: rule name -> lines carrying an annotation.
+  std::map<std::string, std::set<size_t>> allow;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Records `text` as a comment and, when it carries a fedfc-allow annotation
+/// with a non-empty reason, registers the allowance for `line` and `line + 1`
+/// (annotation-above-the-statement is the common layout).
+void AddComment(LexedFile* out, size_t line, std::string text) {
+  static constexpr std::string_view kMarker = "fedfc-allow(";
+  size_t pos = text.find(kMarker);
+  if (pos != std::string::npos) {
+    size_t name_begin = pos + kMarker.size();
+    size_t close = text.find(')', name_begin);
+    if (close != std::string::npos) {
+      std::string rule = text.substr(name_begin, close - name_begin);
+      // A justification is mandatory: "): <reason>" with a non-blank reason.
+      size_t colon = text.find(':', close);
+      bool has_reason = false;
+      if (colon != std::string::npos) {
+        for (size_t i = colon + 1; i < text.size(); ++i) {
+          if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+            has_reason = true;
+            break;
+          }
+        }
+      }
+      if (!rule.empty() && has_reason) {
+        out->allow[rule].insert(line);
+        out->allow[rule].insert(line + 1);
+      }
+    }
+  }
+  out->comments.push_back({line, std::move(text)});
 }
 
-/// Replaces comments and string/char literal *contents* with spaces so rules
-/// that must ignore prose (rng, threads) don't fire on documentation.
-/// Line structure is preserved. The returned text keeps the opening/closing
-/// quotes so literal-sensitive rules can still see where literals begin.
-std::string StripCommentsAndLiterals(const std::string& in) {
-  std::string out = in;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    char c = out[i];
-    char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+/// True when a fedfc-allow(rule) annotation covers `line` (i.e. sits on that
+/// line or the one above it).
+bool IsAllowed(const LexedFile& f, const std::string& rule, size_t line) {
+  auto it = f.allow.find(rule);
+  return it != f.allow.end() && it->second.count(line) > 0;
+}
+
+/// Lexes one source file. Multi-char punctuation relevant to the rules
+/// (`::`, `->`) is kept as a single token; everything else punct-like is
+/// emitted one char at a time.
+LexedFile Lex(const SourceFile& src) {
+  LexedFile out;
+  out.rel_path = src.rel_path;
+  out.tree = src.tree;
+  const std::string& s = src.content;
+  size_t line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
     }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: '#' as the first non-whitespace char of a line.
+    // Captures the whole logical line (backslash continuations joined);
+    // trailing // comments are routed to the comment list so fedfc-allow
+    // still works on directive lines.
+    if (c == '#' && at_line_start) {
+      const size_t directive_line = line;
+      std::string text;
+      bool in_quote = false;
+      while (i < s.size() && s[i] != '\n') {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          text.push_back(' ');
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (s[i] == '"') in_quote = !in_quote;
+        if (!in_quote && s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+          std::string comment;
+          i += 2;
+          while (i < s.size() && s[i] != '\n') comment.push_back(s[i++]);
+          AddComment(&out, line, std::move(comment));
+          break;
+        }
+        text.push_back(s[i++]);
+      }
+      out.directives.push_back({directive_line, std::move(text)});
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && next == '/') {
+      std::string text;
+      const size_t comment_line = line;
+      i += 2;
+      while (i < s.size() && s[i] != '\n') text.push_back(s[i++]);
+      AddComment(&out, comment_line, std::move(text));
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      std::string text;
+      const size_t comment_line = line;
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) {
+        if (s[i] == '\n') ++line;
+        text.push_back(s[i++]);
+      }
+      i = i + 1 < s.size() ? i + 2 : s.size();
+      AddComment(&out, comment_line, std::move(text));
+      continue;
+    }
+    if (c == '"') {
+      std::string text(1, '"');
+      ++i;
+      while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          text.push_back(s[i++]);
+        }
+        if (i < s.size()) {
+          if (s[i] == '\n') ++line;
+          text.push_back(s[i++]);
+        }
+      }
+      if (i < s.size()) ++i;  // Closing quote.
+      text.push_back('"');
+      out.tokens.push_back({TokKind::kString, std::move(text), line});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text(1, '\'');
+      ++i;
+      while (i < s.size() && s[i] != '\'') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          text.push_back(s[i++]);
+        }
+        if (i < s.size()) {
+          if (s[i] == '\n') ++line;
+          text.push_back(s[i++]);
+        }
+      }
+      if (i < s.size()) ++i;
+      text.push_back('\'');
+      out.tokens.push_back({TokKind::kChar, std::move(text), line});
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(next))) {
+      std::string text;
+      while (i < s.size() &&
+             (IsIdentChar(s[i]) || s[i] == '.' || s[i] == '\'' ||
+              ((s[i] == '+' || s[i] == '-') && i > 0 &&
+               (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                s[i - 1] == 'P')))) {
+        text.push_back(s[i++]);
+      }
+      out.tokens.push_back({TokKind::kNumber, std::move(text), line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < s.size() && IsIdentChar(s[i])) text.push_back(s[i++]);
+      out.tokens.push_back({TokKind::kIdent, std::move(text), line});
+      continue;
+    }
+    // Punctuation. Only the two-char sequences the rules care about are
+    // fused; everything else stays single-char.
+    if ((c == ':' && next == ':') || (c == '-' && next == '>')) {
+      out.tokens.push_back({TokKind::kPunct, std::string{c, next}, line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
   }
   return out;
 }
 
-std::vector<std::string> SplitLines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : s) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  lines.push_back(cur);
-  return lines;
+// --- Token-stream helpers -------------------------------------------------
+
+bool TokIs(const Token& t, TokKind kind, std::string_view text) {
+  return t.kind == kind && t.text == text;
+}
+bool IsPunct(const Token& t, std::string_view text) {
+  return TokIs(t, TokKind::kPunct, text);
+}
+bool IsIdent(const Token& t, std::string_view text) {
+  return TokIs(t, TokKind::kIdent, text);
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 // --- Rule: wire_keys ------------------------------------------------------
@@ -157,35 +331,20 @@ bool IsWireKeyExempt(const std::string& rel_path) {
          rel_path == "fl/payload.h" || rel_path == "fl/payload.cc";
 }
 
-void CheckWireKeys(const SourceFile& f, std::vector<Violation>* out) {
+void CheckWireKeys(const LexedFile& f, std::vector<Violation>* out) {
   if (IsWireKeyExempt(f.rel_path)) return;
-  static const std::string_view kAccessors[] = {
+  static const std::set<std::string, std::less<>> kAccessors = {
       "SetDouble", "SetInt", "SetString", "SetTensor",
       "GetDouble", "GetInt", "GetString", "GetTensor",
   };
-  // Use comment-stripped text so prose like `SetDouble("x")` in a comment
-  // doesn't fire, but keep quotes so we can spot literal keys.
-  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    for (std::string_view acc : kAccessors) {
-      size_t pos = 0;
-      while ((pos = line.find(acc, pos)) != std::string::npos) {
-        size_t after = pos + acc.size();
-        // Skip whitespace, then require `("` — a literal first argument.
-        while (after < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[after]))) {
-          ++after;
-        }
-        if (after + 1 < line.size() && line[after] == '(' &&
-            line[after + 1] == '"') {
-          out->push_back({f.rel_path, ln + 1, "wire_keys",
-                          std::string(acc) +
-                              " with a string-literal key outside "
-                              "fl/task_codec — route through the typed codec"});
-        }
-        pos = after;
-      }
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent && kAccessors.count(t[i].text) > 0 &&
+        IsPunct(t[i + 1], "(") && t[i + 2].kind == TokKind::kString) {
+      out->push_back({f.rel_path, t[i].line, "wire_keys",
+                      t[i].text +
+                          " with a string-literal key outside "
+                          "fl/task_codec — route through the typed codec"});
     }
   }
 }
@@ -196,21 +355,32 @@ bool IsRngExempt(const std::string& rel_path) {
   return rel_path == "core/rng.h" || rel_path == "core/rng.cc";
 }
 
-void CheckRng(const SourceFile& f, std::vector<Violation>* out) {
+void CheckRng(const LexedFile& f, std::vector<Violation>* out) {
   if (IsRngExempt(f.rel_path)) return;
-  static const std::string_view kBanned[] = {
-      "std::rand", "std::srand", "std::random_device", "random_device",
-      "time(nullptr)", "time(NULL)",
-  };
-  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    for (std::string_view token : kBanned) {
-      if (lines[ln].find(token) != std::string::npos) {
-        out->push_back({f.rel_path, ln + 1, "rng",
-                        "unseeded randomness (" + std::string(token) +
-                            ") outside core/rng — use fedfc::Rng"});
-        break;  // One violation per line is enough.
-      }
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // random_device in any qualification (std::random_device, bare).
+    if (IsIdent(t[i], "random_device")) {
+      out->push_back({f.rel_path, t[i].line, "rng",
+                      "unseeded randomness (random_device) outside core/rng — "
+                      "use fedfc::Rng"});
+      continue;
+    }
+    // std::rand / std::srand.
+    if ((IsIdent(t[i], "rand") || IsIdent(t[i], "srand")) && i >= 2 &&
+        IsPunct(t[i - 1], "::") && IsIdent(t[i - 2], "std")) {
+      out->push_back({f.rel_path, t[i].line, "rng",
+                      "unseeded randomness (std::" + t[i].text +
+                          ") outside core/rng — use fedfc::Rng"});
+      continue;
+    }
+    // time(nullptr) / time(NULL) wall-clock seeding.
+    if (IsIdent(t[i], "time") && i + 3 < t.size() && IsPunct(t[i + 1], "(") &&
+        (IsIdent(t[i + 2], "nullptr") || IsIdent(t[i + 2], "NULL")) &&
+        IsPunct(t[i + 3], ")")) {
+      out->push_back({f.rel_path, t[i].line, "rng",
+                      "unseeded randomness (time(" + t[i + 2].text +
+                          ")) outside core/rng — use fedfc::Rng"});
     }
   }
 }
@@ -221,29 +391,25 @@ bool IsThreadsExempt(const std::string& rel_path) {
   return rel_path == "core/thread_pool.h" || rel_path == "core/thread_pool.cc";
 }
 
-void CheckThreads(const SourceFile& f, std::vector<Violation>* out) {
+void CheckThreads(const LexedFile& f, std::vector<Violation>* out) {
   if (IsThreadsExempt(f.rel_path)) return;
-  static const std::string_view kBanned[] = {
-      "std::thread", "std::jthread", "std::async",
-  };
-  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    for (std::string_view token : kBanned) {
-      size_t pos = lines[ln].find(token);
-      if (pos == std::string::npos) continue;
-      // `std::thread::hardware_concurrency()` is a capacity query, not a
-      // spawned thread; the pool itself decides how many workers to run.
-      if (token == "std::thread" &&
-          lines[ln].compare(pos, std::string_view("std::thread::").size(),
-                            "std::thread::") == 0) {
-        continue;
-      }
-      out->push_back({f.rel_path, ln + 1, "threads",
-                      "raw " + std::string(token) +
-                          " outside core/thread_pool — submit work to the "
-                          "pool so TSan covers it"});
-      break;
+  const auto& t = f.tokens;
+  for (size_t i = 2; i < t.size(); ++i) {
+    if (!(IsIdent(t[i], "thread") || IsIdent(t[i], "jthread") ||
+          IsIdent(t[i], "async"))) {
+      continue;
     }
+    if (!(IsPunct(t[i - 1], "::") && IsIdent(t[i - 2], "std"))) continue;
+    // `std::thread::hardware_concurrency()` is a capacity query, not a
+    // spawned thread; the pool itself decides how many workers to run.
+    if (IsIdent(t[i], "thread") && i + 1 < t.size() &&
+        IsPunct(t[i + 1], "::")) {
+      continue;
+    }
+    out->push_back({f.rel_path, t[i].line, "threads",
+                    "raw std::" + t[i].text +
+                        " outside core/thread_pool — submit work to the pool "
+                        "so TSan covers it"});
   }
 }
 
@@ -263,30 +429,28 @@ std::string CanonicalGuard(const std::string& rel_path) {
   return guard;
 }
 
-void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
+void CheckGuards(const LexedFile& f, std::vector<Violation>* out) {
   if (!EndsWith(f.rel_path, ".h")) return;
-  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
   // Headers under tests/ get a TESTS_ segment so their guards can never
   // collide with a same-named header under src/.
   const std::string expected = CanonicalGuard(
       f.tree == "src" ? f.rel_path : f.tree + "/" + f.rel_path);
   bool has_ifndef = false;
   bool has_define = false;
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    if (line.find("#pragma once") != std::string::npos) {
-      out->push_back({f.rel_path, ln + 1, "guards",
+  for (const Directive& d : f.directives) {
+    std::istringstream iss(d.text);
+    std::string directive, name;
+    iss >> directive >> name;
+    if (directive == "#pragma" && name == "once") {
+      out->push_back({f.rel_path, d.line, "guards",
                       "#pragma once — this tree uses canonical include guards ("
                           + expected + ")"});
       return;
     }
-    std::istringstream iss(line);
-    std::string directive, name;
-    iss >> directive >> name;
     if (!has_ifndef && directive == "#ifndef") {
       has_ifndef = true;
       if (name != expected) {
-        out->push_back({f.rel_path, ln + 1, "guards",
+        out->push_back({f.rel_path, d.line, "guards",
                         "include guard '" + name + "' != canonical '" +
                             expected + "'"});
         return;
@@ -294,7 +458,7 @@ void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
     } else if (has_ifndef && !has_define && directive == "#define") {
       has_define = true;
       if (name != expected) {
-        out->push_back({f.rel_path, ln + 1, "guards",
+        out->push_back({f.rel_path, d.line, "guards",
                         "guard #define '" + name + "' != canonical '" +
                             expected + "'"});
         return;
@@ -309,36 +473,131 @@ void CheckGuards(const SourceFile& f, std::vector<Violation>* out) {
 
 // --- Rule: sockets --------------------------------------------------------
 
-void CheckSockets(const SourceFile& f, std::vector<Violation>* out) {
+void CheckSockets(const LexedFile& f, std::vector<Violation>* out) {
   // The one file allowed to touch the raw syscalls; everything else uses the
   // net::Socket/Listener wrappers.
   if (f.tree == "src" && f.rel_path == "net/socket.cc") return;
-  static const std::string_view kSyscalls[] = {
-      "socket(", "connect(", "send(", "recv(",
-      "accept(", "bind(",    "listen(",
+  static const std::set<std::string, std::less<>> kSyscalls = {
+      "socket", "connect", "send", "recv", "accept", "bind", "listen",
   };
-  std::vector<std::string> lines = SplitLines(StripCommentsAndLiterals(f.content));
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    bool fired = false;
-    for (std::string_view token : kSyscalls) {
-      size_t pos = 0;
-      while (!fired && (pos = line.find(token, pos)) != std::string::npos) {
-        // Word boundary on the left: `Reconnect(` and `did_send(` are fine,
-        // `connect(` and `::connect(` are the syscall.
-        const char before = pos == 0 ? '\0' : line[pos - 1];
-        if (!(std::isalnum(static_cast<unsigned char>(before)) ||
-              before == '_')) {
-          out->push_back({f.rel_path, ln + 1, "sockets",
-                          "raw " + std::string(token) +
-                              ") outside net/socket.cc — use net::Socket / "
-                              "net::Listener"});
-          fired = true;  // One violation per line is enough.
-        }
-        pos += token.size();
-      }
-      if (fired) break;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kSyscalls.count(t[i].text) == 0 ||
+        !IsPunct(t[i + 1], "(")) {
+      continue;
     }
+    out->push_back({f.rel_path, t[i].line, "sockets",
+                    "raw " + t[i].text +
+                        "() outside net/socket.cc — use net::Socket / "
+                        "net::Listener"});
+  }
+}
+
+// --- Rule: result_discard (new) -------------------------------------------
+//
+// Result<T> and Status are [[nodiscard]], so the compiler rejects silent
+// drops; the one way to silence it is a `(void)` cast, and this rule makes
+// that cast auditable: every `(void)`-cast of a *call expression* must carry
+// a `// fedfc-allow(result_discard): <reason>` annotation on the same or the
+// preceding line. `(void)param;` unused-parameter suppressions (no call
+// involved) stay allowed.
+
+void CheckResultDiscard(const LexedFile& f, std::vector<Violation>* out) {
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(IsPunct(t[i], "(") && IsIdent(t[i + 1], "void") &&
+          IsPunct(t[i + 2], ")"))) {
+      continue;
+    }
+    // `foo(void)` parameter lists: the '(' follows the declarator name.
+    if (i > 0 && t[i - 1].kind == TokKind::kIdent) continue;
+    // Does the casted expression contain a call? Scan to the end of the
+    // statement (';' or ',' at depth 0, or an unbalanced ')').
+    bool has_call = false;
+    int depth = 0;
+    for (size_t j = i + 3; j < t.size(); ++j) {
+      if (IsPunct(t[j], "(")) {
+        ++depth;
+        has_call = true;
+      } else if (IsPunct(t[j], ")")) {
+        if (--depth < 0) break;
+      } else if (depth == 0 &&
+                 (IsPunct(t[j], ";") || IsPunct(t[j], ","))) {
+        break;
+      }
+    }
+    if (!has_call) continue;
+    if (IsAllowed(f, "result_discard", t[i].line)) continue;
+    out->push_back(
+        {f.rel_path, t[i].line, "result_discard",
+         "(void)-cast of a call discards its result invisibly — propagate or "
+         "handle it, or annotate `// fedfc-allow(result_discard): <reason>`"});
+  }
+}
+
+// --- Rule: locks (new) ----------------------------------------------------
+//
+// Outside core/thread_pool.{h,cc}, a std::mutex may only be taken through an
+// RAII holder (std::lock_guard / std::unique_lock / std::scoped_lock), so no
+// early return or thrown exception can leak a held lock. Manual
+// .lock()/.unlock()/.try_lock() member calls are banned.
+
+void CheckLocks(const LexedFile& f, std::vector<Violation>* out) {
+  if (f.tree == "src" && (f.rel_path == "core/thread_pool.h" ||
+                          f.rel_path == "core/thread_pool.cc")) {
+    return;
+  }
+  const auto& t = f.tokens;
+  for (size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!(IsIdent(t[i], "lock") || IsIdent(t[i], "unlock") ||
+          IsIdent(t[i], "try_lock"))) {
+      continue;
+    }
+    if (!(IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->"))) continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    if (IsAllowed(f, "locks", t[i].line)) continue;
+    out->push_back({f.rel_path, t[i].line, "locks",
+                    "manual ." + t[i].text +
+                        "() outside core/thread_pool — hold mutexes via "
+                        "std::lock_guard / unique_lock / scoped_lock"});
+  }
+}
+
+// --- Rule: includes (new) -------------------------------------------------
+//
+// Include paths are repo-root-relative (the build adds src/ to the include
+// path; nothing else). `../` escapes break that invariant silently when
+// files move, `./` is redundant, absolute paths are machine-specific, and
+// #include of a .cc file double-defines symbols.
+
+void CheckIncludes(const LexedFile& f, std::vector<Violation>* out) {
+  for (const Directive& d : f.directives) {
+    std::istringstream iss(d.text);
+    std::string directive;
+    iss >> directive;
+    if (directive != "#include") continue;
+    // Extract the path between "..." or <...>.
+    size_t open = d.text.find_first_of("\"<", directive.size());
+    if (open == std::string::npos) continue;
+    const char close_char = d.text[open] == '"' ? '"' : '>';
+    size_t close = d.text.find(close_char, open + 1);
+    if (close == std::string::npos) continue;
+    const std::string path = d.text.substr(open + 1, close - open - 1);
+    std::string problem;
+    if (path.find("../") != std::string::npos) {
+      problem = "parent-relative include '" + path + "'";
+    } else if (path.rfind("./", 0) == 0) {
+      problem = "'./'-relative include '" + path + "'";
+    } else if (!path.empty() && path[0] == '/') {
+      problem = "absolute include '" + path + "'";
+    } else if (EndsWith(path, ".cc") || EndsWith(path, ".cpp") ||
+               EndsWith(path, ".cxx")) {
+      problem = "#include of an implementation file '" + path + "'";
+    }
+    if (problem.empty()) continue;
+    if (IsAllowed(f, "includes", d.line)) continue;
+    out->push_back({f.rel_path, d.line, "includes",
+                    problem + " — include repo-root-relative headers only"});
   }
 }
 
@@ -346,19 +605,30 @@ void CheckSockets(const SourceFile& f, std::vector<Violation>* out) {
 
 struct Rule {
   std::string_view name;
-  void (*check)(const SourceFile&, std::vector<Violation>*);
+  void (*check)(const LexedFile&, std::vector<Violation>*);
   /// Whether the rule also walks tests/. Rules stay src-only when tests
-  /// legitimately need the pattern (literal payload keys in assertions,
-  /// std::thread::id plumbing in gtest internals).
+  /// legitimately need the pattern (literal payload keys in assertions).
   bool include_tests;
+  std::string_view summary;  // One line for --list-rules.
 };
 
 constexpr Rule kRules[] = {
-    {"wire_keys", CheckWireKeys, false},
-    {"rng", CheckRng, false},
-    {"threads", CheckThreads, false},
-    {"guards", CheckGuards, true},
-    {"sockets", CheckSockets, true},
+    {"wire_keys", CheckWireKeys, false,
+     "literal Payload wire keys only in fl/task_codec.{h,cc}"},
+    {"rng", CheckRng, false,
+     "no unseeded randomness outside core/rng.{h,cc}"},
+    {"threads", CheckThreads, false,
+     "no raw std::thread/jthread/async outside core/thread_pool.{h,cc}"},
+    {"guards", CheckGuards, true,
+     "canonical FEDFC_* include guards, never #pragma once"},
+    {"sockets", CheckSockets, true,
+     "raw POSIX socket syscalls only in src/net/socket.cc"},
+    {"result_discard", CheckResultDiscard, true,
+     "no (void)-cast of calls without fedfc-allow(result_discard)"},
+    {"locks", CheckLocks, true,
+     "mutexes held via RAII only outside core/thread_pool.{h,cc}"},
+    {"includes", CheckIncludes, true,
+     "repo-root-relative includes: no ../ ./ absolute or .cc includes"},
 };
 
 /// Lints every source file under `<repo_root>/<tree>`, applying the rules
@@ -388,10 +658,11 @@ int LintOneTree(const fs::path& repo_root, const std::string& tree,
     file.content = buf.str();
     file.tree = tree;
     ++*n_files;
+    const LexedFile lexed = Lex(file);  // Shared by every rule below.
     const size_t before = violations->size();
     for (const Rule& rule : kRules) {
       if (tree == "tests" && !rule.include_tests) continue;
-      rule.check(file, violations);
+      rule.check(lexed, violations);
     }
     for (size_t i = before; i < violations->size(); ++i) {
       (*violations)[i].file = tree + "/" + (*violations)[i].file;
@@ -400,7 +671,31 @@ int LintOneTree(const fs::path& repo_root, const std::string& tree,
   return 0;
 }
 
-int LintTree(const fs::path& repo_root) {
+/// JSON-escapes for the --format=json emitter (quotes, backslashes, control
+/// chars; everything else passes through).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int LintTree(const fs::path& repo_root, bool json) {
   if (!fs::is_directory(repo_root / "src")) {
     std::fprintf(stderr, "fedfc_lint: %s is not a directory\n",
                  (repo_root / "src").string().c_str());
@@ -412,6 +707,20 @@ int LintTree(const fs::path& repo_root) {
     if (!fs::is_directory(repo_root / tree)) continue;  // tests/ is optional.
     int rc = LintOneTree(repo_root, tree, &violations, &n_files);
     if (rc != 0) return rc;
+  }
+  if (json) {
+    // One record per violation: {"file","line","rule","detail"}. An empty
+    // array means clean — scripts can `jq length`.
+    std::printf("[");
+    for (size_t i = 0; i < violations.size(); ++i) {
+      const Violation& v = violations[i];
+      std::printf("%s\n  {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                  "\"detail\": \"%s\"}",
+                  i == 0 ? "" : ",", JsonEscape(v.file).c_str(), v.line,
+                  JsonEscape(v.rule).c_str(), JsonEscape(v.detail).c_str());
+    }
+    std::printf("%s]\n", violations.empty() ? "" : "\n");
+    return violations.empty() ? 0 : 1;
   }
   if (violations.empty()) {
     std::printf("fedfc_lint: %zu files clean (%zu rules)\n", n_files,
@@ -430,7 +739,9 @@ int LintTree(const fs::path& repo_root) {
 // --- Self-tests -----------------------------------------------------------
 //
 // Each rule gets (a) a seeded violation that must fire and (b) a clean /
-// exempt sample that must not, proving both halves of the invariant.
+// exempt sample that must not, proving both halves of the invariant. The
+// cases run through the same Lex() the tree lint uses, so the lexer itself
+// is under test here too.
 
 struct SelfTestCase {
   std::string_view rule;
@@ -471,6 +782,9 @@ const std::vector<SelfTestCase>& SelfTestCases() {
       {"rng",
        {"ml/ok.cc", "double F(fedfc::Rng* rng) { return rng->Uniform(0, 1); }\n"},
        false, "seeded fedfc::Rng use is clean"},
+      {"rng",
+       {"ml/strand.cc", "void F(Strands* s) { s->strand(); }\n"},
+       false, "identifiers merely containing 'rand' do not fire"},
       // threads
       {"threads",
        {"automl/bad_thread.cc", "#include <thread>\n"
@@ -542,6 +856,108 @@ const std::vector<SelfTestCase>& SelfTestCases() {
       {"sockets",
        {"net/doc.cc", "// the worker calls accept( under the hood\n"},
        false, "mentions in comments do not fire"},
+      // result_discard
+      {"result_discard",
+       {"fl/bad_discard.cc", "void F(Transport* t) {\n"
+                             "  (void)t->Shutdown();\n}\n"},
+       true, "(void)-cast of a call fires"},
+      {"result_discard",
+       {"net/bad_chain.cc", "void F(Socket* s) {\n"
+                            "  (void)s->SendAll(data, n, 100);\n}\n"},
+       true, "(void)-cast of a multi-arg call fires"},
+      {"result_discard",
+       {"fl/ok_param.cc", "void F(const Payload& request) {\n"
+                          "  (void)request;\n}\n"},
+       false, "(void)param unused-parameter suppression is clean"},
+      {"result_discard",
+       {"fl/sig.cc", "int main(void) { return 0; }\n"},
+       false, "foo(void) parameter lists are not casts"},
+      {"result_discard",
+       {"fl/doc.cc", "// never write (void)Foo() without an annotation\n"},
+       false, "mentions in comments do not fire"},
+      // locks
+      {"locks",
+       {"fl/bad_lock.cc", "void F(std::mutex* m) { m->lock(); }\n"},
+       true, "manual ->lock() fires"},
+      {"locks",
+       {"net/bad_unlock.cc", "void F(std::mutex& m) { m.unlock(); }\n"},
+       true, "manual .unlock() fires"},
+      {"locks",
+       {"automl/bad_try.cc", "bool F(std::mutex& m) { return m.try_lock(); }\n"},
+       true, "manual .try_lock() fires"},
+      {"locks",
+       {"fl/ok_raii.cc",
+        "void F(std::mutex& m) { std::lock_guard<std::mutex> g(m); }\n"},
+       false, "RAII lock_guard is clean"},
+      {"locks",
+       {"core/thread_pool.cc", "void F(std::mutex& m) { m.lock(); m.unlock(); }\n"},
+       false, "core/thread_pool may manage locks manually"},
+      {"locks",
+       {"fl/ok_free.cc", "void F(std::mutex& a, std::mutex& b) {\n"
+                         "  std::lock(a, b);\n}\n"},
+       false, "free std::lock (no member access) does not fire"},
+      // includes
+      {"includes",
+       {"fl/bad_parent.cc", "#include \"../core/status.h\"\n"},
+       true, "parent-relative ../ include fires"},
+      {"includes",
+       {"fl/bad_dot.cc", "#include \"./payload.h\"\n"},
+       true, "./-relative include fires"},
+      {"includes",
+       {"fl/bad_impl.cc", "#include \"fl/payload.cc\"\n"},
+       true, "#include of a .cc file fires"},
+      {"includes",
+       {"fl/bad_abs.cc", "#include \"/usr/include/weird.h\"\n"},
+       true, "absolute include fires"},
+      {"includes",
+       {"fl/ok.cc", "#include \"core/status.h\"\n#include <vector>\n"},
+       false, "repo-root-relative + system includes are clean"},
+      {"includes",
+       {"fl/doc.cc", "// historically this was #include \"../core/status.h\"\n"},
+       false, "mentions in comments do not fire"},
+  };
+  return cases;
+}
+
+/// Cases exercising the fedfc-allow annotation machinery shared by the
+/// result_discard/locks/includes rules (split out for readability only).
+const std::vector<SelfTestCase>& AnnotationSelfTestCases() {
+  static const std::vector<SelfTestCase> cases = {
+      {"result_discard",
+       {"net/allowed_above.cc",
+        "void F(Socket* s) {\n"
+        "  // fedfc-allow(result_discard): best-effort, errno logged below\n"
+        "  (void)s->SendAll(data, n, 100);\n}\n"},
+       false, "annotation on the preceding line silences the discard"},
+      {"result_discard",
+       {"net/allowed_same.cc",
+        "void F(Socket* s) {\n"
+        "  (void)s->Flush();  // fedfc-allow(result_discard): fire-and-forget\n"
+        "}\n"},
+       false, "annotation on the same line silences the discard"},
+      {"result_discard",
+       {"net/no_reason.cc",
+        "void F(Socket* s) {\n"
+        "  // fedfc-allow(result_discard):\n"
+        "  (void)s->Flush();\n}\n"},
+       true, "an annotation without a reason does not count"},
+      {"result_discard",
+       {"net/wrong_rule.cc",
+        "void F(Socket* s) {\n"
+        "  // fedfc-allow(locks): mismatched rule name\n"
+        "  (void)s->Flush();\n}\n"},
+       true, "an annotation for a different rule does not count"},
+      {"includes",
+       {"fl/allowed.cc",
+        "// fedfc-allow(includes): generated amalgamation, tracked in #123\n"
+        "#include \"../generated/tables.h\"\n"},
+       false, "fedfc-allow(includes) silences an include violation"},
+      {"locks",
+       {"fl/allowed_lock.cc",
+        "void F(std::mutex& m) {\n"
+        "  m.lock();  // fedfc-allow(locks): paired with unlock in Detach()\n"
+        "}\n"},
+       false, "fedfc-allow(locks) silences a manual lock"},
   };
   return cases;
 }
@@ -549,7 +965,10 @@ const std::vector<SelfTestCase>& SelfTestCases() {
 int RunSelfTests(std::string_view only_rule) {
   int failures = 0;
   size_t run = 0;
-  for (const SelfTestCase& tc : SelfTestCases()) {
+  std::vector<SelfTestCase> all = SelfTestCases();
+  const auto& extra = AnnotationSelfTestCases();
+  all.insert(all.end(), extra.begin(), extra.end());
+  for (const SelfTestCase& tc : all) {
     if (!only_rule.empty() && tc.rule != only_rule) continue;
     ++run;
     const Rule* rule = nullptr;
@@ -562,7 +981,8 @@ int RunSelfTests(std::string_view only_rule) {
       return 2;
     }
     std::vector<Violation> found;
-    rule->check(tc.file, &found);
+    const LexedFile lexed = Lex(tc.file);
+    rule->check(lexed, &found);
     const bool fired = !found.empty();
     if (fired != tc.expect_violation) {
       ++failures;
@@ -586,18 +1006,47 @@ int RunSelfTests(std::string_view only_rule) {
   return failures == 0 ? 0 : 1;
 }
 
+int ListRules() {
+  for (const Rule& rule : kRules) {
+    std::printf("%-15s %-11s %s\n", std::string(rule.name).c_str(),
+                rule.include_tests ? "src+tests" : "src-only",
+                std::string(rule.summary).c_str());
+  }
+  std::printf("%zu rules; per-line escape: // fedfc-allow(<rule>): <reason> "
+              "(result_discard, locks, includes only)\n",
+              std::size(kRules));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string_view(argv[1]) == "--self-test") {
-    return RunSelfTests(argc >= 3 ? std::string_view(argv[2])
-                                  : std::string_view());
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--self-test") {
+    return RunSelfTests(args.size() >= 2 ? args[1] : std::string_view());
   }
-  if (argc != 2) {
+  if (!args.empty() && args[0] == "--list-rules") {
+    return ListRules();
+  }
+  bool json = false;
+  std::string root;
+  for (std::string_view arg : args) {
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (!arg.empty() && arg[0] != '-' && root.empty()) {
+      root = std::string(arg);
+    } else {
+      root.clear();
+      break;
+    }
+  }
+  if (root.empty()) {
     std::fprintf(stderr,
-                 "usage: fedfc_lint <repo_root> | fedfc_lint --self-test "
-                 "[rule]\n");
+                 "usage: fedfc_lint [--format=json|text] <repo_root> | "
+                 "fedfc_lint --self-test [rule] | fedfc_lint --list-rules\n");
     return 2;
   }
-  return LintTree(argv[1]);
+  return LintTree(root, json);
 }
