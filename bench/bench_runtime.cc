@@ -8,12 +8,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "core/thread_pool.h"
 #include "data/generators.h"
 #include "features/meta_features.h"
+#include "ml/kernels/kernels.h"
 
 namespace fedfc::bench {
 namespace {
@@ -61,8 +63,22 @@ double TimeBroadcasts(fl::Server* server, size_t num_threads, int rounds,
   return SecondsSince(start);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   BenchConfig cfg;
+  BenchReporter reporter("runtime");
+  reporter.AddConfig("FEDFC_BUDGET_MS", cfg.budget_seconds * 1000.0);
+  reporter.AddConfig("FEDFC_SCALE", cfg.length_scale);
+  reporter.AddConfig("FEDFC_MAX_ITERS", cfg.max_search_iterations);
+  reporter.AddConfig("kernel_backend", ml::kernels::ActiveBackend().name);
   std::printf("=== Section 5.2 Runtime measurements ===\n\n");
 
   // (1) One knowledge-base record (offline phase).
@@ -79,6 +95,7 @@ int Main() {
         "knowledge-base record (900 samples, 5 clients, grid 1/dim): %.2f s\n"
         "  (paper reports ~114.53 s per record at full grid and length)\n",
         elapsed);
+    reporter.AddMetric("kb_record_seconds", elapsed, "s", false);
   }
 
   // (2) Per-client meta-feature extraction (online phase entry cost).
@@ -103,6 +120,8 @@ int Main() {
         "client meta-feature extraction: %.4f s/client avg over %zu clients\n"
         "  (paper reports ~2.74 s/client on its hardware at full lengths)\n",
         total / static_cast<double>(count), count);
+    reporter.AddMetric("meta_features_seconds_per_client",
+                       total / static_cast<double>(count), "s", false);
   }
 
   // (3) Communication volume of one full online run.
@@ -129,6 +148,12 @@ int Main() {
         report->transport.messages,
         static_cast<double>(report->transport.bytes_to_clients) / 1024.0,
         static_cast<double>(report->transport.bytes_to_server) / 1024.0);
+    reporter.AddMetric("online_run_seconds", elapsed, "s", false);
+    reporter.AddMetric("search_iterations_per_second",
+                       static_cast<double>(report->iterations) / elapsed,
+                       "iter/s", true);
+    reporter.AddConfig("online_run_messages",
+                       static_cast<int>(report->transport.messages));
   }
 
   // (4) Parallel broadcast fan-out: threads vs speedup on a 16-client
@@ -158,6 +183,12 @@ int Main() {
           "  latency-bound (5 ms RTT): num_threads=%zu %.3f s vs "
           "num_threads=1 %.3f s -> speedup %.2fx\n",
           threads, t, lat_base, lat_base / t);
+      if (threads == 8) {
+        reporter.AddMetric("broadcast_rounds_per_second_8threads",
+                           static_cast<double>(kRounds) / t, "rounds/s", true);
+        reporter.AddMetric("broadcast_speedup_8threads", lat_base / t, "x",
+                           true);
+      }
     }
 
     Rng rng(21);
@@ -191,10 +222,12 @@ int Main() {
         "num_threads=1 %.3f s -> speedup %.2fx (core-limited)\n",
         cpu_par, cpu_base, cpu_base / cpu_par);
   }
+  Status status = reporter.WriteJson(json_out);
+  FEDFC_CHECK(status.ok()) << status;
   return 0;
 }
 
 }  // namespace
 }  // namespace fedfc::bench
 
-int main() { return fedfc::bench::Main(); }
+int main(int argc, char** argv) { return fedfc::bench::Main(argc, argv); }

@@ -1,10 +1,13 @@
 #ifndef FEDFC_BENCH_BENCH_UTIL_H_
 #define FEDFC_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "automl/engine.h"
@@ -23,15 +26,156 @@ namespace fedfc::bench {
 /// sized so the full `for b in build/bench/*; do $b; done` loop finishes in
 /// minutes on one core; set FEDFC_BUDGET_MS=300000 and FEDFC_SCALE=1 to run
 /// the paper's full 5-minute protocol at published dataset lengths.
+///
+/// Malformed values abort naming the variable: a typo'd `FEDFC_BUDGET_MS=3OO`
+/// silently becoming 3 (atof semantics) would corrupt a benchmark run and the
+/// committed BENCH_*.json trajectory downstream of it.
 inline double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(v, &end);
+  FEDFC_CHECK(end != v && *end == '\0' && errno != ERANGE)
+      << name << "='" << v << "' is not a finite number";
+  return parsed;
 }
 
 inline int EnvInt(const char* name, int fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long parsed = std::strtol(v, &end, 10);
+  FEDFC_CHECK(end != v && *end == '\0' && errno != ERANGE &&
+              parsed >= std::numeric_limits<int>::min() &&
+              parsed <= std::numeric_limits<int>::max())
+      << name << "='" << v << "' is not an int";
+  return static_cast<int>(parsed);
 }
+
+/// Short commit id stamped into BENCH_*.json: FEDFC_GIT_SHA when set (CI
+/// passes it so containers without .git still produce attributable records),
+/// else `git rev-parse`, else "unknown".
+inline std::string BenchGitSha() {
+  if (const char* env = std::getenv("FEDFC_GIT_SHA"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Machine-readable perf record: one BENCH_<name>.json per bench binary,
+/// committed at the repo root as the perf trajectory baseline. Schema
+/// (version 1) is documented in docs/PERFORMANCE.md and consumed by
+/// scripts/bench_compare.py.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records one configuration key (env knob, shape, backend, ...). Config
+  /// entries are informational: bench_compare.py reports but does not gate
+  /// on them.
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void AddConfig(const std::string& key, double value) {
+    AddConfig(key, FormatDouble(value));
+  }
+  void AddConfig(const std::string& key, int value) {
+    AddConfig(key, std::to_string(value));
+  }
+
+  /// Records one gated metric. `higher_is_better` gives bench_compare.py the
+  /// regression direction (true for throughput, false for wall time).
+  void AddMetric(const std::string& name, double value, const std::string& unit,
+                 bool higher_is_better) {
+    metrics_.push_back({name, value, unit, higher_is_better});
+  }
+
+  [[nodiscard]] std::string DefaultPath() const {
+    return "BENCH_" + bench_name_ + ".json";
+  }
+
+  /// Writes the record to `path` ("" = DefaultPath() in the working dir).
+  Status WriteJson(const std::string& path) const {
+    const std::string target = path.empty() ? DefaultPath() : path;
+    FILE* f = std::fopen(target.c_str(), "w");
+    if (f == nullptr) {
+      return Status::Internal("BenchReporter: cannot open " + target);
+    }
+    std::fprintf(f, "{\n  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", JsonEscape(bench_name_).c_str());
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", JsonEscape(BenchGitSha()).c_str());
+    std::fprintf(f, "  \"config\": {");
+    for (size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                   JsonEscape(config_[i].first).c_str(),
+                   JsonEscape(config_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n", config_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"metrics\": [");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"value\": %s, \"unit\": "
+                   "\"%s\", \"higher_is_better\": %s}",
+                   i == 0 ? "" : ",", JsonEscape(m.name).c_str(),
+                   FormatDouble(m.value).c_str(), JsonEscape(m.unit).c_str(),
+                   m.higher_is_better ? "true" : "false");
+    }
+    std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+    if (std::fclose(f) != 0) {
+      return Status::Internal("BenchReporter: write failed for " + target);
+    }
+    std::fprintf(stderr, "[bench] wrote %s (%zu metrics)\n", target.c_str(),
+                 metrics_.size());
+    return Status::OK();
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    bool higher_is_better;
+  };
+
+  static std::string FormatDouble(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+  }
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+};
 
 struct BenchConfig {
   double budget_seconds = EnvDouble("FEDFC_BUDGET_MS", 1200) / 1000.0;

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_*.json against the committed baseline.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold 0.10] [--compare-only]
+
+Both files follow the schema_version-1 layout documented in
+docs/PERFORMANCE.md. Each metric carries a ``higher_is_better`` flag, so the
+regression direction is per-metric: throughput (GFLOP/s, rounds/s) regresses
+when it drops, wall time regresses when it rises.
+
+Exit codes:
+    0  no metric regressed beyond the threshold (or --compare-only)
+    1  at least one metric regressed beyond the threshold
+    2  input malformed (missing file, bad JSON, unknown schema)
+
+``--compare-only`` prints the full comparison table but always exits 0/2 —
+the CI bench-smoke job uses it because shared runners are too noisy to gate
+merges on a 10% wall-clock delta; the committed baseline is regenerated
+deliberately instead (see docs/PERFORMANCE.md, "Regenerating baselines").
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+    if record.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"bench_compare: {path}: schema_version "
+            f"{record.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    for key in ("bench", "metrics"):
+        if key not in record:
+            raise SystemExit(f"bench_compare: {path}: missing '{key}'")
+    for metric in record["metrics"]:
+        for key in ("name", "value", "unit", "higher_is_better"):
+            if key not in metric:
+                raise SystemExit(
+                    f"bench_compare: {path}: metric {metric!r} missing '{key}'"
+                )
+    return record
+
+
+def compare(baseline, candidate, threshold):
+    """Returns (rows, regressions). A row is (name, base, cand, delta, verdict)."""
+    base_metrics = {m["name"]: m for m in baseline["metrics"]}
+    rows = []
+    regressions = []
+    for metric in candidate["metrics"]:
+        name = metric["name"]
+        base = base_metrics.pop(name, None)
+        if base is None:
+            rows.append((name, None, metric["value"], None, "new"))
+            continue
+        base_value = float(base["value"])
+        cand_value = float(metric["value"])
+        if base_value == 0.0:
+            rows.append((name, base_value, cand_value, None, "zero-baseline"))
+            continue
+        # Signed relative change, oriented so negative always means "worse".
+        delta = (cand_value - base_value) / abs(base_value)
+        if not metric["higher_is_better"]:
+            delta = -delta
+        verdict = "ok"
+        if delta < -threshold:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif delta > threshold:
+            verdict = "improved"
+        rows.append((name, base_value, cand_value, delta, verdict))
+    for name in base_metrics:
+        rows.append((name, base_metrics[name]["value"], None, None, "removed"))
+    return rows, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--compare-only",
+        action="store_true",
+        help="print the comparison but never fail on regressions",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_record(args.baseline)
+    candidate = load_record(args.candidate)
+    if baseline["bench"] != candidate["bench"]:
+        raise SystemExit(
+            f"bench_compare: bench mismatch: baseline is "
+            f"'{baseline['bench']}', candidate is '{candidate['bench']}'"
+        )
+
+    rows, regressions = compare(baseline, candidate, args.threshold)
+    print(
+        f"bench '{candidate['bench']}': baseline sha "
+        f"{baseline.get('git_sha', '?')} vs candidate sha "
+        f"{candidate.get('git_sha', '?')} (threshold {args.threshold:.0%})"
+    )
+    for name, base, cand, delta, verdict in rows:
+        base_s = "-" if base is None else f"{base:.4g}"
+        cand_s = "-" if cand is None else f"{cand:.4g}"
+        delta_s = "" if delta is None else f"{delta:+.1%}"
+        print(f"  {name:<48} {base_s:>10} -> {cand_s:>10} {delta_s:>8} {verdict}")
+
+    if regressions and not args.compare_only:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK" + (" (compare-only)" if args.compare_only else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,9 @@
 #           built into build-asan/.
 #   ubsan   UndefinedBehaviorSanitizer (non-recoverable) over the full test
 #           suite, built into build-ubsan/.
-#   lint    fedfc_lint repo-invariant linter (8 rules incl. result_discard /
-#           locks / includes; `--list-rules` prints the set) + its per-rule
+#   lint    fedfc_lint repo-invariant linter (9 rules incl. result_discard /
+#           locks / includes / intrinsics; `--list-rules` prints the set) +
+#           its per-rule
 #           self-tests, and clang-tidy over src/ when clang-tidy is installed.
 #   format  clang-format --dry-run over tracked sources when clang-format is
 #           installed (check-only; never rewrites).

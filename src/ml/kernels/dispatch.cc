@@ -1,0 +1,90 @@
+// Runtime backend dispatch: resolved once at the first kernel call from
+// FEDFC_KERNEL_BACKEND (auto | scalar | avx2) plus CPUID, then pinned for
+// the process. Mid-run backend switches are for tests/benches only
+// (SetBackend) — mixing backends within one seeded run forfeits the
+// bit-reproducibility contract documented in docs/PERFORMANCE.md.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/logging.h"
+#include "ml/kernels/internal.h"
+
+namespace fedfc::ml::kernels {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+std::atomic<const Backend*> g_active{nullptr};
+
+/// Env-driven choice. Idempotent, so a benign first-call race between
+/// threads resolves to the same pointer.
+const Backend* Resolve() {
+  const char* env = std::getenv("FEDFC_KERNEL_BACKEND");
+  const std::string choice = env != nullptr ? env : "auto";
+  if (choice == "scalar") return &ScalarBackend();
+  const Backend* avx2 = Avx2BackendOrNull();
+  if (choice == "avx2") {
+    FEDFC_CHECK(avx2 != nullptr)
+        << "FEDFC_KERNEL_BACKEND=avx2, but this "
+        << (Avx2BackendImpl() == nullptr ? "build carries no AVX2 backend"
+                                         : "CPU lacks AVX2/FMA")
+        << " — use FEDFC_KERNEL_BACKEND=auto or scalar";
+    return avx2;
+  }
+  FEDFC_CHECK(choice == "auto")
+      << "FEDFC_KERNEL_BACKEND must be auto, scalar, or avx2 (got '" << choice
+      << "')";
+  return avx2 != nullptr ? avx2 : &ScalarBackend();
+}
+
+}  // namespace
+
+const Backend* Avx2BackendOrNull() {
+  const Backend* compiled = Avx2BackendImpl();
+  return compiled != nullptr && CpuHasAvx2Fma() ? compiled : nullptr;
+}
+
+const Backend& ActiveBackend() {
+  const Backend* backend = g_active.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    backend = Resolve();
+    g_active.store(backend, std::memory_order_release);
+  }
+  return *backend;
+}
+
+BackendKind SetBackend(BackendKind kind) {
+  const BackendKind previous =
+      std::strcmp(ActiveBackend().name, "avx2") == 0 ? BackendKind::kAvx2
+                                                     : BackendKind::kScalar;
+  const Backend* next = &ScalarBackend();
+  if (kind == BackendKind::kAvx2) {
+    next = Avx2BackendOrNull();
+    FEDFC_CHECK(next != nullptr)
+        << "SetBackend(kAvx2): no AVX2+FMA backend on this build/CPU";
+  }
+  g_active.store(next, std::memory_order_release);
+  return previous;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  FEDFC_CHECK(a.cols() == b.rows())
+      << "MatMul: " << a.rows() << "x" << a.cols() << " by " << b.rows() << "x"
+      << b.cols();
+  Matrix out(a.rows(), b.cols(), 0.0);
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return out;
+  GemmNN(a.rows(), b.cols(), a.cols(), a.Row(0), a.cols(), b.Row(0), b.cols(),
+         out.Row(0), b.cols());
+  return out;
+}
+
+}  // namespace fedfc::ml::kernels

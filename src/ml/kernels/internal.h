@@ -1,0 +1,16 @@
+#ifndef FEDFC_ML_KERNELS_INTERNAL_H_
+#define FEDFC_ML_KERNELS_INTERNAL_H_
+
+#include "ml/kernels/kernels.h"
+
+namespace fedfc::ml::kernels {
+
+/// Compile-time half of AVX2 availability: the backend table when avx2.cc
+/// was built with -mavx2 -mfma (x86 target + capable compiler), else null.
+/// The runtime half (CPUID) is applied on top by Avx2BackendOrNull() in
+/// dispatch.cc — callers outside the kernel layer never use this directly.
+const Backend* Avx2BackendImpl();
+
+}  // namespace fedfc::ml::kernels
+
+#endif  // FEDFC_ML_KERNELS_INTERNAL_H_

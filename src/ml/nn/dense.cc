@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "ml/kernels/kernels.h"
 
 namespace fedfc::ml::nn {
 
@@ -27,15 +28,10 @@ Matrix DenseLayer::Forward(const Matrix& input) {
   input_ = input;
   const size_t batch = input.rows();
   pre_activation_ = Matrix(batch, out_dim_, 0.0);
-  for (size_t r = 0; r < batch; ++r) {
-    const double* in_row = input.Row(r);
-    double* out_row = pre_activation_.Row(r);
-    for (size_t o = 0; o < out_dim_; ++o) {
-      const double* w_row = weights_.Row(o);
-      double acc = biases_[o];
-      for (size_t i = 0; i < in_dim_; ++i) acc += w_row[i] * in_row[i];
-      out_row[o] = acc;
-    }
+  if (batch > 0) {
+    kernels::GemmBiasNT(batch, out_dim_, in_dim_, input.Row(0), in_dim_,
+                        weights_.Row(0), in_dim_, biases_.data(),
+                        pre_activation_.Row(0), out_dim_);
   }
   if (activation_ == Activation::kIdentity) return pre_activation_;
   Matrix out = pre_activation_;
@@ -49,15 +45,10 @@ Matrix DenseLayer::ForwardInference(const Matrix& input) const {
   FEDFC_CHECK(input.cols() == in_dim_);
   const size_t batch = input.rows();
   Matrix out(batch, out_dim_, 0.0);
-  for (size_t r = 0; r < batch; ++r) {
-    const double* in_row = input.Row(r);
-    double* out_row = out.Row(r);
-    for (size_t o = 0; o < out_dim_; ++o) {
-      const double* w_row = weights_.Row(o);
-      double acc = biases_[o];
-      for (size_t i = 0; i < in_dim_; ++i) acc += w_row[i] * in_row[i];
-      out_row[o] = acc;
-    }
+  if (batch > 0) {
+    kernels::GemmBiasNT(batch, out_dim_, in_dim_, input.Row(0), in_dim_,
+                        weights_.Row(0), in_dim_, biases_.data(), out.Row(0),
+                        out_dim_);
   }
   if (activation_ == Activation::kRelu) {
     for (double& v : out.data()) {
@@ -82,14 +73,16 @@ Matrix DenseLayer::Backward(const Matrix& grad_output) {
     }
   }
   // Accumulate parameter grads: dW = grad_pre^T . input, db = sum grad_pre.
+  // Row-at-a-time axpy keeps the historical per-(r, o) accumulation order
+  // and the go == 0.0 skip (ReLU kills most of grad_pre), so the scalar
+  // backend stays bit-identical to the pre-kernel-layer loops.
   for (size_t r = 0; r < batch; ++r) {
     const double* g = grad_pre.Row(r);
     const double* in_row = input_.Row(r);
     for (size_t o = 0; o < out_dim_; ++o) {
       double go = g[o];
       if (go == 0.0) continue;
-      double* gw = grad_w_.Row(o);
-      for (size_t i = 0; i < in_dim_; ++i) gw[i] += go * in_row[i];
+      kernels::Axpy(in_dim_, go, in_row, grad_w_.Row(o));
       grad_b_[o] += go;
     }
   }
@@ -101,8 +94,7 @@ Matrix DenseLayer::Backward(const Matrix& grad_output) {
     for (size_t o = 0; o < out_dim_; ++o) {
       double go = g[o];
       if (go == 0.0) continue;
-      const double* w_row = weights_.Row(o);
-      for (size_t i = 0; i < in_dim_; ++i) gi[i] += go * w_row[i];
+      kernels::Axpy(in_dim_, go, weights_.Row(o), gi);
     }
   }
   return grad_input;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/vec_math.h"
+#include "ml/kernels/kernels.h"
 
 namespace fedfc::ml {
 
@@ -101,7 +102,7 @@ std::pair<Matrix, Matrix> NBeatsBlock::Forward(const Matrix& x) {
   Matrix tb = theta_b_.Forward(act);
   Matrix tf = theta_f_.Forward(act);
   if (kind_ == NBeatsBlockKind::kGeneric) return {tb, tf};
-  return {tb.Multiply(basis_b_), tf.Multiply(basis_f_)};
+  return {kernels::MatMul(tb, basis_b_), kernels::MatMul(tf, basis_f_)};
 }
 
 std::pair<Matrix, Matrix> NBeatsBlock::ForwardInference(const Matrix& x) const {
@@ -110,7 +111,7 @@ std::pair<Matrix, Matrix> NBeatsBlock::ForwardInference(const Matrix& x) const {
   Matrix tb = theta_b_.ForwardInference(act);
   Matrix tf = theta_f_.ForwardInference(act);
   if (kind_ == NBeatsBlockKind::kGeneric) return {tb, tf};
-  return {tb.Multiply(basis_b_), tf.Multiply(basis_f_)};
+  return {kernels::MatMul(tb, basis_b_), kernels::MatMul(tf, basis_f_)};
 }
 
 Matrix NBeatsBlock::Backward(const Matrix& grad_backcast,
@@ -118,8 +119,8 @@ Matrix NBeatsBlock::Backward(const Matrix& grad_backcast,
   Matrix grad_tb = grad_backcast;
   Matrix grad_tf = grad_forecast;
   if (kind_ != NBeatsBlockKind::kGeneric) {
-    grad_tb = grad_backcast.Multiply(basis_b_.Transpose());
-    grad_tf = grad_forecast.Multiply(basis_f_.Transpose());
+    grad_tb = kernels::MatMul(grad_backcast, basis_b_.Transpose());
+    grad_tf = kernels::MatMul(grad_forecast, basis_f_.Transpose());
   }
   Matrix grad_trunk_out = theta_b_.Backward(grad_tb).Add(theta_f_.Backward(grad_tf));
   for (size_t l = trunk_.size(); l-- > 0;) {

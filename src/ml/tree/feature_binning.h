@@ -16,6 +16,10 @@ class BinnedMatrix {
   static BinnedMatrix Build(const Matrix& x, int max_bins = 32);
 
   [[nodiscard]] uint8_t bin(size_t row, size_t col) const { return bins_[row * cols_ + col]; }
+  /// Raw row-major bin storage; feature f of row r lives at
+  /// bins_data()[r * cols() + f]. Lets the histogram kernel walk one
+  /// feature column with a stride instead of calling bin() per row.
+  [[nodiscard]] const uint8_t* bins_data() const { return bins_.data(); }
   [[nodiscard]] size_t rows() const { return rows_; }
   [[nodiscard]] size_t cols() const { return cols_; }
   /// Actual number of bins used for a feature (<= max_bins).

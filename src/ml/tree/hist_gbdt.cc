@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/vec_math.h"
+#include "ml/kernels/kernels.h"
 
 namespace fedfc::ml {
 
@@ -45,12 +46,10 @@ SplitCandidate FindBestSplit(const gbdt_internal::BinnedMatrix& binned,
     hist_g.assign(n_bins, 0.0);
     hist_h.assign(n_bins, 0.0);
     hist_n.assign(n_bins, 0);
-    for (size_t i : leaf.rows) {
-      size_t b = static_cast<size_t>(binned.bin(i, f));
-      hist_g[b] += g[i];
-      hist_h[b] += h[i];
-      hist_n[b] += 1;
-    }
+    kernels::HistogramAccumulate(leaf.rows.data(), leaf.rows.size(),
+                                 binned.bins_data() + f, binned.cols(),
+                                 g.data(), h.data(), hist_g.data(),
+                                 hist_h.data(), hist_n.data());
     double gl = 0.0, hl = 0.0;
     size_t nl = 0;
     double parent = LeafScore(leaf.g_sum, leaf.h_sum, lambda);

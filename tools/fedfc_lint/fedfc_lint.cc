@@ -601,6 +601,47 @@ void CheckIncludes(const LexedFile& f, std::vector<Violation>* out) {
   }
 }
 
+// --- Rule: intrinsics (new) -----------------------------------------------
+//
+// SIMD intrinsics live only under src/ml/kernels/ (the runtime-dispatched
+// backend layer; see docs/ARCHITECTURE.md, "Kernel layer"). Anywhere else,
+// <immintrin.h>-family includes or _mm*/__m256-style identifiers bypass the
+// scalar-oracle parity contract and break non-x86 builds.
+
+void CheckIntrinsics(const LexedFile& f, std::vector<Violation>* out) {
+  if (f.tree == "src" && f.rel_path.rfind("ml/kernels/", 0) == 0) return;
+  for (const Directive& d : f.directives) {
+    std::istringstream iss(d.text);
+    std::string directive;
+    iss >> directive;
+    if (directive != "#include") continue;
+    size_t open = d.text.find_first_of("\"<", directive.size());
+    if (open == std::string::npos) continue;
+    const char close_char = d.text[open] == '"' ? '"' : '>';
+    size_t close = d.text.find(close_char, open + 1);
+    if (close == std::string::npos) continue;
+    const std::string path = d.text.substr(open + 1, close - open - 1);
+    if (EndsWith(path, "intrin.h")) {
+      out->push_back({f.rel_path, d.line, "intrinsics",
+                      "#include <" + path +
+                          "> outside src/ml/kernels/ — add a backend op "
+                          "instead of inlining SIMD"});
+    }
+  }
+  for (const Token& tok : f.tokens) {
+    if (tok.kind != TokKind::kIdent) continue;
+    const std::string& id = tok.text;
+    if (id.rfind("_mm", 0) != 0 && id.rfind("__m128", 0) != 0 &&
+        id.rfind("__m256", 0) != 0 && id.rfind("__m512", 0) != 0) {
+      continue;
+    }
+    out->push_back({f.rel_path, tok.line, "intrinsics",
+                    "x86 intrinsic '" + id +
+                        "' outside src/ml/kernels/ — add a backend op "
+                        "instead of inlining SIMD"});
+  }
+}
+
 // --- Driver ---------------------------------------------------------------
 
 struct Rule {
@@ -629,6 +670,8 @@ constexpr Rule kRules[] = {
      "mutexes held via RAII only outside core/thread_pool.{h,cc}"},
     {"includes", CheckIncludes, true,
      "repo-root-relative includes: no ../ ./ absolute or .cc includes"},
+    {"intrinsics", CheckIntrinsics, true,
+     "SIMD intrinsics (<*intrin.h>, _mm*/__m*) only in src/ml/kernels/"},
 };
 
 /// Lints every source file under `<repo_root>/<tree>`, applying the rules
@@ -915,6 +958,29 @@ const std::vector<SelfTestCase>& SelfTestCases() {
       {"includes",
        {"fl/doc.cc", "// historically this was #include \"../core/status.h\"\n"},
        false, "mentions in comments do not fire"},
+      // intrinsics
+      {"intrinsics",
+       {"core/bad_simd.cc", "#include <immintrin.h>\n"
+                            "double F(__m256d v) { return _mm256_cvtsd_f64(v); }\n"},
+       true, "immintrin.h + _mm* outside the kernel layer fires"},
+      {"intrinsics",
+       {"ml/nn/bad_sse.cc", "#include <emmintrin.h>\n"},
+       true, "any *intrin.h header outside src/ml/kernels/ fires"},
+      {"intrinsics",
+       {"bad_simd_test.cc",
+        "int F() { __m128i v = _mm_setzero_si128(); return 0; }\n", "tests"},
+       true, "intrinsics in tests/ fire too"},
+      {"intrinsics",
+       {"ml/kernels/avx2.cc",
+        "#include <immintrin.h>\n"
+        "double F(__m256d v) { return _mm256_cvtsd_f64(v); }\n"},
+       false, "src/ml/kernels/ is the one tree allowed to use intrinsics"},
+      {"intrinsics",
+       {"ml/doc.cc", "// the avx2 backend uses _mm256_fmadd_pd here\n"},
+       false, "mentions in comments do not fire"},
+      {"intrinsics",
+       {"ml/ok_ident.cc", "int _member = 0; int F() { return _member; }\n"},
+       false, "ordinary underscore identifiers do not fire"},
   };
   return cases;
 }
