@@ -9,6 +9,7 @@
 
 #include "automl/fed_client.h"
 #include "automl/phases/meta_phase.h"
+#include "automl/phases/reply_folds.h"
 #include "core/thread_pool.h"
 #include "core/vec_math.h"
 #include "data/csv.h"
@@ -149,11 +150,16 @@ Result<KnowledgeBaseRecord> BuildKnowledgeBaseRecord(const std::string& name,
       fl::FitEvaluateRequest request;
       request.spec = spec.ToTensor();
       request.config = config.ToTensor();
-      Result<fl::RoundResult> round = server.RunRound(
-          fl::RoundSpec(fl::tasks::kFitEvaluate, request.ToPayload()));
+      auto consumer =
+          phases::MakeScalarFold([](const fl::Payload& payload) -> Result<double> {
+            FEDFC_ASSIGN_OR_RETURN(fl::FitEvaluateReply reply,
+                                   fl::FitEvaluateReply::FromPayload(payload));
+            return reply.valid_loss;
+          });
+      Result<fl::RoundSummary> round = server.RunRound(
+          fl::RoundSpec(fl::tasks::kFitEvaluate, request.ToPayload()), consumer);
       if (!round.ok()) continue;
-      Result<double> loss =
-          fl::Server::AggregateScalar(round->replies, "valid_loss");
+      Result<double> loss = consumer.Mean();
       if (!loss.ok() || !std::isfinite(*loss)) continue;
       size_t ai = static_cast<size_t>(algo);
       if (*loss < record.algorithm_losses[ai]) {

@@ -22,78 +22,110 @@ Result<std::vector<double>> SerializeModel(const Configuration& config,
   return params;
 }
 
+Status ModelBlobAccumulator::Add(double weight, const std::vector<double>& blob) {
+  if (!xgb_) {
+    // FedAvg over flat parameter vectors: fold weight * params, divide by
+    // the weight total at Finish.
+    if (!any_) {
+      param_sum_.assign(blob.size(), 0.0);
+    } else if (blob.size() != param_sum_.size()) {
+      return Status::InvalidArgument("AggregateModelBlobs: size mismatch");
+    }
+    for (size_t i = 0; i < blob.size(); ++i) {
+      param_sum_[i] += weight * blob[i];
+    }
+    any_ = true;
+    total_weight_ += weight;
+    return Status::OK();
+  }
+
+  // XGB: merge trees into one prediction-equivalent model. The client model
+  // predicts base_k + lr_k * sum(trees_k); the global ensemble is the
+  // weighted sum, realized with a merged learning rate of 1 and leaf weights
+  // pre-scaled by w_k * lr_k (renormalized by the weight total at Finish).
+  if (blob.size() < 3) {
+    return Status::InvalidArgument("AggregateModelBlobs: short XGB blob");
+  }
+  const double base = blob[0];
+  const double lr = blob[1];
+  auto n_trees = static_cast<size_t>(blob[2]);
+  // Validate the whole blob before touching the accumulated state, so a
+  // truncated blob leaves the fold unchanged.
+  size_t offset = 3;
+  for (size_t t = 0; t < n_trees; ++t) {
+    if (offset >= blob.size()) {
+      return Status::InvalidArgument("AggregateModelBlobs: truncated XGB blob");
+    }
+    auto n_nodes = static_cast<size_t>(blob[offset]);
+    size_t span = 1 + 5 * n_nodes;
+    if (offset + span > blob.size()) {
+      return Status::InvalidArgument("AggregateModelBlobs: truncated tree");
+    }
+    offset += span;
+  }
+  base_sum_ += weight * base;
+  offset = 3;
+  for (size_t t = 0; t < n_trees; ++t) {
+    auto n_nodes = static_cast<size_t>(blob[offset]);
+    tree_section_.push_back(blob[offset]);
+    for (size_t node = 0; node < n_nodes; ++node) {
+      size_t p = offset + 1 + 5 * node;
+      tree_section_.push_back(blob[p]);      // feature
+      tree_section_.push_back(blob[p + 1]);  // threshold
+      tree_section_.push_back(blob[p + 2]);  // left
+      tree_section_.push_back(blob[p + 3]);  // right
+      tree_section_.push_back(blob[p + 4] * weight * lr);  // scaled weight
+    }
+    offset += 1 + 5 * n_nodes;
+    ++total_trees_;
+  }
+  any_ = true;
+  total_weight_ += weight;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ModelBlobAccumulator::Finish() {
+  if (!any_) {
+    return Status::InvalidArgument("AggregateModelBlobs: bad inputs");
+  }
+  if (total_weight_ <= 0.0) {
+    return Status::InvalidArgument("AggregateModelBlobs: zero total weight");
+  }
+  if (!xgb_) {
+    std::vector<double> avg = std::move(param_sum_);
+    for (double& v : avg) v /= total_weight_;
+    return avg;
+  }
+  std::vector<double> merged;
+  merged.reserve(3 + tree_section_.size());
+  merged.push_back(base_sum_ / total_weight_);
+  merged.push_back(1.0);  // Merged learning rate.
+  merged.push_back(static_cast<double>(total_trees_));
+  // Leaves were accumulated pre-scaled by the raw w_k * lr_k; dividing by
+  // the weight total here completes the renormalization.
+  size_t offset = 0;
+  while (offset < tree_section_.size()) {
+    auto n_nodes = static_cast<size_t>(tree_section_[offset]);
+    for (size_t node = 0; node < n_nodes; ++node) {
+      tree_section_[offset + 1 + 5 * node + 4] /= total_weight_;
+    }
+    offset += 1 + 5 * n_nodes;
+  }
+  merged.insert(merged.end(), tree_section_.begin(), tree_section_.end());
+  return merged;
+}
+
 Result<std::vector<double>> AggregateModelBlobs(
     const Configuration& config, const std::vector<std::vector<double>>& blobs,
     const std::vector<double>& weights) {
   if (blobs.empty() || blobs.size() != weights.size()) {
     return Status::InvalidArgument("AggregateModelBlobs: bad inputs");
   }
-  double total = 0.0;
-  for (double w : weights) total += w;
-  if (total <= 0.0) {
-    return Status::InvalidArgument("AggregateModelBlobs: zero total weight");
-  }
-
-  if (config.algorithm != AlgorithmId::kXgb) {
-    // FedAvg over flat parameter vectors.
-    std::vector<double> avg(blobs.front().size(), 0.0);
-    for (size_t k = 0; k < blobs.size(); ++k) {
-      if (blobs[k].size() != avg.size()) {
-        return Status::InvalidArgument("AggregateModelBlobs: size mismatch");
-      }
-      for (size_t i = 0; i < avg.size(); ++i) {
-        avg[i] += weights[k] / total * blobs[k][i];
-      }
-    }
-    return avg;
-  }
-
-  // XGB: merge trees into one prediction-equivalent model. The client model
-  // predicts base_k + lr_k * sum(trees_k); the global ensemble is the
-  // weighted sum, realized with a merged learning rate of 1 and leaf weights
-  // pre-scaled by w_k * lr_k.
-  std::vector<double> merged;
-  double merged_base = 0.0;
-  std::vector<double> tree_section;
-  size_t total_trees = 0;
+  ModelBlobAccumulator acc(config);
   for (size_t k = 0; k < blobs.size(); ++k) {
-    const std::vector<double>& blob = blobs[k];
-    if (blob.size() < 3) {
-      return Status::InvalidArgument("AggregateModelBlobs: short XGB blob");
-    }
-    double w = weights[k] / total;
-    double base = blob[0];
-    double lr = blob[1];
-    auto n_trees = static_cast<size_t>(blob[2]);
-    merged_base += w * base;
-    size_t offset = 3;
-    for (size_t t = 0; t < n_trees; ++t) {
-      if (offset >= blob.size()) {
-        return Status::InvalidArgument("AggregateModelBlobs: truncated XGB blob");
-      }
-      auto n_nodes = static_cast<size_t>(blob[offset]);
-      size_t span = 1 + 5 * n_nodes;
-      if (offset + span > blob.size()) {
-        return Status::InvalidArgument("AggregateModelBlobs: truncated tree");
-      }
-      tree_section.push_back(blob[offset]);
-      for (size_t node = 0; node < n_nodes; ++node) {
-        size_t p = offset + 1 + 5 * node;
-        tree_section.push_back(blob[p]);      // feature
-        tree_section.push_back(blob[p + 1]);  // threshold
-        tree_section.push_back(blob[p + 2]);  // left
-        tree_section.push_back(blob[p + 3]);  // right
-        tree_section.push_back(blob[p + 4] * w * lr);  // scaled weight
-      }
-      offset += span;
-      ++total_trees;
-    }
+    FEDFC_RETURN_IF_ERROR(acc.Add(weights[k], blobs[k]));
   }
-  merged.push_back(merged_base);
-  merged.push_back(1.0);  // Merged learning rate.
-  merged.push_back(static_cast<double>(total_trees));
-  merged.insert(merged.end(), tree_section.begin(), tree_section.end());
-  return merged;
+  return acc.Finish();
 }
 
 Result<std::unique_ptr<ml::Regressor>> DeserializeModel(

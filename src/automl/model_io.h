@@ -20,13 +20,38 @@ Result<std::vector<double>> SerializeModel(const Configuration& config,
 Result<std::unique_ptr<ml::Regressor>> DeserializeModel(
     const Configuration& config, const std::vector<double>& blob);
 
-/// Aggregates per-client model blobs into the global model's blob
-/// (Algorithm 1, lines 26-27):
+/// Streaming fold over per-client model blobs (Algorithm 1, lines 26-27):
 ///  - linear family: weighted average of the flat parameters (FedAvg);
 ///  - XGB: weighted ensemble, realized as a single boosted model whose
 ///    per-client trees have base scores and leaf weights scaled by the
 ///    client weights (prediction-equivalent to the weighted ensemble).
-/// `weights` are renormalized internally.
+/// Weights are raw (|D_j|-style) and renormalized on the running total at
+/// `Finish`, so one client's blob can be folded in and dropped as it
+/// arrives — the model analogue of fl::ScalarAccumulator. `Finish` is
+/// one-shot: it finalizes the accumulated state and returns the global
+/// blob. `AggregateModelBlobs` is a thin loop over this class, so the
+/// buffered and streaming paths share one code path (and one set of
+/// validation errors).
+class ModelBlobAccumulator {
+ public:
+  explicit ModelBlobAccumulator(const Configuration& config)
+      : xgb_(config.algorithm == AlgorithmId::kXgb) {}
+
+  Status Add(double weight, const std::vector<double>& blob);
+  Result<std::vector<double>> Finish();
+
+ private:
+  bool xgb_;
+  bool any_ = false;
+  double total_weight_ = 0.0;
+  std::vector<double> param_sum_;   ///< Linear family: weighted param sums.
+  double base_sum_ = 0.0;           ///< XGB: weighted base-score sum.
+  size_t total_trees_ = 0;          ///< XGB: trees appended so far.
+  std::vector<double> tree_section_;  ///< XGB: leaves pre-scaled by w * lr.
+};
+
+/// Buffered convenience over `ModelBlobAccumulator`: folds every blob, then
+/// finishes. `weights` are renormalized internally.
 Result<std::vector<double>> AggregateModelBlobs(
     const Configuration& config, const std::vector<std::vector<double>>& blobs,
     const std::vector<double>& weights);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "automl/phases/reply_folds.h"
 #include "fl/transport.h"
 #include "ml/metrics.h"
 #include "ts/interpolation.h"
@@ -158,24 +159,22 @@ Result<NBeatsReport> FedNBeatsBaseline::Run(
     }
     fl::NBeatsRoundRequest request;
     if (!global_params.empty()) request.params = global_params;
-    Result<fl::RoundResult> round =
-        server.RunRound(fl::RoundSpec(tasks::kNBeatsRound, request.ToPayload()));
+    // FedAvg: stream each client's trained params into the running weighted
+    // element-wise average; a decode failure or shape mismatch aborts the
+    // round, which discards it exactly like any failed round.
+    auto consumer = phases::MakeTensorFold(
+        [](const fl::Payload& payload) -> Result<std::vector<double>> {
+          FEDFC_ASSIGN_OR_RETURN(fl::NBeatsRoundReply reply,
+                                 fl::NBeatsRoundReply::FromPayload(payload));
+          return std::move(reply.params);
+        });
+    Result<fl::RoundSummary> round = server.RunRound(
+        fl::RoundSpec(tasks::kNBeatsRound, request.ToPayload()), consumer);
     ++report.rounds;
     if (!round.ok()) continue;
-    // FedAvg: weighted element-wise average of the clients' trained params.
-    std::vector<double> avg;
-    bool decoded = true;
-    for (const fl::ClientReply& r : round->replies) {
-      Result<fl::NBeatsRoundReply> reply = fl::NBeatsRoundReply::FromPayload(r.payload);
-      if (!reply.ok() || (!avg.empty() && reply->params.size() != avg.size())) {
-        decoded = false;
-        break;
-      }
-      if (avg.empty()) avg.assign(reply->params.size(), 0.0);
-      for (size_t i = 0; i < avg.size(); ++i) avg[i] += r.weight * reply->params[i];
-    }
-    if (!decoded || avg.empty()) continue;
-    global_params = std::move(avg);
+    Result<std::vector<double>> avg = consumer.Mean();
+    if (!avg.ok() || avg->empty()) continue;
+    global_params = std::move(*avg);
   }
   if (global_params.empty()) {
     return Status::DeadlineExceeded("FedNBeats: no completed round in budget");
@@ -183,16 +182,19 @@ Result<NBeatsReport> FedNBeatsBaseline::Run(
 
   fl::NBeatsEvaluateRequest eval_request;
   eval_request.params = global_params;
-  FEDFC_ASSIGN_OR_RETURN(
-      fl::RoundResult eval_round,
-      server.RunRound(fl::RoundSpec(tasks::kNBeatsEvaluate,
-                                    eval_request.ToPayload())));
-  report.test_loss = 0.0;
-  for (const fl::ClientReply& r : eval_round.replies) {
-    FEDFC_ASSIGN_OR_RETURN(fl::NBeatsEvaluateReply reply,
-                           fl::NBeatsEvaluateReply::FromPayload(r.payload));
-    report.test_loss += r.weight * reply.test_loss;
-  }
+  auto eval_consumer =
+      phases::MakeScalarFold([](const fl::Payload& payload) -> Result<double> {
+        FEDFC_ASSIGN_OR_RETURN(fl::NBeatsEvaluateReply reply,
+                               fl::NBeatsEvaluateReply::FromPayload(payload));
+        return reply.test_loss;
+      });
+  FEDFC_RETURN_IF_ERROR(
+      server
+          .RunRound(fl::RoundSpec(tasks::kNBeatsEvaluate,
+                                  eval_request.ToPayload()),
+                    eval_consumer)
+          .status());
+  FEDFC_ASSIGN_OR_RETURN(report.test_loss, eval_consumer.Mean());
   report.elapsed_seconds = SecondsSince(start);
   return report;
 }

@@ -10,6 +10,37 @@
 
 namespace fedfc::automl::phases {
 
+namespace {
+
+/// Streams feature-importance replies into decoded importance vectors.
+/// Unlike the meta phase, an undecodable reply is SKIPPED rather than
+/// fatal: feature selection is best-effort, and a client that cannot
+/// produce importances simply doesn't vote.
+class ImportanceConsumer : public fl::ReplyConsumer {
+ public:
+  Status Consume(fl::ClientReply&& r) override {
+    Result<fl::FeatureImportanceReply> reply =
+        fl::FeatureImportanceReply::FromPayload(r.payload);
+    if (!reply.ok()) return Status::OK();
+    importances_.push_back(std::move(reply->importances));
+    weights_.push_back(r.weight);
+    return Status::OK();
+  }
+
+  Status Finish() override { return Status::OK(); }
+
+  [[nodiscard]] const std::vector<std::vector<double>>& importances() const {
+    return importances_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<std::vector<double>> importances_;
+  std::vector<double> weights_;  ///< Raw |D_j|; SelectFeatures renormalizes.
+};
+
+}  // namespace
+
 Result<features::FeatureEngineeringSpec> RunFeaturePhase(
     fl::RoundRunner& runner, const FeaturePhaseInput& input,
     const PhaseRoundOptions& round) {
@@ -33,22 +64,13 @@ Result<features::FeatureEngineeringSpec> RunFeaturePhase(
   fl::RoundSpec round_spec(fl::tasks::kFeatureImportance, request.ToPayload());
   round_spec.policy = round.policy;
   round_spec.sampling_seed = round.sampling_seed_base;
-  Result<fl::RoundResult> result = runner.RunRound(round_spec);
+  ImportanceConsumer consumer;
+  Result<fl::RoundSummary> result = runner.RunRound(round_spec, consumer);
   if (!result.ok()) return spec;
-
-  std::vector<std::vector<double>> importances;
-  std::vector<double> imp_weights;
-  for (const fl::ClientReply& r : result->replies) {
-    Result<fl::FeatureImportanceReply> reply =
-        fl::FeatureImportanceReply::FromPayload(r.payload);
-    if (!reply.ok()) continue;
-    importances.push_back(std::move(reply->importances));
-    imp_weights.push_back(r.weight);
-  }
-  if (importances.empty()) return spec;
+  if (consumer.importances().empty()) return spec;
 
   Result<std::vector<size_t>> selected = features::SelectFeatures(
-      importances, imp_weights, input.feature_coverage);
+      consumer.importances(), consumer.weights(), input.feature_coverage);
   if (selected.ok() && selected->size() < features::FeatureSchema(spec).size()) {
     spec.selected_features = std::move(*selected);
   }

@@ -7,31 +7,55 @@
 
 namespace fedfc::automl::phases {
 
+namespace {
+
+/// Streams meta-feature replies into decoded per-client rows: each payload
+/// is decoded and dropped as it arrives, so the phase never materializes the
+/// round. An undecodable reply fails the whole phase — a client that answers
+/// garbage is a protocol error, not a partial-participation event.
+class MetaFeaturesConsumer : public fl::ReplyConsumer {
+ public:
+  Status Consume(fl::ClientReply&& r) override {
+    FEDFC_ASSIGN_OR_RETURN(fl::MetaFeaturesReply reply,
+                           fl::MetaFeaturesReply::FromPayload(r.payload));
+    FEDFC_ASSIGN_OR_RETURN(
+        features::ClientMetaFeatures mf,
+        features::ClientMetaFeatures::FromTensor(reply.meta_features));
+    client_mfs_.push_back(std::move(mf));
+    weights_.push_back(r.weight);
+    return Status::OK();
+  }
+
+  Status Finish() override { return Status::OK(); }
+
+  [[nodiscard]] const std::vector<features::ClientMetaFeatures>& client_mfs()
+      const {
+    return client_mfs_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<features::ClientMetaFeatures> client_mfs_;
+  std::vector<double> weights_;  ///< Raw |D_j|; aggregation renormalizes.
+};
+
+}  // namespace
+
 Result<MetaPhaseOutput> RunMetaPhase(fl::RoundRunner& runner,
                                      const PhaseRoundOptions& round) {
   fl::RoundSpec spec(fl::tasks::kMetaFeatures,
                      fl::MetaFeaturesRequest().ToPayload());
   spec.policy = round.policy;
   spec.sampling_seed = round.sampling_seed_base;
-  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
+  MetaFeaturesConsumer consumer;
+  FEDFC_ASSIGN_OR_RETURN(fl::RoundSummary summary,
+                         runner.RunRound(spec, consumer));
 
-  std::vector<features::ClientMetaFeatures> client_mfs;
-  std::vector<double> weights;
-  client_mfs.reserve(result.replies.size());
-  weights.reserve(result.replies.size());
-  for (const fl::ClientReply& r : result.replies) {
-    FEDFC_ASSIGN_OR_RETURN(fl::MetaFeaturesReply reply,
-                           fl::MetaFeaturesReply::FromPayload(r.payload));
-    FEDFC_ASSIGN_OR_RETURN(
-        features::ClientMetaFeatures mf,
-        features::ClientMetaFeatures::FromTensor(reply.meta_features));
-    client_mfs.push_back(std::move(mf));
-    weights.push_back(r.weight);
-  }
   MetaPhaseOutput out;
   FEDFC_ASSIGN_OR_RETURN(out.aggregated,
-                         features::AggregateMetaFeatures(client_mfs, weights));
-  out.trace = result.trace;
+                         features::AggregateMetaFeatures(consumer.client_mfs(),
+                                                         consumer.weights()));
+  out.trace = summary.trace;
   return out;
 }
 

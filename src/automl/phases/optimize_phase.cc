@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "automl/model_io.h"
+#include "automl/phases/reply_folds.h"
 #include "core/logging.h"
 #include "fl/task_codec.h"
 
@@ -14,18 +15,6 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
-}
-
-/// Equation 1 aggregation of the per-client validation losses, in reply
-/// (client-index) order.
-Result<double> AggregateValidLoss(const std::vector<fl::ClientReply>& replies) {
-  double acc = 0.0;
-  for (const fl::ClientReply& r : replies) {
-    FEDFC_ASSIGN_OR_RETURN(fl::FitEvaluateReply reply,
-                           fl::FitEvaluateReply::FromPayload(r.payload));
-    acc += r.weight * reply.valid_loss;
-  }
-  return acc;
 }
 
 }  // namespace
@@ -61,10 +50,15 @@ Result<OptimizePhaseOutput> RunOptimizePhase(fl::RoundRunner& runner,
     fl::RoundSpec spec(fl::tasks::kFitEvaluate, request.ToPayload());
     spec.policy = round.policy;
     spec.sampling_seed = round.sampling_seed_base + out.iterations;
-    Result<fl::RoundResult> result = runner.RunRound(spec);
+    auto consumer = MakeScalarFold([](const fl::Payload& payload) -> Result<double> {
+      FEDFC_ASSIGN_OR_RETURN(fl::FitEvaluateReply reply,
+                             fl::FitEvaluateReply::FromPayload(payload));
+      return reply.valid_loss;
+    });
+    Result<fl::RoundSummary> result = runner.RunRound(spec, consumer);
     ++out.iterations;
     if (!result.ok()) continue;
-    Result<double> loss = AggregateValidLoss(result->replies);
+    Result<double> loss = consumer.Mean();
     if (!loss.ok() || !std::isfinite(*loss)) continue;
     out.loss_history.push_back(*loss);
     portfolio.Observe(config, *loss);
@@ -88,16 +82,14 @@ Result<std::vector<double>> RunFinalFitPhase(fl::RoundRunner& runner,
   fl::RoundSpec spec(fl::tasks::kFitFinal, request.ToPayload());
   spec.policy = round.policy;
   spec.sampling_seed = round.sampling_seed_base;
-  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
-  std::vector<std::vector<double>> blobs;
-  std::vector<double> blob_weights;
-  for (const fl::ClientReply& r : result.replies) {
-    FEDFC_ASSIGN_OR_RETURN(fl::FitFinalReply reply,
-                           fl::FitFinalReply::FromPayload(r.payload));
-    blobs.push_back(std::move(reply.model_blob));
-    blob_weights.push_back(r.weight);
-  }
-  return AggregateModelBlobs(config, blobs, blob_weights);
+  auto consumer = MakeModelBlobFold(
+      config, [](const fl::Payload& payload) -> Result<std::vector<double>> {
+        FEDFC_ASSIGN_OR_RETURN(fl::FitFinalReply reply,
+                               fl::FitFinalReply::FromPayload(payload));
+        return std::move(reply.model_blob);
+      });
+  FEDFC_RETURN_IF_ERROR(runner.RunRound(spec, consumer).status());
+  return consumer.TakeBlob();
 }
 
 Result<double> RunEvaluatePhase(fl::RoundRunner& runner,
@@ -112,14 +104,13 @@ Result<double> RunEvaluatePhase(fl::RoundRunner& runner,
   fl::RoundSpec spec(fl::tasks::kEvaluateModel, request.ToPayload());
   spec.policy = round.policy;
   spec.sampling_seed = round.sampling_seed_base;
-  FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, runner.RunRound(spec));
-  double acc = 0.0;
-  for (const fl::ClientReply& r : result.replies) {
+  auto consumer = MakeScalarFold([](const fl::Payload& payload) -> Result<double> {
     FEDFC_ASSIGN_OR_RETURN(fl::EvaluateModelReply reply,
-                           fl::EvaluateModelReply::FromPayload(r.payload));
-    acc += r.weight * reply.test_loss;
-  }
-  return acc;
+                           fl::EvaluateModelReply::FromPayload(payload));
+    return reply.test_loss;
+  });
+  FEDFC_RETURN_IF_ERROR(runner.RunRound(spec, consumer).status());
+  return consumer.Mean();
 }
 
 }  // namespace fedfc::automl::phases

@@ -11,9 +11,15 @@
 namespace fedfc::fl {
 
 /// Reply from one client, tagged with its index and aggregation weight.
+///
+/// The meaning of `weight` depends on where the reply sits in the pipeline:
+/// a `ReplyConsumer` receives the RAW example count |D_j| and renormalizes
+/// on its own running total, while the buffered `RoundResult` (built by
+/// `CollectingConsumer`) carries weights already renormalized over the
+/// respondents — Equation 1's alpha_j.
 struct ClientReply {
   size_t client_index = 0;
-  double weight = 0.0;  ///< alpha_j, normalized over responding clients.
+  double weight = 0.0;
   Payload payload;
 };
 
@@ -28,7 +34,9 @@ struct RoundPolicy {
   /// Extra attempts per client after a failed execute (0 = fail fast).
   size_t max_retries = 0;
   /// Base pause before re-attempting a failed client; attempt k waits
-  /// `retry_backoff_ms * 2^k` (exponential backoff). 0 retries immediately.
+  /// `retry_backoff_ms * 2^k` (exponential backoff, exponent and total
+  /// sleep capped so huge retry budgets cannot produce nonsense waits).
+  /// 0 retries immediately.
   double retry_backoff_ms = 0.0;
   /// Minimum fraction of *sampled* clients that must succeed for the round
   /// to count, in [0, 1]. The round always fails when nobody succeeds; a
@@ -80,24 +88,100 @@ struct RoundTrace {
   double wall_seconds = 0.0;
 };
 
-/// Result of a round: the successful replies (client-index-ordered, weights
-/// renormalized over the respondents — Equation 1), the per-sampled-client
-/// outcomes (also index-ordered), and the round's accounting trace.
+/// Streaming sink for a round's successful replies. This is how a round's
+/// payloads reach an aggregator without the server ever holding more than a
+/// bounded window of them — the O(1)-memory contract that lets one server
+/// fold rounds over 10^4+ clients.
+///
+/// Contract (what `RoundRunner` implementations guarantee):
+///   - `Consume` is called once per successful client, in ascending
+///     client-index order, from the thread running the round — never
+///     concurrently. The reply's `weight` is the client's RAW example count
+///     |D_j|; consumers renormalize on their own running total (Equation 1).
+///   - `Finish` is called exactly once, after the last `Consume`, iff the
+///     round itself succeeded (some client replied and the policy's
+///     min-success threshold held).
+///   - A non-OK Status from either hook aborts the round with that status.
+class ReplyConsumer {
+ public:
+  virtual ~ReplyConsumer() = default;
+
+  virtual Status Consume(ClientReply&& reply) = 0;
+  virtual Status Finish() = 0;
+};
+
+/// What a consumer-driven round reports back: the per-sampled-client
+/// outcomes (index-ordered) and the accounting trace. The payloads
+/// themselves went through the consumer.
+struct RoundSummary {
+  std::vector<ClientOutcome> outcomes;
+  RoundTrace trace;
+};
+
+/// Result of a buffered round: the successful replies (client-index-ordered,
+/// weights renormalized over the respondents — Equation 1), the per-client
+/// outcomes, and the trace. Kept for callers that genuinely need the whole
+/// round at once (tests, the secure-aggregation masking path); engine code
+/// folds through `ReplyConsumer`s instead.
 struct RoundResult {
   std::vector<ClientReply> replies;
   std::vector<ClientOutcome> outcomes;
   RoundTrace trace;
 };
 
+/// The provided consumer that rebuilds the legacy buffered `RoundResult`:
+/// stashes every reply and, at `Finish`, renormalizes the raw weights over
+/// the running total — bit-identical to the historical post-gather
+/// renormalization loop.
+class CollectingConsumer : public ReplyConsumer {
+ public:
+  Status Consume(ClientReply&& reply) override {
+    total_weight_ += reply.weight;
+    replies_.push_back(std::move(reply));
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    for (ClientReply& r : replies_) r.weight /= total_weight_;
+    return Status::OK();
+  }
+
+  [[nodiscard]] std::vector<ClientReply>& replies() { return replies_; }
+
+ private:
+  std::vector<ClientReply> replies_;
+  double total_weight_ = 0.0;
+};
+
 /// The narrow interface the engine phases program against: "run one round,
-/// give me the result". `fl::Server` is the production implementation;
-/// phase unit tests substitute fakes that never touch a transport.
+/// feed the replies into this consumer". `fl::Server` is the production
+/// implementation; phase unit tests substitute fakes that never touch a
+/// transport (see `FeedRoundResult`).
 class RoundRunner {
  public:
   virtual ~RoundRunner() = default;
 
-  virtual Result<RoundResult> RunRound(const RoundSpec& spec) = 0;
+  /// Streams the round's successful replies into `consumer` per the
+  /// ReplyConsumer contract and returns the round's outcomes + trace.
+  virtual Result<RoundSummary> RunRound(const RoundSpec& spec,
+                                        ReplyConsumer& consumer) = 0;
+
+  /// Buffered convenience wrapper: runs the round through a
+  /// `CollectingConsumer` and returns the materialized `RoundResult`.
+  /// Implemented once on the base class; concrete runners that also
+  /// declare the streaming overload pull this in with
+  /// `using RoundRunner::RunRound;`.
+  Result<RoundResult> RunRound(const RoundSpec& spec);
 };
+
+/// Feeds an already-materialized `RoundResult` (whose weights are
+/// normalized, as RoundResult's contract requires) through `consumer` as if
+/// the round had run live: each reply in order, then `Finish`. Normalized
+/// weights are valid raw weights — the consumer's own renormalization is
+/// scale-invariant — so test fakes built on canned RoundResults keep
+/// working. Returns the result's outcomes + trace.
+Result<RoundSummary> FeedRoundResult(RoundResult result,
+                                     ReplyConsumer& consumer);
 
 /// Client indices participating in the round, ascending. Sampling is seeded
 /// by `spec.sampling_seed` alone; full participation (fraction = 1.0, the

@@ -1,13 +1,30 @@
 #include "fl/server.h"
 
+#include <algorithm>
 #include <chrono>
-#include <optional>
+#include <deque>
+#include <future>
 #include <thread>
 #include <utility>
 
 #include "core/logging.h"
+#include "fl/aggregation.h"
 
 namespace fedfc::fl {
+namespace {
+
+/// One sampled client's finished attempt: the final Execute result and how
+/// many re-attempts it took. Slots move through the round's in-flight window
+/// by value, so a reply's payload lives exactly from transport completion to
+/// the consumer call.
+struct Slot {
+  Result<Payload> reply;
+  size_t retries = 0;
+
+  Slot() : reply(Status::Internal("unset slot")) {}
+};
+
+}  // namespace
 
 Server::Server(std::unique_ptr<Transport> transport, std::vector<size_t> client_sizes,
                size_t num_threads)
@@ -27,7 +44,8 @@ void Server::set_num_threads(size_t num_threads) {
   pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
-Result<RoundResult> Server::RunRound(const RoundSpec& spec) {
+Result<RoundSummary> Server::RunRound(const RoundSpec& spec,
+                                      ReplyConsumer& consumer) {
   if (spec.policy.participation_fraction <= 0.0 ||
       spec.policy.participation_fraction > 1.0) {
     return Status::InvalidArgument(
@@ -38,93 +56,121 @@ Result<RoundResult> Server::RunRound(const RoundSpec& spec) {
   const std::vector<size_t> sampled = SampleParticipants(spec, num_clients());
   const size_t n = sampled.size();
 
-  struct Attempt {
-    std::optional<Result<Payload>> reply;
-    size_t retries = 0;
-  };
-  std::vector<Attempt> slots(n);
   auto execute_with_retries = [&](size_t s) {
     const size_t j = sampled[s];
+    Slot slot;
     for (size_t attempt = 0;; ++attempt) {
-      slots[s].reply = transport_->Execute(j, spec.task, spec.request);
-      slots[s].retries = attempt;
-      if (slots[s].reply->ok() || attempt >= spec.policy.max_retries) return;
+      slot.reply = transport_->Execute(j, spec.task, spec.request);
+      slot.retries = attempt;
+      if (slot.reply.ok() || attempt >= spec.policy.max_retries) return slot;
       if (spec.policy.retry_backoff_ms > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            spec.policy.retry_backoff_ms * static_cast<double>(1ULL << attempt)));
+        // 2^attempt with the exponent capped (1ULL << 64 is UB, and a
+        // million-fold backoff is already far past useful) and the computed
+        // sleep clamped to 30 s, so a huge max_retries policy cannot turn
+        // into a shift out of range or an eternity of waiting.
+        const double factor =
+            static_cast<double>(1ULL << std::min<size_t>(attempt, 20));
+        const double sleep_ms =
+            std::min(spec.policy.retry_backoff_ms * factor, 30000.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
       }
     }
   };
-  if (pool_ && n > 1) {
-    // Fan out one task per sampled client; each slot is written by exactly
-    // one worker, so the only shared mutable state is inside the transport
-    // (which is locked) and the pool itself.
-    pool_->ParallelFor(n, execute_with_retries);
-  } else {
-    for (size_t s = 0; s < n; ++s) execute_with_retries(s);
-  }
 
-  // Index-ordered gather: reply order, outcome order, renormalized weights,
-  // and the reported error are all independent of execution interleaving.
-  RoundResult result;
-  result.outcomes.reserve(n);
+  // Index-ordered consumption: whether the slots were filled sequentially or
+  // by a pool, replies reach the consumer in ascending client-index order,
+  // so the consumed sequence — and the reported last error — is independent
+  // of execution interleaving. Each slot is dropped right after processing;
+  // the pooled path additionally bounds how many undigested replies exist at
+  // once to the in-flight window.
+  RoundSummary summary;
+  summary.outcomes.reserve(n);
   std::string last_error;
-  for (size_t s = 0; s < n; ++s) {
+  Status consume_status = Status::OK();
+  size_t ok_clients = 0;
+  auto process = [&](size_t s, Slot&& slot) {
     const size_t j = sampled[s];
-    Result<Payload>& reply = *slots[s].reply;
     ClientOutcome outcome;
     outcome.client_index = j;
-    outcome.retries = slots[s].retries;
-    result.trace.retries += slots[s].retries;
-    if (!reply.ok()) {
+    outcome.retries = slot.retries;
+    summary.trace.retries += slot.retries;
+    if (!slot.reply.ok()) {
       outcome.ok = false;
-      outcome.error = reply.status().ToString();
+      outcome.error = slot.reply.status().ToString();
       last_error = outcome.error;
       FEDFC_LOG(Warning) << "client " << j << " failed task '" << spec.task
                          << "': " << last_error;
     } else {
       outcome.ok = true;
-      ClientReply cr;
-      cr.client_index = j;
-      cr.weight = static_cast<double>(client_sizes_[j]);
-      cr.payload = std::move(*reply);
-      result.replies.push_back(std::move(cr));
+      ++ok_clients;
+      if (consume_status.ok()) {
+        ClientReply cr;
+        cr.client_index = j;
+        cr.weight = static_cast<double>(client_sizes_[j]);
+        cr.payload = std::move(*slot.reply);
+        consume_status = consumer.Consume(std::move(cr));
+      }
     }
-    result.outcomes.push_back(std::move(outcome));
-  }
-  result.trace.sampled_clients = n;
-  result.trace.ok_clients = result.replies.size();
-  result.trace.failed_clients = n - result.replies.size();
+    summary.outcomes.push_back(std::move(outcome));
+  };
 
-  if (result.replies.empty()) {
+  if (pool_ && n > 1) {
+    // Sliding window over the pool: submit clients in index order, consume
+    // the oldest as soon as the window fills. At most `window` replies are
+    // ever in flight, whatever n is.
+    const size_t window = pool_->size() * 2;
+    std::deque<std::future<Slot>> in_flight;
+    size_t next_to_process = 0;
+    for (size_t s = 0; s < n; ++s) {
+      in_flight.push_back(pool_->Submit([&execute_with_retries, s]() {
+        return execute_with_retries(s);
+      }));
+      if (in_flight.size() >= window) {
+        process(next_to_process++, in_flight.front().get());
+        in_flight.pop_front();
+      }
+    }
+    while (!in_flight.empty()) {
+      process(next_to_process++, in_flight.front().get());
+      in_flight.pop_front();
+    }
+  } else {
+    for (size_t s = 0; s < n; ++s) process(s, execute_with_retries(s));
+  }
+  FEDFC_RETURN_IF_ERROR(consume_status);
+
+  summary.trace.sampled_clients = n;
+  summary.trace.ok_clients = ok_clients;
+  summary.trace.failed_clients = n - ok_clients;
+
+  if (ok_clients == 0) {
     return Status::Internal("all clients failed task '" + spec.task +
                             "': " + last_error);
   }
-  if (static_cast<double>(result.trace.ok_clients) <
+  if (static_cast<double>(ok_clients) <
       spec.policy.min_success_fraction * static_cast<double>(n)) {
     return Status::Internal(
         "round '" + spec.task + "' below success threshold: " +
-        std::to_string(result.trace.ok_clients) + "/" + std::to_string(n) +
+        std::to_string(ok_clients) + "/" + std::to_string(n) +
         " clients succeeded (require " +
         std::to_string(spec.policy.min_success_fraction) + "); last error: " +
         last_error);
   }
-  double total = 0.0;
-  for (const auto& r : result.replies) total += r.weight;
-  for (auto& r : result.replies) r.weight /= total;
+  FEDFC_RETURN_IF_ERROR(consumer.Finish());
 
   const TransportStats stats_after = transport_->stats();
-  result.trace.messages = stats_after.messages - stats_before.messages;
-  result.trace.bytes_to_clients =
+  summary.trace.messages = stats_after.messages - stats_before.messages;
+  summary.trace.bytes_to_clients =
       stats_after.bytes_to_clients - stats_before.bytes_to_clients;
-  result.trace.bytes_to_server =
+  summary.trace.bytes_to_server =
       stats_after.bytes_to_server - stats_before.bytes_to_server;
-  result.trace.transport_failures = stats_after.failures - stats_before.failures;
-  result.trace.transport_timeouts = stats_after.timeouts - stats_before.timeouts;
-  result.trace.wall_seconds =
+  summary.trace.transport_failures = stats_after.failures - stats_before.failures;
+  summary.trace.transport_timeouts = stats_after.timeouts - stats_before.timeouts;
+  summary.trace.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return result;
+  return summary;
 }
 
 Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
@@ -136,29 +182,25 @@ Result<std::vector<ClientReply>> Server::Broadcast(const std::string& task,
 
 Result<double> Server::AggregateScalar(const std::vector<ClientReply>& replies,
                                        const std::string& key) {
-  if (replies.empty()) return Status::InvalidArgument("aggregate: no replies");
-  double acc = 0.0;
+  ScalarAccumulator acc;
   for (const auto& r : replies) {
     FEDFC_ASSIGN_OR_RETURN(double v, r.payload.GetDouble(key));
-    acc += r.weight * v;
+    acc.Add(r.weight, v);
   }
-  return acc;
+  return acc.Mean();
 }
 
 Result<std::vector<double>> Server::AggregateTensor(
     const std::vector<ClientReply>& replies, const std::string& key) {
-  if (replies.empty()) return Status::InvalidArgument("aggregate: no replies");
-  std::vector<double> acc;
+  TensorAccumulator acc;
   for (const auto& r : replies) {
     FEDFC_ASSIGN_OR_RETURN(std::vector<double> t, r.payload.GetTensor(key));
-    if (acc.empty()) {
-      acc.assign(t.size(), 0.0);
-    } else if (acc.size() != t.size()) {
-      return Status::InvalidArgument("aggregate: tensor size mismatch for " + key);
+    if (!acc.Add(r.weight, t).ok()) {
+      return Status::InvalidArgument("aggregate: tensor size mismatch for " +
+                                     key);
     }
-    for (size_t i = 0; i < t.size(); ++i) acc[i] += r.weight * t[i];
   }
-  return acc;
+  return acc.Mean();
 }
 
 }  // namespace fedfc::fl

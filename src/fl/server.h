@@ -14,19 +14,22 @@
 namespace fedfc::fl {
 
 /// Orchestrates federated rounds over a transport — the role of the Flower
-/// server. `RunRound` is the one engine entry point: it samples participants
-/// (seeded, per the spec's policy), drives each sampled client with the
-/// spec's retry budget, gathers index-ordered replies with renormalized
-/// Equation 1 weights (alpha_j = |D_j| / |D| over the respondents), and
-/// accounts the round in a RoundTrace.
+/// server. The streaming `RunRound(spec, consumer)` is the one engine entry
+/// point: it samples participants (seeded, per the spec's policy), drives
+/// each sampled client with the spec's retry budget, and feeds every
+/// successful reply — raw |D_j| weight attached — into the consumer in
+/// ascending client-index order, dropping the payload immediately after.
+/// Server-side memory is therefore O(in-flight window + aggregate size),
+/// not O(clients × payload); consumers renormalize Equation 1's
+/// alpha_j = |D_j| / |D| on their own running total.
 ///
-/// With `num_threads > 1` every round fans client execution out over a
-/// thread pool (clients are independent by construction, so rounds are
-/// embarrassingly parallel). Replies are gathered into client-index-ordered
-/// slots, so the returned RoundResult — and every aggregate computed from it
-/// — is identical to the sequential result no matter how many threads ran
-/// the round. `num_threads == 1` (the default) takes the plain sequential
-/// loop. With `participation_fraction = 1.0` and `max_retries = 0` (the
+/// With `num_threads > 1` the round fans client execution out over a thread
+/// pool through a bounded in-flight window: clients are submitted in index
+/// order and their replies consumed in index order as the window slides, so
+/// the consumed sequence — and every aggregate folded from it — is
+/// bit-identical to the sequential run no matter how many threads ran the
+/// round. `num_threads == 1` (the default) takes the plain sequential loop.
+/// With `participation_fraction = 1.0` and `max_retries = 0` (the
 /// RoundPolicy defaults) the round is bit-identical to the legacy Broadcast.
 class Server : public RoundRunner {
  public:
@@ -41,23 +44,31 @@ class Server : public RoundRunner {
   void set_num_threads(size_t num_threads);
   [[nodiscard]] size_t num_threads() const { return pool_ ? pool_->size() : 1; }
 
-  /// Runs one federated round as described by the spec. Fails when every
-  /// sampled client fails, or when fewer than
-  /// `policy.min_success_fraction` of them succeed (partial participation is
-  /// the FL norm, not an error).
-  Result<RoundResult> RunRound(const RoundSpec& spec) override;
+  /// The buffered `RunRound(spec)` convenience from the base class.
+  using RoundRunner::RunRound;
 
-  /// Thin compatibility wrapper over RunRound with the default policy
-  /// (full participation, no retries): sends the task to all clients and
-  /// returns the successful replies.
+  /// Runs one federated round as described by the spec, streaming successful
+  /// replies into `consumer`. Fails when every sampled client fails, when
+  /// fewer than `policy.min_success_fraction` of them succeed (partial
+  /// participation is the FL norm, not an error), or when the consumer
+  /// rejects a reply.
+  Result<RoundSummary> RunRound(const RoundSpec& spec,
+                                ReplyConsumer& consumer) override;
+
+  /// Thin compatibility wrapper over the buffered RunRound with the default
+  /// policy (full participation, no retries): sends the task to all clients
+  /// and returns the successful replies.
   Result<std::vector<ClientReply>> Broadcast(const std::string& task,
                                              const Payload& request);
 
-  /// Weighted average of a scalar key across replies.
+  /// Weighted average of a scalar key across buffered replies — a
+  /// `ScalarAccumulator` fold (kept for callers that already hold a
+  /// RoundResult; streaming callers fold directly).
   static Result<double> AggregateScalar(const std::vector<ClientReply>& replies,
                                         const std::string& key);
 
-  /// Weighted element-wise average of a tensor key across replies (FedAvg).
+  /// Weighted element-wise average of a tensor key across buffered replies
+  /// (FedAvg) — a `TensorAccumulator` fold.
   static Result<std::vector<double>> AggregateTensor(
       const std::vector<ClientReply>& replies, const std::string& key);
 

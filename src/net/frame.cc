@@ -49,6 +49,7 @@ struct HeaderFields {
   StatusCode status_code = StatusCode::kOk;
   uint32_t task_len = 0;
   uint32_t body_len = 0;
+  uint32_t client_index = 0;
 };
 
 Result<HeaderFields> ParseHeader(const uint8_t* header) {
@@ -78,6 +79,7 @@ Result<HeaderFields> ParseHeader(const uint8_t* header) {
   }
   h.task_len = GetU32(header + 8);
   h.body_len = GetU32(header + 12);
+  h.client_index = GetU32(header + 16);
   if (h.task_len > kMaxTaskBytes) {
     return Status::InvalidArgument("frame: task length " +
                                    std::to_string(h.task_len) + " exceeds cap");
@@ -117,6 +119,7 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
   out.push_back(static_cast<uint8_t>(frame.status_code));
   PutU32(&out, static_cast<uint32_t>(frame.task.size()));
   PutU32(&out, static_cast<uint32_t>(frame.body.size()));
+  PutU32(&out, frame.client_index);
   out.insert(out.end(), frame.task.begin(), frame.task.end());
   out.insert(out.end(), frame.body.begin(), frame.body.end());
   PutU32(&out, Crc32(out.data(), out.size()));
@@ -146,6 +149,7 @@ Result<Frame> DecodeFrame(const std::vector<uint8_t>& bytes) {
   Frame frame;
   frame.type = h.type;
   frame.status_code = h.status_code;
+  frame.client_index = h.client_index;
   const uint8_t* task_begin = bytes.data() + kFrameHeaderBytes;
   frame.task.assign(task_begin, task_begin + h.task_len);
   const uint8_t* body_begin = task_begin + h.task_len;
@@ -193,6 +197,7 @@ Result<Frame> ReadFrame(Socket& socket, int timeout_ms) {
   Frame frame;
   frame.type = h.type;
   frame.status_code = h.status_code;
+  frame.client_index = h.client_index;
   frame.task.assign(rest.begin(),
                     rest.begin() + static_cast<std::ptrdiff_t>(h.task_len));
   frame.body.assign(

@@ -22,18 +22,26 @@ namespace fedfc::net {
 ///        7     1  status code (StatusCode; non-zero only on error frames)
 ///        8     4  task length in bytes (little-endian)
 ///       12     4  body length in bytes (little-endian)
-///       16     …  task id (UTF-8, no terminator)
+///       16     4  client index (little-endian) — which of the worker's
+///                 hosted clients this message addresses; replies echo it.
+///                 Single-client workers only ever see index 0.
+///       20     …  task id (UTF-8, no terminator)
 ///        …     …  body: serialized fl::Payload (request/reply) or the
 ///                 error message (error frames); empty on shutdown
 ///     last     4  CRC32 (IEEE, little-endian) over every preceding byte
+///
+/// Version history: v1 had a 16-byte header without the client index; v2
+/// appended the client-index word so one worker process can host many
+/// clients behind one listener. v2 peers reject v1 frames (and vice versa)
+/// on the version check — the protocol is not mixed-version.
 ///
 /// Decoding is strict: wrong magic/version, unknown type or status code,
 /// declared lengths above the caps or beyond the buffer, CRC mismatch, and
 /// trailing bytes are all typed errors — never a crash or an over-allocation
 /// (lengths are validated against the remaining bytes before any resize).
 inline constexpr uint32_t kFrameMagic = 0xFEDF0C01;
-inline constexpr uint16_t kProtocolVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr size_t kFrameTrailerBytes = 4;  ///< The CRC32.
 /// Task ids are short protocol strings; anything larger is garbage.
 inline constexpr uint32_t kMaxTaskBytes = 1u << 12;
@@ -51,12 +59,17 @@ struct Frame {
   FrameType type = FrameType::kRequest;
   /// Meaningful only when `type == kError` (kOk otherwise).
   StatusCode status_code = StatusCode::kOk;
+  /// Which of the receiving worker's hosted clients this message addresses
+  /// (worker-local slot, not the federation-global index). Replies and error
+  /// frames echo the request's index so the server can match them up.
+  uint32_t client_index = 0;
   std::string task;
   std::vector<uint8_t> body;
 
   bool operator==(const Frame& other) const {
     return type == other.type && status_code == other.status_code &&
-           task == other.task && body == other.body;
+           client_index == other.client_index && task == other.task &&
+           body == other.body;
   }
 };
 

@@ -5,21 +5,42 @@
 
 namespace fedfc::net {
 
+namespace {
+
+std::vector<WorkerEndpoint> SingleClientWorkers(std::vector<Endpoint> endpoints) {
+  std::vector<WorkerEndpoint> workers;
+  workers.reserve(endpoints.size());
+  for (Endpoint& ep : endpoints) {
+    workers.push_back({std::move(ep.host), ep.port, 1});
+  }
+  return workers;
+}
+
+}  // namespace
+
 TcpTransport::TcpTransport(std::vector<Endpoint> endpoints,
+                           TcpTransportOptions options)
+    : TcpTransport(SingleClientWorkers(std::move(endpoints)), options) {}
+
+TcpTransport::TcpTransport(std::vector<WorkerEndpoint> endpoints,
                            TcpTransportOptions options)
     : endpoints_(std::move(endpoints)), options_(options) {
   connections_.reserve(endpoints_.size());
-  for (size_t j = 0; j < endpoints_.size(); ++j) {
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
     connections_.push_back(std::make_unique<Connection>());
+    for (size_t slot = 0; slot < endpoints_[e].num_clients; ++slot) {
+      routes_.push_back({e, static_cast<uint32_t>(slot)});
+    }
   }
 }
 
 Result<Frame> TcpTransport::RoundTrip(size_t client_index,
                                       const Frame& request) {
-  Connection& conn = *connections_[client_index];
+  const Route& route = routes_[client_index];
+  Connection& conn = *connections_[route.endpoint];
   std::lock_guard<std::mutex> lock(conn.mutex);
   if (!conn.socket.valid()) {
-    const Endpoint& ep = endpoints_[client_index];
+    const WorkerEndpoint& ep = endpoints_[route.endpoint];
     Result<Socket> connected =
         Socket::ConnectTcp(ep.host, ep.port, options_.connect_timeout_ms);
     if (!connected.ok()) return connected.status();
@@ -34,6 +55,15 @@ Result<Frame> TcpTransport::RoundTrip(size_t client_index,
   if (!reply.ok()) {
     // The stream may hold a half-read frame — poison, reconnect next call.
     conn.socket.Close();
+    return reply;
+  }
+  if (reply->client_index != request.client_index) {
+    // A mismatched echo means the request/reply pairing on this stream is
+    // broken (a stale frame from a previous failure): poison it.
+    conn.socket.Close();
+    return Status::Internal(
+        "transport: reply for slot " + std::to_string(reply->client_index) +
+        " to a request for slot " + std::to_string(request.client_index));
   }
   return reply;
 }
@@ -50,11 +80,12 @@ void TcpTransport::CountFailure(const Status& status) {
 Result<fl::Payload> TcpTransport::Execute(size_t client_index,
                                           const std::string& task,
                                           const fl::Payload& request) {
-  if (client_index >= endpoints_.size()) {
+  if (client_index >= routes_.size()) {
     return Status::OutOfRange("transport: no such client");
   }
   Frame frame;
   frame.type = FrameType::kRequest;
+  frame.client_index = routes_[client_index].slot;
   frame.task = task;
   frame.body = request.Serialize();
   {
@@ -94,8 +125,8 @@ fl::TransportStats TcpTransport::stats() const {
 
 Result<std::vector<size_t>> TcpTransport::QueryNumExamples() {
   std::vector<size_t> sizes;
-  sizes.reserve(endpoints_.size());
-  for (size_t j = 0; j < endpoints_.size(); ++j) {
+  sizes.reserve(routes_.size());
+  for (size_t j = 0; j < routes_.size(); ++j) {
     FEDFC_ASSIGN_OR_RETURN(
         fl::Payload reply,
         Execute(j, fl::tasks::kNumExamples, fl::Payload()));
@@ -111,13 +142,14 @@ Result<std::vector<size_t>> TcpTransport::QueryNumExamples() {
 }
 
 Status TcpTransport::ShutdownWorker(size_t client_index) {
-  if (client_index >= endpoints_.size()) {
+  if (client_index >= routes_.size()) {
     return Status::OutOfRange("transport: no such client");
   }
-  Connection& conn = *connections_[client_index];
+  const Route& route = routes_[client_index];
+  Connection& conn = *connections_[route.endpoint];
   std::lock_guard<std::mutex> lock(conn.mutex);
   if (!conn.socket.valid()) {
-    const Endpoint& ep = endpoints_[client_index];
+    const WorkerEndpoint& ep = endpoints_[route.endpoint];
     Result<Socket> connected =
         Socket::ConnectTcp(ep.host, ep.port, options_.connect_timeout_ms);
     if (!connected.ok()) return connected.status();

@@ -21,6 +21,16 @@ struct Endpoint {
   uint16_t port = 0;
 };
 
+/// Where one worker process is listening, and how many clients it hosts.
+/// Global client indices map onto worker slots in declaration order: the
+/// first endpoint holds globals [0, num_clients), the next the following
+/// block, and so on.
+struct WorkerEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t num_clients = 1;
+};
+
 struct TcpTransportOptions {
   int connect_timeout_ms = 5000;
   /// Per send/receive deadline once a round-trip starts. Generous by
@@ -29,35 +39,48 @@ struct TcpTransportOptions {
   int io_timeout_ms = 30000;
 };
 
-/// fl::Transport over one persistent TCP connection per client.
+/// fl::Transport over one persistent TCP connection per worker process.
 ///
-/// Connections are opened lazily on first use and re-opened lazily after
-/// any failure: a failed round-trip closes the (possibly poisoned) stream,
-/// classifies the fault into TransportStats (`timeouts` for missed
-/// deadlines, `failures` for everything else), and returns the error — the
-/// caller's RoundPolicy retry/backoff machinery then drives recovery, and
-/// the retry's Execute reconnects. Nothing here loops or sleeps.
+/// A worker may host many clients (WorkerEndpoint::num_clients); the frame
+/// header's client-index word selects the slot, so all of a worker's
+/// clients share its single connection. Connections are opened lazily on
+/// first use and re-opened lazily after any failure: a failed round-trip
+/// closes the (possibly poisoned) stream, classifies the fault into
+/// TransportStats (`timeouts` for missed deadlines, `failures` for
+/// everything else), and returns the error — the caller's RoundPolicy
+/// retry/backoff machinery then drives recovery, and the retry's Execute
+/// reconnects. Nothing here loops or sleeps.
 ///
 /// Thread-safety matches the Transport contract: concurrent Execute calls
-/// are allowed for distinct client indices (one mutex per connection, one
-/// for the shared stats).
+/// are allowed for distinct client indices (one mutex per worker
+/// connection, one for the shared stats). Two clients hosted by the same
+/// worker serialize on that worker's connection mutex — matching the
+/// worker's one-frame-at-a-time serve loop.
 class TcpTransport : public fl::Transport {
  public:
+  /// One single-client worker per endpoint (the original deployment shape).
   explicit TcpTransport(std::vector<Endpoint> endpoints,
                         TcpTransportOptions options = {});
 
-  size_t num_clients() const override { return endpoints_.size(); }
+  /// Multi-client workers: each endpoint hosts a contiguous block of global
+  /// client indices, `num_clients` wide.
+  explicit TcpTransport(std::vector<WorkerEndpoint> endpoints,
+                        TcpTransportOptions options = {});
+
+  size_t num_clients() const override { return routes_.size(); }
   Result<fl::Payload> Execute(size_t client_index, const std::string& task,
                               const fl::Payload& request) override;
   fl::TransportStats stats() const override;
 
-  /// Asks every worker for its local example count — the `client_sizes`
-  /// vector fl::Server needs, fetched over the wire so the server never
-  /// needs out-of-band knowledge of the private datasets.
+  /// Asks every worker for each hosted client's local example count — the
+  /// `client_sizes` vector fl::Server needs, fetched over the wire so the
+  /// server never needs out-of-band knowledge of the private datasets.
   Result<std::vector<size_t>> QueryNumExamples();
 
-  /// Best-effort shutdown signal to one worker (used by orderly teardown;
-  /// a worker that is already gone is not an error).
+  /// Best-effort shutdown signal to the worker hosting `client_index` (used
+  /// by orderly teardown; a worker that is already gone is not an error).
+  /// With multiplexed workers one signal stops the whole process — send it
+  /// once per worker, not once per client.
   Status ShutdownWorker(size_t client_index);
 
  private:
@@ -66,16 +89,23 @@ class TcpTransport : public fl::Transport {
     Socket socket;
   };
 
-  /// Sends `request` and reads one reply frame on client `client_index`'s
-  /// connection, connecting first if needed. Any failure closes the
-  /// connection before returning.
+  /// Which worker hosts a global client index, and at which local slot.
+  struct Route {
+    size_t endpoint = 0;
+    uint32_t slot = 0;
+  };
+
+  /// Sends `request` and reads one reply frame on the connection of the
+  /// worker hosting `client_index`, connecting first if needed. Any failure
+  /// closes the connection before returning.
   Result<Frame> RoundTrip(size_t client_index, const Frame& request);
 
   /// Accounts one failed execute under the stats lock.
   void CountFailure(const Status& status);
 
-  std::vector<Endpoint> endpoints_;
+  std::vector<WorkerEndpoint> endpoints_;
   TcpTransportOptions options_;
+  std::vector<Route> routes_;
   std::vector<std::unique_ptr<Connection>> connections_;
   mutable std::mutex stats_mutex_;
   fl::TransportStats stats_;

@@ -7,22 +7,37 @@
 namespace fedfc::net {
 
 Frame WorkerServer::HandleRequest(const Frame& request) {
+  if (request.client_index >= clients_.size()) {
+    Frame out = MakeErrorFrame(
+        request.task,
+        Status::InvalidArgument(
+            "worker: client index " + std::to_string(request.client_index) +
+            " out of range (hosting " + std::to_string(clients_.size()) + ")"));
+    out.client_index = request.client_index;
+    return out;
+  }
+  fl::Client* client = clients_[request.client_index];
   Result<fl::Payload> decoded = fl::Payload::Deserialize(request.body);
   if (!decoded.ok()) {
-    return MakeErrorFrame(request.task, decoded.status());
+    Frame out = MakeErrorFrame(request.task, decoded.status());
+    out.client_index = request.client_index;
+    return out;
   }
   Result<fl::Payload> reply =
       request.task == fl::tasks::kNumExamples
           ? Result<fl::Payload>(
                 fl::NumExamplesReply{
-                    static_cast<int64_t>(client_->num_examples())}
+                    static_cast<int64_t>(client->num_examples())}
                     .ToPayload())
-          : client_->Handle(request.task, *decoded);
+          : client->Handle(request.task, *decoded);
   if (!reply.ok()) {
-    return MakeErrorFrame(request.task, reply.status());
+    Frame out = MakeErrorFrame(request.task, reply.status());
+    out.client_index = request.client_index;
+    return out;
   }
   Frame out;
   out.type = FrameType::kReply;
+  out.client_index = request.client_index;
   out.task = request.task;
   out.body = reply->Serialize();
   return out;
@@ -38,19 +53,23 @@ bool WorkerServer::ServeConnection(Socket conn) {
       // EOF, a half-dead peer, or wire garbage: drop the connection and let
       // the server reconnect. The lazy-reconnect transport treats this as
       // one failed execute, which the round policy absorbs.
-      FEDFC_LOG(Debug) << "worker '" << client_->id()
+      FEDFC_LOG(Debug) << "worker '" << clients_.front()->id()
                        << "': dropping connection: " << frame.status();
       return false;
     }
     if (frame->type == FrameType::kShutdown) return true;
-    Frame reply = frame->type == FrameType::kRequest
-                      ? HandleRequest(*frame)
-                      : MakeErrorFrame(frame->task,
-                                       Status::InvalidArgument(
-                                           "worker: expected a request frame"));
+    Frame reply;
+    if (frame->type == FrameType::kRequest) {
+      reply = HandleRequest(*frame);
+    } else {
+      reply = MakeErrorFrame(
+          frame->task,
+          Status::InvalidArgument("worker: expected a request frame"));
+      reply.client_index = frame->client_index;
+    }
     Status sent = WriteFrame(conn, reply, options_.io_timeout_ms);
     if (!sent.ok()) {
-      FEDFC_LOG(Debug) << "worker '" << client_->id()
+      FEDFC_LOG(Debug) << "worker '" << clients_.front()->id()
                        << "': reply failed: " << sent;
       return false;
     }
@@ -59,7 +78,8 @@ bool WorkerServer::ServeConnection(Socket conn) {
 }
 
 Status WorkerServer::Serve() {
-  FEDFC_CHECK(client_ != nullptr);
+  FEDFC_CHECK(!clients_.empty());
+  for (fl::Client* client : clients_) FEDFC_CHECK(client != nullptr);
   while (!stopped()) {
     Result<Socket> conn = listener_.Accept(options_.poll_interval_ms);
     if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <utility>
+#include <vector>
 
 #include "core/result.h"
 #include "fl/client.h"
@@ -19,26 +20,43 @@ struct WorkerOptions {
   int io_timeout_ms = 30000;
 };
 
-/// Hosts one fl::Client behind a listening socket: the worker half of the
+/// Hosts N fl::Clients behind one listening socket: the worker half of the
 /// multi-process deployment (fedfc_worker wraps this behind a CLI; the
-/// loopback tests run it on pool threads).
+/// loopback tests run it on pool threads). Each frame addresses one hosted
+/// client by its worker-local slot in the frame header's client-index word;
+/// replies echo the slot back. Most deployments host one client per worker
+/// (slot 0), but a multiplexed worker lets a 1024-client federation run on
+/// a handful of processes.
 ///
 /// Lifecycle: `Serve` accepts one connection at a time and answers frames
 /// on it — `kRequest` frames are decoded, dispatched (the `__num_examples`
 /// control task is answered by the loop itself, everything else goes to
-/// `Client::Handle`), and answered with a `kReply` or `kError` frame. A
-/// dropped or garbled connection sends the loop back to accept, so a server
-/// reconnecting after a fault finds the worker ready; `kShutdown` (or
-/// `RequestStop`, callable from any thread or a signal handler) ends the
-/// loop. One connection at a time is exactly the Transport contract: a
-/// given client is never driven concurrently.
+/// the addressed client's `Handle`), and answered with a `kReply` or
+/// `kError` frame. An out-of-range client index is answered with an error
+/// frame, not a dropped connection — the server sees a typed per-call
+/// failure. A dropped or garbled connection sends the loop back to accept,
+/// so a server reconnecting after a fault finds the worker ready;
+/// `kShutdown` (or `RequestStop`, callable from any thread or a signal
+/// handler) ends the loop. One connection at a time is exactly the
+/// Transport contract: a given client is never driven concurrently — and
+/// since all of a worker's clients share its single connection, neither are
+/// two clients of the same worker.
 class WorkerServer {
  public:
+  /// Single-client worker: the common one-process-per-client deployment.
   WorkerServer(Listener listener, fl::Client* client,
                WorkerOptions options = {})
-      : listener_(std::move(listener)), client_(client), options_(options) {}
+      : listener_(std::move(listener)), clients_({client}), options_(options) {}
+
+  /// Multiplexed worker hosting `clients[i]` at local slot `i`.
+  WorkerServer(Listener listener, std::vector<fl::Client*> clients,
+               WorkerOptions options = {})
+      : listener_(std::move(listener)),
+        clients_(std::move(clients)),
+        options_(options) {}
 
   [[nodiscard]] uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] size_t num_clients() const { return clients_.size(); }
 
   /// Blocks until a shutdown frame arrives or RequestStop is called.
   /// Returns non-OK only when the listening socket itself fails.
@@ -57,7 +75,7 @@ class WorkerServer {
   Frame HandleRequest(const Frame& request);
 
   Listener listener_;
-  fl::Client* client_;
+  std::vector<fl::Client*> clients_;
   WorkerOptions options_;
   std::atomic<bool> stop_{false};
 };

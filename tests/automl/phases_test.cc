@@ -19,6 +19,8 @@ namespace {
 
 /// RoundRunner double: replies come from a responder function, never a
 /// transport. Records every spec so tests can assert on task ids and seeds.
+/// The responder still produces a buffered RoundResult for convenience; it is
+/// replayed through the consumer exactly like a streaming round would be.
 class FakeRoundRunner : public fl::RoundRunner {
  public:
   using Responder = std::function<Result<fl::RoundResult>(const fl::RoundSpec&)>;
@@ -26,9 +28,11 @@ class FakeRoundRunner : public fl::RoundRunner {
   explicit FakeRoundRunner(Responder responder)
       : responder_(std::move(responder)) {}
 
-  Result<fl::RoundResult> RunRound(const fl::RoundSpec& spec) override {
+  Result<fl::RoundSummary> RunRound(const fl::RoundSpec& spec,
+                                    fl::ReplyConsumer& consumer) override {
     specs.push_back(spec);
-    return responder_(spec);
+    FEDFC_ASSIGN_OR_RETURN(fl::RoundResult result, responder_(spec));
+    return fl::FeedRoundResult(std::move(result), consumer);
   }
 
   std::vector<fl::RoundSpec> specs;

@@ -36,6 +36,18 @@ TEST(FrameTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(*back, f);
 }
 
+TEST(FrameTest, ClientIndexRoundTrips) {
+  Frame f = MakeRequest();
+  f.client_index = 1023;
+  Result<Frame> back = DecodeFrame(EncodeFrame(f));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->client_index, 1023u);
+  EXPECT_EQ(*back, f);
+
+  // The default (single-client worker) addresses slot 0.
+  EXPECT_EQ(Frame{}.client_index, 0u);
+}
+
 TEST(FrameTest, EmptyTaskAndBodyRoundTrip) {
   Frame f;
   f.type = FrameType::kShutdown;

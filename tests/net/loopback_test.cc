@@ -161,6 +161,67 @@ TEST(LoopbackTest, EngineOverTcpIsBitIdenticalToInProcess) {
   EXPECT_EQ(tcp->transport.timeouts, 0u);
 }
 
+TEST(LoopbackTest, EngineOverMultiplexedWorkerIsBitIdenticalToInProcess) {
+  // The whole federation behind ONE worker process (one listener, one
+  // connection): frames address clients by their slot in the header. The
+  // engine result must still be bit-identical to the in-process run — the
+  // acceptance gate for the multiplexed deployment.
+  const size_t n_clients = 3;
+  std::vector<ts::Series> splits = MakeSplits(n_clients, 150, 1);
+
+  std::vector<std::shared_ptr<fl::Client>> ref_clients = MakeClients(splits, 2);
+  std::vector<size_t> sizes;
+  for (const auto& c : ref_clients) sizes.push_back(c->num_examples());
+  auto inproc_server = std::make_unique<fl::Server>(
+      std::make_unique<fl::InProcessTransport>(std::move(ref_clients)), sizes);
+  automl::FedForecasterEngine inproc_engine(nullptr, FastOptions());
+  Result<automl::EngineReport> inproc = inproc_engine.Run(inproc_server.get());
+  ASSERT_TRUE(inproc.ok()) << inproc.status();
+
+  std::vector<std::shared_ptr<fl::Client>> clients = MakeClients(splits, 2);
+  std::vector<fl::Client*> hosted;
+  for (const auto& c : clients) hosted.push_back(c.get());
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  WorkerServer worker(std::move(*listener), std::move(hosted),
+                      FastWorkerOptions());
+  ASSERT_EQ(worker.num_clients(), n_clients);
+  ThreadPool pool(2);
+  auto done = pool.Submit([&worker]() { return worker.Serve(); });
+
+  auto transport = std::make_unique<TcpTransport>(std::vector<WorkerEndpoint>{
+      {"127.0.0.1", worker.port(), n_clients}});
+  ASSERT_EQ(transport->num_clients(), n_clients);
+  Result<std::vector<size_t>> wire_sizes = transport->QueryNumExamples();
+  ASSERT_TRUE(wire_sizes.ok()) << wire_sizes.status();
+  EXPECT_EQ(*wire_sizes, sizes);  // Slot routing reaches the right datasets.
+
+  auto tcp_server =
+      std::make_unique<fl::Server>(std::move(transport), *wire_sizes);
+  automl::FedForecasterEngine tcp_engine(nullptr, FastOptions());
+  Result<automl::EngineReport> tcp = tcp_engine.Run(tcp_server.get());
+
+  worker.RequestStop();
+  EXPECT_TRUE(done.get().ok());
+  ASSERT_TRUE(tcp.ok()) << tcp.status();
+
+  ASSERT_EQ(inproc->loss_history.size(), tcp->loss_history.size());
+  for (size_t i = 0; i < inproc->loss_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inproc->loss_history[i], tcp->loss_history[i])
+        << "round " << i;
+  }
+  EXPECT_DOUBLE_EQ(inproc->best_valid_loss, tcp->best_valid_loss);
+  EXPECT_DOUBLE_EQ(inproc->test_loss, tcp->test_loss);
+  EXPECT_EQ(inproc->best_config.algorithm, tcp->best_config.algorithm);
+  ASSERT_EQ(inproc->global_model_blob.size(), tcp->global_model_blob.size());
+  for (size_t i = 0; i < inproc->global_model_blob.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inproc->global_model_blob[i], tcp->global_model_blob[i])
+        << "blob index " << i;
+  }
+  EXPECT_EQ(tcp->transport.failures, 0u);
+  EXPECT_EQ(tcp->transport.timeouts, 0u);
+}
+
 /// Echo client for the fault-injection rounds (an engine run is overkill).
 class EchoClient : public fl::Client {
  public:

@@ -125,6 +125,74 @@ TEST(WorkerErrorTest, HandlerErrorTravelsBackWithCodeAndMessage) {
             std::string::npos);
 }
 
+TEST(WorkerErrorTest, MultiplexedWorkerDispatchesOnClientIndex) {
+  ThreadPool pool(2);
+  EchoClient c0("c0", 1.0, 30);
+  EchoClient c1("c1", 2.0, 10);
+
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  WorkerServer worker(std::move(*listener),
+                      std::vector<fl::Client*>{&c0, &c1}, FastWorkerOptions());
+  EXPECT_EQ(worker.num_clients(), 2u);
+  auto done = pool.Submit([&worker]() { return worker.Serve(); });
+
+  Socket conn = MustConnect(worker.port());
+  for (uint32_t slot : {1u, 0u, 1u}) {
+    Frame request;
+    request.type = FrameType::kRequest;
+    request.client_index = slot;
+    request.task = "any";
+    request.body = fl::Payload().Serialize();
+    ASSERT_TRUE(WriteFrame(conn, request, 2000).ok());
+    Result<Frame> reply = ReadFrame(conn, 2000);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->type, FrameType::kReply);
+    EXPECT_EQ(reply->client_index, slot);  // Replies echo the slot.
+    Result<fl::Payload> payload = fl::Payload::Deserialize(reply->body);
+    ASSERT_TRUE(payload.ok()) << payload.status();
+    EXPECT_DOUBLE_EQ(*payload->GetDouble("value"), slot == 0 ? 1.0 : 2.0);
+  }
+
+  worker.RequestStop();
+  EXPECT_TRUE(done.get().ok());
+}
+
+TEST(WorkerErrorTest, OutOfRangeClientIndexGetsTypedErrorNotADrop) {
+  ThreadPool pool(2);
+  EchoClient c0("c0", 1.0, 30);
+  EchoClient c1("c1", 2.0, 10);
+
+  Result<Listener> listener = Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  WorkerServer worker(std::move(*listener),
+                      std::vector<fl::Client*>{&c0, &c1}, FastWorkerOptions());
+  auto done = pool.Submit([&worker]() { return worker.Serve(); });
+
+  Socket conn = MustConnect(worker.port());
+  Frame request;
+  request.type = FrameType::kRequest;
+  request.client_index = 7;  // Hosting only slots 0 and 1.
+  request.task = "any";
+  request.body = fl::Payload().Serialize();
+  ASSERT_TRUE(WriteFrame(conn, request, 2000).ok());
+
+  Result<Frame> reply = ReadFrame(conn, 2000);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(reply->client_index, 7u);  // Error frames echo the slot too.
+  Status decoded = ErrorFrameStatus(*reply);
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.message().find("out of range"), std::string::npos);
+
+  // A misaddressed frame is answered, not fatal: the same connection still
+  // serves a valid request afterwards.
+  RoundTripValidRequest(conn);
+
+  worker.RequestStop();
+  EXPECT_TRUE(done.get().ok());
+}
+
 TEST(WorkerErrorTest, ShutdownFrameEndsServeWithOkStatus) {
   ThreadPool pool(2);
   EchoClient client("c0", 1.0, 10);

@@ -1,24 +1,31 @@
-/// fedfc_worker: hosts one FedForecaster client behind a TCP socket — the
-/// worker half of the multi-process deployment (see docs/ARCHITECTURE.md,
-/// "Wire protocol & multi-process mode", and docs/CLI.md).
+/// fedfc_worker: hosts one or more FedForecaster clients behind a TCP
+/// socket — the worker half of the multi-process deployment (see
+/// docs/ARCHITECTURE.md, "Wire protocol & multi-process mode", and
+/// docs/CLI.md).
 ///
 ///   # worker 0 of a 3-client federation over series.csv
 ///   fedfc_worker --data series.csv --clients 3 --index 0 --port 9100
+///
+///   # one process hosting splits 4..7 of an 8-client federation
+///   fedfc_worker --data series.csv --clients 8 --index 4 --num-clients 4 \
+///       --port 9101
 ///
 ///   # synthetic data, ephemeral port (printed on stdout)
 ///   fedfc_worker --length 600 --period 24 --seed 7 --port 0
 ///
 /// The worker answers protocol frames until it receives a shutdown frame or
 /// SIGINT/SIGTERM. Splitting is identical to `fedfc_cli run --clients N`:
-/// a federation of N workers over the same CSV reproduces the in-process
-/// simulation exactly.
+/// a federation of workers covering all N splits reproduces the in-process
+/// simulation exactly, whether each worker hosts one client or many.
 
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "automl/fed_client.h"
 #include "data/csv.h"
@@ -69,7 +76,9 @@ int Usage() {
                "                       (same flags as `fedfc_cli generate`)\n"
                "  --clients N          split the series across N clients\n"
                "  --index J            serve split J in [0, N) (default 0)\n"
-               "  --id NAME            client id (default c<index>)\n"
+               "  --num-clients K      host splits [J, J+K) behind this one\n"
+               "                       listener (default 1)\n"
+               "  --id NAME            client id (default c<index>; K=1 only)\n"
                "  --valid-fraction F   validation fraction (default 0.2)\n"
                "  --test-fraction F    held-out test fraction (default 0.2)\n"
                "  --client-seed S      client RNG seed (default index + 1)\n");
@@ -111,40 +120,82 @@ int main(int argc, char** argv) {
   if (n_clients < 1 || index < 0 || index >= n_clients) {
     return Fail("--index must be in [0, --clients)");
   }
+  const int hosted = std::stoi(FlagOr(flags, "num-clients", "1"));
+  if (hosted < 1 || index + hosted > n_clients) {
+    return Fail("--num-clients must keep [--index, --index + K) within "
+                "[0, --clients)");
+  }
+
+  // The series for each hosted split, in slot order. With one federation
+  // split there is nothing to slice.
+  std::vector<ts::Series> hosted_series;
   if (n_clients > 1) {
     Result<std::vector<ts::Series>> splits =
         ts::SplitIntoClients(series, n_clients);
     if (!splits.ok()) return Fail(splits.status().ToString());
-    series = std::move((*splits)[static_cast<size_t>(index)]);
+    for (int s = 0; s < hosted; ++s) {
+      hosted_series.push_back(std::move((*splits)[static_cast<size_t>(index + s)]));
+    }
+  } else {
+    hosted_series.push_back(std::move(series));
   }
 
-  automl::ForecastClient::Options copt;
-  copt.valid_fraction = std::stod(FlagOr(flags, "valid-fraction", "0.2"));
-  copt.test_fraction = std::stod(FlagOr(flags, "test-fraction", "0.2"));
-  copt.seed = std::stoul(
-      FlagOr(flags, "client-seed", std::to_string(index + 1)));
-  const std::string id = FlagOr(flags, "id", "c" + std::to_string(index));
-  automl::ForecastClient client(id, std::move(series), copt);
+  const double valid_fraction =
+      std::stod(FlagOr(flags, "valid-fraction", "0.2"));
+  const double test_fraction = std::stod(FlagOr(flags, "test-fraction", "0.2"));
+  const bool seed_given = flags.count("client-seed") > 0;
+  const uint64_t seed_base =
+      seed_given ? std::stoul(flags.at("client-seed")) : 0;
+
+  std::vector<std::unique_ptr<automl::ForecastClient>> clients;
+  for (int s = 0; s < hosted; ++s) {
+    const int global = index + s;
+    automl::ForecastClient::Options copt;
+    copt.valid_fraction = valid_fraction;
+    copt.test_fraction = test_fraction;
+    // Per-client seeds match the single-client deployment: global index + 1
+    // by default, or the given base advanced per slot.
+    copt.seed = seed_given ? seed_base + static_cast<uint64_t>(s)
+                           : static_cast<uint64_t>(global) + 1;
+    std::string id = hosted == 1 ? FlagOr(flags, "id", "c" + std::to_string(global))
+                                 : "c" + std::to_string(global);
+    clients.push_back(std::make_unique<automl::ForecastClient>(
+        std::move(id), std::move(hosted_series[static_cast<size_t>(s)]), copt));
+  }
 
   const std::string host = FlagOr(flags, "host", "127.0.0.1");
   const auto port = static_cast<uint16_t>(std::stoi(FlagOr(flags, "port", "0")));
   Result<net::Listener> listener = net::Listener::ListenTcp(host, port);
   if (!listener.ok()) return Fail(listener.status().ToString());
 
-  net::WorkerServer server(std::move(*listener), &client);
+  std::vector<fl::Client*> client_ptrs;
+  for (const auto& c : clients) client_ptrs.push_back(c.get());
+  net::WorkerServer server(std::move(*listener), std::move(client_ptrs));
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
   // Machine-readable: orchestration scripts parse "listening <host> <port>".
-  std::printf("fedfc_worker %s listening %s %u (n_examples=%zu)\n", id.c_str(),
-              host.c_str(), static_cast<unsigned>(server.port()),
-              client.num_examples());
+  // The single-client line is unchanged from the one-client-per-worker days.
+  const std::string& front_id = clients.front()->id();
+  if (hosted == 1) {
+    std::printf("fedfc_worker %s listening %s %u (n_examples=%zu)\n",
+                front_id.c_str(), host.c_str(),
+                static_cast<unsigned>(server.port()),
+                clients.front()->num_examples());
+  } else {
+    size_t total_examples = 0;
+    for (const auto& c : clients) total_examples += c->num_examples();
+    std::printf("fedfc_worker %s..%s listening %s %u (num_clients=%d, "
+                "n_examples=%zu)\n",
+                front_id.c_str(), clients.back()->id().c_str(), host.c_str(),
+                static_cast<unsigned>(server.port()), hosted, total_examples);
+  }
   std::fflush(stdout);
 
   Status served = server.Serve();
   g_server = nullptr;
   if (!served.ok()) return Fail(served.ToString());
-  std::printf("fedfc_worker %s: shut down cleanly\n", id.c_str());
+  std::printf("fedfc_worker %s: shut down cleanly\n", front_id.c_str());
   return 0;
 }
