@@ -8,12 +8,18 @@
 #           built into build-asan/.
 #   ubsan   UndefinedBehaviorSanitizer (non-recoverable) over the full test
 #           suite, built into build-ubsan/.
-#   lint    fedfc_lint repo-invariant linter (9 rules incl. result_discard /
-#           locks / includes / intrinsics; `--list-rules` prints the set) +
-#           its per-rule
+#   lint    fedfc_lint repo-invariant linter (11 rules incl. the retargeted
+#           locks rule and the whole-program layering pass; `--list-rules`
+#           prints the set) + its per-rule
 #           self-tests, and clang-tidy over src/ when clang-tidy is installed.
 #   format  clang-format --dry-run over tracked sources when clang-format is
 #           installed (check-only; never rewrites).
+#   threadsafety
+#           Clang Thread Safety Analysis: builds the whole tree with clang
+#           and -Wthread-safety -Werror=thread-safety (FEDFC_THREAD_SAFETY=ON)
+#           in build-threadsafety/, then runs the analysis.threadsafety.*
+#           compile-fail harness. Skips with a notice when clang++ is not
+#           installed (CI provides it).
 #   plain   Release build of everything + the full ctest suite, in build/.
 #
 # All phases build with FEDFC_WERROR=ON, so any warning in the upgraded tier
@@ -30,16 +36,17 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 phases=("$@")
 if [[ ${#phases[@]} -eq 0 ]]; then
-  phases=(tsan asan ubsan lint format plain)
+  phases=(tsan asan ubsan lint format threadsafety plain)
 fi
 for p in "${phases[@]}"; do
   case "$p" in
-    tsan|asan|ubsan|lint|format|plain|all) ;;
-    *) echo "usage: $0 [tsan|asan|ubsan|lint|format|plain ...]" >&2; exit 2 ;;
+    tsan|asan|ubsan|lint|format|threadsafety|plain|all) ;;
+    *) echo "usage: $0 [tsan|asan|ubsan|lint|format|threadsafety|plain ...]" >&2
+       exit 2 ;;
   esac
 done
 if [[ " ${phases[*]} " == *" all "* ]]; then
-  phases=(tsan asan ubsan lint format plain)
+  phases=(tsan asan ubsan lint format threadsafety plain)
 fi
 
 run_sanitizer_suite() {
@@ -109,6 +116,23 @@ for phase in "${phases[@]}"; do
         fi
       else
         echo "clang-format not installed; skipping (CI runs it)"
+      fi
+      ;;
+    threadsafety)
+      echo "=== [threadsafety] clang -Wthread-safety over the full tree ==="
+      if command -v clang++ >/dev/null 2>&1; then
+        # FEDFC_WERROR stays off here so only thread-safety findings (already
+        # -Werror=thread-safety via FEDFC_THREAD_SAFETY) can fail the phase —
+        # clang's unrelated warning set may differ from GCC's.
+        cmake -B build-threadsafety -S . \
+          -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DFEDFC_THREAD_SAFETY=ON
+        cmake --build build-threadsafety -j"$jobs"
+        ctest --test-dir build-threadsafety -R '^analysis\.' \
+          --output-on-failure -j"$jobs"
+      else
+        echo "clang++ not installed; skipping (CI runs it)"
       fi
       ;;
     plain)

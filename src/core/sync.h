@@ -1,0 +1,127 @@
+#ifndef FEDFC_CORE_SYNC_H_
+#define FEDFC_CORE_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Annotated synchronization primitives — the one place in the tree allowed
+/// to name std::mutex (enforced by the fedfc_lint `locks` rule, see
+/// docs/STATIC_ANALYSIS.md). Every mutex-holding class wraps its lock in
+/// fedfc::Mutex, marks the state it protects with FEDFC_GUARDED_BY, and
+/// holds the lock through fedfc::MutexLock. Under clang the annotations
+/// drive Thread Safety Analysis (-Wthread-safety, promoted to an error by
+/// the FEDFC_THREAD_SAFETY CMake knob), so an unguarded access to protected
+/// state — including on error paths no schedule ever exercised under TSan —
+/// is a compile error. Under other compilers the macros expand to nothing
+/// and the wrappers cost exactly one inlined call into the std primitive.
+///
+/// Deliberately *not* routed through this header: std::atomic flags such as
+/// WorkerServer's stop flag. Atomics carry no capability and stay legal
+/// everywhere; they are the tool for async-signal-safe signalling, which a
+/// mutex can never be.
+
+// Macro layer: clang's thread-safety attributes, no-ops elsewhere. The
+// spellings follow the documented clang names
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#if defined(__clang__)
+#define FEDFC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEDFC_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (the thing analysis tracks).
+#define FEDFC_CAPABILITY(name) FEDFC_THREAD_ANNOTATION(capability(name))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define FEDFC_SCOPED_CAPABILITY FEDFC_THREAD_ANNOTATION(scoped_lockable)
+/// Data member may only be touched while holding `mu`.
+#define FEDFC_GUARDED_BY(mu) FEDFC_THREAD_ANNOTATION(guarded_by(mu))
+/// Pointee of a pointer member may only be touched while holding `mu`.
+#define FEDFC_PT_GUARDED_BY(mu) FEDFC_THREAD_ANNOTATION(pt_guarded_by(mu))
+/// Function requires the capability held on entry (and does not release it).
+#define FEDFC_REQUIRES(...) \
+  FEDFC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define FEDFC_EXCLUDES(...) FEDFC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define FEDFC_ACQUIRE(...) \
+  FEDFC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define FEDFC_RELEASE(...) \
+  FEDFC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns `ret`.
+#define FEDFC_TRY_ACQUIRE(ret, ...) \
+  FEDFC_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define FEDFC_RETURN_CAPABILITY(mu) FEDFC_THREAD_ANNOTATION(lock_returned(mu))
+/// Escape hatch: function body is not analyzed. Policy: never used in src/
+/// (the tree builds with zero suppressions); it exists for external code.
+#define FEDFC_NO_THREAD_SAFETY_ANALYSIS \
+  FEDFC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fedfc {
+
+class CondVar;
+
+/// Exclusive lock. Prefer holding it through MutexLock; the manual
+/// Lock/Unlock pair exists for the rare non-scoped shape and is still
+/// balance-checked by the analysis.
+class FEDFC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FEDFC_ACQUIRE() { raw_.lock(); }
+  void Unlock() FEDFC_RELEASE() { raw_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// RAII holder: acquires in the constructor, releases in the destructor.
+/// The analysis checks the scope — an early return or a throw between
+/// construction and destruction still releases exactly once.
+class FEDFC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FEDFC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FEDFC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to fedfc::Mutex. Wait takes no predicate on
+/// purpose: the caller re-checks its condition in an explicit
+///   while (!condition) cv.Wait(mu);
+/// loop *inside* the MutexLock scope, so the guarded reads in the condition
+/// are visible to the analysis (a predicate lambda would be analyzed as a
+/// separate function holding nothing).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously woken),
+  /// and reacquires `mu` before returning — so the capability is held
+  /// across the call from the analysis's point of view, matching REQUIRES.
+  void Wait(Mutex& mu) FEDFC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fedfc
+
+#endif  // FEDFC_CORE_SYNC_H_

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(size_t num_threads) : size_(std::max<size_t>(1, num_threa
 ThreadPool::~ThreadPool() {
   if (workers_.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -41,8 +41,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not a predicate lambda) so the guarded reads of
+      // stop_/queue_ happen in this scope, where the analysis can see the
+      // capability held.
+      while (!stop_ && queue_.empty()) cv_.Wait(mutex_);
       if (queue_.empty()) return;  // stop_ set and queue drained.
       task = std::move(queue_.front());
       queue_.pop();
@@ -57,10 +60,10 @@ void ThreadPool::Schedule(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -73,8 +76,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // failure regardless of which thread ran it.
   std::vector<std::exception_ptr> errors(n);
   std::atomic<size_t> remaining(n);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
   for (size_t i = 0; i < n; ++i) {
     Schedule([&, i]() {
       try {
@@ -83,13 +86,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         errors[i] = std::current_exception();
       }
       if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_one();
+        MutexLock lock(done_mutex);
+        done_cv.NotifyOne();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&]() { return remaining.load() == 0; });
+  {
+    MutexLock lock(done_mutex);
+    while (remaining.load() != 0) done_cv.Wait(done_mutex);
+  }
   for (size_t i = 0; i < n; ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);
   }

@@ -1,16 +1,16 @@
 #ifndef FEDFC_CORE_THREAD_POOL_H_
 #define FEDFC_CORE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace fedfc {
 
@@ -68,10 +68,10 @@ class ThreadPool {
 
   size_t size_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ FEDFC_GUARDED_BY(mutex_);
+  bool stop_ FEDFC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fedfc

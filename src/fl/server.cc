@@ -118,22 +118,38 @@ Result<RoundSummary> Server::RunRound(const RoundSpec& spec,
   if (pool_ && n > 1) {
     // Sliding window over the pool: submit clients in index order, consume
     // the oldest as soon as the window fills. At most `window` replies are
-    // ever in flight, whatever n is.
+    // ever in flight, whatever n is. The window state itself (in_flight,
+    // next_to_process, and everything `process` touches) is owned by this
+    // thread alone — pool tasks only ever run execute_with_retries — so it
+    // needs no lock; what it does need is the drain below: the submitted
+    // tasks capture this frame's locals by reference, and letting an
+    // exception unwind while any of them is still queued or running would
+    // leave pool threads chasing dangling stack references.
     const size_t window = pool_->size() * 2;
     std::deque<std::future<Slot>> in_flight;
     size_t next_to_process = 0;
-    for (size_t s = 0; s < n; ++s) {
-      in_flight.push_back(pool_->Submit([&execute_with_retries, s]() {
-        return execute_with_retries(s);
-      }));
-      if (in_flight.size() >= window) {
+    try {
+      for (size_t s = 0; s < n; ++s) {
+        in_flight.push_back(pool_->Submit([&execute_with_retries, s]() {
+          return execute_with_retries(s);
+        }));
+        if (in_flight.size() >= window) {
+          process(next_to_process++, in_flight.front().get());
+          in_flight.pop_front();
+        }
+      }
+      while (!in_flight.empty()) {
         process(next_to_process++, in_flight.front().get());
         in_flight.pop_front();
       }
-    }
-    while (!in_flight.empty()) {
-      process(next_to_process++, in_flight.front().get());
-      in_flight.pop_front();
+    } catch (...) {
+      // A throwing transport (or an allocation failure in `process`)
+      // surfaced through future::get. Wait out every submitted task before
+      // unwinding so none outlives the locals it references.
+      for (std::future<Slot>& f : in_flight) {
+        if (f.valid()) f.wait();
+      }
+      throw;
     }
   } else {
     for (size_t s = 0; s < n; ++s) process(s, execute_with_retries(s));

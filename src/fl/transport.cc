@@ -11,7 +11,7 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
   // Round-trip through the wire format in both directions.
   std::vector<uint8_t> request_bytes = request.Serialize();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.messages += 1;
     stats_.bytes_to_clients += request_bytes.size() + task.size();
   }
@@ -19,7 +19,7 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
                          Payload::Deserialize(request_bytes));
   Result<Payload> handled = clients_[client_index]->Handle(task, decoded_request);
   if (!handled.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     if (handled.status().code() == StatusCode::kDeadlineExceeded) {
       stats_.timeouts += 1;
     } else {
@@ -29,7 +29,7 @@ Result<Payload> InProcessTransport::Execute(size_t client_index,
   }
   std::vector<uint8_t> reply_bytes = handled->Serialize();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.bytes_to_server += reply_bytes.size();
   }
   return Payload::Deserialize(reply_bytes);
@@ -45,17 +45,18 @@ Result<Payload> FlakyTransport::Execute(size_t client_index, const std::string& 
   // The draw order (and therefore which clients fail) depends on broadcast
   // scheduling when the server runs multi-threaded; the stream itself stays
   // race-free behind the mutex.
-  double u;
+  bool fail;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     state_ ^= state_ >> 12;
     state_ ^= state_ << 25;
     state_ ^= state_ >> 27;
     uint64_t r = state_ * 0x2545F4914F6CDD1DULL;
-    u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
-    if (u < failure_rate_) ++injected_failures_;
+    const double u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+    fail = u < failure_rate_;
+    if (fail) ++injected_failures_;
   }
-  if (u < failure_rate_) {
+  if (fail) {
     return Status::IOError("injected transport failure");
   }
   return inner_->Execute(client_index, task, request);
@@ -63,7 +64,7 @@ Result<Payload> FlakyTransport::Execute(size_t client_index, const std::string& 
 
 TransportStats FlakyTransport::stats() const {
   TransportStats stats = inner_->stats();
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   stats.failures += injected_failures_;
   return stats;
 }

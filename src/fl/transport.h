@@ -3,11 +3,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/result.h"
+#include "core/sync.h"
 #include "fl/client.h"
 #include "fl/payload.h"
 
@@ -61,7 +61,7 @@ class InProcessTransport : public Transport {
   Result<Payload> Execute(size_t client_index, const std::string& task,
                           const Payload& request) override;
   TransportStats stats() const override {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return stats_;
   }
 
@@ -69,8 +69,8 @@ class InProcessTransport : public Transport {
 
  private:
   std::vector<std::shared_ptr<Client>> clients_;
-  mutable std::mutex stats_mutex_;
-  TransportStats stats_;
+  mutable Mutex stats_mutex_;
+  TransportStats stats_ FEDFC_GUARDED_BY(stats_mutex_);
 };
 
 /// Decorator that makes a fraction of calls fail (for failure-injection
@@ -91,9 +91,9 @@ class FlakyTransport : public Transport {
  private:
   std::unique_ptr<Transport> inner_;
   double failure_rate_;
-  mutable std::mutex state_mutex_;
-  uint64_t state_;
-  size_t injected_failures_ = 0;
+  mutable Mutex state_mutex_;
+  uint64_t state_ FEDFC_GUARDED_BY(state_mutex_);
+  size_t injected_failures_ FEDFC_GUARDED_BY(state_mutex_) = 0;
 };
 
 }  // namespace fedfc::fl

@@ -38,7 +38,7 @@ Result<Frame> TcpTransport::RoundTrip(size_t client_index,
                                       const Frame& request) {
   const Route& route = routes_[client_index];
   Connection& conn = *connections_[route.endpoint];
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  MutexLock lock(conn.mutex);
   if (!conn.socket.valid()) {
     const WorkerEndpoint& ep = endpoints_[route.endpoint];
     Result<Socket> connected =
@@ -69,7 +69,7 @@ Result<Frame> TcpTransport::RoundTrip(size_t client_index,
 }
 
 void TcpTransport::CountFailure(const Status& status) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   if (status.code() == StatusCode::kDeadlineExceeded) {
     stats_.timeouts += 1;
   } else {
@@ -89,7 +89,7 @@ Result<fl::Payload> TcpTransport::Execute(size_t client_index,
   frame.task = task;
   frame.body = request.Serialize();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.messages += 1;
     stats_.bytes_to_clients += EncodedFrameSize(frame);
   }
@@ -110,7 +110,7 @@ Result<fl::Payload> TcpTransport::Execute(size_t client_index,
     return status;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.bytes_to_server += EncodedFrameSize(*reply);
   }
   Result<fl::Payload> decoded = fl::Payload::Deserialize(reply->body);
@@ -119,7 +119,7 @@ Result<fl::Payload> TcpTransport::Execute(size_t client_index,
 }
 
 fl::TransportStats TcpTransport::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -147,7 +147,7 @@ Status TcpTransport::ShutdownWorker(size_t client_index) {
   }
   const Route& route = routes_[client_index];
   Connection& conn = *connections_[route.endpoint];
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  MutexLock lock(conn.mutex);
   if (!conn.socket.valid()) {
     const WorkerEndpoint& ep = endpoints_[route.endpoint];
     Result<Socket> connected =

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/result.h"
+#include "core/sync.h"
 #include "fl/transport.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -85,8 +85,11 @@ class TcpTransport : public fl::Transport {
 
  private:
   struct Connection {
-    std::mutex mutex;
-    Socket socket;
+    Mutex mutex;
+    /// The socket is the guarded state: every use — connect, send, receive,
+    /// poison-and-close on an error path — must hold `mutex`, or two clients
+    /// hosted by the same worker could interleave frames on one stream.
+    Socket socket FEDFC_GUARDED_BY(mutex);
   };
 
   /// Which worker hosts a global client index, and at which local slot.
@@ -107,8 +110,8 @@ class TcpTransport : public fl::Transport {
   TcpTransportOptions options_;
   std::vector<Route> routes_;
   std::vector<std::unique_ptr<Connection>> connections_;
-  mutable std::mutex stats_mutex_;
-  fl::TransportStats stats_;
+  mutable Mutex stats_mutex_;
+  fl::TransportStats stats_ FEDFC_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace fedfc::net

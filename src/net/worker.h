@@ -63,7 +63,12 @@ class WorkerServer {
   Status Serve();
 
   /// Asks the serve loop to exit at its next idle poll. Lock-free and
-  /// async-signal-safe.
+  /// async-signal-safe — which is why this flag is deliberately a
+  /// std::atomic and not fedfc::Mutex-guarded state: RequestStop must be
+  /// callable from a signal handler, where taking any lock is forbidden.
+  /// Everything else the serve loop touches (listener_, clients_, options_)
+  /// is immutable after construction, so the loop needs no capability at
+  /// all (see docs/STATIC_ANALYSIS.md, "Annotation policy").
   void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
 
  private:

@@ -1,0 +1,41 @@
+// Positive case: the full annotated vocabulary used correctly — guarded
+// state behind MutexLock scopes, a REQUIRES helper called under the lock,
+// and a CondVar wait loop reading guarded state inside the locked scope.
+// Must compile clean under -Wthread-safety -Werror=thread-safety.
+
+#include "core/sync.h"
+
+class Mailbox {
+ public:
+  void Post(int v) {
+    {
+      fedfc::MutexLock lock(mu_);
+      value_ = v;
+      has_value_ = true;
+      BumpLocked();
+    }
+    cv_.NotifyOne();
+  }
+
+  int Take() {
+    fedfc::MutexLock lock(mu_);
+    while (!has_value_) cv_.Wait(mu_);
+    has_value_ = false;
+    return value_;
+  }
+
+ private:
+  void BumpLocked() FEDFC_REQUIRES(mu_) { ++posts_; }
+
+  fedfc::Mutex mu_;
+  fedfc::CondVar cv_;
+  int value_ FEDFC_GUARDED_BY(mu_) = 0;
+  bool has_value_ FEDFC_GUARDED_BY(mu_) = false;
+  int posts_ FEDFC_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Mailbox box;
+  box.Post(42);
+  return box.Take();
+}

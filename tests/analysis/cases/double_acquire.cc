@@ -1,0 +1,10 @@
+// Negative case: acquiring a mutex already held in the same scope is a
+// self-deadlock; the analysis must reject the second acquisition.
+
+#include "core/sync.h"
+
+int Use(fedfc::Mutex& mu) {
+  fedfc::MutexLock outer(mu);
+  fedfc::MutexLock inner(mu);  // BUG: mu is already held.
+  return 0;
+}

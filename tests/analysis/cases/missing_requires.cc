@@ -1,0 +1,21 @@
+// Negative case: calling a FEDFC_REQUIRES(mu) function without holding mu
+// must be rejected — the caller-side half of the locking contract.
+
+#include "core/sync.h"
+
+class Queue {
+ public:
+  void PushLocked(int v) FEDFC_REQUIRES(mu_) { last_ = v; }
+
+  // BUG: calls the REQUIRES(mu_) helper without taking mu_ first.
+  void Push(int v) { PushLocked(v); }
+
+ private:
+  fedfc::Mutex mu_;
+  int last_ FEDFC_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Queue q;
+  q.Push(7);
+}

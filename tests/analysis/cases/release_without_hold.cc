@@ -1,0 +1,9 @@
+// Negative case: releasing a mutex the caller does not hold must be
+// rejected — the classic symptom of an unbalanced manual Lock/Unlock pair
+// on an early-return path.
+
+#include "core/sync.h"
+
+void Use(fedfc::Mutex& mu) {
+  mu.Unlock();  // BUG: nothing acquired mu in this scope.
+}

@@ -1,0 +1,26 @@
+// Negative case: reading a FEDFC_GUARDED_BY member without holding its
+// mutex must be rejected by -Wthread-safety (this is the bug class TSan can
+// only catch when a schedule happens to exercise the racy pair).
+
+#include "core/sync.h"
+
+class Counter {
+ public:
+  void Bump() {
+    fedfc::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG: unguarded read of value_.
+  int Get() const { return value_; }
+
+ private:
+  mutable fedfc::Mutex mu_;
+  int value_ FEDFC_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Compile-fail harness for the clang Thread Safety Analysis gate
+# (docs/STATIC_ANALYSIS.md, "Compile-time race detection"). Each case is a
+# tiny TU against src/core/sync.h, checked in two compiles:
+#
+#   1. WITHOUT -Wthread-safety: every case (negative ones included) must
+#      compile clean — proving a later failure comes from the analysis, not
+#      from a syntax error that would "pass" the harness vacuously.
+#   2. WITH -Wthread-safety -Werror=thread-safety: a `fire` case must FAIL
+#      (the analysis caught the seeded race) and a `clean` case must pass.
+#
+# Usage: run_case.sh <c++-compiler> <src-include-dir> <case.cc> fire|clean
+set -eu
+
+cxx="$1"
+include_dir="$2"
+case_file="$3"
+mode="$4"
+
+base_flags="-std=c++20 -fsyntax-only -I$include_dir"
+tsa_flags="-Wthread-safety -Werror=thread-safety"
+
+if ! "$cxx" $base_flags "$case_file"; then
+  echo "FAIL: $case_file does not compile even without -Wthread-safety" >&2
+  exit 1
+fi
+
+case "$mode" in
+  fire)
+    if "$cxx" $base_flags $tsa_flags "$case_file" 2>/dev/null; then
+      echo "FAIL: -Wthread-safety did not fire on $case_file" >&2
+      exit 1
+    fi
+    echo "ok: analysis rejected $case_file"
+    ;;
+  clean)
+    "$cxx" $base_flags $tsa_flags "$case_file"
+    echo "ok: analysis accepted $case_file"
+    ;;
+  *)
+    echo "usage: $0 <c++-compiler> <src-include-dir> <case.cc> fire|clean" >&2
+    exit 2
+    ;;
+esac

@@ -8,7 +8,10 @@
 // (identifiers, punctuation, string/char/number literals, with comments and
 // preprocessor directives captured out-of-band), and each rule pattern-matches
 // over that stream. Rules therefore never fire on prose in comments or on
-// text inside string literals, and never re-scan the raw bytes.
+// text inside string literals, and never re-scan the raw bytes. Most rules
+// are per-file; `layering` is the first whole-program pass — it sees every
+// lexed file at once (plus bench/, examples/ and tools/ as extra translation
+// units) and checks the include graph itself.
 //
 //   wire_keys       Payload Set*/Get* calls with a string-literal key (raw
 //                   wire-key literals) may only appear in fl/task_codec.{h,cc}.
@@ -32,13 +35,23 @@
 //                   compiler invisibly. The only sanctioned discard carries a
 //                   `// fedfc-allow(result_discard): <reason>` annotation on
 //                   the same or preceding line.
-//   locks           Outside core/thread_pool.{h,cc}, std::mutex is only taken
-//                   via RAII (lock_guard/unique_lock/scoped_lock) — manual
-//                   .lock()/.unlock()/.try_lock() calls are banned so no
-//                   early-return path can leak a held mutex.
+//   locks           Outside core/sync.h, the std:: synchronization vocabulary
+//                   (<mutex>/<condition_variable>/<shared_mutex> includes,
+//                   std::mutex-family types, RAII holders, condvars) and
+//                   manual .lock()/.unlock()/.try_lock() calls are banned.
+//                   Concurrency goes through the clang-Thread-Safety-annotated
+//                   fedfc::Mutex/MutexLock/CondVar wrappers, which the
+//                   analysis can see; a raw std::mutex is invisible to it.
 //   includes        #include paths are repo-root-relative: no `../` or `./`
 //                   segments, no absolute paths, and never an #include of a
 //                   .cc/.cpp file.
+//   layering        Whole-program: builds the include graph of src/ + tests/
+//                   (with bench/, examples/ and tools/ as extra TU roots) and
+//                   enforces the module DAG
+//                     core <- {ts, data} <- {ml, features} <- fl
+//                          <- {net, automl}
+//                   rejects include cycles, flags src/ headers no translation
+//                   unit reaches, and bans any #include from tools/.
 //
 // Per-line escape hatch (audited, greppable): a comment of the form
 //   // fedfc-allow(<rule>): <non-empty reason>
@@ -322,6 +335,23 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+// --- Directive helpers ----------------------------------------------------
+
+/// Extracts the path from an #include directive ("..." or <...>). Returns ""
+/// when the directive is not an #include or its delimiters are malformed.
+std::string ParseIncludePath(const Directive& d) {
+  std::istringstream iss(d.text);
+  std::string directive;
+  iss >> directive;
+  if (directive != "#include") return {};
+  const size_t open = d.text.find_first_of("\"<", directive.size());
+  if (open == std::string::npos) return {};
+  const char close_char = d.text[open] == '"' ? '"' : '>';
+  const size_t close = d.text.find(close_char, open + 1);
+  if (close == std::string::npos) return {};
+  return d.text.substr(open + 1, close - open - 1);
+}
+
 // --- Rule: wire_keys ------------------------------------------------------
 
 bool IsWireKeyExempt(const std::string& rel_path) {
@@ -535,31 +565,63 @@ void CheckResultDiscard(const LexedFile& f, std::vector<Violation>* out) {
   }
 }
 
-// --- Rule: locks (new) ----------------------------------------------------
+// --- Rule: locks (retargeted) ---------------------------------------------
 //
-// Outside core/thread_pool.{h,cc}, a std::mutex may only be taken through an
-// RAII holder (std::lock_guard / std::unique_lock / std::scoped_lock), so no
-// early return or thrown exception can leak a held lock. Manual
-// .lock()/.unlock()/.try_lock() member calls are banned.
+// core/sync.h is the ONE file that may name the std:: synchronization
+// vocabulary. Everywhere else, mutexes are fedfc::Mutex held via
+// fedfc::MutexLock and waits go through fedfc::CondVar, so the clang Thread
+// Safety Analysis (-Wthread-safety, see docs/STATIC_ANALYSIS.md) sees every
+// acquisition — a raw std::mutex is invisible to it and silently exempt from
+// the race checking this tree relies on. Three spellings are banned outside
+// core/sync.h:
+//   * #include <mutex> / <condition_variable> / <shared_mutex>
+//   * std::mutex-family types, std:: RAII holders (lock_guard, unique_lock,
+//     scoped_lock, shared_lock) and std::condition_variable{,_any}
+//   * manual .lock()/.unlock()/.try_lock() member calls — the annotated
+//     spellings are Mutex::Lock/Unlock; lowercase means a raw primitive
+//     whose early-return paths can leak a held lock unchecked.
 
 void CheckLocks(const LexedFile& f, std::vector<Violation>* out) {
-  if (f.tree == "src" && (f.rel_path == "core/thread_pool.h" ||
-                          f.rel_path == "core/thread_pool.cc")) {
-    return;
+  if (f.tree == "src" && f.rel_path == "core/sync.h") return;
+  static const std::set<std::string, std::less<>> kBannedHeaders = {
+      "mutex", "condition_variable", "shared_mutex"};
+  for (const Directive& d : f.directives) {
+    const std::string path = ParseIncludePath(d);
+    if (path.empty() || kBannedHeaders.count(path) == 0) continue;
+    if (IsAllowed(f, "locks", d.line)) continue;
+    out->push_back({f.rel_path, d.line, "locks",
+                    "#include <" + path +
+                        "> outside core/sync.h — use the annotated "
+                        "fedfc::Mutex/MutexLock/CondVar wrappers"});
   }
+  static const std::set<std::string, std::less<>> kBannedTypes = {
+      "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex", "shared_timed_mutex", "lock_guard", "unique_lock",
+      "scoped_lock", "shared_lock", "condition_variable",
+      "condition_variable_any"};
   const auto& t = f.tokens;
-  for (size_t i = 1; i + 1 < t.size(); ++i) {
-    if (!(IsIdent(t[i], "lock") || IsIdent(t[i], "unlock") ||
-          IsIdent(t[i], "try_lock"))) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i >= 2 && t[i].kind == TokKind::kIdent &&
+        kBannedTypes.count(t[i].text) > 0 && IsPunct(t[i - 1], "::") &&
+        IsIdent(t[i - 2], "std")) {
+      if (IsAllowed(f, "locks", t[i].line)) continue;
+      out->push_back({f.rel_path, t[i].line, "locks",
+                      "std::" + t[i].text +
+                          " outside core/sync.h — thread-safety analysis "
+                          "cannot see it; use fedfc::Mutex/MutexLock/CondVar"});
       continue;
     }
-    if (!(IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->"))) continue;
-    if (!IsPunct(t[i + 1], "(")) continue;
-    if (IsAllowed(f, "locks", t[i].line)) continue;
-    out->push_back({f.rel_path, t[i].line, "locks",
-                    "manual ." + t[i].text +
-                        "() outside core/thread_pool — hold mutexes via "
-                        "std::lock_guard / unique_lock / scoped_lock"});
+    if (i >= 1 && i + 1 < t.size() &&
+        (IsIdent(t[i], "lock") || IsIdent(t[i], "unlock") ||
+         IsIdent(t[i], "try_lock")) &&
+        (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->")) &&
+        IsPunct(t[i + 1], "(")) {
+      if (IsAllowed(f, "locks", t[i].line)) continue;
+      out->push_back({f.rel_path, t[i].line, "locks",
+                      "manual ." + t[i].text +
+                          "() — hold locks via fedfc::MutexLock so no "
+                          "early-return path can leak them"});
+    }
   }
 }
 
@@ -572,23 +634,14 @@ void CheckLocks(const LexedFile& f, std::vector<Violation>* out) {
 
 void CheckIncludes(const LexedFile& f, std::vector<Violation>* out) {
   for (const Directive& d : f.directives) {
-    std::istringstream iss(d.text);
-    std::string directive;
-    iss >> directive;
-    if (directive != "#include") continue;
-    // Extract the path between "..." or <...>.
-    size_t open = d.text.find_first_of("\"<", directive.size());
-    if (open == std::string::npos) continue;
-    const char close_char = d.text[open] == '"' ? '"' : '>';
-    size_t close = d.text.find(close_char, open + 1);
-    if (close == std::string::npos) continue;
-    const std::string path = d.text.substr(open + 1, close - open - 1);
+    const std::string path = ParseIncludePath(d);
+    if (path.empty()) continue;
     std::string problem;
     if (path.find("../") != std::string::npos) {
       problem = "parent-relative include '" + path + "'";
     } else if (path.rfind("./", 0) == 0) {
       problem = "'./'-relative include '" + path + "'";
-    } else if (!path.empty() && path[0] == '/') {
+    } else if (path[0] == '/') {
       problem = "absolute include '" + path + "'";
     } else if (EndsWith(path, ".cc") || EndsWith(path, ".cpp") ||
                EndsWith(path, ".cxx")) {
@@ -611,16 +664,7 @@ void CheckIncludes(const LexedFile& f, std::vector<Violation>* out) {
 void CheckIntrinsics(const LexedFile& f, std::vector<Violation>* out) {
   if (f.tree == "src" && f.rel_path.rfind("ml/kernels/", 0) == 0) return;
   for (const Directive& d : f.directives) {
-    std::istringstream iss(d.text);
-    std::string directive;
-    iss >> directive;
-    if (directive != "#include") continue;
-    size_t open = d.text.find_first_of("\"<", directive.size());
-    if (open == std::string::npos) continue;
-    const char close_char = d.text[open] == '"' ? '"' : '>';
-    size_t close = d.text.find(close_char, open + 1);
-    if (close == std::string::npos) continue;
-    const std::string path = d.text.substr(open + 1, close - open - 1);
+    const std::string path = ParseIncludePath(d);
     if (EndsWith(path, "intrin.h")) {
       out->push_back({f.rel_path, d.line, "intrinsics",
                       "#include <" + path +
@@ -671,15 +715,194 @@ void CheckRoundBuffering(const LexedFile& f, std::vector<Violation>* out) {
   }
 }
 
+// --- Rule: layering (new, whole-program) -----------------------------------
+//
+// fedfc_lint's first cross-file pass. It sees every lexed file at once —
+// src/ and tests/ plus the bench/, examples/ and tools/ trees as extra
+// translation-unit roots — builds the include graph, and enforces:
+//
+//   1. The module DAG: a src/<module>/ file may include only from its own
+//      module or the modules listed in AllowedDeps(). The layer order is
+//          core <- {ts, data} <- {ml, features} <- fl <- {net, automl}
+//      net and automl are sibling leaves (neither may include the other),
+//      and tools/ is a sink nothing includes from. tests/ are DAG-exempt:
+//      a test may reach into any module it exercises.
+//   2. No include cycles anywhere in the graph (DFS back-edge detection).
+//   3. No orphan headers: every src/ header must be reachable from some
+//      translation unit the build compiles (a .cc/.cpp under src/, tests/,
+//      bench/, examples/ or tools/).
+//
+// There is deliberately no fedfc-allow escape: a new inter-module edge means
+// editing AllowedDeps() here, in a reviewed diff, not annotating the call
+// site.
+
+/// module -> modules it may additionally include from. Including from the
+/// own module is always legal; absence from this map means the module is
+/// unknown to the layering policy and every outward edge is rejected.
+const std::map<std::string, std::set<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"core", {}},
+      {"ts", {"core"}},
+      {"data", {"core", "ts"}},
+      {"ml", {"core", "ts", "data"}},
+      {"features", {"core", "ts", "data", "ml"}},
+      {"fl", {"core", "ts", "data", "ml", "features"}},
+      {"net", {"core", "ts", "data", "ml", "features", "fl"}},
+      {"automl", {"core", "ts", "data", "ml", "features", "fl"}},
+  };
+  return kAllowed;
+}
+
+/// First path segment ("fl/server.h" -> "fl"); "" for root-level files.
+std::string ModuleOf(const std::string& rel_path) {
+  const size_t slash = rel_path.find('/');
+  return slash == std::string::npos ? std::string() : rel_path.substr(0, slash);
+}
+
+/// Directory part ("net/worker_test.cc" -> "net"); "" for root-level files.
+std::string DirOf(const std::string& rel_path) {
+  const size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? std::string() : rel_path.substr(0, slash);
+}
+
+void CheckLayering(const std::vector<LexedFile>& program,
+                   std::vector<Violation>* out) {
+  // Node ids are tree-prefixed paths ("src/core/sync.h"). A quoted include
+  // resolves src-root-relative first (the build's only -I is src/), then
+  // relative to the including file's directory (tests' local harness
+  // headers), then tree-root-relative. Unresolved paths are system or
+  // third-party headers and stay outside the graph.
+  std::set<std::string> nodes;
+  for (const LexedFile& f : program) nodes.insert(f.tree + "/" + f.rel_path);
+
+  struct Edge {
+    std::string to;
+    size_t line;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (const LexedFile& f : program) {
+    const std::string id = f.tree + "/" + f.rel_path;
+    graph[id];  // Every file is a node, even with no in-tree includes.
+    for (const Directive& d : f.directives) {
+      const std::string path = ParseIncludePath(d);
+      if (path.empty()) continue;
+      if (path.rfind("tools/", 0) == 0 && f.tree != "tools") {
+        // Only the linted trees report; aux trees are roots, not subjects.
+        if (f.tree == "src" || f.tree == "tests") {
+          out->push_back({id, d.line, "layering",
+                          "#include \"" + path +
+                              "\" — tools/ is a sink; nothing includes from "
+                              "it"});
+        }
+        continue;
+      }
+      const std::string dir = DirOf(f.rel_path);
+      std::string target;
+      for (const std::string& cand :
+           {"src/" + path,
+            f.tree + "/" + (dir.empty() ? path : dir + "/" + path),
+            f.tree + "/" + path}) {
+        if (nodes.count(cand) > 0) {
+          target = cand;
+          break;
+        }
+      }
+      if (!target.empty()) graph[id].push_back({target, d.line});
+    }
+  }
+
+  // 1. Module DAG over src -> src edges.
+  for (const auto& entry : graph) {
+    const std::string& from = entry.first;
+    if (from.rfind("src/", 0) != 0) continue;
+    const std::string from_mod = ModuleOf(from.substr(4));
+    if (from_mod.empty()) continue;
+    for (const Edge& e : entry.second) {
+      if (e.to.rfind("src/", 0) != 0) continue;
+      const std::string to_mod = ModuleOf(e.to.substr(4));
+      if (to_mod.empty() || to_mod == from_mod) continue;
+      const auto it = AllowedDeps().find(from_mod);
+      if (it == AllowedDeps().end()) {
+        out->push_back({from, e.line, "layering",
+                        "module '" + from_mod +
+                            "' is not in the layering map — add it to "
+                            "AllowedDeps() in a reviewed diff"});
+      } else if (it->second.count(to_mod) == 0) {
+        out->push_back({from, e.line, "layering",
+                        "'" + from_mod + "' may not include from '" + to_mod +
+                            "' — the module DAG is core <- {ts, data} <- "
+                            "{ml, features} <- fl <- {net, automl}"});
+      }
+    }
+  }
+
+  // 2. Include cycles: colored DFS; every back edge closes a cycle. The
+  // recursion depth is the include-chain depth, which the DAG keeps shallow.
+  std::map<std::string, int> color;  // 0 unvisited / 1 on stack / 2 done.
+  std::vector<std::string> stack;
+  const auto dfs = [&](const auto& self, const std::string& node) -> void {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const Edge& e : graph.at(node)) {
+      const int c = color[e.to];
+      if (c == 1) {
+        std::string desc;
+        for (auto it = std::find(stack.begin(), stack.end(), e.to);
+             it != stack.end(); ++it) {
+          desc += *it + " -> ";
+        }
+        desc += e.to;
+        out->push_back({node, e.line, "layering", "include cycle: " + desc});
+      } else if (c == 0) {
+        self(self, e.to);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& entry : graph) {
+    if (color[entry.first] == 0) dfs(dfs, entry.first);
+  }
+
+  // 3. Orphan headers: BFS from every translation unit the build compiles.
+  std::set<std::string> reached;
+  std::vector<std::string> frontier;
+  for (const auto& entry : graph) {
+    if (EndsWith(entry.first, ".cc") || EndsWith(entry.first, ".cpp")) {
+      if (reached.insert(entry.first).second) frontier.push_back(entry.first);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    for (const Edge& e : graph.at(node)) {
+      if (reached.insert(e.to).second) frontier.push_back(e.to);
+    }
+  }
+  for (const auto& entry : graph) {
+    const std::string& node = entry.first;
+    if (node.rfind("src/", 0) != 0 || !EndsWith(node, ".h")) continue;
+    if (reached.count(node) > 0) continue;
+    out->push_back({node, 1, "layering",
+                    "orphan header: no translation unit under src/, tests/, "
+                    "bench/, examples/ or tools/ includes it"});
+  }
+}
+
 // --- Driver ---------------------------------------------------------------
 
 struct Rule {
   std::string_view name;
+  /// Per-file check; null for whole-program rules.
   void (*check)(const LexedFile&, std::vector<Violation>*);
   /// Whether the rule also walks tests/. Rules stay src-only when tests
   /// legitimately need the pattern (literal payload keys in assertions).
   bool include_tests;
   std::string_view summary;  // One line for --list-rules.
+  /// Whole-program check over every lexed file at once (src/ + tests/ + aux
+  /// trees); runs after the per-file walk. Null for per-file rules.
+  void (*check_program)(const std::vector<LexedFile>&,
+                        std::vector<Violation>*) = nullptr;
 };
 
 constexpr Rule kRules[] = {
@@ -696,20 +919,23 @@ constexpr Rule kRules[] = {
     {"result_discard", CheckResultDiscard, true,
      "no (void)-cast of calls without fedfc-allow(result_discard)"},
     {"locks", CheckLocks, true,
-     "mutexes held via RAII only outside core/thread_pool.{h,cc}"},
+     "std:: sync vocabulary only in core/sync.h; use fedfc::Mutex/MutexLock"},
     {"includes", CheckIncludes, true,
      "repo-root-relative includes: no ../ ./ absolute or .cc includes"},
     {"intrinsics", CheckIntrinsics, true,
      "SIMD intrinsics (<*intrin.h>, _mm*/__m*) only in src/ml/kernels/"},
     {"round_buffering", CheckRoundBuffering, false,
      "src/automl/ consumes rounds via ReplyConsumer folds, not RoundResult"},
+    {"layering", nullptr, true,
+     "module DAG core<-{ts,data}<-{ml,features}<-fl<-{net,automl}; no "
+     "cycles, orphan headers, or includes from tools/",
+     CheckLayering},
 };
 
-/// Lints every source file under `<repo_root>/<tree>`, applying the rules
-/// whose applicability matches. Violations come back tree-prefixed
-/// ("tests/net/foo_test.cc:12"). Returns 2 on I/O error, else 0.
-int LintOneTree(const fs::path& repo_root, const std::string& tree,
-                std::vector<Violation>* violations, size_t* n_files) {
+/// Reads and lexes every .h/.cc/.cpp under `<repo_root>/<tree>` into
+/// `program` in deterministic (sorted) order. Returns 2 on I/O error, else 0.
+int LexTree(const fs::path& repo_root, const std::string& tree,
+            std::vector<LexedFile>* program) {
   const fs::path root = repo_root / tree;
   std::vector<fs::path> paths;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
@@ -731,10 +957,27 @@ int LintOneTree(const fs::path& repo_root, const std::string& tree,
     file.rel_path = fs::relative(path, root).generic_string();
     file.content = buf.str();
     file.tree = tree;
+    program->push_back(Lex(file));
+  }
+  return 0;
+}
+
+/// Lints every source file under `<repo_root>/<tree>`, applying the per-file
+/// rules whose applicability matches, and appends each lexed file to
+/// `program` for the whole-program rules. Violations come back tree-prefixed
+/// ("tests/net/foo_test.cc:12"). Returns 2 on I/O error, else 0.
+int LintOneTree(const fs::path& repo_root, const std::string& tree,
+                std::vector<Violation>* violations, size_t* n_files,
+                std::vector<LexedFile>* program) {
+  const size_t first = program->size();
+  const int rc = LexTree(repo_root, tree, program);
+  if (rc != 0) return rc;
+  for (size_t fi = first; fi < program->size(); ++fi) {
+    const LexedFile& lexed = (*program)[fi];  // Shared by every rule below.
     ++*n_files;
-    const LexedFile lexed = Lex(file);  // Shared by every rule below.
     const size_t before = violations->size();
     for (const Rule& rule : kRules) {
+      if (rule.check == nullptr) continue;  // Whole-program rules run later.
       if (tree == "tests" && !rule.include_tests) continue;
       rule.check(lexed, violations);
     }
@@ -776,11 +1019,25 @@ int LintTree(const fs::path& repo_root, bool json) {
     return 2;
   }
   std::vector<Violation> violations;
+  std::vector<LexedFile> program;
   size_t n_files = 0;
   for (const std::string& tree : {std::string("src"), std::string("tests")}) {
     if (!fs::is_directory(repo_root / tree)) continue;  // tests/ is optional.
-    int rc = LintOneTree(repo_root, tree, &violations, &n_files);
+    int rc = LintOneTree(repo_root, tree, &violations, &n_files, &program);
     if (rc != 0) return rc;
+  }
+  // The aux trees are lexed (not per-file linted) so the whole-program rules
+  // see every translation unit the build compiles: a header consumed only by
+  // a benchmark or an example is reachable, not orphaned.
+  for (const std::string& tree :
+       {std::string("bench"), std::string("examples"), std::string("tools")}) {
+    if (!fs::is_directory(repo_root / tree)) continue;
+    int rc = LexTree(repo_root, tree, &program);
+    if (rc != 0) return rc;
+  }
+  // Whole-program rules emit already-prefixed node ids ("src/fl/server.cc").
+  for (const Rule& rule : kRules) {
+    if (rule.check_program != nullptr) rule.check_program(program, &violations);
   }
   if (json) {
     // One record per violation: {"file","line","rule","detail"}. An empty
@@ -951,25 +1208,37 @@ const std::vector<SelfTestCase>& SelfTestCases() {
        false, "mentions in comments do not fire"},
       // locks
       {"locks",
-       {"fl/bad_lock.cc", "void F(std::mutex* m) { m->lock(); }\n"},
-       true, "manual ->lock() fires"},
+       {"fl/bad_mutex.cc", "#include <mutex>\n"
+                           "std::mutex g_mu;\n"},
+       true, "raw std::mutex (and its include) outside core/sync.h fires"},
       {"locks",
-       {"net/bad_unlock.cc", "void F(std::mutex& m) { m.unlock(); }\n"},
-       true, "manual .unlock() fires"},
-      {"locks",
-       {"automl/bad_try.cc", "bool F(std::mutex& m) { return m.try_lock(); }\n"},
-       true, "manual .try_lock() fires"},
-      {"locks",
-       {"fl/ok_raii.cc",
+       {"net/bad_raii.cc",
         "void F(std::mutex& m) { std::lock_guard<std::mutex> g(m); }\n"},
-       false, "RAII lock_guard is clean"},
+       true, "std::lock_guard fires — the analysis cannot see raw holders"},
       {"locks",
-       {"core/thread_pool.cc", "void F(std::mutex& m) { m.lock(); m.unlock(); }\n"},
-       false, "core/thread_pool may manage locks manually"},
+       {"automl/bad_cv.cc", "#include <condition_variable>\n"},
+       true, "#include <condition_variable> fires"},
       {"locks",
-       {"fl/ok_free.cc", "void F(std::mutex& a, std::mutex& b) {\n"
-                         "  std::lock(a, b);\n}\n"},
-       false, "free std::lock (no member access) does not fire"},
+       {"fl/bad_manual.cc", "void F(Handle* h) { h->lock(); }\n"},
+       true, "manual ->lock() fires even on non-std handle types"},
+      {"locks",
+       {"core/thread_pool.cc",
+        "void F() { std::unique_lock<std::mutex> l; }\n"},
+       true, "the old core/thread_pool exemption is gone"},
+      {"locks",
+       {"core/sync.h", "#include <mutex>\n"
+                       "class Mutex { std::mutex raw_; };\n"},
+       false, "core/sync.h is the one home of the std:: vocabulary"},
+      {"locks",
+       {"fl/ok_wrapper.cc", "void F(fedfc::Mutex& m) {\n"
+                            "  fedfc::MutexLock lock(m);\n}\n"},
+       false, "the annotated fedfc wrappers are clean"},
+      {"locks",
+       {"ml/ok_ident.cc", "int mutex = 0; int F() { return mutex; }\n"},
+       false, "a bare 'mutex' identifier without std:: does not fire"},
+      {"locks",
+       {"fl/doc.cc", "// the old code held a std::mutex and called .lock()\n"},
+       false, "mentions in comments do not fire"},
       // includes
       {"includes",
        {"fl/bad_parent.cc", "#include \"../core/status.h\"\n"},
@@ -1082,10 +1351,76 @@ const std::vector<SelfTestCase>& AnnotationSelfTestCases() {
        false, "fedfc-allow(includes) silences an include violation"},
       {"locks",
        {"fl/allowed_lock.cc",
-        "void F(std::mutex& m) {\n"
-        "  m.lock();  // fedfc-allow(locks): paired with unlock in Detach()\n"
-        "}\n"},
-       false, "fedfc-allow(locks) silences a manual lock"},
+        "// fedfc-allow(locks): vendor FFI shim hands a native handle across\n"
+        "#include <mutex>\n"},
+       false, "fedfc-allow(locks) silences a raw-mutex include"},
+  };
+  return cases;
+}
+
+/// Self-test cases for whole-program rules: each case is a miniature tree
+/// (several SourceFiles, with their `tree` field set) fed through Lex() and
+/// the rule's check_program, expected to fire or stay clean as a whole.
+struct ProgramSelfTestCase {
+  std::string_view rule;
+  std::vector<SourceFile> files;
+  bool expect_violation;
+  std::string_view what;
+};
+
+const std::vector<ProgramSelfTestCase>& ProgramSelfTestCases() {
+  static const std::vector<ProgramSelfTestCase> cases = {
+      // -- fire: DAG edges --
+      {"layering",
+       {{"automl/engine.h", "int E();\n"},
+        {"net/bad.cc", "#include \"automl/engine.h\"\n"}},
+       true, "net including from automl (sibling leaves) fires"},
+      {"layering",
+       {{"fl/server.h", "int V();\n"},
+        {"ts/bad.cc", "#include \"fl/server.h\"\n"}},
+       true, "an upward edge (ts -> fl) fires"},
+      {"layering",
+       {{"core/util.h", "int U();\n"},
+        {"experiments/new.cc", "#include \"core/util.h\"\n"}},
+       true, "a src/ module missing from the layering map fires"},
+      // -- fire: cycles / orphans / tools --
+      {"layering",
+       {{"fl/a.h", "#include \"fl/b.h\"\n"},
+        {"fl/b.h", "#include \"fl/a.h\"\n"},
+        {"fl/use.cc", "#include \"fl/a.h\"\n"}},
+       true, "an include cycle fires"},
+      {"layering",
+       {{"fl/used.h", "int U();\n"},
+        {"fl/orphan.h", "int O();\n"},
+        {"fl/use.cc", "#include \"fl/used.h\"\n"}},
+       true, "a src/ header no translation unit reaches is an orphan"},
+      {"layering",
+       {{"fl/bad_tool.cc", "#include \"tools/fedfc_lint/rules.h\"\n"}},
+       true, "including from tools/ fires"},
+      // -- clean --
+      {"layering",
+       {{"core/util.h", "int U();\n"},
+        {"ts/series.h", "#include \"core/util.h\"\nint S();\n"},
+        {"data/loader.h", "#include \"ts/series.h\"\nint L();\n"},
+        {"ml/model.h", "#include \"data/loader.h\"\nint M();\n"},
+        {"features/gen.h", "#include \"ml/model.h\"\nint G();\n"},
+        {"fl/server.h", "#include \"features/gen.h\"\nint V();\n"},
+        {"net/transport.h", "#include \"fl/server.h\"\nint T();\n"},
+        {"automl/engine.h", "#include \"fl/server.h\"\nint E();\n"},
+        {"net/transport.cc", "#include \"net/transport.h\"\n"},
+        {"automl/engine.cc", "#include \"automl/engine.h\"\n"}},
+       false, "the full module chain with every header reached is clean"},
+      {"layering",
+       {{"core/util.h", "int U();\n"},
+        {"core/util.cc", "#include \"core/util.h\"\n"},
+        {"net/worker_harness.h", "#include \"core/util.h\"\nint H();\n",
+         "tests"},
+        {"net/worker_test.cc", "#include \"worker_harness.h\"\n", "tests"}},
+       false, "tests resolve same-dir harness headers and are DAG-exempt"},
+      {"layering",
+       {{"ml/kernels/avx2.h", "int K();\n"},
+        {"kernel_bench.cc", "#include \"ml/kernels/avx2.h\"\n", "bench"}},
+       false, "a header reached only from bench/ is not an orphan"},
   };
   return cases;
 }
@@ -1103,8 +1438,8 @@ int RunSelfTests(std::string_view only_rule) {
     for (const Rule& r : kRules) {
       if (r.name == tc.rule) rule = &r;
     }
-    if (rule == nullptr) {
-      std::fprintf(stderr, "self-test: unknown rule %s\n",
+    if (rule == nullptr || rule->check == nullptr) {
+      std::fprintf(stderr, "self-test: unknown per-file rule %s\n",
                    std::string(tc.rule).c_str());
       return 2;
     }
@@ -1124,6 +1459,41 @@ int RunSelfTests(std::string_view only_rule) {
                   std::string(tc.what).c_str());
     }
   }
+  for (const ProgramSelfTestCase& tc : ProgramSelfTestCases()) {
+    if (!only_rule.empty() && tc.rule != only_rule) continue;
+    ++run;
+    const Rule* rule = nullptr;
+    for (const Rule& r : kRules) {
+      if (r.name == tc.rule) rule = &r;
+    }
+    if (rule == nullptr || rule->check_program == nullptr) {
+      std::fprintf(stderr, "self-test: unknown whole-program rule %s\n",
+                   std::string(tc.rule).c_str());
+      return 2;
+    }
+    std::vector<LexedFile> program;
+    program.reserve(tc.files.size());
+    for (const SourceFile& f : tc.files) program.push_back(Lex(f));
+    std::vector<Violation> found;
+    rule->check_program(program, &found);
+    const bool fired = !found.empty();
+    if (fired != tc.expect_violation) {
+      ++failures;
+      std::fprintf(stderr, "FAIL [%s] %zu-file program (%s): expected %s, "
+                   "got %s\n",
+                   std::string(tc.rule).c_str(), tc.files.size(),
+                   std::string(tc.what).c_str(),
+                   tc.expect_violation ? "violation" : "clean",
+                   fired ? "violation" : "clean");
+      for (const Violation& v : found) {
+        std::fprintf(stderr, "  %s:%zu: %s\n", v.file.c_str(), v.line,
+                     v.detail.c_str());
+      }
+    } else {
+      std::printf("ok   [%s] %s\n", std::string(tc.rule).c_str(),
+                  std::string(tc.what).c_str());
+    }
+  }
   if (run == 0) {
     std::fprintf(stderr, "self-test: no cases for rule '%s'\n",
                  std::string(only_rule).c_str());
@@ -1137,7 +1507,9 @@ int RunSelfTests(std::string_view only_rule) {
 int ListRules() {
   for (const Rule& rule : kRules) {
     std::printf("%-15s %-11s %s\n", std::string(rule.name).c_str(),
-                rule.include_tests ? "src+tests" : "src-only",
+                rule.check_program != nullptr
+                    ? "program"
+                    : (rule.include_tests ? "src+tests" : "src-only"),
                 std::string(rule.summary).c_str());
   }
   std::printf("%zu rules; per-line escape: // fedfc-allow(<rule>): <reason> "

@@ -7,8 +7,8 @@
 ///   fedfc_worker --data series.csv --clients 3 --index 0 --port 9100
 ///
 ///   # one process hosting splits 4..7 of an 8-client federation
-///   fedfc_worker --data series.csv --clients 8 --index 4 --num-clients 4 \
-///       --port 9101
+///   fedfc_worker --data series.csv --clients 8 --index 4 --num-clients 4
+///                --port 9101
 ///
 ///   # synthetic data, ephemeral port (printed on stdout)
 ///   fedfc_worker --length 600 --period 24 --seed 7 --port 0
