@@ -1,0 +1,188 @@
+/// bench_serve: inference-serving latency and throughput over loopback TCP,
+/// swept over the batcher's max_batch. Each sweep point starts a fresh
+/// ForecastServer (Huber model, 8 feature columns), hammers it with
+/// FEDFC_SERVE_CONNECTIONS concurrent request/reply connections, and reports
+/// wall-clock QPS plus per-request p50/p99 latency. max_batch=1 is the
+/// no-coalescing baseline; larger batches trade a bounded linger
+/// (batch_timeout_ms=1 here) for fewer model evaluations.
+///
+/// Knobs: FEDFC_SERVE_CONNECTIONS (default 8), FEDFC_SERVE_REQUESTS per
+/// connection (default 200), FEDFC_SERVE_ROWS per request (default 16).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace fedfc::bench {
+namespace {
+
+constexpr size_t kCols = 8;
+
+/// A fitted Huber artifact over a kCols-wide lag-only schema.
+automl::ModelArtifact MakeServingArtifact(uint64_t seed) {
+  automl::Configuration config;
+  config.algorithm = automl::AlgorithmId::kHuber;
+  config.categorical["epsilon"] = "1.35";
+  config.numeric["alpha"] = 1e-4;
+  Rng rng(seed);
+  Matrix x(256, kCols);
+  std::vector<double> y(256);
+  for (size_t i = 0; i < 256; ++i) {
+    for (size_t c = 0; c < kCols; ++c) x(i, c) = rng.Uniform(-2, 2);
+    y[i] = 2.0 * x(i, 0) + 0.5 * x(i, kCols - 1);
+  }
+  Result<std::unique_ptr<ml::Regressor>> model =
+      automl::CreateRegressor(config);
+  FEDFC_CHECK(model.ok()) << model.status();
+  Rng fit_rng(seed + 1);
+  Status fitted = (*model)->Fit(x, y, &fit_rng);
+  FEDFC_CHECK(fitted.ok()) << fitted;
+  Result<std::vector<double>> blob = automl::SerializeModel(config, **model);
+  FEDFC_CHECK(blob.ok()) << blob.status();
+
+  automl::ModelArtifact artifact;
+  artifact.config = std::move(config);
+  artifact.spec.n_lags = kCols;
+  artifact.spec.include_time_features = false;
+  artifact.spec.include_trend_feature = false;
+  artifact.blob = std::move(*blob);
+  return artifact;
+}
+
+struct SweepPoint {
+  int max_batch = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+SweepPoint RunSweepPoint(const automl::ModelArtifact& artifact, int max_batch,
+                         size_t connections, size_t requests, size_t rows) {
+  serve::ForecastService service;
+  Status installed = service.Install(1, artifact);
+  FEDFC_CHECK(installed.ok()) << installed;
+
+  Result<net::Listener> listener = net::Listener::ListenTcp("127.0.0.1", 0);
+  FEDFC_CHECK(listener.ok()) << listener.status();
+  serve::ServeOptions options;
+  options.max_batch = max_batch;
+  options.batch_timeout_ms = 1;
+  options.max_connections = connections;
+  options.poll_interval_ms = 25;
+  serve::ForecastServer server(std::move(*listener), &service, options);
+  Status started = server.Start();
+  FEDFC_CHECK(started.ok()) << started;
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(connections);
+  const auto t0 = Clock::now();
+  {
+    ThreadPool pool(connections);
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      jobs.push_back(pool.Submit([&, c] {
+        Result<serve::ServeClient> client =
+            serve::ServeClient::Connect("127.0.0.1", server.port(), 5000);
+        FEDFC_CHECK(client.ok()) << client.status();
+        Rng rng(1000 + c);
+        fl::ForecastRequest request;
+        request.n_cols = static_cast<int64_t>(kCols);
+        request.rows.resize(rows * kCols);
+        latencies[c].reserve(requests);
+        for (size_t i = 0; i < requests; ++i) {
+          for (double& v : request.rows) v = rng.Uniform(-1.0, 1.0);
+          const auto start = Clock::now();
+          Result<fl::ForecastReply> reply = client->Forecast(request);
+          FEDFC_CHECK(reply.ok()) << reply.status();
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+        }
+      }));
+    }
+    for (auto& job : jobs) job.get();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.RequestStop();
+  Status waited = server.Wait();
+  FEDFC_CHECK(waited.ok()) << waited;
+
+  std::vector<double> all;
+  all.reserve(connections * requests);
+  for (const std::vector<double>& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  SweepPoint point;
+  point.max_batch = max_batch;
+  point.qps = static_cast<double>(all.size()) / (elapsed > 0 ? elapsed : 1e-9);
+  point.p50_ms = Percentile(all, 0.50);
+  point.p99_ms = Percentile(all, 0.99);
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const auto connections =
+      static_cast<size_t>(EnvInt("FEDFC_SERVE_CONNECTIONS", 8));
+  const auto requests = static_cast<size_t>(EnvInt("FEDFC_SERVE_REQUESTS", 200));
+  const auto rows = static_cast<size_t>(EnvInt("FEDFC_SERVE_ROWS", 16));
+
+  BenchReporter reporter("serve");
+  reporter.AddConfig("connections", static_cast<int>(connections));
+  reporter.AddConfig("requests_per_connection", static_cast<int>(requests));
+  reporter.AddConfig("rows_per_request", static_cast<int>(rows));
+  reporter.AddConfig("cols", static_cast<int>(kCols));
+
+  const automl::ModelArtifact artifact = MakeServingArtifact(11);
+
+  std::printf("=== serving latency/throughput over loopback TCP ===\n");
+  std::printf("(%zu connections x %zu requests, %zux%zu rows each)\n\n",
+              connections, requests, rows, kCols);
+  for (int max_batch : {1, 8, 32}) {
+    SweepPoint point =
+        RunSweepPoint(artifact, max_batch, connections, requests, rows);
+    std::printf(
+        "max_batch=%-3d qps=%9.1f   p50=%7.3f ms   p99=%7.3f ms\n",
+        point.max_batch, point.qps, point.p50_ms, point.p99_ms);
+    const std::string suffix = "_batch" + std::to_string(max_batch);
+    reporter.AddMetric("qps" + suffix, point.qps, "req/s", true);
+    reporter.AddMetric("p50_ms" + suffix, point.p50_ms, "ms", false);
+    reporter.AddMetric("p99_ms" + suffix, point.p99_ms, "ms", false);
+  }
+
+  Status status = reporter.WriteJson(json_out);
+  FEDFC_CHECK(status.ok()) << status;
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedfc::bench
+
+int main(int argc, char** argv) { return fedfc::bench::Main(argc, argv); }

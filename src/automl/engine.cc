@@ -110,6 +110,18 @@ Result<EngineReport> FedForecasterEngine::Run(fl::Server* server) {
   report.elapsed_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+
+  // Deployment: publish the finished run into the serving registry as the
+  // next version. The publish protocol (artifact first, MANIFEST last) means
+  // a crash mid-publish leaves an uncommitted directory fedfc_serve ignores.
+  if (!options_.publish_dir.empty()) {
+    ModelArtifact artifact;
+    artifact.config = report.best_config;
+    artifact.spec = report.spec;
+    artifact.blob = report.global_model_blob;
+    FEDFC_ASSIGN_OR_RETURN(report.published_version,
+                           PublishModelArtifact(options_.publish_dir, artifact));
+  }
   return report;
 }
 

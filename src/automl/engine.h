@@ -2,6 +2,7 @@
 #define FEDFC_AUTOML_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "automl/bayesopt/bayes_opt.h"
@@ -56,6 +57,11 @@ struct EngineOptions {
   fl::RoundPolicy round;
   uint64_t seed = 1;
   BayesOptConfig bo;
+  /// When non-empty, the finished global model is published into this
+  /// serving-registry root as the next `v<NNN>` version (see
+  /// automl/model_io.h, "Model artifacts") — the hand-off point between
+  /// training and fedfc_serve.
+  std::string publish_dir;
 };
 
 /// Outcome of one engine run on a federated dataset.
@@ -70,6 +76,8 @@ struct EngineReport {
   std::vector<double> global_model_blob;  ///< Deployable global model.
   fl::TransportStats transport;
   double elapsed_seconds = 0.0;
+  /// Registry version assigned by the publish step (0 = not published).
+  int published_version = 0;
 };
 
 /// The FedForecaster engine (Algorithm 1) — and, with

@@ -1,0 +1,37 @@
+#ifndef FEDFC_CORE_CHECKED_H_
+#define FEDFC_CORE_CHECKED_H_
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "core/result.h"
+
+namespace fedfc {
+
+/// Validated double -> element-count conversion for untrusted serialized
+/// data. A count field read from disk or the wire is a double that may have
+/// been truncated, bit-flipped (NaN, infinity, negative, fractional), or
+/// inflated to force a huge allocation. `static_cast<size_t>` of such a
+/// value is undefined behavior, so every decoder must validate BEFORE the
+/// cast — this is the one shared place that does it. `max_value` is the
+/// structural cap: the largest count the surrounding buffer could possibly
+/// hold (or a hard sanity limit), checked before any allocation happens.
+inline Result<size_t> CheckedCount(double value, size_t max_value,
+                                   const char* what) {
+  if (!std::isfinite(value) || value < 0.0 || value != std::floor(value)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": count field is not a non-negative "
+                                   "integer (corrupt or hostile input)");
+  }
+  if (value > static_cast<double>(max_value)) {
+    return Status::InvalidArgument(
+        std::string(what) + ": implausible count " + std::to_string(value) +
+        " exceeds cap " + std::to_string(max_value));
+  }
+  return static_cast<size_t>(value);
+}
+
+}  // namespace fedfc
+
+#endif  // FEDFC_CORE_CHECKED_H_

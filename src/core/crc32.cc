@@ -1,0 +1,34 @@
+#include "core/crc32.h"
+
+#include <array>
+
+namespace fedfc {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  return Crc32Update(kCrc32Initial, data, len) ^ kCrc32Final;
+}
+
+}  // namespace fedfc

@@ -1,0 +1,24 @@
+#ifndef FEDFC_CORE_CRC32_H_
+#define FEDFC_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedfc {
+
+/// CRC32 (IEEE 802.3, reflected) — the integrity check shared by the wire
+/// framing (net/frame) and the model-registry manifests (automl/model_io):
+/// both sides of the serving pipeline stamp bytes with the same polynomial,
+/// so a blob published by the engine and re-read by fedfc_serve is verified
+/// with one implementation.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+/// Running (unfinalised) update for streaming use: seed with
+/// `kCrc32Initial`, fold chunks, finalise by XOR-ing `kCrc32Final`.
+inline constexpr uint32_t kCrc32Initial = 0xFFFFFFFFu;
+inline constexpr uint32_t kCrc32Final = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len);
+
+}  // namespace fedfc
+
+#endif  // FEDFC_CORE_CRC32_H_

@@ -1,6 +1,7 @@
 #ifndef FEDFC_CORE_SYNC_H_
 #define FEDFC_CORE_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -112,6 +113,17 @@ class CondVar {
   void Wait(Mutex& mu) FEDFC_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
     cv_.wait(lock);
+    lock.release();  // The caller's MutexLock still owns the mutex.
+  }
+
+  /// Bounded Wait: returns after a notification, a spurious wake, or
+  /// `timeout_ms` — whichever comes first — always with `mu` re-held. The
+  /// timeout makes the explicit wait loop double as a poll loop, which is
+  /// how the serving batcher re-checks its (atomic, capability-free) stop
+  /// flag: RequestStop is async-signal-safe and therefore cannot notify.
+  void WaitFor(Mutex& mu, int timeout_ms) FEDFC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.raw_, std::adopt_lock);
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
     lock.release();  // The caller's MutexLock still owns the mutex.
   }
 

@@ -208,4 +208,70 @@ Result<NumExamplesReply> NumExamplesReply::FromPayload(const Payload& p) {
   return out;
 }
 
+Payload ForecastRequest::ToPayload() const {
+  Payload p;
+  p.SetInt("n_cols", n_cols);
+  p.SetTensor("rows", rows);
+  return p;
+}
+
+Result<ForecastRequest> ForecastRequest::FromPayload(const Payload& p) {
+  ForecastRequest out;
+  FEDFC_ASSIGN_OR_RETURN(out.n_cols, p.GetInt("n_cols"));
+  FEDFC_ASSIGN_OR_RETURN(out.rows, p.GetTensor("rows"));
+  if (out.n_cols < 1) {
+    return Status::InvalidArgument("forecast request: n_cols must be >= 1");
+  }
+  if (out.rows.empty() ||
+      out.rows.size() % static_cast<size_t>(out.n_cols) != 0) {
+    return Status::InvalidArgument(
+        "forecast request: row block of " + std::to_string(out.rows.size()) +
+        " values is not a non-empty multiple of n_cols=" +
+        std::to_string(out.n_cols));
+  }
+  return out;
+}
+
+Payload ForecastReply::ToPayload() const {
+  Payload p;
+  p.SetTensor("predictions", predictions);
+  p.SetInt("model_version", model_version);
+  return p;
+}
+
+Result<ForecastReply> ForecastReply::FromPayload(const Payload& p) {
+  ForecastReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.predictions, p.GetTensor("predictions"));
+  FEDFC_ASSIGN_OR_RETURN(out.model_version, p.GetInt("model_version"));
+  return out;
+}
+
+Payload PingReply::ToPayload() const {
+  Payload p;
+  p.SetInt("model_version", model_version);
+  return p;
+}
+
+Result<PingReply> PingReply::FromPayload(const Payload& p) {
+  PingReply out;
+  FEDFC_ASSIGN_OR_RETURN(out.model_version, p.GetInt("model_version"));
+  return out;
+}
+
+Payload ModelArtifactRecord::ToPayload() const {
+  Payload p;
+  p.SetTensor(kKeyConfig, config);
+  p.SetTensor(kKeySpec, spec);
+  p.SetTensor(kKeyModelBlob, model_blob);
+  return p;
+}
+
+Result<ModelArtifactRecord> ModelArtifactRecord::FromPayload(const Payload& p) {
+  ModelArtifactRecord out;
+  FEDFC_ASSIGN_OR_RETURN(out.config, p.GetTensor(kKeyConfig));
+  FEDFC_ASSIGN_OR_RETURN(out.spec, p.GetTensor(kKeySpec));
+  FEDFC_ASSIGN_OR_RETURN(out.model_blob, p.GetTensor(kKeyModelBlob));
+  return out;
+}
+
 }  // namespace fedfc::fl

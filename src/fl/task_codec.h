@@ -29,6 +29,13 @@ inline constexpr char kNBeatsEvaluate[] = "nbeats_evaluate";
 /// its weight vector without out-of-band knowledge. The double underscore
 /// marks it as transport plumbing, not a protocol round.
 inline constexpr char kNumExamples[] = "__num_examples";
+/// Inference-serving task (fedfc_serve): engineered feature rows in,
+/// per-row forecasts out. Served by serve/ForecastServer, never by a
+/// federated Client handler.
+inline constexpr char kForecast[] = "forecast";
+/// Serving control task: liveness probe that also reports which model
+/// version is live (double underscore = plumbing, as with __num_examples).
+inline constexpr char kPing[] = "__ping";
 }  // namespace tasks
 
 // ---------------------------------------------------------------------------
@@ -173,6 +180,62 @@ struct NumExamplesReply {
 
   [[nodiscard]] Payload ToPayload() const;
   static Result<NumExamplesReply> FromPayload(const Payload& p);
+};
+
+/// `forecast`: one or more engineered feature rows (row-major, `n_cols`
+/// wide) out, one prediction per row back. FromPayload enforces the shape
+/// invariants (n_cols >= 1, a non-empty row block divisible by n_cols), so
+/// a decoded request always describes a well-formed matrix.
+struct ForecastRequest {
+  int64_t n_cols = 0;
+  std::vector<double> rows;  ///< Row-major, rows.size() / n_cols rows.
+
+  [[nodiscard]] size_t n_rows() const {
+    return n_cols > 0 ? rows.size() / static_cast<size_t>(n_cols) : 0;
+  }
+
+  [[nodiscard]] Payload ToPayload() const;
+  static Result<ForecastRequest> FromPayload(const Payload& p);
+};
+
+/// Reply carries the serving model version so hot-swap tests (and cautious
+/// clients) can prove a response was produced wholly by one version.
+struct ForecastReply {
+  std::vector<double> predictions;
+  int64_t model_version = 0;
+
+  [[nodiscard]] Payload ToPayload() const;
+  static Result<ForecastReply> FromPayload(const Payload& p);
+};
+
+/// `__ping`: request is empty; reply reports the live model version (0 =
+/// no model loaded yet).
+struct PingRequest {
+  [[nodiscard]] Payload ToPayload() const { return Payload(); }
+  static Result<PingRequest> FromPayload(const Payload&) {
+    return PingRequest();
+  }
+};
+
+struct PingReply {
+  int64_t model_version = 0;
+
+  [[nodiscard]] Payload ToPayload() const;
+  static Result<PingReply> FromPayload(const Payload& p);
+};
+
+/// On-disk model-artifact record for the serving registry (the body of
+/// `<root>/v<NNN>/model.fpb`): the winning configuration and unified
+/// feature spec as their wire tensors plus the aggregated global model
+/// blob. Lives here with the other codecs so every payload key in the tree
+/// stays inside fl/task_codec.{h,cc} (the wire_keys lint rule).
+struct ModelArtifactRecord {
+  std::vector<double> config;
+  std::vector<double> spec;
+  std::vector<double> model_blob;
+
+  [[nodiscard]] Payload ToPayload() const;
+  static Result<ModelArtifactRecord> FromPayload(const Payload& p);
 };
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checked.h"
 #include "core/vec_math.h"
 
 namespace fedfc::ml {
@@ -77,10 +78,19 @@ std::vector<double> GbdtRegressor::SerializeModel() const {
 
 Status GbdtRegressor::DeserializeModel(const std::vector<double>& data) {
   if (data.size() < 3) return Status::InvalidArgument("GbdtRegressor: short blob");
+  if (!std::isfinite(data[0]) || !std::isfinite(data[1])) {
+    return Status::InvalidArgument(
+        "GbdtRegressor: non-finite base score or learning rate");
+  }
+  // Each tree is at least 1 double (its node count), so the remaining span
+  // bounds the tree count; checked before the cast and before any push_back.
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t n_trees,
+      CheckedCount(data[2], data.size() - 3, "GbdtRegressor tree count"));
   size_t offset = 0;
   base_score_ = data[offset++];
   config_.learning_rate = data[offset++];
-  auto n_trees = static_cast<size_t>(data[offset++]);
+  ++offset;  // Tree count, decoded above.
   trees_.clear();
   for (size_t t = 0; t < n_trees; ++t) {
     FEDFC_ASSIGN_OR_RETURN(gbdt_internal::GbdtTree tree,

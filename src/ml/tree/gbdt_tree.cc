@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/checked.h"
 #include "core/logging.h"
 
 namespace fedfc::ml::gbdt_internal {
@@ -120,10 +121,14 @@ Result<GbdtTree> GbdtTree::FromSpan(const std::vector<double>& data,
   if (*offset >= data.size()) {
     return Status::InvalidArgument("GbdtTree: truncated span");
   }
-  auto n_nodes = static_cast<size_t>(data[(*offset)++]);
-  if (*offset + 5 * n_nodes > data.size()) {
-    return Status::InvalidArgument("GbdtTree: truncated node block");
-  }
+  // The cap is structural: each node occupies 5 doubles of the remaining
+  // span, so any larger count is a truncated or corrupted block. Validated
+  // before the cast (and before the resize below allocates anything).
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t n_nodes,
+      CheckedCount(data[*offset], (data.size() - *offset - 1) / 5,
+                   "GbdtTree node block"));
+  ++*offset;
   GbdtTree tree;
   tree.nodes_.resize(n_nodes);
   for (size_t i = 0; i < n_nodes; ++i) {

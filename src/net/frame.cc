@@ -1,22 +1,10 @@
 #include "net/frame.h"
 
-#include <array>
+#include "core/crc32.h"
 
 namespace fedfc::net {
 
 namespace {
-
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t n = 0; n < 256; ++n) {
-    uint32_t c = n;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[n] = c;
-  }
-  return table;
-}
 
 void PutU16(std::vector<uint8_t>* out, uint16_t v) {
   out->push_back(static_cast<uint8_t>(v & 0xFF));
@@ -37,9 +25,6 @@ uint32_t GetU32(const uint8_t* p) {
   for (size_t i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
   return v;
 }
-
-/// Running (unfinalised) CRC update; `crc` starts at 0xFFFFFFFF.
-uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len);
 
 /// Validates the fixed 16-byte header and returns (task_len, body_len).
 /// Shared by the buffer and stream decoders so every entry point applies the
@@ -91,18 +76,13 @@ Result<HeaderFields> ParseHeader(const uint8_t* header) {
   return h;
 }
 
-uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len) {
-  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
-  for (size_t i = 0; i < len; ++i) {
-    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc;
-}
-
 }  // namespace
 
+// The implementation lives in core/crc32 (shared with the model-registry
+// manifests); this alias keeps the historical net::Crc32 spelling for tests
+// and benches.
 uint32_t Crc32(const uint8_t* data, size_t len) {
-  return Crc32Update(0xFFFFFFFFu, data, len) ^ 0xFFFFFFFFu;
+  return ::fedfc::Crc32(data, len);
 }
 
 size_t EncodedFrameSize(const Frame& frame) {
@@ -188,8 +168,8 @@ Result<Frame> ReadFrame(Socket& socket, int timeout_ms) {
                             kFrameTrailerBytes);
   FEDFC_RETURN_IF_ERROR(socket.RecvAll(rest.data(), rest.size(), timeout_ms));
   const size_t crc_offset = rest.size() - kFrameTrailerBytes;
-  uint32_t crc = Crc32Update(0xFFFFFFFFu, header, kFrameHeaderBytes);
-  crc = Crc32Update(crc, rest.data(), crc_offset) ^ 0xFFFFFFFFu;
+  uint32_t crc = Crc32Update(kCrc32Initial, header, kFrameHeaderBytes);
+  crc = Crc32Update(crc, rest.data(), crc_offset) ^ kCrc32Final;
   const uint32_t declared_crc = GetU32(rest.data() + crc_offset);
   if (crc != declared_crc) {
     return Status::InvalidArgument("frame: CRC mismatch");

@@ -1,0 +1,109 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/crc32.h"
+
+namespace fedfc::serve {
+
+namespace fs = std::filesystem;
+
+Result<int> ModelRegistry::LatestVersion() const {
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return 0;  // Not published yet.
+  int latest = 0;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    Result<int> parsed =
+        automl::ParseRegistryVersionDir(entry.path().filename());
+    if (!parsed.ok()) continue;  // Foreign directory; not ours to judge.
+    std::error_code probe;
+    if (!fs::is_regular_file(entry.path() / automl::kRegistryManifestFile,
+                             probe)) {
+      continue;  // No MANIFEST: in-flight or aborted publish.
+    }
+    latest = std::max(latest, parsed.value());
+  }
+  if (ec) {
+    return Status::IOError("registry: cannot scan '" + root_ +
+                           "': " + ec.message());
+  }
+  return latest;
+}
+
+Result<automl::ModelArtifact> ModelRegistry::Load(int version) const {
+  const fs::path dir = fs::path(root_) / automl::RegistryVersionDir(version);
+  const std::string where =
+      automl::RegistryVersionDir(version) + " under '" + root_ + "'";
+
+  std::ifstream manifest_in(dir / automl::kRegistryManifestFile);
+  if (!manifest_in) {
+    return Status::NotFound("registry: no committed version " + where);
+  }
+  std::ostringstream manifest_text;
+  manifest_text << manifest_in.rdbuf();
+  FEDFC_ASSIGN_OR_RETURN(
+      automl::RegistryManifest manifest,
+      automl::ParseRegistryManifest(manifest_text.str()));
+  if (manifest.version != version) {
+    return Status::InvalidArgument(
+        "registry: MANIFEST of " + where + " claims version " +
+        std::to_string(manifest.version));
+  }
+  // The manifest names its artifact file; confine it to the version dir.
+  if (manifest.file.find('/') != std::string::npos ||
+      manifest.file == "." || manifest.file == "..") {
+    return Status::InvalidArgument("registry: MANIFEST of " + where +
+                                   " names a non-local artifact file '" +
+                                   manifest.file + "'");
+  }
+
+  std::ifstream artifact_in(dir / manifest.file,
+                            std::ios::binary | std::ios::ate);
+  if (!artifact_in) {
+    return Status::IOError("registry: cannot open artifact of " + where);
+  }
+  const auto size = static_cast<uint64_t>(artifact_in.tellg());
+  // Mirror of the wire-side body cap: a registry file bigger than any
+  // legitimate artifact is rejected before the buffer is allocated.
+  if (size > (1u << 28)) {
+    return Status::InvalidArgument("registry: artifact of " + where +
+                                   " exceeds the 256 MiB cap");
+  }
+  if (size != manifest.bytes) {
+    return Status::InvalidArgument(
+        "registry: artifact of " + where + " is " + std::to_string(size) +
+        " bytes, MANIFEST says " + std::to_string(manifest.bytes) +
+        " (torn write?)");
+  }
+  artifact_in.seekg(0);
+  std::vector<uint8_t> bytes(size);
+  artifact_in.read(reinterpret_cast<char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+  if (!artifact_in) {
+    return Status::IOError("registry: short read on artifact of " + where);
+  }
+  const uint32_t crc = Crc32(bytes.data(), bytes.size());
+  if (crc != manifest.crc32) {
+    return Status::InvalidArgument(
+        "registry: artifact of " + where + " fails its CRC32 check (" +
+        std::to_string(crc) + " != " + std::to_string(manifest.crc32) +
+        ", corruption)");
+  }
+  return automl::DecodeModelArtifact(bytes);
+}
+
+Result<std::pair<int, automl::ModelArtifact>> ModelRegistry::LoadLatest()
+    const {
+  FEDFC_ASSIGN_OR_RETURN(int latest, LatestVersion());
+  if (latest == 0) {
+    return Status::NotFound("registry: no committed version under '" + root_ +
+                            "'");
+  }
+  FEDFC_ASSIGN_OR_RETURN(automl::ModelArtifact artifact, Load(latest));
+  return std::make_pair(latest, std::move(artifact));
+}
+
+}  // namespace fedfc::serve

@@ -1,0 +1,59 @@
+#ifndef FEDFC_SERVE_REGISTRY_H_
+#define FEDFC_SERVE_REGISTRY_H_
+
+#include <string>
+#include <utility>
+
+#include "automl/model_io.h"
+#include "core/result.h"
+
+namespace fedfc::serve {
+
+/// Read side of the versioned model registry (the publish side lives in
+/// automl/model_io so the engine can deploy without depending on serve/).
+///
+/// Layout, shared with `PublishModelArtifact`:
+///
+///   <root>/v<NNN>/model.fpb   the serialized artifact
+///   <root>/v<NNN>/MANIFEST    written last — the commit point
+///
+/// A version is *committed* only once its MANIFEST exists; directories
+/// without one are in-flight or aborted publishes and are invisible to
+/// every query here. Loading re-verifies the MANIFEST's byte count and
+/// CRC32 against the artifact file before decoding, so a torn write or a
+/// flipped bit surfaces as a typed error, never as a half-loaded model.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string root) : root_(std::move(root)) {}
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  /// Highest committed version, or 0 when the registry is empty or its
+  /// root does not exist yet (a registry that has simply not seen its
+  /// first publish is not an error — the watcher polls this).
+  [[nodiscard]] Result<int> LatestVersion() const;
+
+  /// Loads one committed version: parses its MANIFEST, verifies the
+  /// artifact's size and CRC32 against it, then strictly decodes the
+  /// artifact. Every mismatch is a typed error naming the version.
+  [[nodiscard]] Result<automl::ModelArtifact> Load(int version) const;
+
+  /// Loads the highest committed version; NotFound when the registry has
+  /// no committed version at all.
+  [[nodiscard]] Result<std::pair<int, automl::ModelArtifact>> LoadLatest()
+      const;
+
+  /// Publish delegate (see automl/model_io.h): writes `artifact` as the
+  /// next version and returns its number.
+  [[nodiscard]] Result<int> Publish(
+      const automl::ModelArtifact& artifact) const {
+    return automl::PublishModelArtifact(root_, artifact);
+  }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace fedfc::serve
+
+#endif  // FEDFC_SERVE_REGISTRY_H_

@@ -1,0 +1,42 @@
+#include "serve/service.h"
+
+#include <string>
+#include <utility>
+
+namespace fedfc::serve {
+
+Status ForecastService::Install(int version,
+                                const automl::ModelArtifact& artifact) {
+  if (version < 1) {
+    return Status::InvalidArgument("service: version must be >= 1, got " +
+                                   std::to_string(version));
+  }
+  // Deserialize outside the lock: request batches keep snapshotting the old
+  // model while the new one is being built.
+  FEDFC_ASSIGN_OR_RETURN(automl::Forecaster forecaster,
+                         automl::Forecaster::FromArtifact(artifact));
+  auto loaded = std::make_shared<LoadedModel>();
+  loaded->version = version;
+  loaded->forecaster = std::move(forecaster);
+
+  MutexLock lock(mutex_);
+  if (model_ != nullptr && version <= model_->version) {
+    return Status::InvalidArgument(
+        "service: version " + std::to_string(version) +
+        " is not newer than the live v" + std::to_string(model_->version));
+  }
+  model_ = std::move(loaded);  // The atomic hot-swap: one pointer store.
+  return Status::OK();
+}
+
+std::shared_ptr<const LoadedModel> ForecastService::Snapshot() const {
+  MutexLock lock(mutex_);
+  return model_;
+}
+
+int ForecastService::CurrentVersion() const {
+  MutexLock lock(mutex_);
+  return model_ == nullptr ? 0 : model_->version;
+}
+
+}  // namespace fedfc::serve

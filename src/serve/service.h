@@ -1,0 +1,58 @@
+#ifndef FEDFC_SERVE_SERVICE_H_
+#define FEDFC_SERVE_SERVICE_H_
+
+#include <memory>
+
+#include "automl/model_io.h"
+#include "core/result.h"
+#include "core/sync.h"
+
+namespace fedfc::serve {
+
+/// One fully-decoded, ready-to-predict model version. Immutable after
+/// construction: the service publishes it behind a shared_ptr-to-const, so
+/// every thread holding a snapshot reads frozen state.
+struct LoadedModel {
+  int version = 0;
+  automl::Forecaster forecaster;
+};
+
+/// The hot-swap point between the registry watcher and the request path.
+///
+/// The current model is a `std::shared_ptr<const LoadedModel>` guarded by a
+/// fedfc::Mutex. `Install` builds the new Forecaster *outside* the lock
+/// (deserialization is the expensive part) and swaps the pointer inside it;
+/// `Snapshot` copies the pointer inside the lock. The lock is therefore
+/// held only for pointer assignment — a swap never stalls in-flight
+/// batches, and a batch that took its snapshot before the swap finishes on
+/// the old version while the next batch starts on the new one. No response
+/// is ever computed from a blend of two versions: a batch evaluates exactly
+/// one snapshot (the version is stamped into every reply so tests can prove
+/// it).
+///
+/// Versions are strictly monotonic: `Install` rejects a version at or below
+/// the current one, so a lagging watcher poll can never roll the service
+/// back to a model it already replaced.
+class ForecastService {
+ public:
+  /// Decodes `artifact` into a Forecaster and atomically makes it the
+  /// current model as `version`. InvalidArgument when `version` is not
+  /// strictly newer than the current one, or when the artifact fails the
+  /// strict model decode.
+  Status Install(int version, const automl::ModelArtifact& artifact);
+
+  /// The current model, or nullptr before the first Install. Callers keep
+  /// the snapshot for the whole batch they evaluate.
+  [[nodiscard]] std::shared_ptr<const LoadedModel> Snapshot() const;
+
+  /// Version of the current model (0 before the first Install).
+  [[nodiscard]] int CurrentVersion() const;
+
+ private:
+  mutable Mutex mutex_;
+  std::shared_ptr<const LoadedModel> model_ FEDFC_GUARDED_BY(mutex_);
+};
+
+}  // namespace fedfc::serve
+
+#endif  // FEDFC_SERVE_SERVICE_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/rng.h"
 #include "ml/linear/huber.h"
 #include "ml/tree/gbdt.h"
@@ -147,6 +149,135 @@ TEST(AggregateBlobsTest, RejectsBadInputs) {
   EXPECT_FALSE(AggregateModelBlobs(config, {{1.0}}, {0.0}).ok());
   Configuration xgb = XgbConfig();
   EXPECT_FALSE(AggregateModelBlobs(xgb, {{1.0}}, {1.0}).ok());  // Short blob.
+}
+
+// ---------------------------------------------------------------------------
+// Decode hardening: truncated, bit-flipped, and implausibly-sized blobs are
+// rejected with typed errors before any decoder state (or allocation sized
+// from an untrusted count) is built.
+// ---------------------------------------------------------------------------
+
+TEST(ModelIoHardeningTest, NonFiniteBlobValuesRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double poison : {nan, inf, -inf}) {
+    Result<std::unique_ptr<ml::Regressor>> linear =
+        DeserializeModel(HuberConfig(), {1.0, poison, 2.0});
+    EXPECT_EQ(linear.status().code(), StatusCode::kInvalidArgument);
+    Result<std::unique_ptr<ml::Regressor>> xgb =
+        DeserializeModel(XgbConfig(), {0.0, 0.1, poison});
+    EXPECT_EQ(xgb.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ModelIoHardeningTest, ImplausibleXgbCountFieldsRejected) {
+  // The tree/node counts are untrusted doubles. Negative, fractional, and
+  // blob-exceeding claims must all fail the checked cast — the huge claim
+  // in particular must be rejected *before* any node storage is sized.
+  for (double n_trees : {-1.0, 1.5, 1e18, 4.0}) {  // 4 trees can't fit here.
+    std::vector<double> blob = {0.0, 0.1, n_trees};
+    EXPECT_FALSE(DeserializeModel(XgbConfig(), blob).ok()) << n_trees;
+  }
+  // Same for a tree's node count: one tree claiming more nodes than the
+  // remaining span could hold.
+  std::vector<double> blob = {0.0, 0.1, 1.0, 1e12};
+  EXPECT_FALSE(DeserializeModel(XgbConfig(), blob).ok());
+}
+
+TEST(ModelIoHardeningTest, TruncatedXgbBlobRejected) {
+  Problem p = MakeProblem(2.0, 31);
+  Configuration config = XgbConfig();
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+  ASSERT_TRUE(model.ok());
+  Rng rng(32);
+  ASSERT_TRUE((*model)->Fit(p.x, p.y, &rng).ok());
+  Result<std::vector<double>> blob = SerializeModel(config, **model);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_GT(blob->size(), 4u);
+  std::vector<double> truncated(blob->begin(),
+                                blob->begin() + static_cast<long>(blob->size() / 2));
+  EXPECT_FALSE(DeserializeModel(config, truncated).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serving artifact codec and the Forecaster entry point.
+// ---------------------------------------------------------------------------
+
+ModelArtifact MakeArtifact(uint64_t seed) {
+  Problem p = MakeProblem(2.0, seed);
+  Configuration config = HuberConfig();
+  Result<std::unique_ptr<ml::Regressor>> model = CreateRegressor(config);
+  EXPECT_TRUE(model.ok());
+  Rng rng(seed + 1);
+  EXPECT_TRUE((*model)->Fit(p.x, p.y, &rng).ok());
+  Result<std::vector<double>> blob = SerializeModel(config, **model);
+  EXPECT_TRUE(blob.ok());
+  ModelArtifact artifact;
+  artifact.config = std::move(config);
+  artifact.spec.n_lags = 2;  // Two lag columns, nothing else: width 2.
+  artifact.spec.include_time_features = false;
+  artifact.spec.include_trend_feature = false;
+  artifact.blob = std::move(*blob);
+  return artifact;
+}
+
+TEST(ModelArtifactTest, CodecRoundTrip) {
+  ModelArtifact artifact = MakeArtifact(41);
+  Result<ModelArtifact> decoded =
+      DecodeModelArtifact(EncodeModelArtifact(artifact));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->config.algorithm, artifact.config.algorithm);
+  EXPECT_EQ(decoded->spec.n_lags, artifact.spec.n_lags);
+  EXPECT_EQ(decoded->spec.include_time_features,
+            artifact.spec.include_time_features);
+  EXPECT_EQ(decoded->spec.include_trend_feature,
+            artifact.spec.include_trend_feature);
+  ASSERT_EQ(decoded->blob.size(), artifact.blob.size());
+  for (size_t i = 0; i < artifact.blob.size(); ++i) {
+    EXPECT_EQ(decoded->blob[i], artifact.blob[i]);
+  }
+}
+
+TEST(ModelArtifactTest, TruncatedBytesRejected) {
+  std::vector<uint8_t> bytes = EncodeModelArtifact(MakeArtifact(43));
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{3}, size_t{0}}) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(DecodeModelArtifact(cut).ok()) << keep << " bytes kept";
+  }
+}
+
+TEST(ForecasterTest, PredictsLikeTheDeserializedModel) {
+  ModelArtifact artifact = MakeArtifact(45);
+  Result<Forecaster> forecaster = Forecaster::FromArtifact(artifact);
+  ASSERT_TRUE(forecaster.ok()) << forecaster.status();
+  EXPECT_EQ(forecaster->n_features(), 2u);
+
+  Result<std::unique_ptr<ml::Regressor>> model =
+      DeserializeModel(artifact.config, artifact.blob);
+  ASSERT_TRUE(model.ok());
+  Problem p = MakeProblem(1.0, 46);
+  Result<std::vector<double>> served = forecaster->Forecast(p.x);
+  ASSERT_TRUE(served.ok()) << served.status();
+  std::vector<double> direct = (*model)->Predict(p.x);
+  ASSERT_EQ(served->size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) EXPECT_EQ((*served)[i], direct[i]);
+}
+
+TEST(ForecasterTest, RejectsOutOfRangeFeatureSelection) {
+  ModelArtifact artifact = MakeArtifact(47);
+  artifact.spec.selected_features = {0, 99};  // 99 outside the 2-col schema.
+  Status status = Forecaster::FromArtifact(artifact).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("selected feature"), std::string::npos)
+      << status;
+}
+
+TEST(ForecasterTest, ForecastValidatesRequestShape) {
+  Result<Forecaster> forecaster = Forecaster::FromArtifact(MakeArtifact(49));
+  ASSERT_TRUE(forecaster.ok());
+  EXPECT_FALSE(forecaster->Forecast(Matrix(0, 2)).ok());  // Empty.
+  EXPECT_FALSE(forecaster->Forecast(Matrix(4, 3)).ok());  // Wrong width.
 }
 
 }  // namespace

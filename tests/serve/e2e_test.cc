@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "automl/engine.h"
+#include "automl/fed_client.h"
+#include "data/generators.h"
+#include "fl/transport.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace fedfc::serve {
+namespace {
+
+std::vector<ts::Series> MakeSplits(size_t n_clients, size_t per_client,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  data::SignalSpec signal;
+  signal.length = n_clients * per_client;
+  signal.level = 10.0;
+  signal.seasonalities = {{24.0, 2.0, 0.0}};
+  signal.noise_std = 0.2;
+  signal.ar_coefficient = 0.6;
+  ts::Series series = data::GenerateSignal(signal, &rng);
+  Result<std::vector<ts::Series>> splits =
+      ts::SplitIntoClients(series, static_cast<int>(n_clients));
+  return *splits;
+}
+
+std::unique_ptr<fl::Server> MakeServer(const std::vector<ts::Series>& splits,
+                                       uint64_t seed) {
+  std::vector<std::shared_ptr<fl::Client>> clients;
+  std::vector<size_t> sizes;
+  for (size_t j = 0; j < splits.size(); ++j) {
+    automl::ForecastClient::Options opt;
+    opt.seed = seed + j;
+    sizes.push_back(splits[j].size());
+    clients.push_back(std::make_shared<automl::ForecastClient>(
+        "c" + std::to_string(j), splits[j], opt));
+  }
+  return std::make_unique<fl::Server>(
+      std::make_unique<fl::InProcessTransport>(clients), sizes);
+}
+
+TEST(ServeE2eTest, EngineTrainsPublishesAndServerAnswersBitExact) {
+  // The full hand-off: the engine trains over federated clients, publishes
+  // the winning model into a registry root, fedfc_serve-style machinery
+  // loads it back, and a network client's forecasts equal the in-process
+  // global model's predictions bit-for-bit.
+  TempDir dir("serve_e2e_registry");
+  std::vector<ts::Series> splits = MakeSplits(3, 150, 21);
+  auto fl_server = MakeServer(splits, 22);
+
+  automl::EngineOptions options;
+  options.strategy = automl::SearchStrategy::kRandom;
+  options.use_meta_model = false;
+  options.max_iterations = 2;
+  options.time_budget_seconds = 60.0;
+  options.seed = 5;
+  options.publish_dir = dir.path();
+  automl::FedForecasterEngine engine(nullptr, options);
+  Result<automl::EngineReport> report = engine.Run(fl_server.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->published_version, 1);
+
+  // The registry holds exactly what the engine reported.
+  ModelRegistry registry(dir.path());
+  Result<std::pair<int, automl::ModelArtifact>> latest = registry.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(latest->first, 1);
+  const automl::ModelArtifact& artifact = latest->second;
+  EXPECT_EQ(artifact.config.algorithm, report->best_config.algorithm);
+  ASSERT_EQ(artifact.blob.size(), report->global_model_blob.size());
+  for (size_t i = 0; i < artifact.blob.size(); ++i) {
+    EXPECT_EQ(artifact.blob[i], report->global_model_blob[i]) << "blob " << i;
+  }
+
+  // In-process reference: the reconstructed global model applied to one
+  // client's engineered features under the unified spec.
+  Result<std::unique_ptr<ml::Regressor>> global =
+      automl::FedForecasterEngine::GlobalModel(*report);
+  ASSERT_TRUE(global.ok()) << global.status();
+  Result<features::EngineeredData> engineered =
+      features::EngineerFeatures(splits[0], report->spec);
+  ASSERT_TRUE(engineered.ok()) << engineered.status();
+  const size_t n_rows = std::min<size_t>(engineered->x.rows(), 16);
+  ASSERT_GT(n_rows, 0u);
+  std::vector<double> expected = (*global)->Predict(engineered->x);
+
+  // Serving side: load from the registry, install, answer over loopback.
+  ForecastService service;
+  ASSERT_TRUE(service.Install(latest->first, artifact).ok());
+  ASSERT_EQ(service.Snapshot()->forecaster.n_features(),
+            static_cast<size_t>(engineered->x.cols()));
+  Result<net::Listener> listener = net::Listener::ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  ServeOptions serve_options;
+  serve_options.poll_interval_ms = 25;
+  ForecastServer server(std::move(*listener), &service, serve_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<ServeClient> client =
+      ServeClient::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status();
+  fl::ForecastRequest request;
+  request.n_cols = static_cast<int64_t>(engineered->x.cols());
+  request.rows.reserve(n_rows * engineered->x.cols());
+  for (size_t r = 0; r < n_rows; ++r) {
+    for (size_t c = 0; c < engineered->x.cols(); ++c) {
+      request.rows.push_back(engineered->x(r, c));
+    }
+  }
+  Result<fl::ForecastReply> reply = client->Forecast(request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->model_version, 1);
+  ASSERT_EQ(reply->predictions.size(), n_rows);
+  for (size_t r = 0; r < n_rows; ++r) {
+    EXPECT_EQ(reply->predictions[r], expected[r]) << "row " << r;
+  }
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+
+  // A second training run publishes the next version, never overwriting v1.
+  auto second_server = MakeServer(splits, 22);
+  automl::FedForecasterEngine second(nullptr, options);
+  Result<automl::EngineReport> second_report = second.Run(second_server.get());
+  ASSERT_TRUE(second_report.ok()) << second_report.status();
+  EXPECT_EQ(second_report->published_version, 2);
+  Result<int> latest_version = registry.LatestVersion();
+  ASSERT_TRUE(latest_version.ok());
+  EXPECT_EQ(*latest_version, 2);
+}
+
+}  // namespace
+}  // namespace fedfc::serve

@@ -1,0 +1,249 @@
+#include "serve/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/crc32.h"
+#include "serve_test_util.h"
+
+namespace fedfc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Layout vocabulary (automl/model_io): version dirs and the MANIFEST codec.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryLayoutTest, VersionDirRoundTrip) {
+  EXPECT_EQ(automl::RegistryVersionDir(1), "v001");
+  EXPECT_EQ(automl::RegistryVersionDir(42), "v042");
+  EXPECT_EQ(automl::RegistryVersionDir(1234), "v1234");
+  for (int version : {1, 7, 99, 100, 999, 1000, 123456}) {
+    Result<int> parsed =
+        automl::ParseRegistryVersionDir(automl::RegistryVersionDir(version));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, version);
+  }
+}
+
+TEST(RegistryLayoutTest, VersionDirRejectsNonCanonicalNames) {
+  for (const char* name :
+       {"", "v", "v0", "v000", "v-1", "v01", "v0007", "x001", "001", "v1x",
+        "v 12", "v99999999999999999999", "v1.5"}) {
+    EXPECT_FALSE(automl::ParseRegistryVersionDir(name).ok()) << name;
+  }
+}
+
+TEST(RegistryLayoutTest, ManifestRoundTrip) {
+  automl::RegistryManifest manifest;
+  manifest.version = 12;
+  manifest.file = "model.fpb";
+  manifest.bytes = 123456789;
+  manifest.crc32 = 0xDEADBEEF;
+  Result<automl::RegistryManifest> parsed =
+      automl::ParseRegistryManifest(automl::FormatRegistryManifest(manifest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->version, manifest.version);
+  EXPECT_EQ(parsed->file, manifest.file);
+  EXPECT_EQ(parsed->bytes, manifest.bytes);
+  EXPECT_EQ(parsed->crc32, manifest.crc32);
+}
+
+TEST(RegistryLayoutTest, ManifestRejectsMalformedRecords) {
+  const char* bad[] = {
+      "",                                                 // Empty.
+      "version: 1\nfile: m\nbytes: 10\n",                 // Missing crc32.
+      "file: m\nversion: 1\nbytes: 10\ncrc32: 1\n",       // Wrong order.
+      "version: x\nfile: m\nbytes: 10\ncrc32: 1\n",       // Non-numeric.
+      "version: 1\nfile: m\nbytes: -2\ncrc32: 1\n",       // Negative count.
+      "version: 0\nfile: m\nbytes: 10\ncrc32: 1\n",       // Version < 1.
+      "version: 1\nfile: \nbytes: 10\ncrc32: 1\n",        // Empty file.
+      "version:1\nfile: m\nbytes: 10\ncrc32: 1\n",        // Bad separator.
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(automl::ParseRegistryManifest(text).ok()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Publish / load.
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistryTest, EmptyOrMissingRootHasNoVersions) {
+  TempDir dir("registry_empty");
+  ModelRegistry registry(dir.path());  // Root not created yet.
+  Result<int> latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(*latest, 0);
+  EXPECT_EQ(registry.LoadLatest().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Load(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, PublishLoadRoundTrip) {
+  TempDir dir("registry_roundtrip");
+  ModelRegistry registry(dir.path());
+  automl::ModelArtifact artifact = MakeTestArtifact(2.0, 1);
+
+  Result<int> version = registry.Publish(artifact);
+  ASSERT_TRUE(version.ok()) << version.status();
+  EXPECT_EQ(*version, 1);
+  EXPECT_TRUE(fs::is_regular_file(fs::path(dir.path()) / "v001" / "MANIFEST"));
+
+  Result<automl::ModelArtifact> loaded = registry.Load(1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->config.algorithm, artifact.config.algorithm);
+  EXPECT_EQ(loaded->spec.n_lags, artifact.spec.n_lags);
+  EXPECT_EQ(loaded->spec.include_time_features,
+            artifact.spec.include_time_features);
+  EXPECT_EQ(loaded->spec.include_trend_feature,
+            artifact.spec.include_trend_feature);
+  ASSERT_EQ(loaded->blob.size(), artifact.blob.size());
+  for (size_t i = 0; i < artifact.blob.size(); ++i) {
+    EXPECT_EQ(loaded->blob[i], artifact.blob[i]) << "blob[" << i << "]";
+  }
+
+  // The loaded artifact predicts bit-identically to the published one.
+  Result<automl::Forecaster> original =
+      automl::Forecaster::FromArtifact(artifact);
+  Result<automl::Forecaster> restored =
+      automl::Forecaster::FromArtifact(*loaded);
+  ASSERT_TRUE(original.ok() && restored.ok());
+  fl::ForecastRequest request = MakeForecastRequest(16, 2, 7);
+  Result<std::vector<double>> a = original->Forecast(RequestMatrix(request));
+  Result<std::vector<double>> b = restored->Forecast(RequestMatrix(request));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(ModelRegistryTest, VersionsAdvanceAndLoadLatestPicksNewest) {
+  TempDir dir("registry_advance");
+  ModelRegistry registry(dir.path());
+  for (int expected = 1; expected <= 3; ++expected) {
+    Result<int> version =
+        registry.Publish(MakeTestArtifact(static_cast<double>(expected),
+                                          static_cast<uint64_t>(expected)));
+    ASSERT_TRUE(version.ok()) << version.status();
+    EXPECT_EQ(*version, expected);
+  }
+  Result<std::pair<int, automl::ModelArtifact>> latest = registry.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(latest->first, 3);
+  // The newest artifact is the slope-3 one, not a blend or an older version.
+  automl::ModelArtifact expected = MakeTestArtifact(3.0, 3);
+  ASSERT_EQ(latest->second.blob.size(), expected.blob.size());
+  for (size_t i = 0; i < expected.blob.size(); ++i) {
+    EXPECT_EQ(latest->second.blob[i], expected.blob[i]);
+  }
+}
+
+TEST(ModelRegistryTest, UncommittedDirIsInvisibleButNeverReused) {
+  TempDir dir("registry_uncommitted");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.Publish(MakeTestArtifact(1.0, 1)).ok());
+  // An aborted publish: the version directory exists, the MANIFEST does not.
+  fs::create_directories(fs::path(dir.path()) / "v002");
+
+  Result<int> latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 1);  // v002 is not committed.
+  EXPECT_EQ(registry.Load(2).status().code(), StatusCode::kNotFound);
+
+  // The next publish skips the aborted slot instead of resurrecting it.
+  Result<int> version = registry.Publish(MakeTestArtifact(2.0, 2));
+  ASSERT_TRUE(version.ok()) << version.status();
+  EXPECT_EQ(*version, 3);
+  latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 3);
+}
+
+TEST(ModelRegistryTest, ForeignDirectoriesAreIgnored) {
+  TempDir dir("registry_foreign");
+  ModelRegistry registry(dir.path());
+  fs::create_directories(fs::path(dir.path()) / "staging");
+  fs::create_directories(fs::path(dir.path()) / "v01");  // Non-canonical.
+  Result<int> latest = registry.LatestVersion();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(*latest, 0);
+  Result<int> version = registry.Publish(MakeTestArtifact(1.0, 1));
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: every mismatch between MANIFEST and artifact is a typed error.
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistryTest, TruncatedArtifactRejected) {
+  TempDir dir("registry_truncated");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.Publish(MakeTestArtifact(1.0, 1)).ok());
+  const fs::path file = fs::path(dir.path()) / "v001" / "model.fpb";
+  const auto size = fs::file_size(file);
+  ASSERT_GT(size, 1u);
+  fs::resize_file(file, size - 1);  // The torn write.
+  Status status = registry.Load(1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("torn write"), std::string::npos) << status;
+}
+
+TEST(ModelRegistryTest, BitFlippedArtifactFailsCrc) {
+  TempDir dir("registry_bitflip");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.Publish(MakeTestArtifact(1.0, 1)).ok());
+  const fs::path file = fs::path(dir.path()) / "v001" / "model.fpb";
+  {
+    std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekg(12);
+    char byte = 0;
+    io.get(byte);
+    io.seekp(12);
+    io.put(static_cast<char>(byte ^ 0x40));  // One flipped bit.
+  }
+  Status status = registry.Load(1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("CRC32"), std::string::npos) << status;
+}
+
+TEST(ModelRegistryTest, ManifestNamingNonLocalFileRejected) {
+  TempDir dir("registry_nonlocal");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.Publish(MakeTestArtifact(1.0, 1)).ok());
+  automl::RegistryManifest manifest;
+  manifest.version = 1;
+  manifest.file = "../v001/model.fpb";  // Escapes the version directory.
+  manifest.bytes = fs::file_size(fs::path(dir.path()) / "v001" / "model.fpb");
+  manifest.crc32 = 0;
+  std::ofstream(fs::path(dir.path()) / "v001" / "MANIFEST")
+      << automl::FormatRegistryManifest(manifest);
+  Status status = registry.Load(1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-local"), std::string::npos) << status;
+}
+
+TEST(ModelRegistryTest, ManifestVersionMismatchRejected) {
+  TempDir dir("registry_vmismatch");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.Publish(MakeTestArtifact(1.0, 1)).ok());
+  const fs::path manifest_path = fs::path(dir.path()) / "v001" / "MANIFEST";
+  std::ifstream in(manifest_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  Result<automl::RegistryManifest> manifest =
+      automl::ParseRegistryManifest(text);
+  ASSERT_TRUE(manifest.ok());
+  manifest->version = 2;  // Claims to be another version.
+  std::ofstream(manifest_path) << automl::FormatRegistryManifest(*manifest);
+  Status status = registry.Load(1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("claims version"), std::string::npos)
+      << status;
+}
+
+}  // namespace
+}  // namespace fedfc::serve

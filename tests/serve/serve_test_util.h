@@ -1,0 +1,105 @@
+#ifndef FEDFC_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define FEDFC_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "automl/model_io.h"
+#include "core/logging.h"
+#include "core/rng.h"
+#include "fl/task_codec.h"
+
+namespace fedfc::serve {
+
+/// Spec whose engineered schema is exactly `width` lag columns — no trend,
+/// time, or seasonal features — so serving tests can feed plain matrices.
+inline features::FeatureEngineeringSpec PlainSpec(size_t width) {
+  features::FeatureEngineeringSpec spec;
+  spec.n_lags = width;
+  spec.include_time_features = false;
+  spec.include_trend_feature = false;
+  return spec;
+}
+
+/// A fitted Huber artifact over a `width`-column schema. Different slopes
+/// produce visibly different predictions, which is how the hot-swap tests
+/// prove which version answered.
+inline automl::ModelArtifact MakeTestArtifact(double slope, uint64_t seed,
+                                              size_t width = 2) {
+  automl::Configuration config;
+  config.algorithm = automl::AlgorithmId::kHuber;
+  config.categorical["epsilon"] = "1.35";
+  config.numeric["alpha"] = 1e-4;
+
+  Rng rng(seed);
+  Matrix x(120, width);
+  std::vector<double> y(120);
+  for (size_t i = 0; i < 120; ++i) {
+    for (size_t c = 0; c < width; ++c) x(i, c) = rng.Uniform(-2, 2);
+    y[i] = slope * x(i, 0) + 0.5 * x(i, width - 1);
+  }
+  Result<std::unique_ptr<ml::Regressor>> model =
+      automl::CreateRegressor(config);
+  FEDFC_CHECK(model.ok());
+  Rng fit_rng(seed + 1);
+  FEDFC_CHECK((*model)->Fit(x, y, &fit_rng).ok());
+  Result<std::vector<double>> blob = automl::SerializeModel(config, **model);
+  FEDFC_CHECK(blob.ok());
+
+  automl::ModelArtifact artifact;
+  artifact.config = std::move(config);
+  artifact.spec = PlainSpec(width);
+  artifact.blob = std::move(*blob);
+  return artifact;
+}
+
+/// Deterministic request rows: the same (rows, cols, seed) triple always
+/// yields the same values, so expectations can be computed in-process.
+inline fl::ForecastRequest MakeForecastRequest(size_t rows, size_t cols,
+                                               uint64_t seed) {
+  fl::ForecastRequest request;
+  request.n_cols = static_cast<int64_t>(cols);
+  request.rows.resize(rows * cols);
+  Rng rng(seed);
+  for (double& v : request.rows) v = rng.Uniform(-1.0, 1.0);
+  return request;
+}
+
+/// The request's rows as a Matrix, for in-process reference predictions.
+inline Matrix RequestMatrix(const fl::ForecastRequest& request) {
+  const auto cols = static_cast<size_t>(request.n_cols);
+  Matrix x(request.n_rows(), cols);
+  for (size_t r = 0; r < request.n_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) x(r, c) = request.rows[r * cols + c];
+  }
+  return x;
+}
+
+/// Fresh per-test scratch directory, deleted on destruction. Tests inside
+/// one binary run sequentially, so tag-keyed names cannot collide.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((std::filesystem::temp_directory_path() / ("fedfc_" + tag))
+                  .string()) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace fedfc::serve
+
+#endif  // FEDFC_TESTS_SERVE_SERVE_TEST_UTIL_H_

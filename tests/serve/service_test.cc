@@ -1,0 +1,132 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "serve_test_util.h"
+
+namespace fedfc::serve {
+namespace {
+
+TEST(ForecastServiceTest, EmptyServiceHasNoModel) {
+  ForecastService service;
+  EXPECT_EQ(service.Snapshot(), nullptr);
+  EXPECT_EQ(service.CurrentVersion(), 0);
+}
+
+TEST(ForecastServiceTest, InstallPublishesSnapshot) {
+  ForecastService service;
+  automl::ModelArtifact artifact = MakeTestArtifact(2.0, 1);
+  ASSERT_TRUE(service.Install(1, artifact).ok());
+  EXPECT_EQ(service.CurrentVersion(), 1);
+
+  std::shared_ptr<const LoadedModel> snapshot = service.Snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version, 1);
+  EXPECT_EQ(snapshot->forecaster.n_features(), 2u);
+
+  // The installed model predicts bit-identically to one built directly.
+  Result<automl::Forecaster> direct = automl::Forecaster::FromArtifact(artifact);
+  ASSERT_TRUE(direct.ok());
+  Matrix x = RequestMatrix(MakeForecastRequest(8, 2, 3));
+  Result<std::vector<double>> a = snapshot->forecaster.Forecast(x);
+  Result<std::vector<double>> b = direct->Forecast(x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(ForecastServiceTest, VersionsAreStrictlyMonotonic) {
+  ForecastService service;
+  ASSERT_TRUE(service.Install(3, MakeTestArtifact(1.0, 1)).ok());
+  EXPECT_FALSE(service.Install(3, MakeTestArtifact(2.0, 2)).ok());  // Same.
+  EXPECT_FALSE(service.Install(2, MakeTestArtifact(2.0, 2)).ok());  // Older.
+  EXPECT_FALSE(service.Install(0, MakeTestArtifact(2.0, 2)).ok());  // Bad.
+  EXPECT_EQ(service.CurrentVersion(), 3);
+  EXPECT_TRUE(service.Install(4, MakeTestArtifact(2.0, 2)).ok());
+  EXPECT_EQ(service.CurrentVersion(), 4);
+}
+
+TEST(ForecastServiceTest, BadArtifactNeverReplacesTheLiveModel) {
+  ForecastService service;
+  ASSERT_TRUE(service.Install(1, MakeTestArtifact(2.0, 1)).ok());
+  automl::ModelArtifact corrupt = MakeTestArtifact(3.0, 2);
+  corrupt.blob[0] = std::numeric_limits<double>::quiet_NaN();  // Bit flip.
+  Status installed = service.Install(2, corrupt);
+  EXPECT_EQ(installed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.CurrentVersion(), 1);  // v1 still serving.
+  EXPECT_NE(service.Snapshot(), nullptr);
+}
+
+TEST(ForecastServiceTest, HotSwapUnderConcurrentLoadNeverBlendsVersions) {
+  // Readers hammer Snapshot+Forecast while the main thread installs newer
+  // versions. Every observed prediction must equal the expectation computed
+  // for exactly the snapshot's version — a blended or half-installed model
+  // would break the bit-equality — and each reader's observed versions must
+  // be non-decreasing.
+  constexpr int kVersions = 5;
+  constexpr size_t kReaders = 4;
+  const Matrix x = RequestMatrix(MakeForecastRequest(4, 2, 9));
+
+  std::vector<automl::ModelArtifact> artifacts;
+  std::vector<std::vector<double>> expected(kVersions + 1);
+  for (int v = 1; v <= kVersions; ++v) {
+    artifacts.push_back(
+        MakeTestArtifact(static_cast<double>(v), static_cast<uint64_t>(v)));
+    Result<automl::Forecaster> forecaster =
+        automl::Forecaster::FromArtifact(artifacts.back());
+    ASSERT_TRUE(forecaster.ok());
+    Result<std::vector<double>> predictions = forecaster->Forecast(x);
+    ASSERT_TRUE(predictions.ok());
+    expected[static_cast<size_t>(v)] = std::move(*predictions);
+  }
+
+  ForecastService service;
+  ASSERT_TRUE(service.Install(1, artifacts[0]).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  ThreadPool pool(kReaders);
+  std::vector<std::future<void>> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.push_back(pool.Submit([&] {
+      int last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const LoadedModel> snapshot = service.Snapshot();
+        if (snapshot == nullptr) continue;
+        if (snapshot->version < last_version) {
+          mismatches.fetch_add(1);  // Rollback observed.
+          return;
+        }
+        last_version = snapshot->version;
+        Result<std::vector<double>> got = snapshot->forecaster.Forecast(x);
+        const std::vector<double>& want =
+            expected[static_cast<size_t>(snapshot->version)];
+        if (!got.ok() || *got != want) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    }));
+  }
+
+  for (int v = 2; v <= kVersions; ++v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(service.Install(v, artifacts[static_cast<size_t>(v - 1)]).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.get();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.CurrentVersion(), kVersions);
+}
+
+}  // namespace
+}  // namespace fedfc::serve

@@ -723,10 +723,11 @@ void CheckRoundBuffering(const LexedFile& f, std::vector<Violation>* out) {
 //
 //   1. The module DAG: a src/<module>/ file may include only from its own
 //      module or the modules listed in AllowedDeps(). The layer order is
-//          core <- {ts, data} <- {ml, features} <- fl <- {net, automl}
-//      net and automl are sibling leaves (neither may include the other),
-//      and tools/ is a sink nothing includes from. tests/ are DAG-exempt:
-//      a test may reach into any module it exercises.
+//          core <- {ts, data} <- {ml, features} <- fl <- {net, automl} <- serve
+//      net and automl are siblings (neither may include the other); serve
+//      sits above both and nothing in src/ includes from it. tools/ is a
+//      sink nothing includes from. tests/ are DAG-exempt: a test may reach
+//      into any module it exercises.
 //   2. No include cycles anywhere in the graph (DFS back-edge detection).
 //   3. No orphan headers: every src/ header must be reachable from some
 //      translation unit the build compiles (a .cc/.cpp under src/, tests/,
@@ -749,6 +750,10 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"fl", {"core", "ts", "data", "ml", "features"}},
       {"net", {"core", "ts", "data", "ml", "features", "fl"}},
       {"automl", {"core", "ts", "data", "ml", "features", "fl"}},
+      // Serving sits above everything: it may reach the whole training
+      // stack, and nothing in src/ may include from it (tools/, bench/ and
+      // tests/ are the only consumers).
+      {"serve", {"core", "ts", "data", "ml", "features", "fl", "net", "automl"}},
   };
   return kAllowed;
 }
@@ -1397,7 +1402,33 @@ const std::vector<ProgramSelfTestCase>& ProgramSelfTestCases() {
       {"layering",
        {{"fl/bad_tool.cc", "#include \"tools/fedfc_lint/rules.h\"\n"}},
        true, "including from tools/ fires"},
+      // -- fire: serve is a top layer nothing in src/ may include --
+      {"layering",
+       {{"serve/server.h", "int S();\n"},
+        {"fl/bad.cc", "#include \"serve/server.h\"\n"}},
+       true, "fl including from serve (an upward edge) fires"},
+      {"layering",
+       {{"serve/registry.h", "int R();\n"},
+        {"net/bad.cc", "#include \"serve/registry.h\"\n"}},
+       true, "net including from serve fires — nothing in src/ depends on "
+             "serve"},
+      {"layering",
+       {{"serve/service.h", "int S();\n"},
+        {"automl/bad.cc", "#include \"serve/service.h\"\n"}},
+       true, "automl including from serve fires (publish lives in automl "
+             "precisely to avoid this edge)"},
       // -- clean --
+      {"layering",
+       {{"automl/model_io.h", "int A();\n"},
+        {"net/frame.h", "int F();\n"},
+        {"serve/server.h",
+         "#include \"automl/model_io.h\"\n#include \"net/frame.h\"\nint "
+         "S();\n"},
+        {"automl/model_io.cc", "#include \"automl/model_io.h\"\n"},
+        {"net/frame.cc", "#include \"net/frame.h\"\n"},
+        {"fedfc_serve.cc", "#include \"serve/server.h\"\n", "tools"}},
+       false, "serve spanning both siblings (automl + net), reached from "
+              "tools/, is clean"},
       {"layering",
        {{"core/util.h", "int U();\n"},
         {"ts/series.h", "#include \"core/util.h\"\nint S();\n"},

@@ -1,0 +1,139 @@
+/// fedfc_serve: production inference serving for a published FedForecaster
+/// model — versioned registry, request batching, atomic hot-swap (see
+/// docs/ARCHITECTURE.md, "Serving", and docs/CLI.md).
+///
+///   # serve the latest committed version, watching for newer publishes
+///   fedfc_serve --registry /var/fedfc/models --port 9200
+///
+///   # ephemeral port (printed on stdout), tuned batching
+///   fedfc_serve --registry ./registry --port 0 --max-batch 64
+///                --batch-timeout-ms 1
+///
+/// The server answers `forecast` and `__ping` frames (protocol frame v2,
+/// the same framing the federated workers speak) until it receives a
+/// shutdown frame or SIGINT/SIGTERM. A registry publish while serving is
+/// picked up by the watcher and hot-swapped atomically: every in-flight
+/// batch finishes on the version it started with.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "net/socket.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+using namespace fedfc;
+
+namespace {
+
+/// Minimal --key value parser; flags without values are booleans (mirrors
+/// fedfc_cli).
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "fedfc_serve: error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr, "%s",
+               "usage: fedfc_serve --registry DIR [--flags]\n"
+               "  --registry DIR       model registry root (v<NNN>/ layout)\n"
+               "  --host H             bind address (default 127.0.0.1)\n"
+               "  --port P             listen port (0 = ephemeral, printed)\n"
+               "  --max-batch N        requests coalesced per evaluation "
+               "(default 32)\n"
+               "  --batch-timeout-ms T batching linger (default 2)\n"
+               "  --max-connections K  concurrent connections (default 8)\n"
+               "  --registry-poll-ms T hot-swap poll cadence (default 200)\n"
+               "  --max-rows N         per-request row cap (default 4096)\n"
+               "  --require-model      fail at startup when the registry has\n"
+               "                       no committed version yet\n");
+  return 2;
+}
+
+serve::ForecastServer* g_server = nullptr;
+
+/// Async-signal-safe: RequestStop is a single relaxed atomic store.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0) return Usage();
+  if (flags.count("registry") == 0) return Usage();
+
+  serve::ModelRegistry registry(flags.at("registry"));
+  serve::ForecastService service;
+
+  // Load whatever is committed right now; an empty registry is fine unless
+  // --require-model — the watcher installs the first publish when it lands.
+  Result<int> latest = registry.LatestVersion();
+  if (!latest.ok()) return Fail(latest.status().ToString());
+  if (*latest > 0) {
+    Result<automl::ModelArtifact> artifact = registry.Load(*latest);
+    if (!artifact.ok()) return Fail(artifact.status().ToString());
+    Status installed = service.Install(*latest, *artifact);
+    if (!installed.ok()) return Fail(installed.ToString());
+  } else if (flags.count("require-model") > 0) {
+    return Fail("no committed version under '" + registry.root() + "'");
+  }
+
+  serve::ServeOptions options;
+  options.max_batch = std::stoi(FlagOr(flags, "max-batch", "32"));
+  options.batch_timeout_ms = std::stoi(FlagOr(flags, "batch-timeout-ms", "2"));
+  options.max_connections = std::stoul(FlagOr(flags, "max-connections", "8"));
+  options.registry_poll_ms =
+      std::stoi(FlagOr(flags, "registry-poll-ms", "200"));
+  options.max_rows_per_request = std::stoul(FlagOr(flags, "max-rows", "4096"));
+
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const auto port =
+      static_cast<uint16_t>(std::stoi(FlagOr(flags, "port", "0")));
+  Result<net::Listener> listener = net::Listener::ListenTcp(host, port);
+  if (!listener.ok()) return Fail(listener.status().ToString());
+
+  serve::ForecastServer server(std::move(*listener), &service, options);
+  server.WatchRegistry(&registry);
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Machine-readable: orchestration scripts parse "listening <host> <port>".
+  std::printf("fedfc_serve listening %s %u (model v%d, registry %s)\n",
+              host.c_str(), static_cast<unsigned>(server.port()),
+              service.CurrentVersion(), registry.root().c_str());
+  std::fflush(stdout);
+
+  Status served = server.Serve();
+  g_server = nullptr;
+  if (!served.ok()) return Fail(served.ToString());
+  std::printf("fedfc_serve: shut down cleanly (model v%d)\n",
+              service.CurrentVersion());
+  return 0;
+}

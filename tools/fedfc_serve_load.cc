@@ -1,0 +1,205 @@
+/// fedfc_serve_load: load generator and control client for fedfc_serve
+/// (docs/CLI.md).
+///
+///   # 4 connections x 200 requests of 16 rows each against a live server
+///   fedfc_serve_load --port 9200 --cols 8 --connections 4 --requests 200
+///                    --rows 16
+///
+///   # liveness probe (prints the live model version)
+///   fedfc_serve_load --port 9200 --ping
+///
+///   # ask the server to shut down
+///   fedfc_serve_load --port 9200 --shutdown
+///
+/// Row values are deterministic from --seed, so two runs against the same
+/// model version produce identical predictions. Reports wall-clock QPS and
+/// per-request p50/p99 latency over all connections.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "fl/task_codec.h"
+#include "serve/client.h"
+
+using namespace fedfc;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "fedfc_serve_load: error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr, "%s",
+               "usage: fedfc_serve_load [--flags]\n"
+               "  --host H          server address (default 127.0.0.1)\n"
+               "  --port P          server port (required)\n"
+               "  --ping            probe liveness and print the model version\n"
+               "  --shutdown        send the shutdown frame and exit\n"
+               "  --cols C          feature columns per row (default 8; must\n"
+               "                    match the served model)\n"
+               "  --rows R          rows per request (default 16)\n"
+               "  --requests N      requests per connection (default 100)\n"
+               "  --connections K   concurrent connections (default 1)\n"
+               "  --seed S          row-value seed (default 1)\n"
+               "  --timeout-ms T    per-operation deadline (default 5000)\n");
+  return 2;
+}
+
+std::atomic<bool> g_stop{false};
+
+/// Async-signal-safe: a single relaxed atomic store; the per-connection
+/// loops check it between requests.
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct ConnectionStats {
+  std::vector<double> latencies_ms;
+  size_t ok = 0;
+  size_t failed = 0;
+  std::string first_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0 || flags.count("port") == 0) return Usage();
+
+  const std::string host = FlagOr(flags, "host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(std::stoi(flags.at("port")));
+  const int timeout_ms = std::stoi(FlagOr(flags, "timeout-ms", "5000"));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (flags.count("ping") > 0 || flags.count("shutdown") > 0) {
+    Result<serve::ServeClient> client =
+        serve::ServeClient::Connect(host, port, timeout_ms);
+    if (!client.ok()) return Fail(client.status().ToString());
+    if (flags.count("shutdown") > 0) {
+      Status sent = client->SendShutdown();
+      if (!sent.ok()) return Fail(sent.ToString());
+      std::printf("fedfc_serve_load: shutdown sent\n");
+      return 0;
+    }
+    Result<fl::PingReply> pong = client->Ping();
+    if (!pong.ok()) return Fail(pong.status().ToString());
+    std::printf("fedfc_serve_load: alive, model v%lld\n",
+                static_cast<long long>(pong->model_version));
+    return 0;
+  }
+
+  const auto cols = static_cast<int64_t>(std::stol(FlagOr(flags, "cols", "8")));
+  const size_t rows = std::stoul(FlagOr(flags, "rows", "16"));
+  const size_t requests = std::stoul(FlagOr(flags, "requests", "100"));
+  const size_t connections =
+      std::max<size_t>(1, std::stoul(FlagOr(flags, "connections", "1")));
+  const uint64_t seed = std::stoul(FlagOr(flags, "seed", "1"));
+  if (cols < 1 || rows < 1) return Fail("--cols and --rows must be >= 1");
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<ConnectionStats> stats(connections);
+  const auto t0 = Clock::now();
+  {
+    ThreadPool pool(connections);
+    std::vector<std::future<void>> jobs;
+    jobs.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      jobs.push_back(pool.Submit([&, c] {
+        ConnectionStats& s = stats[c];
+        Result<serve::ServeClient> client =
+            serve::ServeClient::Connect(host, port, timeout_ms);
+        if (!client.ok()) {
+          s.failed = requests;
+          s.first_error = client.status().ToString();
+          return;
+        }
+        Rng rng(seed + c);
+        for (size_t i = 0; i < requests; ++i) {
+          if (g_stop.load(std::memory_order_relaxed)) break;
+          fl::ForecastRequest request;
+          request.n_cols = cols;
+          request.rows.resize(rows * static_cast<size_t>(cols));
+          for (double& v : request.rows) v = rng.Uniform(-1.0, 1.0);
+          const auto start = Clock::now();
+          Result<fl::ForecastReply> reply = client->Forecast(request);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          if (reply.ok()) {
+            ++s.ok;
+            s.latencies_ms.push_back(ms);
+          } else {
+            ++s.failed;
+            if (s.first_error.empty()) {
+              s.first_error = reply.status().ToString();
+            }
+          }
+        }
+      }));
+    }
+    for (auto& job : jobs) job.get();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  size_t ok = 0, failed = 0;
+  std::string first_error;
+  for (const ConnectionStats& s : stats) {
+    ok += s.ok;
+    failed += s.failed;
+    all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+    if (first_error.empty()) first_error = s.first_error;
+  }
+  if (all.empty()) {
+    return Fail("no request succeeded" +
+                (first_error.empty() ? "" : ": " + first_error));
+  }
+  std::sort(all.begin(), all.end());
+  auto percentile = [&all](double p) {
+    const size_t idx = static_cast<size_t>(p * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  std::printf(
+      "fedfc_serve_load: %zu ok, %zu failed over %zu connection(s) in %.3fs\n"
+      "  qps=%.1f p50=%.3fms p99=%.3fms\n",
+      ok, failed, connections, elapsed,
+      static_cast<double>(ok) / (elapsed > 0 ? elapsed : 1e-9),
+      percentile(0.50), percentile(0.99));
+  if (failed > 0 && !first_error.empty()) {
+    std::fprintf(stderr, "fedfc_serve_load: first error: %s\n",
+                 first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
