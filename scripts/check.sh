@@ -8,8 +8,8 @@
 #           built into build-asan/.
 #   ubsan   UndefinedBehaviorSanitizer (non-recoverable) over the full test
 #           suite, built into build-ubsan/.
-#   lint    fedfc_lint repo-invariant linter (11 rules incl. the retargeted
-#           locks rule and the whole-program layering pass; `--list-rules`
+#   lint    fedfc_lint repo-invariant linter (12 rules incl. the whole-program
+#           layering and fuzz_coverage passes; `--list-rules`
 #           prints the set) + its per-rule
 #           self-tests, and clang-tidy over src/ when clang-tidy is installed.
 #   format  clang-format --dry-run over tracked sources when clang-format is
@@ -20,6 +20,12 @@
 #           in build-threadsafety/, then runs the analysis.threadsafety.*
 #           compile-fail harness. Skips with a notice when clang++ is not
 #           installed (CI provides it).
+#   fuzz    libFuzzer smoke: builds every tests/fuzz harness with clang and
+#           -fsanitize=fuzzer,address,undefined (FEDFC_FUZZ=ON) into
+#           build-fuzz/, then runs each for FEDFC_FUZZ_SECONDS (default 30)
+#           seeded with the committed corpus + regression inputs. Crashers
+#           land in build-fuzz/fuzz-artifacts/. Skips with a notice when
+#           clang++ is not installed (CI provides it).
 #   plain   Release build of everything + the full ctest suite, in build/.
 #
 # All phases build with FEDFC_WERROR=ON, so any warning in the upgraded tier
@@ -36,17 +42,17 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 phases=("$@")
 if [[ ${#phases[@]} -eq 0 ]]; then
-  phases=(tsan asan ubsan lint format threadsafety plain)
+  phases=(tsan asan ubsan lint format threadsafety fuzz plain)
 fi
 for p in "${phases[@]}"; do
   case "$p" in
-    tsan|asan|ubsan|lint|format|threadsafety|plain|all) ;;
-    *) echo "usage: $0 [tsan|asan|ubsan|lint|format|threadsafety|plain ...]" >&2
+    tsan|asan|ubsan|lint|format|threadsafety|fuzz|plain|all) ;;
+    *) echo "usage: $0 [tsan|asan|ubsan|lint|format|threadsafety|fuzz|plain ...]" >&2
        exit 2 ;;
   esac
 done
 if [[ " ${phases[*]} " == *" all "* ]]; then
-  phases=(tsan asan ubsan lint format threadsafety plain)
+  phases=(tsan asan ubsan lint format threadsafety fuzz plain)
 fi
 
 run_sanitizer_suite() {
@@ -131,6 +137,41 @@ for phase in "${phases[@]}"; do
         cmake --build build-threadsafety -j"$jobs"
         ctest --test-dir build-threadsafety -R '^analysis\.' \
           --output-on-failure -j"$jobs"
+      else
+        echo "clang++ not installed; skipping (CI runs it)"
+      fi
+      ;;
+    fuzz)
+      echo "=== [fuzz] libFuzzer smoke over every harness ==="
+      if command -v clang++ >/dev/null 2>&1; then
+        # FEDFC_WERROR stays off for the same reason as threadsafety: only
+        # fuzzer-found crashes and sanitizer reports may fail this phase.
+        cmake -B build-fuzz -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DFEDFC_FUZZ=ON
+        cmake --build build-fuzz --target fedfc_fuzzers -j"$jobs"
+        mkdir -p build-fuzz/fuzz-artifacts
+        seconds="${FEDFC_FUZZ_SECONDS:-30}"
+        for harness in frame payload task_codec model_artifact registry csv; do
+          echo "--- fuzzing $harness (${seconds}s) ---"
+          # libFuzzer grows the FIRST positional directory; point that at a
+          # scratch dir so the committed corpus stays minimized (regenerate
+          # and re-minimize it with fedfc_corpus_gen, never from here).
+          scratch="build-fuzz/fuzz-corpus/$harness"
+          mkdir -p "$scratch"
+          seeds=("$scratch")
+          [[ -d "tests/fuzz/corpus/$harness" ]] \
+            && seeds+=("tests/fuzz/corpus/$harness")
+          [[ -d "tests/fuzz/regressions/$harness" ]] \
+            && seeds+=("tests/fuzz/regressions/$harness")
+          "./build-fuzz/tests/fuzz/fedfc_fuzz_$harness" \
+            -max_total_time="$seconds" \
+            -dict="tests/fuzz/dict/$harness.dict" \
+            -artifact_prefix="build-fuzz/fuzz-artifacts/$harness-" \
+            -print_final_stats=1 \
+            "${seeds[@]}"
+        done
       else
         echo "clang++ not installed; skipping (CI runs it)"
       fi

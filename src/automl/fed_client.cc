@@ -219,6 +219,10 @@ Result<fl::EvaluateModelReply> ForecastClient::HandleEvaluateModel(
   std::vector<double> y_test(
       data->y.begin() + static_cast<std::ptrdiff_t>(split.valid_end),
       data->y.end());
+  // The global blob came off the wire: a width that disagrees with the
+  // locally engineered rows must be a typed error, not a Predict abort or
+  // an out-of-bounds tree lookup.
+  FEDFC_RETURN_IF_ERROR(model->ValidateFeatureWidth(x_test.cols()));
   std::vector<double> pred = model->Predict(x_test);
   fl::EvaluateModelReply reply;
   reply.test_loss = ml::MeanSquaredError(y_test, pred);

@@ -374,6 +374,11 @@ Result<Forecaster> Forecaster::FromArtifact(const ModelArtifact& artifact) {
   }
   FEDFC_ASSIGN_OR_RETURN(std::unique_ptr<ml::Regressor> model,
                          DeserializeModel(artifact.config, artifact.blob));
+  // The blob and the spec travel together but are independently attacker-
+  // controllable; a model whose width disagrees with the spec's schema
+  // must be a typed error here, not an abort or out-of-bounds read at the
+  // first Forecast.
+  FEDFC_RETURN_IF_ERROR(model->ValidateFeatureWidth(f.n_features_));
   f.model_ = std::move(model);
   return f;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/checked.h"
 #include "core/vec_math.h"
 #include "ml/linear/elastic_net.h"
 #include "ml/linear/huber.h"
@@ -74,13 +75,26 @@ std::vector<double> Configuration::ToTensor() const {
 
 Result<Configuration> Configuration::FromTensor(const std::vector<double>& tensor) {
   if (tensor.empty()) return Status::InvalidArgument("empty configuration tensor");
+  // The algorithm id is an untrusted double: validate before the int cast
+  // (NaN or out-of-int-range values make the cast undefined behavior).
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t index,
+      CheckedCount(tensor[0], kNumAlgorithms - 1, "configuration algorithm id"));
   FEDFC_ASSIGN_OR_RETURN(AlgorithmId id,
-                         AlgorithmFromIndex(static_cast<int>(tensor[0])));
+                         AlgorithmFromIndex(static_cast<int>(index)));
   const SearchSpace& space = SearchSpace::ForAlgorithm(id);
   if (tensor.size() != 1 + space.n_dims()) {
     return Status::InvalidArgument("configuration tensor size mismatch");
   }
   std::vector<double> unit(tensor.begin() + 1, tensor.end());
+  for (double u : unit) {
+    // Decode clamps to [0, 1], but NaN survives a min/max clamp and then
+    // poisons the categorical index cast inside Decode — reject it here.
+    if (!std::isfinite(u)) {
+      return Status::InvalidArgument(
+          "configuration tensor: non-finite hyperparameter coordinate");
+    }
+  }
   return space.Decode(unit);
 }
 

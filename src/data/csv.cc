@@ -32,12 +32,15 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+/// Largest |epoch| accepted, in seconds: 2^61. Far past any real timestamp,
+/// and small enough that the int64 cast below is defined and that any two
+/// accepted timestamps subtract without signed overflow (the spread is at
+/// most 2^62 < INT64_MAX).
+constexpr double kMaxEpochSeconds = 2305843009213693952.0;
+
 }  // namespace
 
-Result<ts::Series> ReadSeriesCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-
+Result<ts::Series> ParseSeriesCsv(std::istream& in, const std::string& origin) {
   std::vector<int64_t> timestamps;
   std::vector<double> values;
   std::string line;
@@ -46,7 +49,7 @@ Result<ts::Series> ReadSeriesCsv(const std::string& path) {
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != 2) {
-      return Status::InvalidArgument("csv: expected 2 columns in " + path);
+      return Status::InvalidArgument("csv: expected 2 columns in " + origin);
     }
     double t = 0.0;
     if (!ParseDouble(fields[0], &t)) {
@@ -57,6 +60,12 @@ Result<ts::Series> ReadSeriesCsv(const std::string& path) {
       return Status::InvalidArgument("csv: bad timestamp '" + fields[0] + "'");
     }
     first = false;
+    // strtod happily produces 1e300, inf, or nan; casting any of those to
+    // int64 is undefined behavior, so bound the epoch before the cast.
+    if (!(t >= -kMaxEpochSeconds && t <= kMaxEpochSeconds)) {
+      return Status::InvalidArgument("csv: timestamp '" + fields[0] +
+                                     "' outside the representable epoch range");
+    }
     timestamps.push_back(static_cast<int64_t>(t));
     double v = ts::MissingValue();
     if (!fields[1].empty() && !ParseDouble(fields[1], &v)) {
@@ -65,7 +74,7 @@ Result<ts::Series> ReadSeriesCsv(const std::string& path) {
     values.push_back(v);
   }
   if (values.size() < 2) {
-    return Status::InvalidArgument("csv: need at least 2 rows in " + path);
+    return Status::InvalidArgument("csv: need at least 2 rows in " + origin);
   }
   int64_t interval = timestamps[1] - timestamps[0];
   if (interval <= 0) {
@@ -77,6 +86,12 @@ Result<ts::Series> ReadSeriesCsv(const std::string& path) {
     }
   }
   return ts::Series(std::move(values), timestamps.front(), interval);
+}
+
+Result<ts::Series> ReadSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseSeriesCsv(in, path);
 }
 
 Status WriteSeriesCsv(const ts::Series& series, const std::string& path) {

@@ -1,6 +1,7 @@
 #ifndef FEDFC_DATA_CSV_H_
 #define FEDFC_DATA_CSV_H_
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -9,10 +10,17 @@
 
 namespace fedfc::data {
 
-/// Reads a two-column CSV (epoch_seconds,value) into a Series. Empty value
+/// Parses a two-column CSV (epoch_seconds,value) into a Series. Empty value
 /// fields become missing observations. A single header line is skipped when
 /// its first field is non-numeric. The sampling interval is inferred from
-/// the first two timestamps; rows must be equally spaced.
+/// the first two timestamps; rows must be equally spaced. Parsing is
+/// adversarial-input-safe: timestamps outside the representable epoch range
+/// (|t| > 2^61 seconds, i.e. non-finite or absurd) are typed errors, never
+/// an undefined double->int64 cast. `origin` names the input in error
+/// messages (a path, or a description for in-memory sources).
+Result<ts::Series> ParseSeriesCsv(std::istream& in, const std::string& origin);
+
+/// File wrapper over ParseSeriesCsv.
 Result<ts::Series> ReadSeriesCsv(const std::string& path);
 
 /// Writes a Series as (epoch_seconds,value) CSV; missing values are written

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <algorithm>
 #include <numbers>
+#include <string>
 
+#include "core/checked.h"
 #include "core/logging.h"
 #include "ts/calendar.h"
 #include "ts/interpolation.h"
@@ -29,24 +31,56 @@ Result<FeatureEngineeringSpec> FeatureEngineeringSpec::FromTensor(
   if (t.size() < 7) {
     return Status::InvalidArgument("feature spec tensor too short");
   }
+  // Every count field arrives as a double off the wire (or out of an
+  // on-disk artifact): NaN, negative, fractional, or huge values are all
+  // possible, and static_cast of those is undefined behavior. CheckedCount
+  // validates each field against its hard cap before the cast and before
+  // anything is allocated.
   FeatureEngineeringSpec spec;
   size_t i = 0;
-  spec.n_lags = static_cast<size_t>(t[i++]);
+  FEDFC_ASSIGN_OR_RETURN(
+      spec.n_lags, CheckedCount(t[i++], kMaxSpecLags, "feature spec n_lags"));
   spec.include_time_features = t[i++] != 0.0;
   spec.include_trend_feature = t[i++] != 0.0;
-  spec.n_covariates = static_cast<size_t>(t[i++]);
-  spec.covariate_lags = static_cast<size_t>(t[i++]);
-  size_t n_periods = static_cast<size_t>(t[i++]);
+  FEDFC_ASSIGN_OR_RETURN(
+      spec.n_covariates,
+      CheckedCount(t[i++], kMaxSpecCovariates, "feature spec n_covariates"));
+  FEDFC_ASSIGN_OR_RETURN(spec.covariate_lags,
+                         CheckedCount(t[i++], kMaxSpecCovariateLags,
+                                      "feature spec covariate_lags"));
+  FEDFC_ASSIGN_OR_RETURN(size_t n_periods,
+                         CheckedCount(t[i++], kMaxSpecSeasonalPeriods,
+                                      "feature spec seasonal periods"));
   if (i + n_periods + 1 > t.size()) {
     return Status::InvalidArgument("feature spec tensor: bad periods block");
   }
-  for (size_t p = 0; p < n_periods; ++p) spec.seasonal_periods.push_back(t[i++]);
-  size_t n_selected = static_cast<size_t>(t[i++]);
+  for (size_t p = 0; p < n_periods; ++p) {
+    if (!std::isfinite(t[i])) {
+      return Status::InvalidArgument(
+          "feature spec tensor: non-finite seasonal period");
+    }
+    spec.seasonal_periods.push_back(t[i++]);
+  }
+  if (spec.n_covariates * spec.covariate_lags > kMaxSpecColumns ||
+      spec.n_lags + 2 * n_periods + spec.n_covariates * spec.covariate_lags >
+          kMaxSpecColumns) {
+    return Status::InvalidArgument(
+        "feature spec tensor: engineered schema width exceeds the " +
+        std::to_string(kMaxSpecColumns) + "-column cap");
+  }
+  const double n_selected_field = t[i++];
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t n_selected,
+      CheckedCount(n_selected_field, t.size() - i,
+                   "feature spec selection block"));
   if (i + n_selected != t.size()) {
     return Status::InvalidArgument("feature spec tensor: bad selection block");
   }
   for (size_t s = 0; s < n_selected; ++s) {
-    spec.selected_features.push_back(static_cast<size_t>(t[i++]));
+    FEDFC_ASSIGN_OR_RETURN(
+        size_t idx,
+        CheckedCount(t[i++], kMaxSpecColumns, "feature spec selected index"));
+    spec.selected_features.push_back(idx);
   }
   return spec;
 }

@@ -12,6 +12,19 @@
 
 namespace fedfc::features {
 
+/// Hard caps on the FeatureEngineeringSpec count fields, enforced by
+/// FromTensor before any allocation. A spec travels the wire (broadcast to
+/// every client) and sits inside on-disk model artifacts, so its counts are
+/// untrusted; the engine never produces values anywhere near these — the
+/// caps only trip on corrupted or hostile tensors.
+inline constexpr size_t kMaxSpecLags = 4096;
+inline constexpr size_t kMaxSpecCovariates = 1024;
+inline constexpr size_t kMaxSpecCovariateLags = 4096;
+inline constexpr size_t kMaxSpecSeasonalPeriods = 256;
+/// Bound on the full engineered schema width (covers the n_covariates x
+/// covariate_lags product, which the per-field caps alone do not).
+inline constexpr size_t kMaxSpecColumns = 1u << 16;
+
 /// Server-broadcast recipe for the *unified* feature engineering the paper
 /// describes (Section 4.2): every client builds the same feature schema so
 /// the federated models are compatible.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checked.h"
 #include "core/logging.h"
 #include "core/vec_math.h"
 #include "ts/acf.h"
@@ -90,7 +91,14 @@ Result<ClientMetaFeatures> ClientMetaFeatures::FromTensor(
   m.skewness = tensor[i++];
   m.kurtosis = tensor[i++];
   m.fractal_dimension = tensor[i++];
-  size_t n_seasonal = static_cast<size_t>(tensor[i++]);
+  // The count fields are untrusted wire data: validate before the cast (a
+  // NaN or huge double makes static_cast undefined behavior) and cap at the
+  // remaining span so the multiply below cannot wrap.
+  const double n_seasonal_field = tensor[i++];
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t n_seasonal,
+      CheckedCount(n_seasonal_field, (tensor.size() - i) / 2,
+                   "meta-feature seasonal block"));
   if (i + 2 * n_seasonal + 3 > tensor.size()) {
     return Status::InvalidArgument("meta-feature tensor: bad seasonal block");
   }
@@ -102,7 +110,10 @@ Result<ClientMetaFeatures> ClientMetaFeatures::FromTensor(
   }
   m.hist_min = tensor[i++];
   m.hist_max = tensor[i++];
-  size_t n_bins = static_cast<size_t>(tensor[i++]);
+  const double n_bins_field = tensor[i++];
+  FEDFC_ASSIGN_OR_RETURN(
+      size_t n_bins, CheckedCount(n_bins_field, tensor.size() - i,
+                                  "meta-feature histogram block"));
   if (i + n_bins != tensor.size()) {
     return Status::InvalidArgument("meta-feature tensor: bad histogram block");
   }

@@ -53,6 +53,20 @@ std::vector<double> LinearRegressorBase::GetParameters() const {
   return params;
 }
 
+Status LinearRegressorBase::ValidateFeatureWidth(size_t n_cols) const {
+  // A linear model's width is set by whatever parameter vector it was
+  // loaded with — which may be attacker-chosen bytes off the wire. Predict
+  // CHECK-fails on a width mismatch, so the boundary pairing an untrusted
+  // model with local rows must get a typed error instead of an abort.
+  if (weights_.size() != n_cols) {
+    return Status::InvalidArgument(
+        "linear model carries " + std::to_string(weights_.size()) +
+        " feature weights but rows have " + std::to_string(n_cols) +
+        " columns (mismatched or corrupt model)");
+  }
+  return Status::OK();
+}
+
 Status LinearRegressorBase::SetParameters(const std::vector<double>& params) {
   if (params.empty()) {
     return Status::InvalidArgument("SetParameters: empty parameter vector");

@@ -37,6 +37,16 @@ class Regressor {
   }
   virtual bool SupportsParameterAveraging() const { return false; }
 
+  /// Checks that a fitted (possibly deserialized) model can predict rows of
+  /// `n_cols` features. Predict itself trusts its caller — a model decoded
+  /// from the wire or from disk can claim any width, so every boundary that
+  /// pairs an untrusted model with local feature rows must call this first
+  /// (linear models need the exact width; trees need every split's feature
+  /// index in range, else PredictRow reads out of bounds).
+  virtual Status ValidateFeatureWidth(size_t /*n_cols*/) const {
+    return Status::OK();
+  }
+
   /// Deep copy (unfitted state need not be preserved; fitted state must be).
   virtual std::unique_ptr<Regressor> Clone() const = 0;
 };

@@ -76,6 +76,19 @@ std::vector<double> GbdtRegressor::SerializeModel() const {
   return out;
 }
 
+Status GbdtRegressor::ValidateFeatureWidth(size_t n_cols) const {
+  for (const auto& tree : trees_) {
+    const int max_feature = tree.MaxFeature();
+    if (max_feature >= 0 && static_cast<size_t>(max_feature) >= n_cols) {
+      return Status::InvalidArgument(
+          "GBDT model splits on feature " + std::to_string(max_feature) +
+          " but rows have only " + std::to_string(n_cols) +
+          " columns (mismatched or corrupt model)");
+    }
+  }
+  return Status::OK();
+}
+
 Status GbdtRegressor::DeserializeModel(const std::vector<double>& data) {
   if (data.size() < 3) return Status::InvalidArgument("GbdtRegressor: short blob");
   if (!std::isfinite(data[0]) || !std::isfinite(data[1])) {
@@ -87,6 +100,12 @@ Status GbdtRegressor::DeserializeModel(const std::vector<double>& data) {
   FEDFC_ASSIGN_OR_RETURN(
       size_t n_trees,
       CheckedCount(data[2], data.size() - 3, "GbdtRegressor tree count"));
+  // A fitted model always has at least one tree; accepting an empty one
+  // would let a hostile blob through to Predict's !trees_.empty() CHECK —
+  // an abort an attacker could trigger remotely.
+  if (n_trees == 0) {
+    return Status::InvalidArgument("GbdtRegressor: blob encodes no trees");
+  }
   size_t offset = 0;
   base_score_ = data[offset++];
   config_.learning_rate = data[offset++];

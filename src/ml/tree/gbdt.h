@@ -48,6 +48,11 @@ class GbdtRegressor : public Regressor {
   [[nodiscard]] std::vector<double> SerializeModel() const;
   Status DeserializeModel(const std::vector<double>& data);
 
+  /// A deserialized tree's split features index prediction rows directly;
+  /// an index at or past the row width is an out-of-bounds read. Typed
+  /// check for the untrusted-model boundaries (see Regressor).
+  Status ValidateFeatureWidth(size_t n_cols) const override;
+
  private:
   GbdtConfig config_;
   double base_score_ = 0.0;

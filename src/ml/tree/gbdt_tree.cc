@@ -1,7 +1,9 @@
 #include "ml/tree/gbdt_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <string>
 
 #include "core/checked.h"
 #include "core/logging.h"
@@ -129,23 +131,48 @@ Result<GbdtTree> GbdtTree::FromSpan(const std::vector<double>& data,
       CheckedCount(data[*offset], (data.size() - *offset - 1) / 5,
                    "GbdtTree node block"));
   ++*offset;
+  // The feature and child-index fields are untrusted doubles: a value that
+  // is NaN, fractional, or outside int range makes the narrowing cast
+  // undefined behavior, so each one is validated before its cast. -1 is the
+  // encoder's leaf marker (Node's default feature/left/right).
+  auto checked_field = [](double v, const char* what) -> Result<int32_t> {
+    if (!std::isfinite(v) || v != std::floor(v) || v < -1.0 ||
+        v > 2147483647.0) {
+      return Status::InvalidArgument(
+          std::string("GbdtTree: ") + what +
+          " field is not an integer in [-1, 2^31) (corrupt or hostile input)");
+    }
+    return static_cast<int32_t>(v);
+  };
   GbdtTree tree;
   tree.nodes_.resize(n_nodes);
   for (size_t i = 0; i < n_nodes; ++i) {
     Node& n = tree.nodes_[i];
-    n.feature = static_cast<int>(data[(*offset)++]);
+    FEDFC_ASSIGN_OR_RETURN(int32_t feature,
+                           checked_field(data[(*offset)++], "feature"));
+    n.feature = feature;
     n.threshold = data[(*offset)++];
-    n.left = static_cast<int32_t>(data[(*offset)++]);
-    n.right = static_cast<int32_t>(data[(*offset)++]);
+    FEDFC_ASSIGN_OR_RETURN(n.left, checked_field(data[(*offset)++], "left"));
+    FEDFC_ASSIGN_OR_RETURN(n.right, checked_field(data[(*offset)++], "right"));
     n.weight = data[(*offset)++];
+    // Build() lays nodes out preorder, so both children of a split strictly
+    // follow it. Requiring that here does more than match the encoder: it
+    // makes every root-to-leaf walk strictly increasing, so a hostile blob
+    // cannot smuggle in a cycle that would hang PredictRow forever.
     if (n.feature >= 0 &&
-        (n.left < 0 || n.right < 0 ||
+        (n.left <= static_cast<int32_t>(i) || n.right <= static_cast<int32_t>(i) ||
          static_cast<size_t>(n.left) >= n_nodes ||
          static_cast<size_t>(n.right) >= n_nodes)) {
       return Status::InvalidArgument("GbdtTree: invalid child index");
     }
   }
   return tree;
+}
+
+int GbdtTree::MaxFeature() const {
+  int max_feature = -1;
+  for (const Node& n : nodes_) max_feature = std::max(max_feature, n.feature);
+  return max_feature;
 }
 
 double GbdtTree::PredictRow(const double* row) const {

@@ -32,6 +32,11 @@ class GbdtTree {
   [[nodiscard]] double PredictRow(const double* row) const;
 
   [[nodiscard]] size_t n_nodes() const { return nodes_.size(); }
+  /// Highest feature index any split reads, -1 for a single-leaf tree.
+  /// `PredictRow(row)` indexes `row` up to this value, so callers holding a
+  /// deserialized (untrusted) tree must check it against their row width
+  /// before predicting (see Regressor::ValidateFeatureWidth).
+  [[nodiscard]] int MaxFeature() const;
   /// Total split gain per feature (for importances).
   [[nodiscard]] const std::vector<double>& feature_gains() const { return gains_; }
 

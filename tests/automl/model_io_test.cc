@@ -280,5 +280,16 @@ TEST(ForecasterTest, ForecastValidatesRequestShape) {
   EXPECT_FALSE(forecaster->Forecast(Matrix(4, 3)).ok());  // Wrong width.
 }
 
+TEST(ForecasterTest, RejectsBlobNarrowerThanSchema) {
+  // Fuzzer-surfaced (tests/fuzz/regressions/model_artifact/crash-linear-
+  // width): a linear blob whose weight count disagrees with the spec's
+  // schema used to pass FromArtifact and abort inside Predict's width
+  // CHECK. ValidateFeatureWidth now rejects it at the decode boundary.
+  ModelArtifact artifact = MakeArtifact(51);
+  artifact.blob = {0.1, 0.2, 0.3, 1.5};  // 3 weights for a 2-column schema.
+  Status status = Forecaster::FromArtifact(artifact).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace fedfc::automl

@@ -1,6 +1,7 @@
 #include "automl/search_space.h"
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -107,6 +108,16 @@ TEST(ConfigurationTest, FromTensorRejectsCorruption) {
   EXPECT_FALSE(Configuration::FromTensor({}).ok());
   EXPECT_FALSE(Configuration::FromTensor({99.0, 0.5, 0.5}).ok());
   EXPECT_FALSE(Configuration::FromTensor({0.0, 0.5}).ok());  // Lasso needs 2 dims.
+}
+
+TEST(ConfigurationTest, FromTensorRejectsNonFiniteFields) {
+  // Fuzzer-surfaced (tests/fuzz/regressions/model_artifact/): a NaN
+  // algorithm id was cast to int (UB), and NaN unit coordinates survive
+  // Clamp and poison Decode's categorical cast.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Configuration::FromTensor({kNaN, 0.5, 0.5}).ok());
+  EXPECT_FALSE(Configuration::FromTensor({0.0, kNaN, 0.5}).ok());
+  EXPECT_FALSE(Configuration::FromTensor({0.5, 0.5, 0.5}).ok());  // Fractional id.
 }
 
 TEST(ConfigurationTest, ToStringMentionsAlgorithmAndParams) {

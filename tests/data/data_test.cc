@@ -1,6 +1,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +124,26 @@ TEST(CsvTest, RejectsBadFiles) {
   }
   EXPECT_FALSE(ReadSeriesCsv(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseRejectsOutOfRangeTimestamps) {
+  // Crash regressions from the csv fuzzer (tests/fuzz/regressions/csv/):
+  // casting 1e300 to int64 and subtracting +/-9e18 epochs were both UB
+  // before ParseSeriesCsv bounded the timestamp range.
+  std::istringstream huge("1e300,1\n2e300,2\n");
+  EXPECT_FALSE(ParseSeriesCsv(huge, "huge").ok());
+  std::istringstream wide("-9e18,1\n9e18,2\n");
+  EXPECT_FALSE(ParseSeriesCsv(wide, "wide").ok());
+  std::istringstream nan_ts("nan,1\n3600,2\n");
+  EXPECT_FALSE(ParseSeriesCsv(nan_ts, "nan").ok());
+}
+
+TEST(CsvTest, ParseSeriesCsvMatchesFileReader) {
+  std::istringstream in("timestamp,value\n0,1.0\n3600,2.0\n7200,3.0\n");
+  Result<ts::Series> series = ParseSeriesCsv(in, "inline");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 3u);
+  EXPECT_EQ(series->interval_seconds(), 3600);
 }
 
 TEST(CsvTest, SplitCsvLineHandlesEmptyFields) {

@@ -1,6 +1,7 @@
 #include "features/feature_engineering.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -43,6 +44,23 @@ TEST(SpecTest, FromTensorRejectsCorruption) {
   std::vector<double> t = spec.ToTensor();
   t.push_back(9.0);
   EXPECT_FALSE(FeatureEngineeringSpec::FromTensor(t).ok());
+}
+
+TEST(SpecTest, FromTensorRejectsHostileCountFields) {
+  // Fuzzer-surfaced paths (tests/fuzz/regressions/model_artifact/): every
+  // count field is attacker bytes, and casting NaN/huge doubles was UB.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      FeatureEngineeringSpec::FromTensor({kNaN, 1, 1, 0, 0, 0, 0}).ok());
+  EXPECT_FALSE(
+      FeatureEngineeringSpec::FromTensor({1e18, 1, 1, 0, 0, 0, 0}).ok());
+  // Per-field caps pass but the n_covariates x covariate_lags product
+  // would explode the schema width.
+  EXPECT_FALSE(
+      FeatureEngineeringSpec::FromTensor({4, 1, 1, 1024, 4096, 0, 0}).ok());
+  // Non-finite seasonal period.
+  EXPECT_FALSE(
+      FeatureEngineeringSpec::FromTensor({4, 1, 1, 0, 0, 1, kNaN, 0}).ok());
 }
 
 TEST(SchemaTest, NamesMatchConfiguration) {

@@ -1,6 +1,7 @@
 #include "features/meta_features.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include <gtest/gtest.h>
@@ -87,6 +88,21 @@ TEST(ClientMetaFeaturesTest, FromTensorRejectsCorruption) {
   ts::Series s = SeasonalSeries(400, 16, 6);
   std::vector<double> tensor = ComputeClientMetaFeatures(s).ToTensor();
   tensor.pop_back();
+  EXPECT_FALSE(ClientMetaFeatures::FromTensor(tensor).ok());
+}
+
+TEST(ClientMetaFeaturesTest, FromTensorRejectsHostileCountFields) {
+  // The seasonal-block and histogram counts are wire data; a NaN or huge
+  // double there was cast straight to size_t before CheckedCount (the
+  // crasher lives in tests/fuzz/regressions/model_artifact/).
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> tensor(20, 0.5);
+  tensor[16] = kNaN;  // Seasonal-component count.
+  EXPECT_FALSE(ClientMetaFeatures::FromTensor(tensor).ok());
+  tensor[16] = 1e18;
+  EXPECT_FALSE(ClientMetaFeatures::FromTensor(tensor).ok());
+  tensor[16] = 0.0;
+  tensor[19] = kNaN;  // Histogram bin count.
   EXPECT_FALSE(ClientMetaFeatures::FromTensor(tensor).ok());
 }
 

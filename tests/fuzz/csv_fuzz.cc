@@ -1,0 +1,24 @@
+// Fuzzes data::ParseSeriesCsv — the loader every dataset enters through:
+// column-count and numeric-field validation, header detection, the epoch
+// range check in front of the double -> int64 timestamp cast, and the
+// regular-interval scan. An accepted series always has a positive interval
+// and at least two observations.
+
+#include <sstream>
+#include <string>
+
+#include "data/csv.h"
+#include "fuzz_harness.h"
+#include "ts/series.h"
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(text);
+  fedfc::Result<fedfc::ts::Series> series =
+      fedfc::data::ParseSeriesCsv(in, "fuzz input");
+  if (series.ok()) {
+    FEDFC_FUZZ_REQUIRE(series->size() >= 2);
+    FEDFC_FUZZ_REQUIRE(series->interval_seconds() > 0);
+  }
+  return 0;
+}

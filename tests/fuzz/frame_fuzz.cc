@@ -1,0 +1,35 @@
+// Fuzzes net::DecodeFrame — the outermost decoder on every socket: v2
+// header validation (magic, version, type, status, length caps, the
+// client_index word), body bounds, CRC trailer, trailing-byte rejection.
+//
+// Properties on accepted frames:
+//   - re-encoding is the identity on the wire bytes (decode is strict and
+//     the encoding is canonical, so decode(x) ok => encode(decode(x)) == x);
+//   - error frames round-trip through ErrorFrameStatus;
+//   - EncodedFrameSize agrees with the actual encoding.
+
+#include "fuzz_harness.h"
+#include "net/frame.h"
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  using fedfc::net::DecodeFrame;
+  using fedfc::net::EncodeFrame;
+
+  const std::vector<uint8_t> bytes = fedfc::fuzz::BytesToVector(data, size);
+  fedfc::Result<fedfc::net::Frame> decoded = DecodeFrame(bytes);
+  if (!decoded.ok()) return 0;
+
+  const fedfc::net::Frame& frame = *decoded;
+  const std::vector<uint8_t> re_encoded = EncodeFrame(frame);
+  FEDFC_FUZZ_REQUIRE(re_encoded == bytes);
+  FEDFC_FUZZ_REQUIRE(fedfc::net::EncodedFrameSize(frame) == bytes.size());
+
+  if (frame.type == fedfc::net::FrameType::kError) {
+    // The decoded status must reproduce the wire status code exactly (an
+    // error frame may legally carry kOk — MakeErrorFrame never emits one,
+    // but the decoder does not forbid it).
+    const fedfc::Status status = fedfc::net::ErrorFrameStatus(frame);
+    FEDFC_FUZZ_REQUIRE(status.code() == frame.status_code);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#ifndef FEDFC_TESTS_FUZZ_FUZZ_HARNESS_H_
+#define FEDFC_TESTS_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+// Shared shape of every fuzz harness in this directory. Each <name>_fuzz.cc
+// defines exactly one FedfcFuzzOne; the same source builds two ways:
+//
+//   - replay binary (every build, any compiler): replay_main.cc feeds it
+//     files from the committed corpus + crash-regression directories, so
+//     each crasher ever found stays a permanent ctest regression
+//     (fuzz.replay.<name>).
+//   - libFuzzer target (FEDFC_FUZZ=ON, clang): libfuzzer_entry.cc adapts it
+//     to LLVMFuzzerTestOneInput for coverage-guided runs under ASan+UBSan.
+//
+// Contract: decoding arbitrary bytes returns a typed error or a valid
+// object — it never crashes, hangs, or trips a sanitizer. Harnesses assert
+// round-trip properties with FEDFC_FUZZ_REQUIRE, which aborts so both the
+// fuzzer and the replay driver treat a violated property as a crash.
+
+/// Processes one fuzz input. Always returns 0 (libFuzzer convention).
+int FedfcFuzzOne(const uint8_t* data, size_t size);
+
+/// Property assertion for harnesses: abort (not exit) on violation so
+/// libFuzzer saves the input as a crash artifact.
+#define FEDFC_FUZZ_REQUIRE(cond)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FEDFC_FUZZ_REQUIRE failed at %s:%d: %s\n", \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+namespace fedfc::fuzz {
+
+/// Reinterprets the input bytes as a double tensor (truncating the tail),
+/// the shape every FromTensor-family decoder consumes.
+inline std::vector<double> BytesToDoubles(const uint8_t* data, size_t size) {
+  std::vector<double> out(size / sizeof(double));
+  if (!out.empty()) std::memcpy(out.data(), data, out.size() * sizeof(double));
+  return out;
+}
+
+inline std::vector<uint8_t> BytesToVector(const uint8_t* data, size_t size) {
+  return std::vector<uint8_t>(data, data + size);
+}
+
+}  // namespace fedfc::fuzz
+
+#endif  // FEDFC_TESTS_FUZZ_FUZZ_HARNESS_H_

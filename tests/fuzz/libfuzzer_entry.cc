@@ -1,0 +1,9 @@
+// libFuzzer adapter: compiled into the fuzzer binaries only (FEDFC_FUZZ=ON,
+// clang). The replay binaries use replay_main.cc instead, so the harness
+// body in <name>_fuzz.cc is identical in both builds.
+
+#include "fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return FedfcFuzzOne(data, size);
+}

@@ -1,0 +1,106 @@
+// Fuzzes the model-artifact decode chain — the bytes a serving process
+// trusts least: automl::DecodeModelArtifact (Payload -> record -> strict
+// Configuration::FromTensor + FeatureEngineeringSpec::FromTensor + blob
+// caps), then Forecaster::FromArtifact, which drives DeserializeModel down
+// to GbdtTree::FromSpan and the feature-width validation. A decoded
+// artifact that builds a Forecaster must answer a Forecast without
+// crashing.
+//
+// The tail of the input doubles as raw tensors for the FromTensor-family
+// decoders (Configuration, FeatureEngineeringSpec, ClientMetaFeatures) and
+// for automl::DeserializeModel, so the tensor-level decoders see shapes the
+// artifact path would reject earlier.
+
+#include <memory>
+#include <vector>
+
+#include "automl/model_io.h"
+#include "automl/search_space.h"
+#include "core/matrix.h"
+#include "features/feature_engineering.h"
+#include "features/meta_features.h"
+#include "fuzz_harness.h"
+
+namespace {
+
+/// Largest schema width we are willing to allocate a probe row for.
+constexpr size_t kMaxProbeFeatures = 1u << 16;
+
+void ExerciseArtifact(const std::vector<uint8_t>& bytes) {
+  namespace automl = fedfc::automl;
+  fedfc::Result<automl::ModelArtifact> artifact =
+      automl::DecodeModelArtifact(bytes);
+  if (!artifact.ok()) return;
+
+  // Accepted artifacts re-encode losslessly (tensors and blob are carried
+  // verbatim; config/spec decodes are strict and canonical).
+  const std::vector<uint8_t> re_encoded = automl::EncodeModelArtifact(*artifact);
+  fedfc::Result<automl::ModelArtifact> round_tripped =
+      automl::DecodeModelArtifact(re_encoded);
+  FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+  FEDFC_FUZZ_REQUIRE(round_tripped->blob == artifact->blob);
+
+  fedfc::Result<automl::Forecaster> forecaster =
+      automl::Forecaster::FromArtifact(*artifact);
+  if (!forecaster.ok()) return;
+  const size_t n_features = forecaster->n_features();
+  if (n_features == 0 || n_features > kMaxProbeFeatures) return;
+  fedfc::Matrix probe(1, n_features, 0.0);
+  fedfc::Result<std::vector<double>> prediction = forecaster->Forecast(probe);
+  if (prediction.ok()) {
+    FEDFC_FUZZ_REQUIRE(prediction->size() == 1);
+  }
+}
+
+void ExerciseTensorDecoders(const std::vector<double>& tensor) {
+  namespace automl = fedfc::automl;
+  namespace features = fedfc::features;
+
+  fedfc::Result<automl::Configuration> config =
+      automl::Configuration::FromTensor(tensor);
+  if (config.ok()) {
+    // A decoded configuration re-encodes to a decodable tensor.
+    fedfc::Result<automl::Configuration> round_tripped =
+        automl::Configuration::FromTensor(config->ToTensor());
+    FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+    // Feed the raw tail to DeserializeModel under this configuration: the
+    // blob decoders (linear SetParameters, GbdtRegressor::DeserializeModel,
+    // GbdtTree::FromSpan) must reject or accept, never crash — and any
+    // accepted model that passes the width check must predict cleanly.
+    fedfc::Result<std::unique_ptr<fedfc::ml::Regressor>> model =
+        automl::DeserializeModel(*config, tensor);
+    if (model.ok()) {
+      fedfc::Matrix probe(1, 4, 0.0);
+      const fedfc::Status width_check = (*model)->ValidateFeatureWidth(4);
+      if (width_check.ok()) {
+        const std::vector<double> prediction = (*model)->Predict(probe);
+        FEDFC_FUZZ_REQUIRE(prediction.size() == 1);
+      }
+    }
+  }
+
+  fedfc::Result<features::FeatureEngineeringSpec> spec =
+      features::FeatureEngineeringSpec::FromTensor(tensor);
+  if (spec.ok()) {
+    fedfc::Result<features::FeatureEngineeringSpec> round_tripped =
+        features::FeatureEngineeringSpec::FromTensor(spec->ToTensor());
+    FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+  }
+
+  fedfc::Result<features::ClientMetaFeatures> meta =
+      features::ClientMetaFeatures::FromTensor(tensor);
+  if (meta.ok()) {
+    fedfc::Result<features::ClientMetaFeatures> round_tripped =
+        features::ClientMetaFeatures::FromTensor(meta->ToTensor());
+    FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+  }
+}
+
+}  // namespace
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  const std::vector<uint8_t> bytes = fedfc::fuzz::BytesToVector(data, size);
+  ExerciseArtifact(bytes);
+  ExerciseTensorDecoders(fedfc::fuzz::BytesToDoubles(data, size));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzzes fl::Payload::Deserialize — the body decoder behind every task
+// frame: entry count cap, per-entry key/tag/value length validation,
+// duplicate-key and trailing-byte rejection.
+//
+// Properties on accepted payloads: the semantic round-trip
+// Deserialize(Serialize(p)) == p (byte identity is NOT required — the
+// serializer emits keys in sorted order, the input may not), and every
+// advertised key is readable through exactly its typed getter.
+
+#include <string>
+#include <vector>
+
+#include "fl/payload.h"
+#include "fuzz_harness.h"
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  using fedfc::fl::Payload;
+
+  const std::vector<uint8_t> bytes = fedfc::fuzz::BytesToVector(data, size);
+  fedfc::Result<Payload> decoded = Payload::Deserialize(bytes);
+  if (!decoded.ok()) return 0;
+
+  const Payload& payload = *decoded;
+  const std::vector<uint8_t> re_encoded = payload.Serialize();
+  fedfc::Result<Payload> round_tripped = Payload::Deserialize(re_encoded);
+  FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+  FEDFC_FUZZ_REQUIRE(*round_tripped == payload);
+
+  for (const std::string& key : payload.Keys()) {
+    // Exactly one typed getter succeeds per key; the others return typed
+    // mismatch errors, never crash.
+    int readable = 0;
+    if (payload.GetDouble(key).ok()) ++readable;
+    if (payload.GetInt(key).ok()) ++readable;
+    if (payload.GetString(key).ok()) ++readable;
+    if (payload.GetTensor(key).ok()) ++readable;
+    FEDFC_FUZZ_REQUIRE(readable == 1);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Fuzzes the serving registry's untrusted-disk surface via a tmpdir shim:
+// automl::ParseRegistryVersionDir (directory-name parser, incl. overflow
+// and non-canonical names), automl::ParseRegistryManifest (the MANIFEST
+// text record), and serve::ModelRegistry::LatestVersion/Load/LoadLatest
+// over a scratch registry whose MANIFEST and artifact bytes are the fuzz
+// input. Decoy version directories with hostile names exercise the
+// committed-version scan.
+//
+// Input layout for the shim: [u16 LE manifest length][manifest text]
+// [artifact bytes]. Registry loads may fail (almost always will — the CRC
+// must match) but never crash.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "automl/model_io.h"
+#include "fuzz_harness.h"
+#include "serve/registry.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process scratch registry root with decoy version directories (no
+/// MANIFEST — committed-version scans must skip them after parsing their
+/// names) created once.
+const std::string& ScratchRoot() {
+  static const std::string root = [] {
+    std::string templ =
+        (fs::temp_directory_path() / "fedfc_registry_fuzz.XXXXXX").string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const char* made = mkdtemp(buf.data());
+    const std::string r = made != nullptr ? made : templ;
+    for (const char* name : {"v", "va", "v-2", "v01", "v0x7",
+                             "v99999999999999999999", "x001", "v002"}) {
+      std::error_code ec;
+      fs::create_directories(fs::path(r) / name, ec);
+    }
+    std::error_code ec;
+    fs::create_directories(fs::path(r) / "v001", ec);
+    return r;
+  }();
+  return root;
+}
+
+void WriteBytes(const fs::path& path, const uint8_t* data, size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+}  // namespace
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  namespace automl = fedfc::automl;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Directory-name parser: accepted names are exactly the canonical ones.
+  const std::string name = text.substr(0, std::min<size_t>(text.size(), 32));
+  fedfc::Result<int> version = automl::ParseRegistryVersionDir(name);
+  if (version.ok()) {
+    FEDFC_FUZZ_REQUIRE(automl::RegistryVersionDir(*version) == name);
+  }
+
+  // MANIFEST text parser: accepted records survive the format round-trip.
+  fedfc::Result<automl::RegistryManifest> manifest =
+      automl::ParseRegistryManifest(text);
+  if (manifest.ok()) {
+    fedfc::Result<automl::RegistryManifest> round_tripped =
+        automl::ParseRegistryManifest(
+            automl::FormatRegistryManifest(*manifest));
+    FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+    FEDFC_FUZZ_REQUIRE(round_tripped->version == manifest->version);
+    FEDFC_FUZZ_REQUIRE(round_tripped->file == manifest->file);
+    FEDFC_FUZZ_REQUIRE(round_tripped->bytes == manifest->bytes);
+    FEDFC_FUZZ_REQUIRE(round_tripped->crc32 == manifest->crc32);
+  }
+
+  // Registry shim: split the input into MANIFEST + artifact bytes, install
+  // them as v001, and drive every read-side query.
+  if (size >= 2) {
+    const size_t declared = static_cast<size_t>(data[0]) |
+                            (static_cast<size_t>(data[1]) << 8);
+    const size_t manifest_len = std::min(declared, size - 2);
+    const fs::path dir = fs::path(ScratchRoot()) / "v001";
+    WriteBytes(dir / automl::kRegistryManifestFile, data + 2, manifest_len);
+    WriteBytes(dir / automl::kRegistryModelFile, data + 2 + manifest_len,
+               size - 2 - manifest_len);
+
+    const fedfc::serve::ModelRegistry registry(ScratchRoot());
+    fedfc::Result<int> latest = registry.LatestVersion();
+    if (latest.ok()) {
+      FEDFC_FUZZ_REQUIRE(*latest == 0 || *latest == 1);
+    }
+    fedfc::Result<automl::ModelArtifact> loaded = registry.Load(1);
+    fedfc::Result<std::pair<int, automl::ModelArtifact>> both =
+        registry.LoadLatest();
+    // LoadLatest agrees with Load(LatestVersion()): it succeeds iff some
+    // version is committed and loadable.
+    FEDFC_FUZZ_REQUIRE(both.ok() == (latest.ok() && *latest == 1 && loaded.ok()));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fuzzes the typed fl/task_codec request/reply decoders, structure-aware:
+// the raw bytes are first deserialized as a Payload (rejected inputs stop
+// there — payload_fuzz owns that layer), then every typed FromPayload runs
+// against it. Each successful decode must survive the ToPayload ->
+// FromPayload round-trip; shape invariants the decoders advertise (e.g.
+// ForecastRequest's divisibility) are asserted.
+
+#include "fl/payload.h"
+#include "fl/task_codec.h"
+#include "fuzz_harness.h"
+
+namespace {
+
+template <typename T>
+void ExerciseCodec(const fedfc::fl::Payload& payload) {
+  fedfc::Result<T> decoded = T::FromPayload(payload);
+  if (!decoded.ok()) return;
+  const fedfc::fl::Payload re_encoded = decoded->ToPayload();
+  fedfc::Result<T> round_tripped = T::FromPayload(re_encoded);
+  FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+}
+
+}  // namespace
+
+int FedfcFuzzOne(const uint8_t* data, size_t size) {
+  namespace fl = fedfc::fl;
+
+  const std::vector<uint8_t> bytes = fedfc::fuzz::BytesToVector(data, size);
+  fedfc::Result<fl::Payload> decoded = fl::Payload::Deserialize(bytes);
+  if (!decoded.ok()) return 0;
+  const fl::Payload& payload = *decoded;
+
+  ExerciseCodec<fl::MetaFeaturesRequest>(payload);
+  ExerciseCodec<fl::MetaFeaturesReply>(payload);
+  ExerciseCodec<fl::FeatureImportanceRequest>(payload);
+  ExerciseCodec<fl::FeatureImportanceReply>(payload);
+  ExerciseCodec<fl::FitEvaluateRequest>(payload);
+  ExerciseCodec<fl::FitEvaluateReply>(payload);
+  ExerciseCodec<fl::FitFinalRequest>(payload);
+  ExerciseCodec<fl::FitFinalReply>(payload);
+  ExerciseCodec<fl::EvaluateModelRequest>(payload);
+  ExerciseCodec<fl::EvaluateModelReply>(payload);
+  ExerciseCodec<fl::NBeatsRoundRequest>(payload);
+  ExerciseCodec<fl::NBeatsRoundReply>(payload);
+  ExerciseCodec<fl::NBeatsEvaluateRequest>(payload);
+  ExerciseCodec<fl::NBeatsEvaluateReply>(payload);
+  ExerciseCodec<fl::NumExamplesRequest>(payload);
+  ExerciseCodec<fl::NumExamplesReply>(payload);
+  ExerciseCodec<fl::ForecastReply>(payload);
+  ExerciseCodec<fl::PingRequest>(payload);
+  ExerciseCodec<fl::PingReply>(payload);
+  ExerciseCodec<fl::ModelArtifactRecord>(payload);
+
+  // ForecastRequest advertises shape invariants beyond the round-trip: a
+  // decoded request always describes a well-formed non-empty matrix.
+  fedfc::Result<fl::ForecastRequest> forecast =
+      fl::ForecastRequest::FromPayload(payload);
+  if (forecast.ok()) {
+    FEDFC_FUZZ_REQUIRE(forecast->n_cols >= 1);
+    FEDFC_FUZZ_REQUIRE(!forecast->rows.empty());
+    FEDFC_FUZZ_REQUIRE(forecast->rows.size() %
+                           static_cast<size_t>(forecast->n_cols) ==
+                       0);
+    const fl::Payload re_encoded = forecast->ToPayload();
+    fedfc::Result<fl::ForecastRequest> round_tripped =
+        fl::ForecastRequest::FromPayload(re_encoded);
+    FEDFC_FUZZ_REQUIRE(round_tripped.ok());
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "ml/tree/gbdt.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -183,6 +184,61 @@ TEST(GbdtRegressorTest, DeserializeRejectsGarbage) {
   GbdtRegressor model;
   EXPECT_FALSE(model.DeserializeModel({}).ok());
   EXPECT_FALSE(model.DeserializeModel({1.0, 0.1, 2.0, 1.0}).ok());
+}
+
+// Hostile-blob paths surfaced by the model_artifact fuzzer (the crashers
+// live in tests/fuzz/regressions/model_artifact/).
+
+TEST(GbdtRegressorTest, DeserializeRejectsZeroTrees) {
+  // A zero-tree blob used to decode fine and then abort in Predict on the
+  // !trees_.empty() check — a remote DoS through evaluate_model.
+  GbdtRegressor model;
+  EXPECT_FALSE(model.DeserializeModel({0.5, 0.1, 0.0}).ok());
+}
+
+TEST(GbdtTreeTest, FromSpanRejectsNonIntegralFields) {
+  size_t offset = 0;
+  // feature = 1e18 is finite but static_cast<int> of it is UB.
+  EXPECT_FALSE(
+      gbdt_internal::GbdtTree::FromSpan({1.0, 1e18, 0.5, -1.0, -1.0, 0.0},
+                                        &offset)
+          .ok());
+  offset = 0;
+  // NaN child index.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      gbdt_internal::GbdtTree::FromSpan({1.0, 0.0, 0.5, kNaN, -1.0, 0.0},
+                                        &offset)
+          .ok());
+}
+
+TEST(GbdtTreeTest, FromSpanRejectsCyclicChildren) {
+  // A split whose children point at itself (or backwards) hung PredictRow
+  // forever; children must be strictly after the parent in preorder.
+  size_t offset = 0;
+  EXPECT_FALSE(
+      gbdt_internal::GbdtTree::FromSpan({1.0, 0.0, 0.5, 0.0, 0.0, 0.0},
+                                        &offset)
+          .ok());
+  offset = 0;
+  std::vector<double> backward = {
+      3.0,                        // n_nodes
+      0.0, 0.5, 1.0, 2.0, 0.0,    // root -> children 1, 2
+      0.0, 0.5, 0.0, 2.0, 0.0,    // node 1 points back at the root
+      -1.0, 0.0, -1.0, -1.0, 0.1  // leaf
+  };
+  EXPECT_FALSE(gbdt_internal::GbdtTree::FromSpan(backward, &offset).ok());
+}
+
+TEST(GbdtRegressorTest, ValidateFeatureWidthChecksTreeFeatures) {
+  Nonlinear p = MakeNonlinear(100, 21);
+  GbdtConfig cfg;
+  cfg.n_estimators = 5;
+  GbdtRegressor model(cfg);
+  Rng rng(22);
+  ASSERT_TRUE(model.Fit(p.x, p.y, &rng).ok());
+  EXPECT_TRUE(model.ValidateFeatureWidth(p.x.cols()).ok());
+  EXPECT_FALSE(model.ValidateFeatureWidth(0).ok());
 }
 
 TEST(GbdtClassifierTest, LearnsThreeClasses) {

@@ -894,6 +894,99 @@ void CheckLayering(const std::vector<LexedFile>& program,
   }
 }
 
+// --- fuzz_coverage: every untrusted-byte decoder has a fuzz harness -------
+//
+// The fuzz-coverage map (docs/STATIC_ANALYSIS.md "Fuzzing"). A function
+// declared in a src/ header whose name marks it as a decoder of untrusted
+// bytes — prefix Decode*/Deserialize*/Parse*, or one of the exact
+// tensor/payload/span entry points — must be exercised by name in some
+// harness under tests/fuzz/*_fuzz.cc. Entry points that are only reachable
+// through another fuzzed decoder may be exempted here, with a reason; an
+// exempt entry whose name disappears from src/ headers fires too, so the
+// list cannot rot.
+
+struct FuzzExempt {
+  std::string_view name;
+  std::string_view reason;
+};
+
+constexpr FuzzExempt kFuzzExempts[] = {
+    {"Decode",
+     "SearchSpace::Decode takes trusted unit-cube points; the wire path is "
+     "Configuration::FromTensor, which is fuzzed"},
+    {"FromSpan",
+     "GbdtTree::FromSpan is internal to the model blob; reachable only "
+     "through DeserializeModel, which is fuzzed"},
+};
+
+/// Exact-match decoder entry points that the prefix scan cannot see.
+constexpr std::string_view kFuzzExactNames[] = {"FromPayload", "FromTensor",
+                                                "FromSpan"};
+
+bool IsDecoderName(const std::string& name) {
+  for (std::string_view exact : kFuzzExactNames) {
+    if (name == exact) return true;
+  }
+  for (std::string_view prefix : {"Decode", "Deserialize", "Parse"}) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+void CheckFuzzCoverage(const std::vector<LexedFile>& program,
+                       std::vector<Violation>* out) {
+  // The harness vocabulary: every identifier token in tests/fuzz/*_fuzz.cc.
+  // Token-level matching means comments and string literals cannot satisfy
+  // coverage — the harness has to actually name the function in code.
+  std::set<std::string> fuzzed;
+  for (const LexedFile& f : program) {
+    if (f.tree != "tests" || f.rel_path.rfind("fuzz/", 0) != 0 ||
+        !EndsWith(f.rel_path, "_fuzz.cc")) {
+      continue;
+    }
+    for (const Token& t : f.tokens) {
+      if (t.kind == TokKind::kIdent) fuzzed.insert(t.text);
+    }
+  }
+
+  // Registered entry points: decoder-named identifier immediately followed
+  // by '(' in a src/ header (declarations and inline definitions alike).
+  std::set<std::string> declared;
+  std::set<std::string> reported;  // One report per name, first site wins.
+  for (const LexedFile& f : program) {
+    if (f.tree != "src" || !EndsWith(f.rel_path, ".h")) continue;
+    for (size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+      const Token& t = f.tokens[i];
+      if (t.kind != TokKind::kIdent || !IsDecoderName(t.text)) continue;
+      const Token& next = f.tokens[i + 1];
+      if (next.kind != TokKind::kPunct || next.text != "(") continue;
+      declared.insert(t.text);
+      bool exempt = false;
+      for (const FuzzExempt& e : kFuzzExempts) {
+        if (t.text == e.name) exempt = true;
+      }
+      if (exempt || fuzzed.count(t.text) > 0) continue;
+      if (!reported.insert(t.text).second) continue;
+      out->push_back(
+          {"src/" + f.rel_path, t.line, "fuzz_coverage",
+           "untrusted-byte decoder '" + t.text +
+               "' has no fuzz harness: no tests/fuzz/*_fuzz.cc names it — "
+               "add a harness (or an exempt entry with a reason in "
+               "kFuzzExempts) per docs/STATIC_ANALYSIS.md"});
+    }
+  }
+
+  // Stale exemptions: an exempt name no src/ header declares any more.
+  for (const FuzzExempt& e : kFuzzExempts) {
+    if (declared.count(std::string(e.name)) == 0) {
+      out->push_back({"tools/fedfc_lint/fedfc_lint.cc", 1, "fuzz_coverage",
+                      "stale fuzz exemption '" + std::string(e.name) +
+                          "': no src/ header declares it — remove the "
+                          "kFuzzExempts entry"});
+    }
+  }
+}
+
 // --- Driver ---------------------------------------------------------------
 
 struct Rule {
@@ -935,6 +1028,10 @@ constexpr Rule kRules[] = {
      "module DAG core<-{ts,data}<-{ml,features}<-fl<-{net,automl}; no "
      "cycles, orphan headers, or includes from tools/",
      CheckLayering},
+    {"fuzz_coverage", nullptr, true,
+     "every Decode*/Deserialize*/Parse*/From{Payload,Tensor,Span} decoder "
+     "declared in a src/ header is named by a tests/fuzz/*_fuzz.cc harness",
+     CheckFuzzCoverage},
 };
 
 /// Reads and lexes every .h/.cc/.cpp under `<repo_root>/<tree>` into
@@ -1452,6 +1549,43 @@ const std::vector<ProgramSelfTestCase>& ProgramSelfTestCases() {
        {{"ml/kernels/avx2.h", "int K();\n"},
         {"kernel_bench.cc", "#include \"ml/kernels/avx2.h\"\n", "bench"}},
        false, "a header reached only from bench/ is not an orphan"},
+      // -- fuzz_coverage. Clean cases must declare every kFuzzExempts name
+      // (currently Decode, FromSpan) in a src/ header: the stale-exemption
+      // check fires otherwise, which is itself under test below. --
+      {"fuzz_coverage",
+       {{"net/frame.h", "int Decode(int);\nint FromSpan(int);\n"
+                        "int DecodeFrame(int);\n"},
+        {"fuzz/other_fuzz.cc", "int x = Unrelated();\n", "tests"}},
+       true, "a src/ header decoder no harness names fires"},
+      {"fuzz_coverage",
+       {{"fl/payload.h", "int Decode(int);\nint FromSpan(int);\n"
+                         "int Deserialize(int);\n"}},
+       true, "a decoder with no tests/fuzz tree at all fires"},
+      {"fuzz_coverage",
+       {{"net/frame.h", "int Decode(int);\nint FromSpan(int);\n"
+                        "int DecodeFrame(int);\n"},
+        {"fuzz/frame_fuzz.cc", "// DecodeFrame\nint y = 0;\n", "tests"}},
+       true, "naming the decoder only in a harness comment does not count"},
+      {"fuzz_coverage",
+       {{"net/frame.h", "int DecodeFrame(int);\n"},
+        {"fuzz/frame_fuzz.cc", "int x = DecodeFrame(1);\n", "tests"}},
+       true, "a stale kFuzzExempts entry (exempt name never declared) fires"},
+      {"fuzz_coverage",
+       {{"net/frame.h", "int Decode(int);\nint FromSpan(int);\n"
+                        "int DecodeFrame(int);\n"},
+        {"fuzz/frame_fuzz.cc", "int x = DecodeFrame(1);\n", "tests"}},
+       false, "a harness naming the decoder as a code token is clean"},
+      {"fuzz_coverage",
+       {{"automl/search_space.h", "int Decode(int);\nint FromSpan(int);\n"
+                                  "int FromTensor(int);\n"},
+        {"fuzz/model_artifact_fuzz.cc", "int x = FromTensor(1);\n", "tests"}},
+       false, "exempt entry points (Decode, FromSpan) need no harness"},
+      {"fuzz_coverage",
+       {{"core/checked.h", "int Decode(int);\nint FromSpan(int);\n"
+                           "int ParseThing(const char*);\n"},
+        {"fuzz/thing_fuzz.cc", "int x = ParseThing(\"\");\n", "tests"},
+        {"fuzz/helper.cc", "int NotAHarness();\n", "tests"}},
+       false, "only *_fuzz.cc files register coverage; helpers are ignored"},
   };
   return cases;
 }
